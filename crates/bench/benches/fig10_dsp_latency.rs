@@ -1,0 +1,72 @@
+//! Paper Fig. 10(c): DSP filter application — simulated average packet
+//! latency of the best mapping on each topology ("SystemC simulation of
+//! all topologies", here the trace-driven cycle simulator).
+//!
+//! Shape to reproduce: "the butterfly topology indeed has the minimum
+//! latency"; the 3-stage Clos sits at the high end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sunmap_bench::explore;
+use sunmap::sim::{NocSimulator, SimConfig};
+use sunmap::traffic::benchmarks;
+use sunmap::{Objective, RoutingFunction};
+
+const INTENSITY: f64 = 0.45;
+
+fn print_figure() {
+    let app = benchmarks::dsp_filter();
+    let ex = explore(
+        app.clone(),
+        1000.0,
+        RoutingFunction::MinPath,
+        Objective::MinDelay,
+        false,
+    );
+    println!("== Fig. 10(c): DSP filter, simulated avg packet latency ==");
+    println!("{:<11} {:>10} {:>10} {:>9}", "topology", "lat (cy)", "packets", "delivery");
+    for c in &ex.candidates {
+        match &c.outcome {
+            Ok(mapping) => {
+                let mut sim = NocSimulator::new(&c.graph, SimConfig::default());
+                let stats = sim.run_trace(mapping.evaluation(), &app, INTENSITY);
+                println!(
+                    "{:<11} {:>10.1} {:>10} {:>8.0}%",
+                    c.kind.name(),
+                    stats.avg_latency,
+                    stats.packets_delivered,
+                    stats.delivery_ratio() * 100.0
+                );
+            }
+            Err(_) => println!("{:<11} {:>10}", c.kind.name(), "infeasible"),
+        }
+    }
+    println!("(paper shape: butterfly minimum, clos maximum)");
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure();
+    let app = benchmarks::dsp_filter();
+    let ex = explore(
+        app.clone(),
+        1000.0,
+        RoutingFunction::MinPath,
+        Objective::MinDelay,
+        false,
+    );
+    let best = ex.best_candidate().expect("dsp maps feasibly");
+    let mapping = best.outcome.as_ref().expect("best is feasible");
+    c.bench_function("fig10c/dsp_trace_simulation", |b| {
+        b.iter(|| {
+            let mut sim = NocSimulator::new(black_box(&best.graph), SimConfig::fast());
+            sim.run_trace(mapping.evaluation(), &app, INTENSITY)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Paper Fig. 3(d): VOPD mapped onto mesh and torus — average hops,
+//! design area, design power and the torus/mesh ratios.
+//!
+//! Paper values: hops 2.25 vs 2.03 (ratio 0.90), area 54.59 vs 57.91
+//! (ratio 1.06), power 372.1 vs 454.9 (ratio 1.22). The shape to
+//! reproduce: the torus trades slightly fewer hops for noticeably more
+//! area and power.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sunmap::topology::builders;
+use sunmap::traffic::benchmarks;
+use sunmap::{Mapper, MapperConfig, Objective, RoutingFunction};
+
+fn print_figure() {
+    let vopd = benchmarks::vopd();
+    let cfg = MapperConfig::new(RoutingFunction::MinPath, Objective::MinPower);
+    let mesh = builders::mesh(3, 4, 500.0).unwrap();
+    let torus = builders::torus(3, 4, 500.0).unwrap();
+    let m = Mapper::new(&mesh, &vopd, cfg).run().expect("mesh feasible");
+    let t = Mapper::new(&torus, &vopd, cfg).run().expect("torus feasible");
+    let (m, t) = (m.report(), t.report());
+
+    println!("== Fig. 3(d): VOPD mesh vs torus ==");
+    println!("{:<12} {:>9} {:>9} {:>11}", "metric", "Mesh", "Torus", "tor/mesh");
+    println!(
+        "{:<12} {:>9.2} {:>9.2} {:>11.2}   (paper: 2.25, 2.03, 0.90)",
+        "avg hops", m.avg_hops, t.avg_hops, t.avg_hops / m.avg_hops
+    );
+    println!(
+        "{:<12} {:>9.2} {:>9.2} {:>11.2}   (paper: 54.59, 57.91, 1.06)",
+        "area (mm2)", m.design_area, t.design_area, t.design_area / m.design_area
+    );
+    println!(
+        "{:<12} {:>9.1} {:>9.1} {:>11.2}   (paper: 372.1, 454.9, 1.22)",
+        "power (mW)", m.power_mw, t.power_mw, t.power_mw / m.power_mw
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure();
+    let vopd = benchmarks::vopd();
+    let mesh = builders::mesh(3, 4, 500.0).unwrap();
+    let cfg = MapperConfig::new(RoutingFunction::MinPath, Objective::MinPower);
+    c.bench_function("fig3d/vopd_mesh_mapping", |b| {
+        b.iter(|| {
+            Mapper::new(black_box(&mesh), black_box(&vopd), cfg)
+                .run()
+                .expect("mesh feasible")
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Paper Fig. 6(a-d): VOPD mapping characteristics across the full
+//! topology library — average hop delay, switch/link resource counts,
+//! design area and design power.
+//!
+//! Shape to reproduce: the 4-ary 2-fly butterfly has exactly 2 hops
+//! (least delay), the fewest switches but more links than the direct
+//! topologies, the least area and the least power; torus and hypercube
+//! cost more than the mesh; the Clos sits at 3 hops.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sunmap_bench::{explore, print_header, print_row};
+use sunmap::traffic::benchmarks;
+use sunmap::{Objective, RoutingFunction};
+
+fn print_figure() {
+    let ex = explore(
+        benchmarks::vopd(),
+        500.0,
+        RoutingFunction::MinPath,
+        Objective::MinPower,
+        false,
+    );
+    println!("== Fig. 6: VOPD mapping characteristics (min-path routing) ==");
+    print_header();
+    for c in &ex.candidates {
+        print_row(c.kind.name(), c.report());
+    }
+    println!(
+        "selected: {} (paper: butterfly best on delay, area and power)",
+        ex.best_candidate().map(|c| c.kind.name()).unwrap_or("none")
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure();
+    let vopd = benchmarks::vopd();
+    c.bench_function("fig6/vopd_full_exploration", |b| {
+        b.iter(|| {
+            explore(
+                black_box(vopd.clone()),
+                500.0,
+                RoutingFunction::MinPath,
+                Objective::MinPower,
+                false,
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Paper Fig. 7(b): MPEG4 mappings per topology under split-traffic
+//! routing.
+//!
+//! Paper values: mesh 2.49 hops / 62.51 mm² / 504.1 mW, torus 2.47 /
+//! 66.03 / 546.7, hypercube 2.48 / 67.05 / 541.4, Clos 3.0 / 64.38 /
+//! 445.4, butterfly: *no feasible mapping*. Shape to reproduce: every
+//! topology needs split routing (min-path violates the 500 MB/s links
+//! everywhere), the butterfly stays infeasible because it has no path
+//! diversity, and the mesh wins on the area/power-vs-delay balance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sunmap_bench::{explore, print_header, print_row};
+use sunmap::topology::builders;
+use sunmap::traffic::benchmarks;
+use sunmap::{Mapper, MapperConfig, Objective, RoutingFunction};
+
+fn print_figure() {
+    let mpeg4 = benchmarks::mpeg4();
+
+    // First the paper's preamble claim: min-path routing is infeasible
+    // on every topology at 500 MB/s.
+    let mp = explore(
+        mpeg4.clone(),
+        500.0,
+        RoutingFunction::MinPath,
+        Objective::MinDelay,
+        false,
+    );
+    let mp_feasible = mp.candidates.iter().filter(|c| c.outcome.is_ok()).count();
+    println!(
+        "min-path routing: {mp_feasible}/5 topologies feasible \
+         (paper: 0/5 — 'all topologies violate the bandwidth constraints')"
+    );
+
+    let ex = explore(
+        mpeg4,
+        500.0,
+        RoutingFunction::SplitAllPaths,
+        Objective::MinDelay,
+        false,
+    );
+    println!("\n== Fig. 7(b): MPEG4 mappings (split-traffic routing) ==");
+    print_header();
+    for c in &ex.candidates {
+        print_row(c.kind.name(), c.report());
+    }
+    println!(
+        "selected: {} (paper: mesh; butterfly row must be infeasible)",
+        ex.best_candidate().map(|c| c.kind.name()).unwrap_or("none")
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure();
+    let mpeg4 = benchmarks::mpeg4();
+    let mesh = builders::mesh(3, 4, 500.0).unwrap();
+    let cfg = MapperConfig::new(RoutingFunction::SplitAllPaths, Objective::MinDelay);
+    c.bench_function("fig7b/mpeg4_mesh_split_mapping", |b| {
+        b.iter(|| {
+            Mapper::new(black_box(&mesh), black_box(&mpeg4), cfg)
+                .run()
+                .expect("mesh feasible with split routing")
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

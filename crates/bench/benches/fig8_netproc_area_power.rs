@@ -1,0 +1,68 @@
+//! Paper Fig. 8(c,d): 16-node network processor — design area and
+//! power per topology (mappings produced with relaxed bandwidth
+//! constraints, as §6.2 does before simulating).
+//!
+//! Shape to reproduce: the Clos's area and power are "only slightly
+//! higher than the butterfly topology", while torus and hypercube cost
+//! the most.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sunmap_bench::explore;
+use sunmap::traffic::benchmarks;
+use sunmap::{Objective, RoutingFunction};
+
+fn print_figure() {
+    let ex = explore(
+        benchmarks::network_processor(100.0),
+        500.0,
+        RoutingFunction::SplitMinPaths,
+        Objective::MinDelay,
+        true,
+    );
+    println!("== Fig. 8(c,d): network processor design area & power ==");
+    println!("{:<11} {:>11} {:>11}", "topology", "area (mm2)", "power (mW)");
+    for c in &ex.candidates {
+        match c.report() {
+            Some(r) => println!(
+                "{:<11} {:>11.2} {:>11.1}",
+                c.kind.name(),
+                r.design_area,
+                r.power_mw
+            ),
+            None => println!("{:<11} {:>11} {:>11}", c.kind.name(), "-", "-"),
+        }
+    }
+    let bfly = ex.candidates[4].report();
+    let clos = ex.candidates[3].report();
+    if let (Some(b), Some(c)) = (bfly, clos) {
+        println!(
+            "clos/butterfly ratios: area {:.2}, power {:.2} (paper: 'only slightly higher')",
+            c.design_area / b.design_area,
+            c.power_mw / b.power_mw
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure();
+    let app = benchmarks::network_processor(100.0);
+    c.bench_function("fig8cd/netproc_exploration", |b| {
+        b.iter(|| {
+            explore(
+                black_box(app.clone()),
+                500.0,
+                RoutingFunction::SplitMinPaths,
+                Objective::MinDelay,
+                true,
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Paper Fig. 8(b): 16-node network processor — average packet latency
+//! versus injection rate per topology under adversarial traffic.
+//!
+//! Shape to reproduce: all topologies start near their zero-load
+//! latency at 0.05-0.1 flits/cycle; as injection grows the
+//! single-path butterfly and the low-bisection mesh saturate first,
+//! while the Clos — maximal path diversity — keeps the lowest latency
+//! deep into the sweep ("the clos clearly outperforms other
+//! topologies").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sunmap::sim::{adversarial_pattern, latency_sweep, NocSimulator, SimConfig};
+use sunmap::topology::builders;
+use sunmap::traffic::patterns::TrafficPattern;
+
+const RATES: [f64; 10] = [0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5];
+
+fn print_figure() {
+    println!("== Fig. 8(b): avg packet latency (cycles) vs injection rate (flits/cycle) ==");
+    print!("{:<11}", "topology");
+    for r in RATES {
+        print!("{r:>8.2}");
+    }
+    println!("  pattern");
+    for g in builders::standard_library(16, 500.0).unwrap() {
+        let pattern = adversarial_pattern(g.kind());
+        let curve = latency_sweep(&g, SimConfig::default(), &pattern, &RATES);
+        print!("{:<11}", g.kind().name());
+        for (_, lat) in curve {
+            if lat > 0.0 {
+                print!("{lat:>8.1}");
+            } else {
+                print!("{:>8}", "-");
+            }
+        }
+        println!("  {}", pattern.name());
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure();
+    let clos = builders::clos(4, 4, 4, 500.0).unwrap();
+    c.bench_function("fig8b/clos_sim_0.2", |b| {
+        b.iter(|| {
+            let mut sim = NocSimulator::new(black_box(&clos), SimConfig::fast());
+            sim.run_synthetic(&TrafficPattern::Transpose, 0.2)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

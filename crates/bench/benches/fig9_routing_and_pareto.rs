@@ -1,0 +1,52 @@
+//! Paper Fig. 9(a,b): design-space exploration of the MPEG4 mesh
+//! mapping.
+//!
+//! * Fig. 9(a): minimum required link bandwidth per routing function
+//!   (DO, MP, SM, SA). Shape: a descending staircase; at 500 MB/s links
+//!   only the split-traffic functions fit.
+//! * Fig. 9(b): area-power Pareto points over mesh mappings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sunmap::topology::builders;
+use sunmap::traffic::benchmarks;
+use sunmap::{pareto_exploration, routing_bandwidth_sweep};
+
+fn print_figure() {
+    let mpeg4 = benchmarks::mpeg4();
+    let mesh = builders::mesh(3, 4, 500.0).unwrap();
+
+    println!("== Fig. 9(a): minimum link bandwidth per routing function (MPEG4, mesh) ==");
+    for e in routing_bandwidth_sweep(&mpeg4, &mesh) {
+        println!(
+            "  {:<3} {:>8.1} MB/s{}",
+            e.routing.abbrev(),
+            e.min_bandwidth,
+            if e.min_bandwidth <= 500.0 { "   <= fits 500 MB/s links" } else { "" }
+        );
+    }
+    println!("(paper shape: DO >= MP > SM >= SA, with only SM/SA under 500)");
+
+    println!("\n== Fig. 9(b): area-power Pareto points (MPEG4, mesh) ==");
+    let (points, front) = pareto_exploration(&mpeg4, &mesh);
+    println!("explored {} mappings; Pareto front:", points.len());
+    for p in &front {
+        println!("  {:>8.2} mm2 {:>8.1} mW   [{}]", p.x, p.y, p.label);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure();
+    let mpeg4 = benchmarks::mpeg4();
+    let mesh = builders::mesh(3, 4, 500.0).unwrap();
+    c.bench_function("fig9a/routing_bandwidth_sweep", |b| {
+        b.iter(|| routing_bandwidth_sweep(black_box(&mpeg4), black_box(&mesh)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Paper §6.4 runtime claim: "for all these applications NoC selection
+//! and generation was obtained in few minutes on a 1 GHz SUN
+//! workstation".
+//!
+//! This bench times the full selection flow (phases 1+2 over the whole
+//! topology library) for each of the paper's applications, plus the
+//! phase-3 generation step. On modern hardware the flow completes in
+//! milliseconds-to-seconds; the shape to reproduce is simply
+//! "interactive-scale, not overnight-scale".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use sunmap::traffic::benchmarks;
+use sunmap::{Objective, RoutingFunction, Sunmap};
+use sunmap::traffic::CoreGraph;
+
+fn apps() -> Vec<(&'static str, CoreGraph, f64, RoutingFunction)> {
+    vec![
+        ("vopd", benchmarks::vopd(), 500.0, RoutingFunction::MinPath),
+        (
+            "mpeg4",
+            benchmarks::mpeg4(),
+            500.0,
+            RoutingFunction::SplitAllPaths,
+        ),
+        (
+            "dsp_filter",
+            benchmarks::dsp_filter(),
+            1000.0,
+            RoutingFunction::MinPath,
+        ),
+        (
+            "netproc16",
+            benchmarks::network_processor(100.0),
+            500.0,
+            RoutingFunction::SplitMinPaths,
+        ),
+    ]
+}
+
+fn print_summary() {
+    println!("== §6.4: end-to-end selection runtime per application ==");
+    for (name, app, cap, routing) in apps() {
+        let tool = Sunmap::builder(app)
+            .link_capacity(cap)
+            .routing(routing)
+            .build();
+        let start = std::time::Instant::now();
+        let ex = tool.explore().expect("library builds");
+        let elapsed = start.elapsed();
+        let evaluated: usize = ex
+            .candidates
+            .iter()
+            .filter_map(|c| c.outcome.as_ref().ok().map(|m| m.evaluated_candidates()))
+            .sum();
+        println!(
+            "  {:<10} {:>8.1} ms, {} candidate mappings evaluated, best: {}",
+            name,
+            elapsed.as_secs_f64() * 1e3,
+            evaluated,
+            ex.best_candidate().map(|c| c.kind.name()).unwrap_or("none")
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_summary();
+    let mut group = c.benchmark_group("selection_flow");
+    group.sample_size(10);
+    for (name, app, cap, routing) in apps() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &app, |b, app| {
+            let tool = Sunmap::builder(app.clone())
+                .link_capacity(cap)
+                .routing(routing)
+                .objective(Objective::MinDelay)
+                .build();
+            b.iter(|| black_box(&tool).explore().expect("library builds"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,251 @@
+//! Hand-rolled argument parsing for the `sunmap` binary (kept
+//! dependency-free; the option surface is small).
+
+use sunmap::{Objective, RoutingFunction};
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// The subcommand to run.
+    pub command: Command,
+    /// Application source: a file path or a built-in benchmark name
+    /// (`vopd`, `mpeg4`, `dsp`, `netproc`).
+    pub app: String,
+    /// Link capacity in MB/s.
+    pub capacity: f64,
+    /// Routing function.
+    pub routing: RoutingFunction,
+    /// Mapping objective.
+    pub objective: Objective,
+    /// Relax bandwidth feasibility (paper §6.2 mode).
+    pub relax_bandwidth: bool,
+    /// Include the octagon/star extension topologies.
+    pub extended: bool,
+    /// Output directory for `generate`.
+    pub out_dir: String,
+    /// Design name for `generate`.
+    pub design_name: String,
+    /// Trace intensity for `simulate` (flits/cycle for the heaviest
+    /// commodity).
+    pub intensity: f64,
+}
+
+/// The `sunmap` subcommands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Phase 1+2: per-topology table and selection.
+    Explore,
+    /// Full flow: explore, select and write SystemC sources.
+    Generate,
+    /// Fig. 9 design-space sweeps (routing bandwidth + Pareto).
+    Sweep,
+    /// Trace-driven simulation of every feasible candidate.
+    Simulate,
+}
+
+/// Parse errors with the usage line callers print.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCliError(pub String);
+
+impl std::fmt::Display for ParseCliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ParseCliError {}
+
+/// Usage text.
+pub const USAGE: &str = "\
+usage: sunmap <command> <app> [options]
+
+commands:
+  explore    map the application onto the topology library, print the table
+  generate   full flow: explore, select, write SystemC sources
+  sweep      routing-function bandwidth staircase + area-power Pareto front
+  simulate   trace-driven latency of every feasible candidate
+
+<app> is a .app file (core/traffic lines) or a built-in benchmark:
+  vopd | mpeg4 | dsp | netproc
+
+options:
+  --capacity <MB/s>     link bandwidth       (default 500)
+  --routing <fn>        DO | MP | SM | SA    (default MP)
+  --objective <obj>     delay|area|power|bandwidth (default delay)
+  --relax-bandwidth     do not enforce link capacities
+  --extended            add octagon and star to the library
+  --out <dir>           output directory     (generate; default sunmap-out)
+  --name <name>         design name          (generate; default 'design')
+  --intensity <f>       injection intensity  (simulate; default 0.45)
+";
+
+impl Cli {
+    /// Parses `args` (without the executable name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseCliError`] describing the first problem.
+    pub fn parse<I, S>(args: I) -> Result<Cli, ParseCliError>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let args: Vec<String> = args.into_iter().map(|s| s.as_ref().to_string()).collect();
+        let mut it = args.iter();
+        let command = match it.next().map(String::as_str) {
+            Some("explore") => Command::Explore,
+            Some("generate") => Command::Generate,
+            Some("sweep") => Command::Sweep,
+            Some("simulate") => Command::Simulate,
+            Some(other) => return Err(ParseCliError(format!("unknown command '{other}'"))),
+            None => return Err(ParseCliError("missing command".to_string())),
+        };
+        let app = it
+            .next()
+            .ok_or_else(|| ParseCliError("missing application".to_string()))?
+            .clone();
+        let mut cli = Cli {
+            command,
+            app,
+            capacity: 500.0,
+            routing: RoutingFunction::MinPath,
+            objective: Objective::MinDelay,
+            relax_bandwidth: false,
+            extended: false,
+            out_dir: "sunmap-out".to_string(),
+            design_name: "design".to_string(),
+            intensity: 0.45,
+        };
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| ParseCliError(format!("{name} needs a value")))
+            };
+            match flag.as_str() {
+                "--capacity" => {
+                    cli.capacity = parse_f64(&value("--capacity")?)?;
+                }
+                "--routing" => {
+                    cli.routing = match value("--routing")?.to_uppercase().as_str() {
+                        "DO" => RoutingFunction::DimensionOrdered,
+                        "MP" => RoutingFunction::MinPath,
+                        "SM" => RoutingFunction::SplitMinPaths,
+                        "SA" => RoutingFunction::SplitAllPaths,
+                        other => {
+                            return Err(ParseCliError(format!("unknown routing '{other}'")))
+                        }
+                    };
+                }
+                "--objective" => {
+                    cli.objective = match value("--objective")?.to_lowercase().as_str() {
+                        "delay" => Objective::MinDelay,
+                        "area" => Objective::MinArea,
+                        "power" => Objective::MinPower,
+                        "bandwidth" => Objective::MinBandwidth,
+                        other => {
+                            return Err(ParseCliError(format!("unknown objective '{other}'")))
+                        }
+                    };
+                }
+                "--relax-bandwidth" => cli.relax_bandwidth = true,
+                "--extended" => cli.extended = true,
+                "--out" => cli.out_dir = value("--out")?,
+                "--name" => cli.design_name = value("--name")?,
+                "--intensity" => cli.intensity = parse_f64(&value("--intensity")?)?,
+                other => return Err(ParseCliError(format!("unknown option '{other}'"))),
+            }
+        }
+        if !(cli.capacity.is_finite() && cli.capacity > 0.0) {
+            return Err(ParseCliError("--capacity must be positive".to_string()));
+        }
+        Ok(cli)
+    }
+}
+
+fn parse_f64(text: &str) -> Result<f64, ParseCliError> {
+    text.parse()
+        .map_err(|_| ParseCliError(format!("'{text}' is not a number")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_explore() {
+        let cli = Cli::parse(["explore", "vopd"]).unwrap();
+        assert_eq!(cli.command, Command::Explore);
+        assert_eq!(cli.app, "vopd");
+        assert_eq!(cli.capacity, 500.0);
+        assert_eq!(cli.routing, RoutingFunction::MinPath);
+    }
+
+    #[test]
+    fn all_options_parse() {
+        let cli = Cli::parse([
+            "generate",
+            "my.app",
+            "--capacity",
+            "1000",
+            "--routing",
+            "sa",
+            "--objective",
+            "power",
+            "--relax-bandwidth",
+            "--extended",
+            "--out",
+            "/tmp/x",
+            "--name",
+            "demo",
+            "--intensity",
+            "0.3",
+        ])
+        .unwrap();
+        assert_eq!(cli.command, Command::Generate);
+        assert_eq!(cli.capacity, 1000.0);
+        assert_eq!(cli.routing, RoutingFunction::SplitAllPaths);
+        assert_eq!(cli.objective, Objective::MinPower);
+        assert!(cli.relax_bandwidth);
+        assert!(cli.extended);
+        assert_eq!(cli.out_dir, "/tmp/x");
+        assert_eq!(cli.design_name, "demo");
+        assert_eq!(cli.intensity, 0.3);
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(Cli::parse::<[&str; 0], &str>([]).unwrap_err().0.contains("missing command"));
+        assert!(Cli::parse(["frobnicate", "x"]).unwrap_err().0.contains("unknown command"));
+        assert!(Cli::parse(["explore"]).unwrap_err().0.contains("missing application"));
+        assert!(Cli::parse(["explore", "vopd", "--routing", "XY"])
+            .unwrap_err()
+            .0
+            .contains("unknown routing"));
+        assert!(Cli::parse(["explore", "vopd", "--capacity"])
+            .unwrap_err()
+            .0
+            .contains("needs a value"));
+        assert!(Cli::parse(["explore", "vopd", "--capacity", "-1"])
+            .unwrap_err()
+            .0
+            .contains("positive"));
+        assert!(Cli::parse(["explore", "vopd", "--wat"])
+            .unwrap_err()
+            .0
+            .contains("unknown option"));
+    }
+
+    #[test]
+    fn routing_names_are_case_insensitive() {
+        for (text, expected) in [
+            ("do", RoutingFunction::DimensionOrdered),
+            ("Mp", RoutingFunction::MinPath),
+            ("SM", RoutingFunction::SplitMinPaths),
+            ("sA", RoutingFunction::SplitAllPaths),
+        ] {
+            let cli = Cli::parse(["explore", "vopd", "--routing", text]).unwrap();
+            assert_eq!(cli.routing, expected);
+        }
+    }
+}

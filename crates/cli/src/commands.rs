@@ -1,0 +1,220 @@
+//! Subcommand implementations.
+
+use std::error::Error;
+use std::fs;
+use std::path::Path;
+
+use crate::args::{Cli, Command};
+use sunmap::sim::{NocSimulator, SimConfig};
+use sunmap::topology::builders;
+use sunmap::traffic::{benchmarks, io, CoreGraph};
+use sunmap::{
+    pareto_exploration, routing_bandwidth_sweep, Constraints, Exploration, Sunmap,
+    TopologyGraph,
+};
+
+type CliResult = Result<(), Box<dyn Error>>;
+
+/// Dispatches a parsed command line.
+pub fn run(cli: &Cli) -> CliResult {
+    let app = load_app(&cli.app)?;
+    match cli.command {
+        Command::Explore => explore(cli, app),
+        Command::Generate => generate(cli, app),
+        Command::Sweep => sweep(cli, app),
+        Command::Simulate => simulate(cli, app),
+    }
+}
+
+/// Loads an application from a built-in name or a `.app` file.
+pub fn load_app(source: &str) -> Result<CoreGraph, Box<dyn Error>> {
+    Ok(match source {
+        "vopd" => benchmarks::vopd(),
+        "mpeg4" => benchmarks::mpeg4(),
+        "dsp" => benchmarks::dsp_filter(),
+        "netproc" => benchmarks::network_processor(100.0),
+        path => {
+            let text = fs::read_to_string(path)
+                .map_err(|e| format!("cannot read application '{path}': {e}"))?;
+            io::parse_app(&text)?
+        }
+    })
+}
+
+fn tool(cli: &Cli, app: CoreGraph) -> Sunmap {
+    let mut builder = Sunmap::builder(app)
+        .link_capacity(cli.capacity)
+        .routing(cli.routing)
+        .objective(cli.objective);
+    if cli.relax_bandwidth {
+        builder = builder.constraints(Constraints::relaxed_bandwidth());
+    }
+    builder.build()
+}
+
+fn library(cli: &Cli, cores: usize) -> Result<Vec<TopologyGraph>, Box<dyn Error>> {
+    let mut lib = builders::standard_library(cores, cli.capacity)?;
+    if cli.extended {
+        if cores <= 8 {
+            lib.push(builders::octagon(cli.capacity)?);
+        }
+        lib.push(builders::star(cores, cli.capacity)?);
+    }
+    Ok(lib)
+}
+
+fn explore_with_library(cli: &Cli, app: CoreGraph) -> Result<(Sunmap, Exploration), Box<dyn Error>> {
+    let cores = app.core_count();
+    let tool = tool(cli, app);
+    let lib = library(cli, cores)?;
+    let ex = tool.explore_library(lib);
+    Ok((tool, ex))
+}
+
+fn explore(cli: &Cli, app: CoreGraph) -> CliResult {
+    let (_, ex) = explore_with_library(cli, app)?;
+    print!("{}", ex.table());
+    match ex.best_candidate() {
+        Some(best) => println!("selected: {}", best.kind),
+        None => println!("no feasible topology under these constraints"),
+    }
+    Ok(())
+}
+
+fn generate(cli: &Cli, app: CoreGraph) -> CliResult {
+    let (tool, ex) = explore_with_library(cli, app)?;
+    print!("{}", ex.table());
+    let best = ex
+        .best_candidate()
+        .ok_or("no feasible topology to generate")?;
+    let design = tool.generate(best, &cli.design_name);
+    let out = Path::new(&cli.out_dir);
+    fs::create_dir_all(out)?;
+    for f in &design.files {
+        fs::write(out.join(&f.name), &f.content)?;
+    }
+    fs::write(out.join("noc.dot"), &design.dot)?;
+    println!(
+        "wrote {} SystemC files + noc.dot for the {} to {}",
+        design.files.len(),
+        best.kind,
+        out.display()
+    );
+    Ok(())
+}
+
+fn sweep(cli: &Cli, app: CoreGraph) -> CliResult {
+    let (rows, cols) = builders::grid_dims(app.core_count());
+    let mesh = builders::mesh(rows, cols, cli.capacity)?;
+    println!("== minimum link bandwidth per routing function ({}) ==", mesh.kind());
+    for e in routing_bandwidth_sweep(&app, &mesh) {
+        let fits = if e.min_bandwidth <= cli.capacity {
+            format!("  <= fits {} MB/s links", cli.capacity)
+        } else {
+            String::new()
+        };
+        println!("  {:<3} {:>9.1} MB/s{fits}", e.routing.abbrev(), e.min_bandwidth);
+    }
+    println!("\n== area-power Pareto front (mesh mappings) ==");
+    let (points, front) = pareto_exploration(&app, &mesh);
+    println!("{} candidate mappings evaluated; front:", points.len());
+    for p in &front {
+        println!("  {:>9.2} mm2 {:>9.1} mW   [{}]", p.x, p.y, p.label);
+    }
+    Ok(())
+}
+
+fn simulate(cli: &Cli, app: CoreGraph) -> CliResult {
+    let (_, ex) = explore_with_library(cli, app.clone())?;
+    println!(
+        "{:<12} {:>10} {:>10} {:>9}",
+        "topology", "lat (cy)", "packets", "delivery"
+    );
+    for c in &ex.candidates {
+        match &c.outcome {
+            Ok(mapping) => {
+                let mut sim = NocSimulator::new(&c.graph, SimConfig::default());
+                let stats = sim.run_trace(mapping.evaluation(), &app, cli.intensity);
+                println!(
+                    "{:<12} {:>10.1} {:>10} {:>8.0}%",
+                    c.kind.name(),
+                    stats.avg_latency,
+                    stats.packets_delivered,
+                    stats.delivery_ratio() * 100.0
+                );
+            }
+            Err(_) => println!("{:<12} {:>10}", c.kind.name(), "infeasible"),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Cli;
+
+    fn cli(words: &[&str]) -> Cli {
+        Cli::parse(words.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn builtin_apps_load() {
+        for name in ["vopd", "mpeg4", "dsp", "netproc"] {
+            let app = load_app(name).unwrap();
+            assert!(app.core_count() >= 6, "{name}");
+        }
+        assert!(load_app("/does/not/exist.app").is_err());
+    }
+
+    #[test]
+    fn explore_runs_on_builtin() {
+        run(&cli(&["explore", "vopd"])).unwrap();
+    }
+
+    #[test]
+    fn explore_extended_runs() {
+        run(&cli(&["explore", "dsp", "--capacity", "1000", "--extended"])).unwrap();
+    }
+
+    #[test]
+    fn sweep_runs_on_mpeg4() {
+        run(&cli(&["sweep", "mpeg4"])).unwrap();
+    }
+
+    #[test]
+    fn generate_writes_files() {
+        let dir = std::env::temp_dir().join("sunmap_cli_test_out");
+        let _ = fs::remove_dir_all(&dir);
+        run(&cli(&[
+            "generate",
+            "dsp",
+            "--capacity",
+            "1000",
+            "--out",
+            dir.to_str().unwrap(),
+            "--name",
+            "t",
+        ]))
+        .unwrap();
+        assert!(dir.join("noc.dot").exists());
+        assert!(dir.join("top_t.cpp").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn app_file_round_trip_through_cli() {
+        let dir = std::env::temp_dir().join("sunmap_cli_app_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.app");
+        fs::write(&path, "core a 2.0\ncore b 2.0\ntraffic a b 100\n").unwrap();
+        run(&cli(&["explore", path.to_str().unwrap()])).unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn infeasible_generate_fails_cleanly() {
+        let err = run(&cli(&["generate", "vopd", "--capacity", "1"])).unwrap_err();
+        assert!(err.to_string().contains("no feasible topology"));
+    }
+}

@@ -1,0 +1,39 @@
+//! `sunmap` — the SUNMAP flow as a command-line tool.
+//!
+//! ```text
+//! sunmap explore vopd
+//! sunmap sweep mpeg4
+//! sunmap generate dsp --capacity 1000 --out target/dsp-noc
+//! sunmap simulate my_design.app --capacity 800 --intensity 0.4
+//! ```
+//!
+//! See `sunmap --help` (or [`args::USAGE`]) for the full surface.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+use args::{Cli, USAGE};
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.iter().any(|a| a == "--help" || a == "-h") || raw.is_empty() {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let cli = match Cli::parse(raw.iter().map(String::as_str)) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match commands::run(&cli) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

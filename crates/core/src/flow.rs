@@ -1,0 +1,471 @@
+//! The three-phase SUNMAP flow (paper Fig. 4).
+
+use sunmap_gen::{build_netlist, emit_dot, emit_systemc, Netlist, SourceFile};
+use sunmap_mapping::{
+    Constraints, Mapper, MapperConfig, Mapping, MappingError, Objective, RoutingFunction,
+};
+use sunmap_power::{AreaPowerLibrary, Technology};
+use sunmap_topology::{builders, TopologyError, TopologyGraph, TopologyKind};
+use sunmap_traffic::CoreGraph;
+
+/// Errors of the end-to-end flow.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SunmapError {
+    /// The topology library could not be built for this application.
+    Topology(TopologyError),
+    /// Every topology in the library failed to produce a feasible
+    /// mapping; the per-topology failures are carried for diagnosis.
+    NoFeasibleTopology(Vec<(TopologyKind, MappingError)>),
+}
+
+impl std::fmt::Display for SunmapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SunmapError::Topology(e) => write!(f, "topology library error: {e}"),
+            SunmapError::NoFeasibleTopology(fails) => {
+                write!(f, "no topology produced a feasible mapping (")?;
+                for (i, (kind, e)) in fails.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{}: {e}", kind.name())?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SunmapError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SunmapError::Topology(e) => Some(e),
+            SunmapError::NoFeasibleTopology(_) => None,
+        }
+    }
+}
+
+impl From<TopologyError> for SunmapError {
+    fn from(e: TopologyError) -> Self {
+        SunmapError::Topology(e)
+    }
+}
+
+/// How phase 2 picks the winning topology among feasible mappings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectionPolicy {
+    /// The paper's phase 2: "the various topologies are evaluated for
+    /// several design objectives and the best topology is chosen" —
+    /// each feasible candidate's delay, area and power are normalised
+    /// to the per-metric minimum and summed; the lowest total wins.
+    /// This is what makes the mesh beat the lower-power Clos for MPEG4
+    /// (Fig. 7b) while the butterfly still sweeps VOPD.
+    #[default]
+    Balanced,
+    /// Select purely by the tool's configured [`Objective`].
+    ByObjective,
+}
+
+/// One topology of the library with its mapping outcome.
+#[derive(Debug)]
+pub struct TopologyCandidate {
+    /// Which topology this is.
+    pub kind: TopologyKind,
+    /// The built topology graph.
+    pub graph: TopologyGraph,
+    /// The mapping, or why none was feasible (e.g. the butterfly row of
+    /// paper Fig. 7b).
+    pub outcome: Result<Mapping, MappingError>,
+}
+
+impl TopologyCandidate {
+    /// The mapping's cost report, if feasible.
+    pub fn report(&self) -> Option<&sunmap_mapping::CostReport> {
+        self.outcome.as_ref().ok().map(|m| m.report())
+    }
+}
+
+/// Phase 1+2 result: every candidate plus the selected best.
+#[derive(Debug)]
+pub struct Exploration {
+    /// All evaluated topologies, in library order.
+    pub candidates: Vec<TopologyCandidate>,
+    /// Index of the selected topology in `candidates`, if any mapping
+    /// was feasible.
+    pub best: Option<usize>,
+    /// The objective used for selection.
+    pub objective: Objective,
+}
+
+impl Exploration {
+    /// The selected candidate (phase 2 winner).
+    pub fn best_candidate(&self) -> Option<&TopologyCandidate> {
+        self.best.map(|i| &self.candidates[i])
+    }
+
+    /// Formats the exploration as a paper-style table (one row per
+    /// topology: avg hops, design area, design power, feasibility).
+    pub fn table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<10} {:>9} {:>12} {:>11} {:>9}",
+            "Topo", "avg hops", "area (mm2)", "power (mW)", "feasible"
+        );
+        for (i, c) in self.candidates.iter().enumerate() {
+            match &c.outcome {
+                Ok(m) => {
+                    let r = m.report();
+                    let best = if Some(i) == self.best { " <= best" } else { "" };
+                    let _ = writeln!(
+                        out,
+                        "{:<10} {:>9.2} {:>12.2} {:>11.1} {:>9}{best}",
+                        c.kind.name(),
+                        r.avg_hops,
+                        r.design_area,
+                        r.power_mw,
+                        "yes"
+                    );
+                }
+                Err(_) => {
+                    let _ = writeln!(
+                        out,
+                        "{:<10} {:>9} {:>12} {:>11} {:>9}",
+                        c.kind.name(),
+                        "-",
+                        "-",
+                        "-",
+                        "no"
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Phase 3 result: the generated design.
+#[derive(Debug)]
+pub struct GeneratedDesign {
+    /// Structural netlist of the chosen NoC.
+    pub netlist: Netlist,
+    /// SystemC-style sources.
+    pub files: Vec<SourceFile>,
+    /// Graphviz rendering of the netlist.
+    pub dot: String,
+}
+
+/// Phase-2 winner selection.
+fn select_best(
+    candidates: &[TopologyCandidate],
+    policy: SelectionPolicy,
+    objective: Objective,
+) -> Option<usize> {
+    let feasible: Vec<(usize, &sunmap_mapping::CostReport)> = candidates
+        .iter()
+        .enumerate()
+        .filter_map(|(i, c)| c.report().map(|r| (i, r)))
+        .collect();
+    if feasible.is_empty() {
+        return None;
+    }
+    let score: Box<dyn Fn(&sunmap_mapping::CostReport) -> f64> = match policy {
+        SelectionPolicy::ByObjective => Box::new(move |r| r.cost(objective)),
+        SelectionPolicy::Balanced => {
+            let min_of = |f: fn(&sunmap_mapping::CostReport) -> f64| {
+                feasible
+                    .iter()
+                    .map(|(_, r)| f(r))
+                    .fold(f64::INFINITY, f64::min)
+                    .max(1e-12)
+            };
+            let (dmin, amin, pmin) = (
+                min_of(|r| r.avg_hops),
+                min_of(|r| r.design_area),
+                min_of(|r| r.power_mw),
+            );
+            Box::new(move |r| {
+                r.avg_hops / dmin + r.design_area / amin + r.power_mw / pmin
+            })
+        }
+    };
+    feasible
+        .iter()
+        .min_by(|(_, a), (_, b)| {
+            score(a)
+                .partial_cmp(&score(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .map(|(i, _)| *i)
+}
+
+/// Builder for [`Sunmap`] (see the crate-level quickstart).
+#[derive(Debug, Clone)]
+pub struct SunmapBuilder {
+    app: CoreGraph,
+    link_capacity: f64,
+    routing: RoutingFunction,
+    objective: Objective,
+    constraints: Constraints,
+    technology: Technology,
+    max_swap_passes: usize,
+    selection: SelectionPolicy,
+}
+
+impl SunmapBuilder {
+    /// Maximum link bandwidth of the NoC in MB/s (the paper
+    /// conservatively assumes 500 MB/s for the video benchmarks).
+    pub fn link_capacity(mut self, mbs: f64) -> Self {
+        self.link_capacity = mbs;
+        self
+    }
+
+    /// Routing function for the mapping phase.
+    pub fn routing(mut self, routing: RoutingFunction) -> Self {
+        self.routing = routing;
+        self
+    }
+
+    /// Design objective for mapping and topology selection.
+    pub fn objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Feasibility constraints.
+    pub fn constraints(mut self, constraints: Constraints) -> Self {
+        self.constraints = constraints;
+        self
+    }
+
+    /// Technology node for the area–power libraries (default 0.1 µm).
+    pub fn technology(mut self, technology: Technology) -> Self {
+        self.technology = technology;
+        self
+    }
+
+    /// Improvement-pass budget for the pair-wise-swap phase.
+    pub fn max_swap_passes(mut self, passes: usize) -> Self {
+        self.max_swap_passes = passes;
+        self
+    }
+
+    /// How phase 2 selects the winner (default:
+    /// [`SelectionPolicy::Balanced`]).
+    pub fn selection(mut self, selection: SelectionPolicy) -> Self {
+        self.selection = selection;
+        self
+    }
+
+    /// Finalises the configuration.
+    pub fn build(self) -> Sunmap {
+        Sunmap { inner: self }
+    }
+}
+
+/// The SUNMAP tool: an application plus the design-space parameters,
+/// ready to explore the topology library and generate the winner.
+#[derive(Debug, Clone)]
+pub struct Sunmap {
+    inner: SunmapBuilder,
+}
+
+impl Sunmap {
+    /// Starts configuring a run for `app`.
+    pub fn builder(app: CoreGraph) -> SunmapBuilder {
+        SunmapBuilder {
+            app,
+            link_capacity: 500.0,
+            routing: RoutingFunction::MinPath,
+            objective: Objective::MinDelay,
+            constraints: Constraints::default(),
+            technology: Technology::um_0_10(),
+            max_swap_passes: 4,
+            selection: SelectionPolicy::default(),
+        }
+    }
+
+    /// The application being mapped.
+    pub fn application(&self) -> &CoreGraph {
+        &self.inner.app
+    }
+
+    /// The mapper configuration this tool uses.
+    pub fn mapper_config(&self) -> MapperConfig {
+        MapperConfig {
+            routing: self.inner.routing,
+            objective: self.inner.objective,
+            constraints: self.inner.constraints,
+            max_swap_passes: self.inner.max_swap_passes,
+        }
+    }
+
+    /// Phases 1 and 2: maps the application onto the standard library
+    /// sized for it and selects the best feasible topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SunmapError::Topology`] if the library cannot be built
+    /// (e.g. an empty application). An exploration where *no* topology
+    /// is feasible is **not** an error here — inspect
+    /// [`Exploration::best`]; [`Sunmap::run`] does turn it into one.
+    pub fn explore(&self) -> Result<Exploration, SunmapError> {
+        let library =
+            builders::standard_library(self.inner.app.core_count(), self.inner.link_capacity)?;
+        Ok(self.explore_library(library))
+    }
+
+    /// Phase 1+2 over a caller-supplied topology list (the paper notes
+    /// other topologies "can be easily added to the topology library").
+    pub fn explore_library(&self, library: Vec<TopologyGraph>) -> Exploration {
+        let config = self.mapper_config();
+        let candidates: Vec<TopologyCandidate> = library
+            .into_iter()
+            .map(|graph| {
+                let lib = AreaPowerLibrary::new(self.inner.technology);
+                let outcome =
+                    Mapper::with_library(&graph, &self.inner.app, config, lib).run();
+                TopologyCandidate {
+                    kind: graph.kind(),
+                    graph,
+                    outcome,
+                }
+            })
+            .collect();
+        let best = select_best(&candidates, self.inner.selection, self.inner.objective);
+        Exploration {
+            candidates,
+            best,
+            objective: self.inner.objective,
+        }
+    }
+
+    /// Phase 3: generates the network components for a mapped
+    /// candidate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the candidate's outcome is infeasible; generate only
+    /// winners.
+    pub fn generate(&self, candidate: &TopologyCandidate, design_name: &str) -> GeneratedDesign {
+        let mapping = candidate
+            .outcome
+            .as_ref()
+            .expect("generate() requires a feasible candidate");
+        let netlist = build_netlist(&candidate.graph, &self.inner.app, mapping.placement());
+        let files = emit_systemc(&netlist, design_name);
+        let dot = emit_dot(&netlist);
+        GeneratedDesign {
+            netlist,
+            files,
+            dot,
+        }
+    }
+
+    /// The complete flow: explore, select, generate.
+    ///
+    /// # Errors
+    ///
+    /// [`SunmapError::NoFeasibleTopology`] if nothing in the library can
+    /// carry the application under the constraints.
+    pub fn run(&self, design_name: &str) -> Result<(Exploration, GeneratedDesign), SunmapError> {
+        let exploration = self.explore()?;
+        let Some(best) = exploration.best else {
+            let failures = exploration
+                .candidates
+                .into_iter()
+                .map(|c| {
+                    let err = c.outcome.err().unwrap_or(MappingError::InvalidPlacement(
+                        "feasible but unselected".to_string(),
+                    ));
+                    (c.kind, err)
+                })
+                .collect();
+            return Err(SunmapError::NoFeasibleTopology(failures));
+        };
+        let design = self.generate(&exploration.candidates[best], design_name);
+        Ok((exploration, design))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sunmap_traffic::benchmarks;
+
+    #[test]
+    fn vopd_exploration_finds_butterfly_best_for_power() {
+        let tool = Sunmap::builder(benchmarks::vopd())
+            .objective(Objective::MinPower)
+            .build();
+        let ex = tool.explore().unwrap();
+        assert_eq!(ex.candidates.len(), 5);
+        let best = ex.best_candidate().expect("VOPD is feasible");
+        assert_eq!(best.kind.name(), "Butterfly");
+    }
+
+    #[test]
+    fn mpeg4_butterfly_row_is_infeasible_with_split_routing() {
+        let tool = Sunmap::builder(benchmarks::mpeg4())
+            .routing(RoutingFunction::SplitAllPaths)
+            .build();
+        let ex = tool.explore().unwrap();
+        let bfly = ex
+            .candidates
+            .iter()
+            .find(|c| c.kind.name() == "Butterfly")
+            .unwrap();
+        assert!(bfly.outcome.is_err(), "butterfly must be infeasible");
+        // All direct topologies and the Clos are feasible.
+        let feasible = ex.candidates.iter().filter(|c| c.outcome.is_ok()).count();
+        assert_eq!(feasible, 4);
+    }
+
+    #[test]
+    fn full_run_generates_systemc() {
+        let tool = Sunmap::builder(benchmarks::dsp_filter())
+            .link_capacity(1000.0)
+            .build();
+        let (ex, design) = tool.run("dsp").unwrap();
+        assert!(ex.best.is_some());
+        assert!(!design.files.is_empty());
+        assert!(design.dot.contains("digraph"));
+        assert!(design.netlist.ni_count() == 6);
+    }
+
+    #[test]
+    fn exploration_table_renders_all_rows() {
+        let tool = Sunmap::builder(benchmarks::vopd()).build();
+        let ex = tool.explore().unwrap();
+        let table = ex.table();
+        for name in ["Mesh", "Torus", "Hypercube", "Clos", "Butterfly"] {
+            assert!(table.contains(name), "{name} missing from table");
+        }
+        assert!(table.contains("<= best"));
+    }
+
+    #[test]
+    fn no_feasible_topology_is_reported() {
+        // 1 MB/s links cannot carry VOPD anywhere.
+        let tool = Sunmap::builder(benchmarks::vopd()).link_capacity(1.0).build();
+        let err = tool.run("x").unwrap_err();
+        assert!(matches!(err, SunmapError::NoFeasibleTopology(_)));
+        assert!(err.to_string().contains("Mesh"));
+    }
+
+    #[test]
+    fn custom_library_exploration() {
+        let tool = Sunmap::builder(benchmarks::dsp_filter())
+            .link_capacity(1000.0)
+            .build();
+        let lib = vec![
+            builders::mesh(2, 3, 1000.0).unwrap(),
+            builders::torus(2, 3, 1000.0).unwrap(),
+        ];
+        let ex = tool.explore_library(lib);
+        assert_eq!(ex.candidates.len(), 2);
+        assert!(ex.best.is_some());
+    }
+}

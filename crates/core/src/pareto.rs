@@ -1,0 +1,137 @@
+//! Pareto-front extraction for design-space exploration (paper §6.3,
+//! Fig. 9b: "a set of Pareto points ... from which the optimum design
+//! point can be chosen, thereby performing area-power-performance
+//! tradeoffs").
+
+/// One design point in a two-objective trade-off space (both axes
+/// minimised).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoPoint {
+    /// Human-readable description of the mapping that produced this
+    /// point (objective and routing function).
+    pub label: String,
+    /// First minimised metric (e.g. floorplan area in mm²).
+    pub x: f64,
+    /// Second minimised metric (e.g. power in mW).
+    pub y: f64,
+}
+
+impl ParetoPoint {
+    /// Whether `self` dominates `other`: no worse on both axes and
+    /// strictly better on at least one.
+    pub fn dominates(&self, other: &ParetoPoint) -> bool {
+        self.x <= other.x && self.y <= other.y && (self.x < other.x || self.y < other.y)
+    }
+}
+
+/// Extracts the Pareto front (non-dominated subset) of `points`,
+/// sorted by increasing `x`. Duplicate coordinates keep one
+/// representative.
+///
+/// # Examples
+///
+/// ```
+/// use sunmap::{pareto_front, ParetoPoint};
+///
+/// let mk = |l: &str, x, y| ParetoPoint { label: l.into(), x, y };
+/// let front = pareto_front(&[
+///     mk("a", 1.0, 5.0),
+///     mk("b", 2.0, 2.0),
+///     mk("c", 3.0, 3.0), // dominated by b
+///     mk("d", 4.0, 1.0),
+/// ]);
+/// let labels: Vec<_> = front.iter().map(|p| p.label.as_str()).collect();
+/// assert_eq!(labels, ["a", "b", "d"]);
+/// ```
+pub fn pareto_front(points: &[ParetoPoint]) -> Vec<ParetoPoint> {
+    let mut front: Vec<ParetoPoint> = Vec::new();
+    for p in points {
+        if points.iter().any(|q| q.dominates(p)) {
+            continue;
+        }
+        if front
+            .iter()
+            .any(|q| (q.x - p.x).abs() < 1e-12 && (q.y - p.y).abs() < 1e-12)
+        {
+            continue;
+        }
+        front.push(p.clone());
+    }
+    front.sort_by(|a, b| {
+        a.x.partial_cmp(&b.x)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.y.partial_cmp(&b.y).unwrap_or(std::cmp::Ordering::Equal))
+    });
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(label: &str, x: f64, y: f64) -> ParetoPoint {
+        ParetoPoint {
+            label: label.to_string(),
+            x,
+            y,
+        }
+    }
+
+    #[test]
+    fn no_front_member_dominates_another() {
+        let pts = vec![
+            mk("a", 3.0, 1.0),
+            mk("b", 1.0, 3.0),
+            mk("c", 2.0, 2.0),
+            mk("d", 3.0, 3.0),
+            mk("e", 0.5, 4.0),
+        ];
+        let front = pareto_front(&pts);
+        for p in &front {
+            for q in &front {
+                assert!(!p.dominates(q), "{} dominates {}", p.label, q.label);
+            }
+        }
+        assert_eq!(front.len(), 4); // d is dominated by c
+    }
+
+    #[test]
+    fn every_excluded_point_is_dominated() {
+        let pts = vec![mk("a", 1.0, 1.0), mk("b", 2.0, 2.0), mk("c", 0.5, 3.0)];
+        let front = pareto_front(&pts);
+        for p in &pts {
+            let included = front.iter().any(|q| q.label == p.label);
+            if !included {
+                assert!(
+                    pts.iter().any(|q| q.dominates(p)),
+                    "{} excluded but undominated",
+                    p.label
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let pts = vec![mk("a", 1.0, 1.0), mk("a2", 1.0, 1.0)];
+        assert_eq!(pareto_front(&pts).len(), 1);
+    }
+
+    #[test]
+    fn single_point_is_its_own_front() {
+        let pts = vec![mk("solo", 7.0, 9.0)];
+        assert_eq!(pareto_front(&pts), pts);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_front() {
+        assert!(pareto_front(&[]).is_empty());
+    }
+
+    #[test]
+    fn front_is_sorted_by_x() {
+        let pts = vec![mk("a", 3.0, 1.0), mk("b", 1.0, 3.0), mk("c", 2.0, 2.0)];
+        let xs: Vec<f64> = pareto_front(&pts).iter().map(|p| p.x).collect();
+        assert!(xs.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

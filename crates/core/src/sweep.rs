@@ -1,0 +1,155 @@
+//! Design-space sweeps over a chosen topology (paper §6.3): the effect
+//! of the routing function on required bandwidth (Fig. 9a) and the
+//! area-power Pareto exploration (Fig. 9b).
+
+use crate::{pareto_front, ParetoPoint};
+use sunmap_mapping::{
+    Constraints, Mapper, MapperConfig, Objective, RoutingFunction,
+};
+use sunmap_topology::TopologyGraph;
+use sunmap_traffic::CoreGraph;
+
+/// One bar of the paper's Fig. 9a: the minimum link bandwidth a routing
+/// function needs to carry the application on the given topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutingSweepEntry {
+    /// The routing function.
+    pub routing: RoutingFunction,
+    /// The smallest feasible link bandwidth (MB/s): the maximum link
+    /// load of the best mapping found under the min-bandwidth
+    /// objective.
+    pub min_bandwidth: f64,
+}
+
+/// Computes Fig. 9a for `app` on `graph`: for each of the four routing
+/// functions, the best mapping under the minimise-max-link-load
+/// objective (bandwidth constraints relaxed — the answer *is* the
+/// required bandwidth).
+///
+/// # Examples
+///
+/// ```
+/// use sunmap::routing_bandwidth_sweep;
+/// use sunmap::topology::builders;
+/// use sunmap::traffic::benchmarks;
+///
+/// let mesh = builders::mesh(3, 4, 500.0)?;
+/// let sweep = routing_bandwidth_sweep(&benchmarks::mpeg4(), &mesh);
+/// assert_eq!(sweep.len(), 4);
+/// // Splitting across all paths never needs more bandwidth than
+/// // single-path routing (paper Fig. 9a's downward staircase).
+/// assert!(sweep[3].min_bandwidth <= sweep[1].min_bandwidth);
+/// # Ok::<(), sunmap::topology::TopologyError>(())
+/// ```
+pub fn routing_bandwidth_sweep(app: &CoreGraph, graph: &TopologyGraph) -> Vec<RoutingSweepEntry> {
+    RoutingFunction::ALL
+        .iter()
+        .map(|&routing| {
+            let config = MapperConfig {
+                routing,
+                objective: Objective::MinBandwidth,
+                constraints: Constraints::relaxed_bandwidth(),
+                max_swap_passes: 4,
+            };
+            let min_bandwidth = Mapper::new(graph, app, config)
+                .run()
+                .map(|m| m.report().max_link_load)
+                .unwrap_or(f64::INFINITY);
+            RoutingSweepEntry {
+                routing,
+                min_bandwidth,
+            }
+        })
+        .collect()
+}
+
+/// Computes the Fig. 9b Pareto exploration for `app` on `graph`: runs
+/// the mapper under every objective × routing-function combination
+/// (bandwidth relaxed so every point exists) and records
+/// `(floorplan area, power)` for **every candidate mapping the search
+/// evaluates** — the paper's "Pareto points in the design space of the
+/// mapping" are exactly this cloud. Returns the cloud and its Pareto
+/// front.
+///
+/// The area axis uses the floorplan bounding box, which — unlike the
+/// summed block area — varies with the placement, giving a genuine
+/// trade-off curve.
+pub fn pareto_exploration(
+    app: &CoreGraph,
+    graph: &TopologyGraph,
+) -> (Vec<ParetoPoint>, Vec<ParetoPoint>) {
+    let mut points = Vec::new();
+    for objective in [
+        Objective::MinDelay,
+        Objective::MinArea,
+        Objective::MinPower,
+        Objective::MinBandwidth,
+    ] {
+        for routing in RoutingFunction::ALL {
+            let config = MapperConfig {
+                routing,
+                objective,
+                constraints: Constraints::relaxed_bandwidth(),
+                max_swap_passes: 2,
+            };
+            let label = format!("{objective}/{routing}");
+            let _ = Mapper::new(graph, app, config).run_observed(|report| {
+                points.push(ParetoPoint {
+                    label: label.clone(),
+                    x: report.floorplan_area,
+                    y: report.power_mw,
+                });
+            });
+        }
+    }
+    let front = pareto_front(&points);
+    (points, front)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sunmap_topology::builders;
+    use sunmap_traffic::benchmarks;
+
+    #[test]
+    fn fig9a_staircase_descends() {
+        let mesh = builders::mesh(3, 4, 500.0).unwrap();
+        let sweep = routing_bandwidth_sweep(&benchmarks::mpeg4(), &mesh);
+        let bw: Vec<f64> = sweep.iter().map(|e| e.min_bandwidth).collect();
+        // DO >= MP and MP >= SM >= SA (more freedom never hurts the
+        // best achievable max load).
+        assert!(bw[0] >= bw[1] - 1e-6, "DO {} < MP {}", bw[0], bw[1]);
+        assert!(bw[1] >= bw[2] - 1e-6, "MP {} < SM {}", bw[1], bw[2]);
+        assert!(bw[2] >= bw[3] - 1e-6, "SM {} < SA {}", bw[2], bw[3]);
+        // Split routing gets MPEG4 under the 910 MB/s single-flow bound.
+        assert!(bw[3] < 910.0);
+    }
+
+    #[test]
+    fn fig9a_only_split_routing_fits_500mbs() {
+        // Paper §6.3: "when maximum available link bandwidth is
+        // 500 MB/s, only split-traffic routing can be used for MPEG4".
+        let mesh = builders::mesh(3, 4, 500.0).unwrap();
+        let sweep = routing_bandwidth_sweep(&benchmarks::mpeg4(), &mesh);
+        assert!(sweep[0].min_bandwidth > 500.0, "DO should exceed 500");
+        assert!(sweep[1].min_bandwidth > 500.0, "MP should exceed 500");
+        assert!(sweep[3].min_bandwidth <= 500.0, "SA should fit 500");
+    }
+
+    #[test]
+    fn pareto_points_exist_and_front_is_consistent() {
+        let mesh = builders::mesh(3, 4, 500.0).unwrap();
+        let (points, front) = pareto_exploration(&benchmarks::mpeg4(), &mesh);
+        assert!(!points.is_empty());
+        assert!(!front.is_empty());
+        assert!(front.len() <= points.len());
+        for f in &front {
+            assert!(
+                !points.iter().any(|p| p.dominates(f)),
+                "front member {} is dominated",
+                f.label
+            );
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! The longest-path constraint-graph solve and the resulting plan.
+
+use std::collections::HashMap;
+
+use crate::{BlockId, FloorplanError, RelativePlacement};
+
+/// A block with its solved geometry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacedBlock {
+    /// The block's id in the originating placement.
+    pub id: BlockId,
+    /// Display name copied from the spec.
+    pub name: String,
+    /// Lower-left x coordinate (mm).
+    pub x: f64,
+    /// Lower-left y coordinate (mm).
+    pub y: f64,
+    /// Width (mm).
+    pub width: f64,
+    /// Height (mm).
+    pub height: f64,
+}
+
+impl PlacedBlock {
+    /// Geometric centre of the block.
+    pub fn center(&self) -> (f64, f64) {
+        (self.x + self.width / 2.0, self.y + self.height / 2.0)
+    }
+
+    /// Block area (mm²).
+    pub fn area(&self) -> f64 {
+        self.width * self.height
+    }
+
+    /// Width/height ratio.
+    pub fn aspect(&self) -> f64 {
+        self.width / self.height
+    }
+
+    /// Whether two placed blocks overlap (strictly, touching edges are
+    /// allowed).
+    pub fn overlaps(&self, other: &PlacedBlock) -> bool {
+        let eps = 1e-9;
+        self.x + self.width > other.x + eps
+            && other.x + other.width > self.x + eps
+            && self.y + self.height > other.y + eps
+            && other.y + other.height > self.y + eps
+    }
+}
+
+/// A solved floorplan: exact block positions and chip extents.
+///
+/// Produced by [`RelativePlacement::floorplan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Floorplan {
+    blocks: Vec<PlacedBlock>,
+    chip_width: f64,
+    chip_height: f64,
+}
+
+impl Floorplan {
+    /// All placed blocks, indexed by [`BlockId`].
+    pub fn blocks(&self) -> &[PlacedBlock] {
+        &self.blocks
+    }
+
+    /// The placed geometry of one block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn block(&self, id: BlockId) -> &PlacedBlock {
+        &self.blocks[id.index()]
+    }
+
+    /// Chip bounding-box width (mm).
+    pub fn chip_width(&self) -> f64 {
+        self.chip_width
+    }
+
+    /// Chip bounding-box height (mm).
+    pub fn chip_height(&self) -> f64 {
+        self.chip_height
+    }
+
+    /// Chip bounding-box area (mm²) — the "design area" the paper
+    /// reports.
+    pub fn chip_area(&self) -> f64 {
+        self.chip_width * self.chip_height
+    }
+
+    /// Chip aspect ratio (width/height), used for the paper's
+    /// "aspect ratios of the design ... within permissible ranges"
+    /// feasibility check.
+    pub fn chip_aspect(&self) -> f64 {
+        self.chip_width / self.chip_height
+    }
+
+    /// Manhattan distance between the centres of two blocks: the wire
+    /// length estimate for a link connecting them (mm).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of bounds.
+    pub fn link_length(&self, a: BlockId, b: BlockId) -> f64 {
+        let (ax, ay) = self.block(a).center();
+        let (bx, by) = self.block(b).center();
+        (ax - bx).abs() + (ay - by).abs()
+    }
+
+    /// Sum of block areas divided by chip area: the packing utilisation
+    /// in `(0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        let used: f64 = self.blocks.iter().map(PlacedBlock::area).sum();
+        used / self.chip_area()
+    }
+}
+
+pub(crate) fn solve(rp: &RelativePlacement) -> Result<Floorplan, FloorplanError> {
+    let blocks = rp.blocks();
+    if blocks.is_empty() {
+        return Err(FloorplanError::Empty);
+    }
+    for b in blocks {
+        if !(b.area.is_finite() && b.area > 0.0) {
+            return Err(FloorplanError::InvalidArea {
+                name: b.name.clone(),
+                area: b.area,
+            });
+        }
+        if !(b.min_aspect.is_finite()
+            && b.max_aspect.is_finite()
+            && b.min_aspect > 0.0
+            && b.min_aspect <= b.max_aspect)
+        {
+            return Err(FloorplanError::InvalidAspect {
+                name: b.name.clone(),
+            });
+        }
+    }
+    let mut seen: HashMap<(usize, usize), ()> = HashMap::new();
+    for &(row, col) in rp.positions() {
+        if seen.insert((row, col), ()).is_some() {
+            return Err(FloorplanError::SlotCollision { row, col });
+        }
+    }
+
+    // Initial square shapes.
+    let mut widths: Vec<f64> = blocks.iter().map(|b| b.area.sqrt()).collect();
+    let mut heights: Vec<f64> = widths.clone();
+
+    let rows = rp.positions().iter().map(|p| p.0).max().unwrap_or(0) + 1;
+    let cols = rp.positions().iter().map(|p| p.1).max().unwrap_or(0) + 1;
+
+    // Two sizing passes: stretch each soft block to its row height
+    // (within its aspect range), which shrinks its width; recompute.
+    for _ in 0..2 {
+        let mut row_h = vec![0.0f64; rows];
+        for (i, &(r, _)) in rp.positions().iter().enumerate() {
+            row_h[r] = row_h[r].max(heights[i]);
+        }
+        for (i, b) in blocks.iter().enumerate() {
+            let (r, _) = rp.positions()[i];
+            let target_h = row_h[r];
+            // width/height must stay in [min_aspect, max_aspect]:
+            // height in [sqrt(area/max), sqrt(area/min)].
+            let h_min = (b.area / b.max_aspect).sqrt();
+            let h_max = (b.area / b.min_aspect).sqrt();
+            let h = target_h.clamp(h_min, h_max);
+            heights[i] = h;
+            widths[i] = b.area / h;
+        }
+    }
+
+    // Constraint-graph longest path: on a grid this is column widths /
+    // row heights as running maxima.
+    let mut col_w = vec![0.0f64; cols];
+    let mut row_h = vec![0.0f64; rows];
+    for (i, &(r, c)) in rp.positions().iter().enumerate() {
+        col_w[c] = col_w[c].max(widths[i]);
+        row_h[r] = row_h[r].max(heights[i]);
+    }
+    let mut col_x = vec![0.0f64; cols + 1];
+    for c in 0..cols {
+        col_x[c + 1] = col_x[c] + col_w[c];
+    }
+    let mut row_y = vec![0.0f64; rows + 1];
+    for r in 0..rows {
+        row_y[r + 1] = row_y[r] + row_h[r];
+    }
+
+    let placed = blocks
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            let (r, c) = rp.positions()[i];
+            // Centre the block in its slot.
+            let x = col_x[c] + (col_w[c] - widths[i]) / 2.0;
+            let y = row_y[r] + (row_h[r] - heights[i]) / 2.0;
+            PlacedBlock {
+                id: BlockId(i),
+                name: b.name.clone(),
+                x,
+                y,
+                width: widths[i],
+                height: heights[i],
+            }
+        })
+        .collect();
+
+    Ok(Floorplan {
+        blocks: placed,
+        chip_width: col_x[cols],
+        chip_height: row_y[rows],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BlockSpec;
+
+    fn grid_plan(specs: &[(&str, f64, usize, usize)]) -> Floorplan {
+        let mut rp = RelativePlacement::new();
+        for (name, area, r, c) in specs {
+            rp.add_block(BlockSpec::soft(*name, *area), *r, *c);
+        }
+        rp.floorplan().unwrap()
+    }
+
+    #[test]
+    fn no_two_blocks_overlap() {
+        let plan = grid_plan(&[
+            ("a", 4.0, 0, 0),
+            ("b", 9.0, 0, 1),
+            ("c", 1.0, 1, 0),
+            ("d", 16.0, 1, 1),
+        ]);
+        let blocks = plan.blocks();
+        for i in 0..blocks.len() {
+            for j in i + 1..blocks.len() {
+                assert!(
+                    !blocks[i].overlaps(&blocks[j]),
+                    "{} overlaps {}",
+                    blocks[i].name,
+                    blocks[j].name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chip_contains_all_blocks() {
+        let plan = grid_plan(&[("a", 4.0, 0, 0), ("b", 25.0, 1, 2), ("c", 2.0, 2, 1)]);
+        for b in plan.blocks() {
+            assert!(b.x >= -1e-9 && b.y >= -1e-9);
+            assert!(b.x + b.width <= plan.chip_width() + 1e-9);
+            assert!(b.y + b.height <= plan.chip_height() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn areas_preserved_by_resizing() {
+        let plan = grid_plan(&[("a", 4.0, 0, 0), ("b", 9.0, 0, 1), ("c", 2.5, 1, 0)]);
+        for (b, area) in plan.blocks().iter().zip([4.0, 9.0, 2.5]) {
+            assert!((b.area() - area).abs() < 1e-9, "{} area drifted", b.name);
+        }
+    }
+
+    #[test]
+    fn aspect_bounds_respected() {
+        let mut rp = RelativePlacement::new();
+        rp.add_block(BlockSpec::with_aspect("tall", 4.0, 0.25, 0.5), 0, 0);
+        rp.add_block(BlockSpec::hard("sq", 100.0), 0, 1);
+        let plan = rp.floorplan().unwrap();
+        let tall = plan.block(BlockId(0));
+        assert!(tall.aspect() <= 0.5 + 1e-9);
+        assert!(tall.aspect() >= 0.25 - 1e-9);
+        let sq = plan.block(BlockId(1));
+        assert!((sq.aspect() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_block_is_the_chip() {
+        let plan = grid_plan(&[("only", 6.25, 0, 0)]);
+        assert!((plan.chip_area() - 6.25).abs() < 1e-9);
+        assert!((plan.utilization() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_length_is_manhattan_between_centers() {
+        let plan = grid_plan(&[("a", 4.0, 0, 0), ("b", 4.0, 0, 1), ("c", 4.0, 1, 0)]);
+        // Side-by-side 2x2 squares: centres 2 mm apart.
+        assert!((plan.link_length(BlockId(0), BlockId(1)) - 2.0).abs() < 1e-9);
+        assert!((plan.link_length(BlockId(0), BlockId(2)) - 2.0).abs() < 1e-9);
+        // Diagonal: 2 + 2 Manhattan.
+        assert!((plan.link_length(BlockId(1), BlockId(2)) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sparse_grids_are_allowed() {
+        // Slots may be empty; geometry must remain consistent.
+        let plan = grid_plan(&[("a", 1.0, 0, 0), ("b", 1.0, 3, 5)]);
+        assert!(plan.chip_width() > 0.0 && plan.chip_height() > 0.0);
+        assert!(plan.utilization() <= 1.0);
+    }
+
+    #[test]
+    fn utilization_in_unit_interval() {
+        let plan = grid_plan(&[("a", 3.0, 0, 0), ("b", 5.0, 1, 1), ("c", 7.0, 2, 2)]);
+        assert!(plan.utilization() > 0.0 && plan.utilization() <= 1.0);
+    }
+}

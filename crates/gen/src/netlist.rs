@@ -1,0 +1,291 @@
+//! Structural netlist of the generated NoC.
+
+use sunmap_topology::{NodeId, NodeKind, TopologyGraph};
+use sunmap_traffic::{CoreGraph, CoreId};
+
+/// One instantiated component of the design.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Component {
+    /// A switch soft macro with the given port counts.
+    Switch {
+        /// Instance name, e.g. `sw_n4`.
+        name: String,
+        /// The topology vertex this switch implements.
+        node: NodeId,
+        /// Input port count (network + local).
+        inputs: usize,
+        /// Output port count.
+        outputs: usize,
+    },
+    /// A network interface connecting one core to its switch.
+    NetworkInterface {
+        /// Instance name, e.g. `ni_vld`.
+        name: String,
+        /// The core behind this NI.
+        core: CoreId,
+    },
+    /// A core stub (the user's IP block, black-boxed).
+    Core {
+        /// Instance name (the core's name).
+        name: String,
+        /// The application core.
+        core: CoreId,
+    },
+}
+
+impl Component {
+    /// Instance name of the component.
+    pub fn name(&self) -> &str {
+        match self {
+            Component::Switch { name, .. }
+            | Component::NetworkInterface { name, .. }
+            | Component::Core { name, .. } => name,
+        }
+    }
+}
+
+/// Physical class of a connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkKind {
+    /// Switch-to-switch network channel.
+    Network,
+    /// NI-to-switch (or switch-to-NI) attach link.
+    Attach,
+    /// Core-to-NI local binding.
+    Local,
+}
+
+/// A directed connection between two component ports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Connection {
+    /// Index of the driving component in [`Netlist::components`].
+    pub from: usize,
+    /// Output port index on the driver.
+    pub from_port: usize,
+    /// Index of the receiving component.
+    pub to: usize,
+    /// Input port index on the receiver.
+    pub to_port: usize,
+    /// Link class.
+    pub kind: LinkKind,
+}
+
+/// The full structural design: components plus port-level connections.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Netlist {
+    /// All instantiated components.
+    pub components: Vec<Component>,
+    /// All directed connections.
+    pub connections: Vec<Connection>,
+}
+
+impl Netlist {
+    /// Number of switch instances.
+    pub fn switch_count(&self) -> usize {
+        self.components
+            .iter()
+            .filter(|c| matches!(c, Component::Switch { .. }))
+            .count()
+    }
+
+    /// Number of network interfaces (= mapped cores).
+    pub fn ni_count(&self) -> usize {
+        self.components
+            .iter()
+            .filter(|c| matches!(c, Component::NetworkInterface { .. }))
+            .count()
+    }
+
+    /// Number of connections of a given kind.
+    pub fn connection_count(&self, kind: LinkKind) -> usize {
+        self.connections.iter().filter(|c| c.kind == kind).count()
+    }
+
+    /// The distinct switch configurations used, as sorted
+    /// `(inputs, outputs)` pairs — one soft-macro specialisation each.
+    pub fn switch_configs(&self) -> Vec<(usize, usize)> {
+        let mut cfgs: Vec<(usize, usize)> = self
+            .components
+            .iter()
+            .filter_map(|c| match c {
+                Component::Switch {
+                    inputs, outputs, ..
+                } => Some((*inputs, *outputs)),
+                _ => None,
+            })
+            .collect();
+        cfgs.sort_unstable();
+        cfgs.dedup();
+        cfgs
+    }
+}
+
+/// Builds the structural netlist for `placement` of `app` on `g`:
+/// one switch per topology switch vertex, one NI per mapped core, core
+/// stubs, and port-numbered connections for every channel.
+pub fn build_netlist(
+    g: &TopologyGraph,
+    app: &CoreGraph,
+    placement: &sunmap_mapping::Placement,
+) -> Netlist {
+    let mut nl = Netlist::default();
+    let mut switch_index = std::collections::HashMap::new();
+    // Per-switch running port counters for deterministic port numbers.
+    let mut next_in = std::collections::HashMap::new();
+    let mut next_out = std::collections::HashMap::new();
+
+    for (s, inputs, outputs) in g.switch_radices() {
+        switch_index.insert(s, nl.components.len());
+        nl.components.push(Component::Switch {
+            name: format!("sw_{s}"),
+            node: s,
+            inputs,
+            outputs,
+        });
+        next_in.insert(s, 0usize);
+        next_out.insert(s, 0usize);
+    }
+
+    // Network channels between switches.
+    for (_, edge) in g.edges() {
+        if g.node_kind(edge.src) != NodeKind::Switch || g.node_kind(edge.dst) != NodeKind::Switch {
+            continue;
+        }
+        let from = switch_index[&edge.src];
+        let to = switch_index[&edge.dst];
+        let from_port = *next_out.get_mut(&edge.src).map(|p| {
+            *p += 1;
+            &*p
+        }).expect("switch registered") - 1;
+        let to_port = *next_in.get_mut(&edge.dst).map(|p| {
+            *p += 1;
+            &*p
+        }).expect("switch registered") - 1;
+        nl.connections.push(Connection {
+            from,
+            from_port,
+            to,
+            to_port,
+            kind: LinkKind::Network,
+        });
+    }
+
+    // Cores, NIs and attach links.
+    for (core_id, core) in app.cores() {
+        let node = placement.node_of(core_id);
+        let ni_index = nl.components.len();
+        nl.components.push(Component::NetworkInterface {
+            name: format!("ni_{}", core.name),
+            core: core_id,
+        });
+        let core_index = nl.components.len();
+        nl.components.push(Component::Core {
+            name: core.name.clone(),
+            core: core_id,
+        });
+        nl.connections.push(Connection {
+            from: core_index,
+            from_port: 0,
+            to: ni_index,
+            to_port: 0,
+            kind: LinkKind::Local,
+        });
+        nl.connections.push(Connection {
+            from: ni_index,
+            from_port: 1,
+            to: core_index,
+            to_port: 1,
+            kind: LinkKind::Local,
+        });
+        let ingress = g.ingress_switch(node).expect("mapped vertex has an ingress");
+        let egress = g.egress_switch(node).expect("mapped vertex has an egress");
+        let in_port = *next_in.get_mut(&ingress).map(|p| {
+            *p += 1;
+            &*p
+        }).expect("switch registered") - 1;
+        nl.connections.push(Connection {
+            from: ni_index,
+            from_port: 0,
+            to: switch_index[&ingress],
+            to_port: in_port,
+            kind: LinkKind::Attach,
+        });
+        let out_port = *next_out.get_mut(&egress).map(|p| {
+            *p += 1;
+            &*p
+        }).expect("switch registered") - 1;
+        nl.connections.push(Connection {
+            from: switch_index[&egress],
+            from_port: out_port,
+            to: ni_index,
+            to_port: 1,
+            kind: LinkKind::Attach,
+        });
+    }
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sunmap_mapping::Placement;
+    use sunmap_topology::builders;
+    use sunmap_traffic::benchmarks;
+
+    fn mesh_netlist() -> Netlist {
+        let g = builders::mesh(3, 4, 500.0).unwrap();
+        let app = benchmarks::vopd();
+        let p = Placement::new(g.mappable_nodes()[..12].to_vec(), &g).unwrap();
+        build_netlist(&g, &app, &p)
+    }
+
+    #[test]
+    fn component_counts_match_design() {
+        let nl = mesh_netlist();
+        assert_eq!(nl.switch_count(), 12);
+        assert_eq!(nl.ni_count(), 12);
+        // 12 switches + 12 NIs + 12 cores.
+        assert_eq!(nl.components.len(), 36);
+    }
+
+    #[test]
+    fn connection_counts_match_design() {
+        let nl = mesh_netlist();
+        // 17 channels x 2 directions.
+        assert_eq!(nl.connection_count(LinkKind::Network), 34);
+        // One NI->switch and one switch->NI per core.
+        assert_eq!(nl.connection_count(LinkKind::Attach), 24);
+        assert_eq!(nl.connection_count(LinkKind::Local), 24);
+    }
+
+    #[test]
+    fn port_numbers_stay_within_declared_radix() {
+        let nl = mesh_netlist();
+        for conn in &nl.connections {
+            if let Component::Switch { outputs, .. } = &nl.components[conn.from] {
+                assert!(conn.from_port < *outputs, "output port overflow");
+            }
+            if let Component::Switch { inputs, .. } = &nl.components[conn.to] {
+                assert!(conn.to_port < *inputs, "input port overflow");
+            }
+        }
+    }
+
+    #[test]
+    fn butterfly_netlist_uses_uniform_switches() {
+        let g = builders::butterfly(4, 2, 500.0).unwrap();
+        let app = benchmarks::vopd();
+        let p = Placement::new(g.mappable_nodes()[..12].to_vec(), &g).unwrap();
+        let nl = build_netlist(&g, &app, &p);
+        // "all the switches are 4x4" (paper §6.1).
+        assert_eq!(nl.switch_configs(), vec![(4, 4)]);
+    }
+
+    #[test]
+    fn mesh_netlist_has_heterogeneous_switches() {
+        let nl = mesh_netlist();
+        // 3x3 corners, 4x4 edges, 5x5 inner (paper §6.1: "the direct
+        // topologies have 5x5 switches").
+        assert_eq!(nl.switch_configs(), vec![(3, 3), (4, 4), (5, 5)]);
+    }
+}

@@ -1,0 +1,106 @@
+//! Error type of the mapping engine.
+
+use crate::CostReport;
+use sunmap_floorplan::FloorplanError;
+use sunmap_topology::TopologyError;
+
+/// Errors produced while mapping an application onto a topology.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum MappingError {
+    /// The application has more cores than the topology has mappable
+    /// slots (`|V| > |U|`, violating paper Eq. 1).
+    TooManyCores {
+        /// Cores in the application.
+        cores: usize,
+        /// Mappable slots in the topology.
+        slots: usize,
+    },
+    /// The application has no cores.
+    EmptyApplication,
+    /// A placement refers to a vertex cores cannot be mapped onto, or
+    /// maps two cores onto one vertex.
+    InvalidPlacement(String),
+    /// No evaluated mapping satisfied the bandwidth and area
+    /// constraints. Carries the report of the least-infeasible mapping
+    /// found, so callers can see *how* infeasible the best attempt was
+    /// (e.g. the butterfly row of the paper's Fig. 7b).
+    NoFeasibleMapping(Box<CostReport>),
+    /// A commodity could not be routed between its mapped endpoints.
+    Unroutable {
+        /// Source core index.
+        src: usize,
+        /// Destination core index.
+        dst: usize,
+    },
+    /// Topology-level failure.
+    Topology(TopologyError),
+    /// Floorplanning failure.
+    Floorplan(FloorplanError),
+}
+
+impl std::fmt::Display for MappingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MappingError::TooManyCores { cores, slots } => {
+                write!(f, "{cores} cores cannot map onto {slots} topology slots")
+            }
+            MappingError::EmptyApplication => write!(f, "application has no cores"),
+            MappingError::InvalidPlacement(why) => write!(f, "invalid placement: {why}"),
+            MappingError::NoFeasibleMapping(best) => write!(
+                f,
+                "no feasible mapping (best attempt: max link load {:.1} MB/s, \
+                 bandwidth ok: {}, area ok: {})",
+                best.max_link_load, best.bandwidth_ok, best.area_ok
+            ),
+            MappingError::Unroutable { src, dst } => {
+                write!(f, "no route for commodity c{src} -> c{dst}")
+            }
+            MappingError::Topology(e) => write!(f, "topology error: {e}"),
+            MappingError::Floorplan(e) => write!(f, "floorplan error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MappingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MappingError::Topology(e) => Some(e),
+            MappingError::Floorplan(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TopologyError> for MappingError {
+    fn from(e: TopologyError) -> Self {
+        MappingError::Topology(e)
+    }
+}
+
+impl From<FloorplanError> for MappingError {
+    fn from(e: FloorplanError) -> Self {
+        MappingError::Floorplan(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = MappingError::TooManyCores { cores: 20, slots: 16 };
+        assert!(e.to_string().contains("20"));
+        let e: MappingError = TopologyError::InvalidRadix(1).into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: MappingError = FloorplanError::Empty.into();
+        assert!(e.to_string().contains("floorplan"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MappingError>();
+    }
+}

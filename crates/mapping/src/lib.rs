@@ -1,0 +1,57 @@
+//! The SUNMAP mapping engine (paper §4).
+//!
+//! This crate implements the heart of the paper: mapping an application
+//! core graph onto a NoC topology graph under a chosen routing function
+//! and design objective, subject to bandwidth and area constraints.
+//!
+//! The algorithm is the three-phase heuristic of paper Fig. 5:
+//!
+//! 1. a greedy initial placement — the core with maximum communication
+//!    goes to the topology node with the most neighbours, then each
+//!    remaining core (picked by communication with already-placed
+//!    cores) goes to the free node minimising a distance-weighted cost;
+//! 2. commodities are routed one by one in decreasing bandwidth order,
+//!    each restricted to its topology-specific *quadrant graph*, with
+//!    link loads accumulated so later commodities avoid congestion;
+//!    the resulting mapping is evaluated by the floorplanner and the
+//!    area–power libraries;
+//! 3. pair-wise swapping of topology vertices repeats phase 2, and the
+//!    best evaluated mapping is returned.
+//!
+//! Four routing functions are supported ([`RoutingFunction`]): dimension
+//! ordered, minimum-path, split-traffic across minimum paths and
+//! split-traffic across all paths. Four objectives are supported
+//! ([`Objective`]): minimum average communication delay, area, power,
+//! and minimum required link bandwidth (used for the paper's Fig. 9a
+//! routing-function study).
+//!
+//! # Examples
+//!
+//! ```
+//! use sunmap_mapping::{Mapper, MapperConfig};
+//! use sunmap_topology::builders;
+//! use sunmap_traffic::benchmarks;
+//!
+//! let mesh = builders::mesh(3, 4, 500.0)?;
+//! let vopd = benchmarks::vopd();
+//! let mapping = Mapper::new(&mesh, &vopd, MapperConfig::default()).run()?;
+//! assert!(mapping.report().feasible());
+//! assert!(mapping.report().avg_hops >= 2.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod error;
+mod evaluate;
+mod layout;
+mod mapper;
+mod placement;
+mod report;
+mod routing;
+
+pub use error::MappingError;
+pub use evaluate::{evaluate, Evaluation, RoutedCommodity};
+pub use layout::{layout_blocks, LayoutBlocks};
+pub use mapper::{Mapper, MapperConfig, Mapping};
+pub use placement::Placement;
+pub use report::{Constraints, CostReport, Objective};
+pub use routing::{route_commodity, RoutingFunction};

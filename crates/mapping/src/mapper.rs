@@ -1,0 +1,446 @@
+//! The three-phase mapping heuristic of paper Fig. 5.
+
+use std::collections::HashMap;
+
+use crate::{
+    evaluate, Constraints, CostReport, Evaluation, MappingError, Objective, Placement,
+    RoutingFunction,
+};
+use sunmap_power::{AreaPowerLibrary, Technology};
+use sunmap_topology::{paths, NodeId, TopologyGraph};
+use sunmap_traffic::{CoreGraph, CoreId};
+
+/// Configuration of one mapping run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MapperConfig {
+    /// Routing function (paper input parameter).
+    pub routing: RoutingFunction,
+    /// Design objective (paper input parameter).
+    pub objective: Objective,
+    /// Bandwidth/area feasibility constraints.
+    pub constraints: Constraints,
+    /// Maximum pair-wise-swap improvement passes. The paper performs
+    /// one pass over all vertex pairs; additional passes repeat the
+    /// sweep from the improved mapping until no swap helps. `0`
+    /// disables phase 3 entirely (useful for ablation studies).
+    pub max_swap_passes: usize,
+}
+
+impl Default for MapperConfig {
+    fn default() -> Self {
+        MapperConfig {
+            routing: RoutingFunction::MinPath,
+            objective: Objective::MinDelay,
+            constraints: Constraints::default(),
+            max_swap_passes: 4,
+        }
+    }
+}
+
+impl MapperConfig {
+    /// Convenience constructor fixing routing and objective.
+    pub fn new(routing: RoutingFunction, objective: Objective) -> Self {
+        MapperConfig {
+            routing,
+            objective,
+            ..MapperConfig::default()
+        }
+    }
+}
+
+/// The result of a mapping run.
+#[derive(Debug, Clone)]
+pub struct Mapping {
+    evaluation: Evaluation,
+    evaluated_candidates: usize,
+}
+
+impl Mapping {
+    /// The metric report of the chosen mapping.
+    pub fn report(&self) -> &CostReport {
+        &self.evaluation.report
+    }
+
+    /// The chosen core→vertex assignment.
+    pub fn placement(&self) -> &Placement {
+        &self.evaluation.placement
+    }
+
+    /// The full evaluation (routes, loads, floorplan).
+    pub fn evaluation(&self) -> &Evaluation {
+        &self.evaluation
+    }
+
+    /// Consumes the mapping, returning the evaluation.
+    pub fn into_evaluation(self) -> Evaluation {
+        self.evaluation
+    }
+
+    /// How many candidate mappings the search evaluated.
+    pub fn evaluated_candidates(&self) -> usize {
+        self.evaluated_candidates
+    }
+}
+
+/// Maps an application core graph onto one topology (paper Fig. 5).
+///
+/// # Examples
+///
+/// ```
+/// use sunmap_mapping::{Mapper, MapperConfig, Objective, RoutingFunction};
+/// use sunmap_topology::builders;
+/// use sunmap_traffic::benchmarks;
+///
+/// let torus = builders::torus(3, 4, 500.0)?;
+/// let vopd = benchmarks::vopd();
+/// let cfg = MapperConfig::new(RoutingFunction::MinPath, Objective::MinPower);
+/// let mapping = Mapper::new(&torus, &vopd, cfg).run()?;
+/// assert!(mapping.report().feasible());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Mapper<'a> {
+    graph: &'a TopologyGraph,
+    app: &'a CoreGraph,
+    config: MapperConfig,
+    lib: AreaPowerLibrary,
+}
+
+impl<'a> Mapper<'a> {
+    /// Creates a mapper with the paper's 0.1 µm area-power library.
+    pub fn new(graph: &'a TopologyGraph, app: &'a CoreGraph, config: MapperConfig) -> Self {
+        Mapper {
+            graph,
+            app,
+            config,
+            lib: AreaPowerLibrary::new(Technology::um_0_10()),
+        }
+    }
+
+    /// Creates a mapper with an explicit area-power library.
+    pub fn with_library(
+        graph: &'a TopologyGraph,
+        app: &'a CoreGraph,
+        config: MapperConfig,
+        lib: AreaPowerLibrary,
+    ) -> Self {
+        Mapper {
+            graph,
+            app,
+            config,
+            lib,
+        }
+    }
+
+    /// Runs the three phases and returns the best feasible mapping.
+    ///
+    /// # Errors
+    ///
+    /// * [`MappingError::TooManyCores`] / [`MappingError::EmptyApplication`]
+    ///   for size mismatches;
+    /// * [`MappingError::NoFeasibleMapping`] when every evaluated
+    ///   mapping violates the constraints (the error carries the
+    ///   least-infeasible report).
+    pub fn run(&mut self) -> Result<Mapping, MappingError> {
+        self.run_observed(|_| {})
+    }
+
+    /// Like [`Mapper::run`], additionally invoking `observer` with the
+    /// cost report of **every** candidate mapping the search evaluates
+    /// (the greedy seed and each pair-wise swap). This is how the
+    /// Fig. 9b Pareto study collects its cloud of design points.
+    pub fn run_observed(
+        &mut self,
+        mut observer: impl FnMut(&CostReport),
+    ) -> Result<Mapping, MappingError> {
+        let slots = self.graph.mappable_nodes().len();
+        let cores = self.app.core_count();
+        if cores == 0 {
+            return Err(MappingError::EmptyApplication);
+        }
+        if cores > slots {
+            return Err(MappingError::TooManyCores { cores, slots });
+        }
+
+        let mut evaluated = 0usize;
+        // Phase 1: greedy initial mapping.
+        let initial = self.initial_placement();
+        let mut best = evaluate(
+            self.graph,
+            self.app,
+            initial,
+            self.config.routing,
+            &mut self.lib,
+            &self.config.constraints,
+        )?;
+        observer(&best.report);
+        evaluated += 1;
+
+        // Phase 3 (steps 9-10): pair-wise swaps, steepest-descent
+        // passes.
+        let nodes = self.graph.mappable_nodes().to_vec();
+        for _pass in 0..self.config.max_swap_passes {
+            let mut best_swap: Option<Evaluation> = None;
+            for i in 0..nodes.len() {
+                for j in i + 1..nodes.len() {
+                    let mut candidate = best.placement.clone();
+                    if !candidate.swap_nodes(nodes[i], nodes[j]) {
+                        continue;
+                    }
+                    let Ok(eval) = evaluate(
+                        self.graph,
+                        self.app,
+                        candidate,
+                        self.config.routing,
+                        &mut self.lib,
+                        &self.config.constraints,
+                    ) else {
+                        continue;
+                    };
+                    observer(&eval.report);
+                    evaluated += 1;
+                    let improves_on = best_swap.as_ref().map_or(&best, |b| b);
+                    if eval
+                        .report
+                        .better_than(&improves_on.report, self.config.objective)
+                    {
+                        best_swap = Some(eval);
+                    }
+                }
+            }
+            match best_swap {
+                Some(better) => best = better,
+                None => break,
+            }
+        }
+
+        if best.report.feasible() {
+            Ok(Mapping {
+                evaluation: best,
+                evaluated_candidates: evaluated,
+            })
+        } else {
+            Err(MappingError::NoFeasibleMapping(Box::new(best.report)))
+        }
+    }
+
+    /// Phase 1: the greedy constructive placement of Fig. 5 step 1.
+    fn initial_placement(&self) -> Placement {
+        let cores = self.app.core_count();
+        let nodes = self.graph.mappable_nodes().to_vec();
+        // Hop distances between all mappable-node pairs, for the greedy
+        // cost function.
+        let dist = self.distance_table(&nodes);
+
+        let mut assignment: Vec<Option<NodeId>> = vec![None; cores];
+        let mut free: Vec<NodeId> = nodes.clone();
+        let mut placed: Vec<CoreId> = Vec::new();
+
+        // Seed: the core with maximum communication goes to the node
+        // with maximum neighbours.
+        let seed_core = self
+            .app
+            .max_communication_core()
+            .expect("non-empty application");
+        let seed_node = *free
+            .iter()
+            .max_by_key(|n| {
+                self.graph
+                    .ingress_switch(**n)
+                    .map(|s| self.graph.neighbor_count(s))
+                    .unwrap_or(0)
+            })
+            .expect("topology has mappable nodes");
+        assignment[seed_core.index()] = Some(seed_node);
+        free.retain(|n| *n != seed_node);
+        placed.push(seed_core);
+
+        while placed.len() < cores {
+            // Next: the unplaced core communicating most with placed
+            // cores.
+            let next_core = (0..cores)
+                .map(CoreId)
+                .filter(|c| assignment[c.index()].is_none())
+                .max_by(|a, b| {
+                    self.app
+                        .communication_with(*a, &placed)
+                        .partial_cmp(&self.app.communication_with(*b, &placed))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then_with(|| b.cmp(a))
+                })
+                .expect("an unplaced core remains");
+            // Its node: minimise bandwidth-weighted distance to the
+            // placed communication partners.
+            let best_node = *free
+                .iter()
+                .min_by(|x, y| {
+                    let cx = self.greedy_cost(next_core, **x, &assignment, &dist);
+                    let cy = self.greedy_cost(next_core, **y, &assignment, &dist);
+                    cx.partial_cmp(&cy)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then_with(|| x.cmp(y))
+                })
+                .expect("a free node remains (|V| <= |U|)");
+            assignment[next_core.index()] = Some(best_node);
+            free.retain(|n| *n != best_node);
+            placed.push(next_core);
+        }
+
+        let assignment: Vec<NodeId> = assignment
+            .into_iter()
+            .map(|n| n.expect("all cores placed"))
+            .collect();
+        Placement::new(assignment, self.graph).expect("greedy placement is valid")
+    }
+
+    fn distance_table(&self, nodes: &[NodeId]) -> HashMap<(NodeId, NodeId), f64> {
+        let mut table = HashMap::new();
+        for &a in nodes {
+            for &b in nodes {
+                if a == b {
+                    continue;
+                }
+                let d = paths::hop_distance(self.graph, a, b).unwrap_or(usize::MAX / 2) as f64;
+                table.insert((a, b), d);
+            }
+        }
+        table
+    }
+
+    fn greedy_cost(
+        &self,
+        core: CoreId,
+        node: NodeId,
+        assignment: &[Option<NodeId>],
+        dist: &HashMap<(NodeId, NodeId), f64>,
+    ) -> f64 {
+        let mut cost = 0.0;
+        for e in self.app.edges() {
+            let (other, forward) = if e.src == core {
+                (e.dst, true)
+            } else if e.dst == core {
+                (e.src, false)
+            } else {
+                continue;
+            };
+            let Some(Some(other_node)) = assignment.get(other.index()) else {
+                continue;
+            };
+            let key = if forward {
+                (node, *other_node)
+            } else {
+                (*other_node, node)
+            };
+            cost += e.bandwidth * dist.get(&key).copied().unwrap_or(0.0);
+        }
+        cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sunmap_topology::builders;
+    use sunmap_traffic::benchmarks;
+
+    #[test]
+    fn vopd_maps_feasibly_on_all_five_topologies() {
+        let vopd = benchmarks::vopd();
+        for g in builders::standard_library(12, 500.0).unwrap() {
+            let mapping = Mapper::new(&g, &vopd, MapperConfig::default())
+                .run()
+                .unwrap_or_else(|e| panic!("{}: {e}", g.kind()));
+            assert!(mapping.report().feasible(), "{} infeasible", g.kind());
+            assert!(mapping.report().avg_hops >= 2.0);
+        }
+    }
+
+    #[test]
+    fn swaps_never_worsen_the_initial_mapping() {
+        let vopd = benchmarks::vopd();
+        let g = builders::mesh(3, 4, 500.0).unwrap();
+        let mut no_swaps = MapperConfig::default();
+        no_swaps.max_swap_passes = 0;
+        let base = Mapper::new(&g, &vopd, no_swaps).run().unwrap();
+        let tuned = Mapper::new(&g, &vopd, MapperConfig::default())
+            .run()
+            .unwrap();
+        assert!(
+            tuned.report().avg_hops <= base.report().avg_hops + 1e-9,
+            "swaps worsened delay: {} > {}",
+            tuned.report().avg_hops,
+            base.report().avg_hops
+        );
+        assert!(tuned.evaluated_candidates() > base.evaluated_candidates());
+    }
+
+    #[test]
+    fn butterfly_mpeg4_has_no_feasible_mapping() {
+        // The paper's Fig. 7b headline: the butterfly cannot split the
+        // 910 MB/s SDRAM flow across multiple paths, so MPEG4 has no
+        // feasible butterfly mapping at 500 MB/s links.
+        let mpeg4 = benchmarks::mpeg4();
+        let g = builders::butterfly(4, 2, 500.0).unwrap();
+        let cfg = MapperConfig::new(RoutingFunction::SplitAllPaths, Objective::MinDelay);
+        let err = Mapper::new(&g, &mpeg4, cfg).run().unwrap_err();
+        match err {
+            MappingError::NoFeasibleMapping(report) => {
+                assert!(report.max_link_load > 500.0);
+            }
+            other => panic!("expected NoFeasibleMapping, got {other}"),
+        }
+    }
+
+    #[test]
+    fn mpeg4_feasible_on_mesh_with_split_routing() {
+        let mpeg4 = benchmarks::mpeg4();
+        let g = builders::mesh(3, 4, 500.0).unwrap();
+        // Min-path routing cannot carry the 910 MB/s flow...
+        let mp = MapperConfig::new(RoutingFunction::MinPath, Objective::MinDelay);
+        assert!(Mapper::new(&g, &mpeg4, mp).run().is_err());
+        // ...but split-traffic routing can (paper §6.1).
+        let sa = MapperConfig::new(RoutingFunction::SplitAllPaths, Objective::MinDelay);
+        let mapping = Mapper::new(&g, &mpeg4, sa).run().unwrap();
+        assert!(mapping.report().feasible());
+    }
+
+    #[test]
+    fn size_mismatches_are_rejected() {
+        let vopd = benchmarks::vopd();
+        let g = builders::mesh(2, 2, 500.0).unwrap();
+        assert!(matches!(
+            Mapper::new(&g, &vopd, MapperConfig::default()).run(),
+            Err(MappingError::TooManyCores { cores: 12, slots: 4 })
+        ));
+        let empty = sunmap_traffic::CoreGraph::new();
+        assert!(matches!(
+            Mapper::new(&g, &empty, MapperConfig::default()).run(),
+            Err(MappingError::EmptyApplication)
+        ));
+    }
+
+    #[test]
+    fn objectives_steer_the_search() {
+        let vopd = benchmarks::vopd();
+        let g = builders::mesh(3, 4, 500.0).unwrap();
+        let delay = Mapper::new(&g, &vopd, MapperConfig::new(RoutingFunction::MinPath, Objective::MinDelay))
+            .run()
+            .unwrap();
+        let power = Mapper::new(&g, &vopd, MapperConfig::new(RoutingFunction::MinPath, Objective::MinPower))
+            .run()
+            .unwrap();
+        // The delay-optimised mapping is at least as good on delay.
+        assert!(delay.report().avg_hops <= power.report().avg_hops + 1e-9);
+        // The power-optimised mapping is at least as good on power.
+        assert!(power.report().power_mw <= delay.report().power_mw + 1e-9);
+    }
+
+    #[test]
+    fn mapper_is_deterministic() {
+        let vopd = benchmarks::vopd();
+        let g = builders::torus(3, 4, 500.0).unwrap();
+        let a = Mapper::new(&g, &vopd, MapperConfig::default()).run().unwrap();
+        let b = Mapper::new(&g, &vopd, MapperConfig::default()).run().unwrap();
+        assert_eq!(a.placement().assignment(), b.placement().assignment());
+    }
+}

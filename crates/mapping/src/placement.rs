@@ -1,0 +1,163 @@
+//! The one-to-one mapping function `map: V -> U` (paper Eq. 1).
+
+use std::collections::HashMap;
+
+use crate::MappingError;
+use sunmap_topology::{NodeId, TopologyGraph};
+use sunmap_traffic::CoreId;
+
+/// An injective assignment of application cores to mappable topology
+/// vertices.
+///
+/// # Examples
+///
+/// ```
+/// use sunmap_mapping::Placement;
+/// use sunmap_topology::builders;
+///
+/// let mesh = builders::mesh(2, 2, 500.0)?;
+/// let slots = mesh.mappable_nodes().to_vec();
+/// let p = Placement::new(vec![slots[0], slots[3]], &mesh)?;
+/// assert_eq!(p.core_at(slots[3]), Some(sunmap_traffic::CoreId(1)));
+/// assert_eq!(p.core_at(slots[1]), None);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    core_to_node: Vec<NodeId>,
+    node_to_core: HashMap<NodeId, CoreId>,
+}
+
+impl Placement {
+    /// Creates a placement where core `i` sits on `assignment[i]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MappingError::InvalidPlacement`] if any target is not
+    /// mappable in `graph` or two cores share a vertex.
+    pub fn new(assignment: Vec<NodeId>, graph: &TopologyGraph) -> Result<Self, MappingError> {
+        let mut node_to_core = HashMap::new();
+        for (i, node) in assignment.iter().enumerate() {
+            if !graph.mappable_nodes().contains(node) {
+                return Err(MappingError::InvalidPlacement(format!(
+                    "core c{i} assigned to non-mappable vertex {node}"
+                )));
+            }
+            if node_to_core.insert(*node, CoreId(i)).is_some() {
+                return Err(MappingError::InvalidPlacement(format!(
+                    "vertex {node} hosts two cores"
+                )));
+            }
+        }
+        Ok(Placement {
+            core_to_node: assignment,
+            node_to_core,
+        })
+    }
+
+    /// Number of placed cores `|V|`.
+    pub fn core_count(&self) -> usize {
+        self.core_to_node.len()
+    }
+
+    /// The vertex hosting `core` — `map(v_i)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of bounds.
+    pub fn node_of(&self, core: CoreId) -> NodeId {
+        self.core_to_node[core.index()]
+    }
+
+    /// The core hosted on `node`, if any.
+    pub fn core_at(&self, node: NodeId) -> Option<CoreId> {
+        self.node_to_core.get(&node).copied()
+    }
+
+    /// The full core→vertex table.
+    pub fn assignment(&self) -> &[NodeId] {
+        &self.core_to_node
+    }
+
+    /// Swaps the occupants of two topology vertices (phase 3 of the
+    /// Fig. 5 algorithm). Either vertex may be empty; swapping two empty
+    /// vertices returns `false` (nothing changed).
+    pub fn swap_nodes(&mut self, a: NodeId, b: NodeId) -> bool {
+        if a == b {
+            return false;
+        }
+        let ca = self.node_to_core.remove(&a);
+        let cb = self.node_to_core.remove(&b);
+        if ca.is_none() && cb.is_none() {
+            return false;
+        }
+        if let Some(c) = ca {
+            self.node_to_core.insert(b, c);
+            self.core_to_node[c.index()] = b;
+        }
+        if let Some(c) = cb {
+            self.node_to_core.insert(a, c);
+            self.core_to_node[c.index()] = a;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sunmap_topology::builders;
+
+    fn mesh22() -> TopologyGraph {
+        builders::mesh(2, 2, 500.0).unwrap()
+    }
+
+    #[test]
+    fn bijective_bookkeeping() {
+        let g = mesh22();
+        let m = g.mappable_nodes().to_vec();
+        let p = Placement::new(vec![m[2], m[0], m[3]], &g).unwrap();
+        assert_eq!(p.core_count(), 3);
+        assert_eq!(p.node_of(CoreId(0)), m[2]);
+        assert_eq!(p.core_at(m[0]), Some(CoreId(1)));
+        assert_eq!(p.core_at(m[1]), None);
+    }
+
+    #[test]
+    fn duplicate_target_rejected() {
+        let g = mesh22();
+        let m = g.mappable_nodes().to_vec();
+        assert!(Placement::new(vec![m[0], m[0]], &g).is_err());
+    }
+
+    #[test]
+    fn non_mappable_target_rejected() {
+        let g = builders::clos(2, 2, 2, 500.0).unwrap();
+        let sw = g.switch_at_stage(0, 0).unwrap();
+        assert!(Placement::new(vec![sw], &g).is_err());
+    }
+
+    #[test]
+    fn swap_core_with_core() {
+        let g = mesh22();
+        let m = g.mappable_nodes().to_vec();
+        let mut p = Placement::new(vec![m[0], m[1]], &g).unwrap();
+        assert!(p.swap_nodes(m[0], m[1]));
+        assert_eq!(p.node_of(CoreId(0)), m[1]);
+        assert_eq!(p.node_of(CoreId(1)), m[0]);
+    }
+
+    #[test]
+    fn swap_core_with_empty() {
+        let g = mesh22();
+        let m = g.mappable_nodes().to_vec();
+        let mut p = Placement::new(vec![m[0]], &g).unwrap();
+        assert!(p.swap_nodes(m[0], m[3]));
+        assert_eq!(p.node_of(CoreId(0)), m[3]);
+        assert_eq!(p.core_at(m[0]), None);
+        // Swapping two empties is a no-op.
+        assert!(!p.swap_nodes(m[0], m[1]));
+        // Self-swap is a no-op.
+        assert!(!p.swap_nodes(m[3], m[3]));
+    }
+}

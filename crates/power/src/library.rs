@@ -1,0 +1,132 @@
+//! Memoised area-power library.
+
+use std::collections::HashMap;
+
+use crate::{switch_area, switch_energy_per_bit, SwitchConfig, Technology, WireModel};
+
+/// A per-technology library of evaluated switch configurations — the
+/// paper's "area-power libraries for various switch configurations for
+/// different technology parameters", generated on demand and memoised.
+///
+/// # Examples
+///
+/// ```
+/// use sunmap_power::{AreaPowerLibrary, SwitchConfig, Technology};
+///
+/// let mut lib = AreaPowerLibrary::new(Technology::um_0_10());
+/// let cfg = SwitchConfig::symmetric(4);
+/// let a1 = lib.area(cfg);
+/// let a2 = lib.area(cfg); // served from the library
+/// assert_eq!(a1, a2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AreaPowerLibrary {
+    tech: Technology,
+    wire: WireModel,
+    areas: HashMap<SwitchConfig, f64>,
+    energies: HashMap<SwitchConfig, f64>,
+}
+
+impl AreaPowerLibrary {
+    /// Creates a library for the given technology with the default wire
+    /// model.
+    pub fn new(tech: Technology) -> Self {
+        AreaPowerLibrary {
+            tech,
+            wire: WireModel::default(),
+            areas: HashMap::new(),
+            energies: HashMap::new(),
+        }
+    }
+
+    /// Creates a library with an explicit wire model.
+    pub fn with_wire_model(tech: Technology, wire: WireModel) -> Self {
+        AreaPowerLibrary {
+            tech,
+            wire,
+            areas: HashMap::new(),
+            energies: HashMap::new(),
+        }
+    }
+
+    /// The library's technology node.
+    pub fn technology(&self) -> Technology {
+        self.tech
+    }
+
+    /// The library's wire model.
+    pub fn wire_model(&self) -> WireModel {
+        self.wire
+    }
+
+    /// Area of a switch configuration in mm² (memoised).
+    pub fn area(&mut self, cfg: SwitchConfig) -> f64 {
+        let tech = self.tech;
+        *self
+            .areas
+            .entry(cfg)
+            .or_insert_with(|| switch_area(cfg, tech))
+    }
+
+    /// Bit-traversal energy of a switch configuration in joules
+    /// (memoised).
+    pub fn energy_per_bit(&mut self, cfg: SwitchConfig) -> f64 {
+        let tech = self.tech;
+        *self
+            .energies
+            .entry(cfg)
+            .or_insert_with(|| switch_energy_per_bit(cfg, tech))
+    }
+
+    /// Power of a switch carrying `traffic_mbs` MB/s, in mW.
+    pub fn switch_power(&mut self, cfg: SwitchConfig, traffic_mbs: f64) -> f64 {
+        self.energy_per_bit(cfg) * traffic_mbs * 8.0e6 * 1.0e3
+    }
+
+    /// Power of a link of `length_mm` carrying `traffic_mbs` MB/s, in mW.
+    pub fn link_power(&self, traffic_mbs: f64, length_mm: f64) -> f64 {
+        crate::link_power(self.wire, self.tech, traffic_mbs, length_mm)
+    }
+
+    /// Number of distinct configurations evaluated so far.
+    pub fn entries(&self) -> usize {
+        self.areas.len().max(self.energies.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memoisation_is_transparent() {
+        let mut lib = AreaPowerLibrary::new(Technology::um_0_10());
+        let cfg = SwitchConfig::symmetric(6);
+        assert_eq!(lib.entries(), 0);
+        let a = lib.area(cfg);
+        assert_eq!(lib.entries(), 1);
+        assert_eq!(lib.area(cfg), a);
+        assert_eq!(lib.entries(), 1);
+        assert_eq!(a, crate::switch_area(cfg, Technology::um_0_10()));
+    }
+
+    #[test]
+    fn switch_power_matches_free_function() {
+        let mut lib = AreaPowerLibrary::new(Technology::um_0_10());
+        let cfg = SwitchConfig::symmetric(5);
+        let via_lib = lib.switch_power(cfg, 750.0);
+        let direct = crate::switch_power(cfg, Technology::um_0_10(), 750.0);
+        assert!((via_lib - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_power_uses_configured_wire_model() {
+        let hot_wire = WireModel {
+            cap_per_mm: 0.8e-12,
+            activity: 0.5,
+        };
+        let cold = AreaPowerLibrary::new(Technology::um_0_10());
+        let hot = AreaPowerLibrary::with_wire_model(Technology::um_0_10(), hot_wire);
+        assert!(hot.link_power(100.0, 1.0) > cold.link_power(100.0, 1.0));
+    }
+}

@@ -1,0 +1,92 @@
+//! Link (wire) power model from the Ho/Mai/Horowitz wiring parameters.
+
+use crate::Technology;
+
+/// Global-wire electrical parameters, calibrated at 0.1 µm from "The
+/// Future of Wires" (Proc. IEEE, 2001): repeated global wires with
+/// roughly constant delay per millimetre and capacitance per millimetre
+/// dominated by sidewall coupling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireModel {
+    /// Total switched capacitance per wire per millimetre, in farads
+    /// (wire + repeater capacitance).
+    pub cap_per_mm: f64,
+    /// Signal activity factor (fraction of cycles a wire toggles when
+    /// carrying saturated traffic).
+    pub activity: f64,
+}
+
+impl WireModel {
+    /// The calibration point used throughout the paper's experiments:
+    /// ~0.4 pF/mm switched capacitance and 0.5 activity give roughly
+    /// 0.3 pJ/bit/mm at 1.2 V — an order of magnitude below switch
+    /// traversal energy, which is what makes the butterfly's longer
+    /// links affordable (§6.1).
+    pub fn um_0_10() -> Self {
+        WireModel {
+            cap_per_mm: 0.4e-12,
+            activity: 0.5,
+        }
+    }
+
+    /// Energy to move one bit across one millimetre of link, in joules.
+    pub fn energy_per_bit_mm(&self, tech: Technology) -> f64 {
+        self.activity * self.cap_per_mm * tech.voltage * tech.voltage * tech.length_scale()
+    }
+}
+
+impl Default for WireModel {
+    fn default() -> Self {
+        WireModel::um_0_10()
+    }
+}
+
+/// Average power of a link of `length_mm` carrying `traffic_mbs` MB/s,
+/// in milliwatts.
+///
+/// # Examples
+///
+/// ```
+/// use sunmap_power::{link_power, Technology, WireModel};
+///
+/// let t = Technology::um_0_10();
+/// let w = WireModel::um_0_10();
+/// let p = link_power(w, t, 500.0, 2.0);
+/// assert!(p > 0.0 && p < 10.0);
+/// ```
+pub fn link_power(wire: WireModel, tech: Technology, traffic_mbs: f64, length_mm: f64) -> f64 {
+    let bits_per_s = traffic_mbs * 1.0e6 * 8.0;
+    wire.energy_per_bit_mm(tech) * length_mm * bits_per_s * 1.0e3 // W -> mW
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{switch_energy_per_bit, SwitchConfig};
+
+    #[test]
+    fn link_energy_magnitude() {
+        let e = WireModel::um_0_10().energy_per_bit_mm(Technology::um_0_10());
+        assert!(e > 0.1e-12 && e < 1.0e-12, "e = {e}");
+    }
+
+    #[test]
+    fn link_power_linear_in_both_factors() {
+        let t = Technology::um_0_10();
+        let w = WireModel::um_0_10();
+        let p = link_power(w, t, 100.0, 1.0);
+        assert!((link_power(w, t, 200.0, 1.0) - 2.0 * p).abs() < 1e-12);
+        assert!((link_power(w, t, 100.0, 3.0) - 3.0 * p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn switch_traversal_dominates_millimetre_links() {
+        // The paper's §6.1 argument: "link power dissipation is much
+        // lower than the switch power dissipation", so a 1.5x longer
+        // link is a good trade for one fewer 5x5 switch hop.
+        let t = Technology::um_0_10();
+        let per_mm = WireModel::um_0_10().energy_per_bit_mm(t);
+        let per_switch = switch_energy_per_bit(SwitchConfig::symmetric(5), t);
+        assert!(per_switch > 5.0 * per_mm);
+    }
+}

@@ -1,0 +1,127 @@
+//! Simulation statistics.
+
+/// Latency and throughput measured over the simulation window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyStats {
+    /// Mean packet latency in cycles (injection of the head flit to
+    /// ejection of the tail flit), over delivered measured packets.
+    pub avg_latency: f64,
+    /// Worst delivered-packet latency in cycles.
+    pub max_latency: u64,
+    /// Packets injected during the measurement window.
+    pub packets_offered: usize,
+    /// Of those, packets fully delivered before the simulation ended.
+    pub packets_delivered: usize,
+    /// Delivered flits per cycle per terminal during measurement — the
+    /// accepted throughput.
+    pub throughput: f64,
+    /// Measurement window length in cycles.
+    pub measured_cycles: u64,
+    /// Busiest network channel's utilisation during measurement
+    /// (flits per cycle, at most 1.0): where the hot spot is.
+    pub max_link_utilization: f64,
+    /// Mean utilisation over all network channels: how evenly the
+    /// topology spreads the load.
+    pub mean_link_utilization: f64,
+}
+
+impl LatencyStats {
+    /// Ratio of the busiest channel's load to the average: 1.0 means a
+    /// perfectly balanced network; large values mean a hot spot (the
+    /// butterfly's single-path funnels, a mesh bisection).
+    pub fn load_imbalance(&self) -> f64 {
+        if self.mean_link_utilization <= 0.0 {
+            return 1.0;
+        }
+        self.max_link_utilization / self.mean_link_utilization
+    }
+
+    /// Fraction of measured packets that were delivered; below ~1.0 the
+    /// network is saturated and `avg_latency` underestimates the true
+    /// (unbounded) latency.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.packets_offered == 0 {
+            return 1.0;
+        }
+        self.packets_delivered as f64 / self.packets_offered as f64
+    }
+
+    /// Whether the run shows saturation (significant undelivered
+    /// backlog).
+    pub fn saturated(&self) -> bool {
+        self.delivery_ratio() < 0.9
+    }
+}
+
+impl std::fmt::Display for LatencyStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "avg {:.1} cy, max {} cy, {}/{} packets, {:.4} flits/cy/term",
+            self.avg_latency,
+            self.max_latency,
+            self.packets_delivered,
+            self.packets_offered,
+            self.throughput
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_ratio_and_saturation() {
+        let mut s = LatencyStats {
+            avg_latency: 20.0,
+            max_latency: 55,
+            packets_offered: 100,
+            packets_delivered: 100,
+            throughput: 0.1,
+            measured_cycles: 1000,
+            max_link_utilization: 0.5,
+            mean_link_utilization: 0.2,
+        };
+        assert_eq!(s.delivery_ratio(), 1.0);
+        assert!(!s.saturated());
+        s.packets_delivered = 50;
+        assert!(s.saturated());
+        s.packets_offered = 0;
+        assert_eq!(s.delivery_ratio(), 1.0);
+    }
+
+    #[test]
+    fn load_imbalance_ratio() {
+        let mut s = LatencyStats {
+            avg_latency: 10.0,
+            max_latency: 20,
+            packets_offered: 10,
+            packets_delivered: 10,
+            throughput: 0.1,
+            measured_cycles: 100,
+            max_link_utilization: 0.8,
+            mean_link_utilization: 0.2,
+        };
+        assert_eq!(s.load_imbalance(), 4.0);
+        s.mean_link_utilization = 0.0;
+        assert_eq!(s.load_imbalance(), 1.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = LatencyStats {
+            avg_latency: 12.5,
+            max_latency: 40,
+            packets_offered: 10,
+            packets_delivered: 9,
+            throughput: 0.05,
+            measured_cycles: 500,
+            max_link_utilization: 0.4,
+            mean_link_utilization: 0.1,
+        };
+        let txt = s.to_string();
+        assert!(txt.contains("12.5"));
+        assert!(txt.contains("9/10"));
+    }
+}

@@ -1,0 +1,193 @@
+//! Behavioural tests of the NoC simulator: queueing effects, parameter
+//! sensitivity and conservation properties.
+
+use sunmap_sim::{adversarial_pattern, NocSimulator, SimConfig};
+use sunmap_topology::builders;
+use sunmap_traffic::patterns::TrafficPattern;
+
+fn cfg() -> SimConfig {
+    SimConfig {
+        warmup_cycles: 300,
+        measure_cycles: 2_000,
+        drain_cycles: 2_000,
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn deeper_buffers_do_not_reduce_throughput() {
+    let g = builders::mesh(4, 4, 500.0).unwrap();
+    let rate = 0.35;
+    let shallow = {
+        let mut c = cfg();
+        c.buffer_depth = 1;
+        let mut sim = NocSimulator::new(&g, c);
+        sim.run_synthetic(&TrafficPattern::UniformRandom, rate)
+    };
+    let deep = {
+        let mut c = cfg();
+        c.buffer_depth = 8;
+        let mut sim = NocSimulator::new(&g, c);
+        sim.run_synthetic(&TrafficPattern::UniformRandom, rate)
+    };
+    assert!(
+        deep.throughput >= shallow.throughput * 0.95,
+        "deep {} vs shallow {}",
+        deep.throughput,
+        shallow.throughput
+    );
+}
+
+#[test]
+fn longer_packets_increase_latency() {
+    let g = builders::mesh(3, 3, 500.0).unwrap();
+    let short = {
+        let mut c = cfg();
+        c.packet_flits = 2;
+        let mut sim = NocSimulator::new(&g, c);
+        sim.run_synthetic(&TrafficPattern::UniformRandom, 0.1)
+    };
+    let long = {
+        let mut c = cfg();
+        c.packet_flits = 8;
+        let mut sim = NocSimulator::new(&g, c);
+        sim.run_synthetic(&TrafficPattern::UniformRandom, 0.1)
+    };
+    assert!(
+        long.avg_latency > short.avg_latency + 3.0,
+        "serialization must show: long {} vs short {}",
+        long.avg_latency,
+        short.avg_latency
+    );
+}
+
+#[test]
+fn deeper_pipelines_increase_latency_linearly_ish() {
+    let g = builders::mesh(3, 3, 500.0).unwrap();
+    let mut prev = 0.0;
+    for pipe in [0u64, 2, 4] {
+        let mut c = cfg();
+        c.switch_pipeline = pipe;
+        let mut sim = NocSimulator::new(&g, c);
+        let s = sim.run_synthetic(&TrafficPattern::UniformRandom, 0.05);
+        assert!(
+            s.avg_latency > prev,
+            "pipeline {pipe} latency {} not above previous {prev}",
+            s.avg_latency
+        );
+        prev = s.avg_latency;
+    }
+}
+
+#[test]
+fn delivered_never_exceeds_offered() {
+    for g in builders::standard_library(16, 500.0).unwrap() {
+        let mut sim = NocSimulator::new(&g, cfg());
+        for rate in [0.1, 0.5, 0.9] {
+            let s = sim.run_synthetic(&adversarial_pattern(g.kind()), rate);
+            assert!(
+                s.packets_delivered <= s.packets_offered,
+                "{}: {s}",
+                g.kind()
+            );
+        }
+    }
+}
+
+#[test]
+fn clos_beats_butterfly_under_tornado_at_high_load() {
+    // The §6.2 path-diversity story, isolated to the two indirect
+    // topologies under the same pattern.
+    let clos = builders::clos(4, 4, 4, 500.0).unwrap();
+    let bfly = builders::butterfly(4, 2, 500.0).unwrap();
+    let rate = 0.4;
+    let mut sim = NocSimulator::new(&clos, cfg());
+    let c = sim.run_synthetic(&TrafficPattern::Tornado, rate);
+    let mut sim = NocSimulator::new(&bfly, cfg());
+    let b = sim.run_synthetic(&TrafficPattern::Tornado, rate);
+    assert!(
+        c.avg_latency < b.avg_latency / 2.0,
+        "clos {c} should dominate butterfly {b} under tornado"
+    );
+}
+
+#[test]
+fn uniform_traffic_is_fair_across_terminals() {
+    // With symmetric topology and pattern, delivery stays near 100%
+    // below saturation — no terminal starves.
+    let g = builders::torus(4, 4, 500.0).unwrap();
+    let mut sim = NocSimulator::new(&g, cfg());
+    let s = sim.run_synthetic(&TrafficPattern::UniformRandom, 0.2);
+    assert!(s.delivery_ratio() > 0.98, "{s}");
+}
+
+#[test]
+fn drain_period_lets_in_flight_packets_finish() {
+    let g = builders::mesh(3, 3, 500.0).unwrap();
+    let no_drain = {
+        let mut c = cfg();
+        c.drain_cycles = 0;
+        let mut sim = NocSimulator::new(&g, c);
+        sim.run_synthetic(&TrafficPattern::UniformRandom, 0.1)
+    };
+    let with_drain = {
+        let mut sim = NocSimulator::new(&g, cfg());
+        sim.run_synthetic(&TrafficPattern::UniformRandom, 0.1)
+    };
+    assert!(with_drain.delivery_ratio() >= no_drain.delivery_ratio());
+    assert!(with_drain.delivery_ratio() > 0.99);
+}
+
+#[test]
+fn terminal_count_matches_mappable_nodes() {
+    for g in builders::standard_library(12, 500.0).unwrap() {
+        let sim = NocSimulator::new(&g, cfg());
+        assert_eq!(sim.terminal_count(), g.mappable_nodes().len());
+    }
+}
+
+#[test]
+fn utilization_tracks_injection_rate() {
+    let g = builders::mesh(4, 4, 500.0).unwrap();
+    let mut sim = NocSimulator::new(&g, cfg());
+    let low = sim.run_synthetic(&TrafficPattern::UniformRandom, 0.05);
+    let mut sim = NocSimulator::new(&g, cfg());
+    let high = sim.run_synthetic(&TrafficPattern::UniformRandom, 0.25);
+    assert!(low.max_link_utilization <= 1.0 + 1e-9);
+    assert!(high.mean_link_utilization > low.mean_link_utilization);
+    assert!(high.max_link_utilization > low.max_link_utilization);
+}
+
+#[test]
+fn adversarial_patterns_show_higher_imbalance_than_uniform() {
+    // Tornado funnels whole ingress groups onto single butterfly stage
+    // links; uniform spreads. The imbalance ratio exposes this.
+    let g = builders::butterfly(4, 2, 500.0).unwrap();
+    let mut sim = NocSimulator::new(&g, cfg());
+    let uniform = sim.run_synthetic(&TrafficPattern::UniformRandom, 0.15);
+    let mut sim = NocSimulator::new(&g, cfg());
+    let tornado = sim.run_synthetic(&TrafficPattern::Tornado, 0.15);
+    assert!(
+        tornado.load_imbalance() > uniform.load_imbalance(),
+        "tornado {} vs uniform {}",
+        tornado.load_imbalance(),
+        uniform.load_imbalance()
+    );
+}
+
+#[test]
+fn clos_balances_better_than_mesh_under_its_adversary() {
+    // The §6.2 mechanism made visible: per-channel load spread.
+    let clos = builders::clos(4, 4, 4, 500.0).unwrap();
+    let mesh = builders::mesh(4, 4, 500.0).unwrap();
+    let mut sim = NocSimulator::new(&clos, cfg());
+    let c = sim.run_synthetic(&adversarial_pattern(clos.kind()), 0.3);
+    let mut sim = NocSimulator::new(&mesh, cfg());
+    let m = sim.run_synthetic(&adversarial_pattern(mesh.kind()), 0.3);
+    assert!(
+        c.max_link_utilization < m.max_link_utilization,
+        "clos max util {} should undercut mesh {}",
+        c.max_link_utilization,
+        m.max_link_utilization
+    );
+}

@@ -1,0 +1,160 @@
+//! k-ary n-fly butterfly builder (paper Fig. 2b).
+
+use crate::{NodeCoords, NodeKind, TopologyError, TopologyGraph, TopologyKind};
+
+/// Builds a k-ary n-fly butterfly with `k^n` terminals, `n` switch
+/// stages of `k^(n-1)` switches each, and the classic digit-replacement
+/// wiring: between stage `s` and `s+1`, output `p` of switch `j` reaches
+/// the switch whose base-k label equals `j` with digit `n-2-s` replaced
+/// by `p`.
+///
+/// This reproduces the paper's description of a 2-ary 3-fly: "switch 0 of
+/// stage 1 is connected to switches 0 and 2 of stage 2 (maximum distance
+/// 2); switch 0 of the second stage is connected to switches 0 and 1 of
+/// the third stage (maximum distance 1)". Between any terminal pair there
+/// is exactly one path — butterflies trade path diversity for switch
+/// count (paper §6.1).
+///
+/// Core port `i` injects at stage-0 switch `i / k` and ejects from
+/// stage-(n-1) switch `i / k`.
+///
+/// # Errors
+///
+/// Returns [`TopologyError::InvalidRadix`] if `radix < 2` and
+/// [`TopologyError::InvalidDimension`] if `stages` is zero or the network
+/// would exceed 65536 terminals.
+///
+/// # Examples
+///
+/// ```
+/// // The 4-ary 2-fly used for the 12-core VOPD in §6.1.
+/// let b = sunmap_topology::builders::butterfly(4, 2, 500.0)?;
+/// assert_eq!(b.switch_count(), 8);
+/// assert_eq!(b.mappable_nodes().len(), 16);
+/// # Ok::<(), sunmap_topology::TopologyError>(())
+/// ```
+pub fn butterfly(
+    radix: usize,
+    stages: u32,
+    link_capacity: f64,
+) -> Result<TopologyGraph, TopologyError> {
+    if radix < 2 {
+        return Err(TopologyError::InvalidRadix(radix));
+    }
+    if stages == 0 {
+        return Err(TopologyError::InvalidDimension {
+            parameter: "stages",
+            value: 0,
+        });
+    }
+    let terminals = (radix as u64).checked_pow(stages).unwrap_or(u64::MAX);
+    if terminals > 65536 {
+        return Err(TopologyError::InvalidDimension {
+            parameter: "stages",
+            value: stages as usize,
+        });
+    }
+    let terminals = terminals as usize;
+    let per_stage = terminals / radix;
+    let n = stages as usize;
+
+    let mut g = TopologyGraph::new(TopologyKind::Butterfly { radix, stages });
+    let mut sw = vec![vec![]; n];
+    for (stage, stage_ids) in sw.iter_mut().enumerate() {
+        for index in 0..per_stage {
+            stage_ids.push(g.add_node(NodeKind::Switch, NodeCoords::Stage { stage, index }));
+        }
+    }
+    // Inter-stage wiring by digit replacement. Switch labels have n-1
+    // base-k digits; digit n-2-s is replaced by the output port number.
+    for s in 0..n.saturating_sub(1) {
+        let digit = n - 2 - s;
+        let place = radix.pow(digit as u32);
+        for j in 0..per_stage {
+            let cleared = j - (j / place % radix) * place;
+            for p in 0..radix {
+                let target = cleared + p * place;
+                g.add_edge(sw[s][j], sw[s + 1][target], link_capacity);
+            }
+        }
+    }
+    for i in 0..terminals {
+        let port = g.add_node(NodeKind::CorePort, NodeCoords::Port { index: i });
+        g.add_edge(port, sw[0][i / radix], f64::INFINITY);
+        g.add_edge(sw[n - 1][i / radix], port, f64::INFINITY);
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paths;
+
+    #[test]
+    fn paper_fig2b_wiring_2ary_3fly() {
+        let g = butterfly(2, 3, 500.0).unwrap();
+        let s0 = g.switch_at_stage(0, 0).unwrap();
+        let targets: Vec<_> = g
+            .switch_neighbors(s0)
+            .map(|t| g.coords(t))
+            .collect();
+        assert!(targets.contains(&NodeCoords::Stage { stage: 1, index: 0 }));
+        assert!(targets.contains(&NodeCoords::Stage { stage: 1, index: 2 }));
+        let s1 = g.switch_at_stage(1, 0).unwrap();
+        let targets: Vec<_> = g.switch_neighbors(s1).map(|t| g.coords(t)).collect();
+        assert!(targets.contains(&NodeCoords::Stage { stage: 2, index: 0 }));
+        assert!(targets.contains(&NodeCoords::Stage { stage: 2, index: 1 }));
+    }
+
+    #[test]
+    fn counts_closed_form() {
+        let g = butterfly(4, 2, 500.0).unwrap();
+        assert_eq!(g.switch_count(), 8);
+        assert_eq!(g.network_channel_count(), 16);
+        assert_eq!(g.attach_channel_count(), 32);
+        let g = butterfly(2, 3, 500.0).unwrap();
+        assert_eq!(g.switch_count(), 12);
+        assert_eq!(g.network_channel_count(), 16);
+    }
+
+    #[test]
+    fn exactly_one_path_between_any_terminal_pair() {
+        let g = butterfly(2, 3, 500.0).unwrap();
+        for a in 0..8 {
+            for b in 0..8 {
+                if a == b {
+                    continue;
+                }
+                let src = g.port(a).unwrap();
+                let dst = g.port(b).unwrap();
+                let all = paths::all_shortest_paths(&g, src, dst, None, 64);
+                assert_eq!(all.len(), 1, "ports {a}->{b} should have a unique path");
+            }
+        }
+    }
+
+    #[test]
+    fn every_terminal_pair_connected_in_n_switch_hops() {
+        let g = butterfly(4, 2, 500.0).unwrap();
+        for a in 0..16 {
+            for b in 0..16 {
+                if a == b {
+                    continue;
+                }
+                let src = g.port(a).unwrap();
+                let dst = g.port(b).unwrap();
+                let p = paths::shortest_path(&g, src, dst, None).expect("connected");
+                // Path = port, stage0, stage1, port: 2 switch hops.
+                assert_eq!(p.len(), 4);
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(butterfly(1, 3, 500.0).is_err());
+        assert!(butterfly(2, 0, 500.0).is_err());
+        assert!(butterfly(2, 20, 500.0).is_err());
+    }
+}

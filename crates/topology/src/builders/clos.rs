@@ -1,0 +1,134 @@
+//! 3-stage Clos network builder (paper Fig. 2a).
+
+use crate::{NodeCoords, NodeKind, TopologyError, TopologyGraph, TopologyKind};
+
+/// Builds a unidirectional 3-stage Clos network.
+///
+/// * Stage 1 has `ingress` switches, each accepting `ports` cores.
+/// * Stage 2 has `middle` switches; every stage-1 switch connects to
+///   every stage-2 switch, and every stage-2 switch to every stage-3
+///   switch ("each switch in a stage is connected to every switch in the
+///   next stage", paper §4.2).
+/// * Stage 3 mirrors stage 1 on the egress side.
+///
+/// Cores are represented by `ingress * ports` core-port vertices. Core
+/// port `i` injects at stage-1 switch `i / ports` and ejects from
+/// stage-3 switch `i / ports` — the folded view of the paper's figure
+/// where the same cores appear on both sides.
+///
+/// # Errors
+///
+/// Returns [`TopologyError::InvalidDimension`] if any parameter is zero.
+///
+/// # Examples
+///
+/// ```
+/// // The shape of paper Fig. 2(a): 8 cores, 4 switches per stage.
+/// let c = sunmap_topology::builders::clos(4, 2, 4, 500.0)?;
+/// assert_eq!(c.switch_count(), 12);
+/// assert_eq!(c.mappable_nodes().len(), 8);
+/// # Ok::<(), sunmap_topology::TopologyError>(())
+/// ```
+pub fn clos(
+    ingress: usize,
+    ports: usize,
+    middle: usize,
+    link_capacity: f64,
+) -> Result<TopologyGraph, TopologyError> {
+    for (name, v) in [("ingress", ingress), ("ports", ports), ("middle", middle)] {
+        if v == 0 {
+            return Err(TopologyError::InvalidDimension {
+                parameter: name,
+                value: v,
+            });
+        }
+    }
+    let mut g = TopologyGraph::new(TopologyKind::Clos {
+        ingress,
+        ports,
+        middle,
+    });
+    let stage1: Vec<_> = (0..ingress)
+        .map(|index| g.add_node(NodeKind::Switch, NodeCoords::Stage { stage: 0, index }))
+        .collect();
+    let stage2: Vec<_> = (0..middle)
+        .map(|index| g.add_node(NodeKind::Switch, NodeCoords::Stage { stage: 1, index }))
+        .collect();
+    let stage3: Vec<_> = (0..ingress)
+        .map(|index| g.add_node(NodeKind::Switch, NodeCoords::Stage { stage: 2, index }))
+        .collect();
+    for &s1 in &stage1 {
+        for &s2 in &stage2 {
+            g.add_edge(s1, s2, link_capacity);
+        }
+    }
+    for &s2 in &stage2 {
+        for &s3 in &stage3 {
+            g.add_edge(s2, s3, link_capacity);
+        }
+    }
+    for i in 0..ingress * ports {
+        let p = g.add_node(NodeKind::CorePort, NodeCoords::Port { index: i });
+        g.add_edge(p, stage1[i / ports], f64::INFINITY);
+        g.add_edge(stage3[i / ports], p, f64::INFINITY);
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_interstage_connectivity() {
+        let g = clos(3, 4, 3, 500.0).unwrap();
+        for a in 0..3 {
+            for b in 0..3 {
+                let s1 = g.switch_at_stage(0, a).unwrap();
+                let s2 = g.switch_at_stage(1, b).unwrap();
+                let s3 = g.switch_at_stage(2, a).unwrap();
+                assert!(g.find_edge(s1, s2).is_some(), "stage1 {a} -> stage2 {b}");
+                assert!(g.find_edge(s2, s3).is_some(), "stage2 {b} -> stage3 {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_fig2a_example_switch0_reaches_all_middles() {
+        let g = clos(4, 2, 4, 500.0).unwrap();
+        let s0 = g.switch_at_stage(0, 0).unwrap();
+        let middles: Vec<_> = g.switch_neighbors(s0).collect();
+        assert_eq!(middles.len(), 4);
+    }
+
+    #[test]
+    fn ports_fold_onto_matching_edge_switches() {
+        let g = clos(3, 4, 3, 500.0).unwrap();
+        for i in 0..12 {
+            let p = g.port(i).unwrap();
+            let ing = g.ingress_switch(p).unwrap();
+            let eg = g.egress_switch(p).unwrap();
+            assert_eq!(g.coords(ing), NodeCoords::Stage { stage: 0, index: i / 4 });
+            assert_eq!(g.coords(eg), NodeCoords::Stage { stage: 2, index: i / 4 });
+        }
+    }
+
+    #[test]
+    fn counts_closed_form() {
+        let (r, n, m) = (4, 3, 5);
+        let g = clos(r, n, m, 500.0).unwrap();
+        assert_eq!(g.switch_count(), 2 * r + m);
+        assert_eq!(g.mappable_nodes().len(), r * n);
+        // Unidirectional network links: r*m + m*r.
+        assert_eq!(g.network_channel_count(), 2 * r * m);
+        // Each core port contributes one injection and one ejection link.
+        assert_eq!(g.attach_channel_count(), 2 * r * n);
+    }
+
+    #[test]
+    fn zero_parameters_rejected() {
+        assert!(clos(0, 2, 2, 500.0).is_err());
+        assert!(clos(2, 0, 2, 500.0).is_err());
+        assert!(clos(2, 2, 0, 500.0).is_err());
+    }
+}

@@ -1,0 +1,160 @@
+//! Extension topologies beyond the paper's standard five.
+//!
+//! Paper §1: "the approach presented here is general and other
+//! topologies (such as octagon network or star network) can be easily
+//! added to the topology library". These are those two topologies.
+
+use crate::{NodeCoords, NodeKind, TopologyError, TopologyGraph, TopologyKind};
+
+/// Grid positions of the eight octagon switches around a 3x3 perimeter
+/// (used for floorplanning); index `i` is the octagon node number.
+pub(crate) const OCTAGON_RING: [(usize, usize); 8] = [
+    (0, 0),
+    (0, 1),
+    (0, 2),
+    (1, 2),
+    (2, 2),
+    (2, 1),
+    (2, 0),
+    (1, 0),
+];
+
+/// Builds the octagon network (Karim et al., paper ref. \[6\]): eight
+/// switches, each hosting one core, connected in a ring with cross
+/// links between opposite switches — switch `i` is adjacent to
+/// `i±1 (mod 8)` and `i+4 (mod 8)`, so any pair communicates in at most
+/// two hops.
+///
+/// # Errors
+///
+/// Infallible in practice; returns `Result` for API consistency with
+/// the other builders.
+///
+/// # Examples
+///
+/// ```
+/// let oct = sunmap_topology::builders::octagon(500.0)?;
+/// assert_eq!(oct.switch_count(), 8);
+/// // Ring (8) plus cross (4) channels.
+/// assert_eq!(oct.network_channel_count(), 12);
+/// # Ok::<(), sunmap_topology::TopologyError>(())
+/// ```
+pub fn octagon(link_capacity: f64) -> Result<TopologyGraph, TopologyError> {
+    let mut g = TopologyGraph::new(TopologyKind::Octagon);
+    let ids: Vec<_> = OCTAGON_RING
+        .iter()
+        .map(|&(row, col)| g.add_node(NodeKind::Switch, NodeCoords::Grid { row, col }))
+        .collect();
+    for i in 0..8 {
+        g.add_channel(ids[i], ids[(i + 1) % 8], link_capacity);
+    }
+    for i in 0..4 {
+        g.add_channel(ids[i], ids[i + 4], link_capacity);
+    }
+    Ok(g)
+}
+
+/// Builds a star network (paper ref. \[10\]): one central switch with
+/// `ports` cores, each attached through a dedicated bidirectional
+/// channel of `link_capacity`. Every communication crosses exactly one
+/// switch, so the star minimises hop delay at the price of a large
+/// central crossbar and per-core channel capacity limits.
+///
+/// Unlike the Clos/butterfly port links (which are free NI stubs), star
+/// attach channels are real network links with finite capacity: they
+/// are the star's only links, and its feasibility story.
+///
+/// # Errors
+///
+/// Returns [`TopologyError::InvalidDimension`] if `ports` is zero.
+///
+/// # Examples
+///
+/// ```
+/// let star = sunmap_topology::builders::star(6, 500.0)?;
+/// assert_eq!(star.switch_count(), 1);
+/// assert_eq!(star.mappable_nodes().len(), 6);
+/// # Ok::<(), sunmap_topology::TopologyError>(())
+/// ```
+pub fn star(ports: usize, link_capacity: f64) -> Result<TopologyGraph, TopologyError> {
+    if ports == 0 {
+        return Err(TopologyError::InvalidDimension {
+            parameter: "ports",
+            value: 0,
+        });
+    }
+    let mut g = TopologyGraph::new(TopologyKind::Star { ports });
+    let hub = g.add_node(NodeKind::Switch, NodeCoords::Stage { stage: 0, index: 0 });
+    for i in 0..ports {
+        let p = g.add_node(NodeKind::CorePort, NodeCoords::Port { index: i });
+        g.add_edge(p, hub, link_capacity);
+        g.add_edge(hub, p, link_capacity);
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paths;
+
+    #[test]
+    fn octagon_diameter_is_two() {
+        let g = octagon(500.0).unwrap();
+        let nodes: Vec<_> = g.switches().collect();
+        for &a in &nodes {
+            for &b in &nodes {
+                let d = paths::hop_distance(&g, a, b).unwrap();
+                assert!(d <= 2, "octagon distance {a}->{b} = {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn octagon_adjacency_matches_karim() {
+        let g = octagon(500.0).unwrap();
+        let nodes: Vec<_> = g.switches().collect();
+        for i in 0..8usize {
+            let neighbors: Vec<_> = g.switch_neighbors(nodes[i]).collect();
+            assert_eq!(neighbors.len(), 3, "node {i}");
+            assert!(neighbors.contains(&nodes[(i + 1) % 8]));
+            assert!(neighbors.contains(&nodes[(i + 7) % 8]));
+            assert!(neighbors.contains(&nodes[(i + 4) % 8]));
+        }
+    }
+
+    #[test]
+    fn octagon_is_direct_and_mappable_everywhere() {
+        let g = octagon(500.0).unwrap();
+        assert!(g.kind().is_direct());
+        assert_eq!(g.mappable_nodes().len(), 8);
+    }
+
+    #[test]
+    fn star_single_hop_between_any_ports() {
+        let g = star(5, 500.0).unwrap();
+        for a in g.core_ports() {
+            for b in g.core_ports() {
+                if a == b {
+                    continue;
+                }
+                let p = paths::shortest_path(&g, a, b, None).unwrap();
+                assert_eq!(p.len(), 3, "port -> hub -> port");
+            }
+        }
+    }
+
+    #[test]
+    fn star_attach_channels_have_finite_capacity() {
+        let g = star(4, 321.0).unwrap();
+        for (_, e) in g.edges() {
+            assert_eq!(e.capacity, 321.0);
+            assert!(e.is_network_link());
+        }
+    }
+
+    #[test]
+    fn star_rejects_zero_ports() {
+        assert!(star(0, 500.0).is_err());
+    }
+}

@@ -1,0 +1,173 @@
+//! Mesh and torus builders (paper Fig. 1a, 1b).
+
+use crate::{NodeCoords, NodeKind, TopologyError, TopologyGraph, TopologyKind};
+
+fn grid_graph(
+    kind: TopologyKind,
+    rows: usize,
+    cols: usize,
+    wrap: bool,
+    link_capacity: f64,
+) -> Result<TopologyGraph, TopologyError> {
+    if rows == 0 {
+        return Err(TopologyError::InvalidDimension {
+            parameter: "rows",
+            value: rows,
+        });
+    }
+    if cols == 0 {
+        return Err(TopologyError::InvalidDimension {
+            parameter: "cols",
+            value: cols,
+        });
+    }
+    let mut g = TopologyGraph::new(kind);
+    let mut ids = vec![vec![None; cols]; rows];
+    for (row, row_ids) in ids.iter_mut().enumerate() {
+        for (col, slot) in row_ids.iter_mut().enumerate() {
+            *slot = Some(g.add_node(NodeKind::Switch, NodeCoords::Grid { row, col }));
+        }
+    }
+    let id = |r: usize, c: usize| ids[r][c].expect("all grid slots filled");
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_channel(id(r, c), id(r, c + 1), link_capacity);
+            }
+            if r + 1 < rows {
+                g.add_channel(id(r, c), id(r + 1, c), link_capacity);
+            }
+        }
+    }
+    if wrap {
+        // Wrap-around channels between opposite edges; only meaningful
+        // when a dimension has at least three nodes (with two, the wrap
+        // channel would duplicate the existing one).
+        if cols > 2 {
+            for r in 0..rows {
+                g.add_channel(id(r, cols - 1), id(r, 0), link_capacity);
+            }
+        }
+        if rows > 2 {
+            for c in 0..cols {
+                g.add_channel(id(rows - 1, c), id(0, c), link_capacity);
+            }
+        }
+    }
+    Ok(g)
+}
+
+/// Builds a `rows x cols` 2-D mesh: every switch connects to its grid
+/// neighbours and hosts one core locally.
+///
+/// # Errors
+///
+/// Returns [`TopologyError::InvalidDimension`] if either dimension is
+/// zero.
+///
+/// # Examples
+///
+/// ```
+/// let m = sunmap_topology::builders::mesh(3, 3, 500.0)?;
+/// assert_eq!(m.switch_count(), 9);
+/// assert_eq!(m.network_channel_count(), 12);
+/// # Ok::<(), sunmap_topology::TopologyError>(())
+/// ```
+pub fn mesh(rows: usize, cols: usize, link_capacity: f64) -> Result<TopologyGraph, TopologyError> {
+    grid_graph(
+        TopologyKind::Mesh { rows, cols },
+        rows,
+        cols,
+        false,
+        link_capacity,
+    )
+}
+
+/// Builds a `rows x cols` 2-D torus: a mesh plus wrap-around channels
+/// between edge switches (paper Fig. 1b: node 0 connects to nodes 2 and
+/// 6 on the opposite edges of a 3x3 grid).
+///
+/// # Errors
+///
+/// Returns [`TopologyError::InvalidDimension`] if either dimension is
+/// zero.
+///
+/// # Examples
+///
+/// ```
+/// let t = sunmap_topology::builders::torus(3, 3, 500.0)?;
+/// // 12 mesh channels + 3 row wraps + 3 column wraps.
+/// assert_eq!(t.network_channel_count(), 18);
+/// # Ok::<(), sunmap_topology::TopologyError>(())
+/// ```
+pub fn torus(rows: usize, cols: usize, link_capacity: f64) -> Result<TopologyGraph, TopologyError> {
+    grid_graph(
+        TopologyKind::Torus { rows, cols },
+        rows,
+        cols,
+        true,
+        link_capacity,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_counts_closed_form() {
+        for (r, c) in [(1, 1), (1, 5), (2, 2), (3, 4), (4, 4), (5, 3)] {
+            let g = mesh(r, c, 500.0).unwrap();
+            assert_eq!(g.switch_count(), r * c);
+            assert_eq!(g.network_channel_count(), r * (c - 1) + c * (r - 1));
+        }
+    }
+
+    #[test]
+    fn torus_counts_closed_form() {
+        let g = torus(3, 3, 500.0).unwrap();
+        assert_eq!(g.network_channel_count(), 18);
+        let g = torus(4, 4, 500.0).unwrap();
+        // 2 * N channels for a full torus with both dims > 2.
+        assert_eq!(g.network_channel_count(), 32);
+    }
+
+    #[test]
+    fn torus_every_switch_has_four_neighbors_when_large() {
+        let g = torus(3, 4, 500.0).unwrap();
+        for s in g.switches() {
+            assert_eq!(g.switch_neighbors(s).count(), 4, "switch {s}");
+        }
+    }
+
+    #[test]
+    fn degenerate_torus_avoids_duplicate_channels() {
+        // A 2-wide torus must not create a second parallel channel.
+        let g = torus(2, 3, 500.0).unwrap();
+        let a = g.switch_at_grid(0, 0).unwrap();
+        let b = g.switch_at_grid(1, 0).unwrap();
+        let parallel = g
+            .outgoing(a)
+            .iter()
+            .filter(|e| g.edge(**e).dst == b)
+            .count();
+        assert_eq!(parallel, 1);
+    }
+
+    #[test]
+    fn wraparound_connects_opposite_edges() {
+        let g = torus(3, 3, 500.0).unwrap();
+        let n0 = g.switch_at_grid(0, 0).unwrap();
+        let n2 = g.switch_at_grid(0, 2).unwrap();
+        let n6 = g.switch_at_grid(2, 0).unwrap();
+        assert!(g.find_edge(n0, n2).is_some(), "row wrap missing");
+        assert!(g.find_edge(n0, n6).is_some(), "column wrap missing");
+    }
+
+    #[test]
+    fn zero_dimension_is_rejected() {
+        assert!(mesh(0, 3, 500.0).is_err());
+        assert!(mesh(3, 0, 500.0).is_err());
+        assert!(torus(0, 0, 500.0).is_err());
+    }
+}

@@ -1,0 +1,101 @@
+//! Hypercube (2-ary n-cube) builder (paper Fig. 1c).
+
+use crate::{NodeCoords, NodeKind, TopologyError, TopologyGraph, TopologyKind};
+
+/// Builds a 2-ary n-cube with `2^dim` switches. Switch `i` carries the
+/// binary label `i`; switches whose labels differ in exactly one bit are
+/// adjacent (paper §4.2: node 2 = (0,1,0) is adjacent to node 6 =
+/// (1,1,0)).
+///
+/// # Errors
+///
+/// Returns [`TopologyError::InvalidDimension`] if `dim` is zero or would
+/// overflow (`dim > 16` is rejected as unrealistic for an on-chip
+/// network).
+///
+/// # Examples
+///
+/// ```
+/// let h = sunmap_topology::builders::hypercube(3, 500.0)?;
+/// assert_eq!(h.switch_count(), 8);
+/// // Each node has log2(N) = 3 neighbours.
+/// let n = h.nodes().next().unwrap();
+/// assert_eq!(h.switch_neighbors(n).count(), 3);
+/// # Ok::<(), sunmap_topology::TopologyError>(())
+/// ```
+pub fn hypercube(dim: u32, link_capacity: f64) -> Result<TopologyGraph, TopologyError> {
+    if dim == 0 || dim > 16 {
+        return Err(TopologyError::InvalidDimension {
+            parameter: "dim",
+            value: dim as usize,
+        });
+    }
+    let n = 1usize << dim;
+    let mut g = TopologyGraph::new(TopologyKind::Hypercube { dim });
+    let ids: Vec<_> = (0..n)
+        .map(|i| g.add_node(NodeKind::Switch, NodeCoords::Hyper { label: i as u32 }))
+        .collect();
+    for i in 0..n {
+        for bit in 0..dim {
+            let j = i ^ (1usize << bit);
+            if j > i {
+                g.add_channel(ids[i], ids[j], link_capacity);
+            }
+        }
+    }
+    Ok(g)
+}
+
+/// Hamming distance between two hypercube labels: the minimal hop count
+/// between the corresponding switches.
+pub fn hamming(a: u32, b: u32) -> u32 {
+    (a ^ b).count_ones()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_closed_form() {
+        for dim in 1..=5u32 {
+            let g = hypercube(dim, 500.0).unwrap();
+            let n = 1usize << dim;
+            assert_eq!(g.switch_count(), n);
+            assert_eq!(g.network_channel_count(), n * dim as usize / 2);
+            for s in g.switches() {
+                assert_eq!(g.switch_neighbors(s).count(), dim as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn adjacency_is_single_bit_flips() {
+        let g = hypercube(3, 500.0).unwrap();
+        for s in g.switches() {
+            let NodeCoords::Hyper { label: a } = g.coords(s) else {
+                panic!("hypercube node without hyper coords")
+            };
+            for t in g.switch_neighbors(s) {
+                let NodeCoords::Hyper { label: b } = g.coords(t) else {
+                    panic!("hypercube node without hyper coords")
+                };
+                assert_eq!(hamming(a, b), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example_node2_adjacent_node6() {
+        let g = hypercube(3, 500.0).unwrap();
+        let n2 = g.nodes().find(|n| g.coords(*n) == NodeCoords::Hyper { label: 2 }).unwrap();
+        let n6 = g.nodes().find(|n| g.coords(*n) == NodeCoords::Hyper { label: 6 }).unwrap();
+        assert!(g.find_edge(n2, n6).is_some());
+    }
+
+    #[test]
+    fn degenerate_dims_rejected() {
+        assert!(hypercube(0, 500.0).is_err());
+        assert!(hypercube(17, 500.0).is_err());
+    }
+}

@@ -1,0 +1,201 @@
+//! Constructors for the standard topologies of the SUNMAP library.
+//!
+//! Each builder produces a [`TopologyGraph`] with every physical channel
+//! represented as a pair of opposite directed edges, each with the given
+//! `link_capacity` (MB/s). Core-attach links of indirect topologies are
+//! created with infinite capacity: the paper's bandwidth constraint
+//! applies to network links, while ingress/egress is part of the network
+//! interface.
+
+mod butterfly;
+mod clos;
+mod extended;
+mod grid;
+mod hypercube;
+
+pub use butterfly::butterfly;
+pub use clos::clos;
+pub use extended::{octagon, star};
+pub use grid::{mesh, torus};
+pub use hypercube::{hamming, hypercube};
+
+use crate::{TopologyError, TopologyGraph, TopologyKind};
+
+/// Picks grid dimensions `(rows, cols)` for `cores` switches, as close to
+/// square as possible with `rows * cols >= cores` and `cols >= rows`.
+///
+/// This mirrors the paper's benchmark instances: 12 cores map onto a 3x4
+/// mesh (Fig. 3b) and 16 onto a 4x4.
+pub fn grid_dims(cores: usize) -> (usize, usize) {
+    if cores == 0 {
+        return (1, 1);
+    }
+    let mut rows = (cores as f64).sqrt().floor() as usize;
+    rows = rows.max(1);
+    while rows > 1 && cores.div_ceil(rows) < rows {
+        rows -= 1;
+    }
+    let cols = cores.div_ceil(rows);
+    (rows, cols)
+}
+
+/// Builds the full standard topology library sized to host `cores` cores,
+/// in the paper's order: mesh, torus, hypercube, Clos, butterfly.
+///
+/// Sizing rules:
+///
+/// * mesh/torus: near-square grid with at least `cores` switches;
+/// * hypercube: dimension `ceil(log2(cores))`;
+/// * Clos: 3-stage with `n = ceil(sqrt(cores))` ports per edge switch,
+///   `r = ceil(cores / n)` edge switches per side and `m = n` middle
+///   switches (the rearrangeably non-blocking minimum);
+/// * butterfly: 4-ary n-fly when `cores > 8` (the paper uses a 4-ary
+///   2-fly for the 12-core VOPD), otherwise 2-ary n-fly.
+///
+/// # Errors
+///
+/// Returns an error if `cores` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use sunmap_topology::builders::standard_library;
+///
+/// let lib = standard_library(12, 500.0)?;
+/// assert_eq!(lib.len(), 5);
+/// for g in &lib {
+///     assert!(g.mappable_nodes().len() >= 12);
+/// }
+/// # Ok::<(), sunmap_topology::TopologyError>(())
+/// ```
+pub fn standard_library(
+    cores: usize,
+    link_capacity: f64,
+) -> Result<Vec<TopologyGraph>, TopologyError> {
+    if cores == 0 {
+        return Err(TopologyError::InvalidDimension {
+            parameter: "cores",
+            value: 0,
+        });
+    }
+    let (rows, cols) = grid_dims(cores);
+    let dim = (cores.max(2) as f64).log2().ceil() as u32;
+    let ports = (cores as f64).sqrt().ceil() as usize;
+    let ingress = cores.div_ceil(ports);
+    let (radix, stages) = butterfly_dims(cores);
+    Ok(vec![
+        mesh(rows, cols, link_capacity)?,
+        torus(rows, cols, link_capacity)?,
+        hypercube(dim, link_capacity)?,
+        clos(ingress, ports, ports.max(2), link_capacity)?,
+        butterfly(radix, stages, link_capacity)?,
+    ])
+}
+
+/// Picks `(radix k, stages n)` for a k-ary n-fly hosting at least `cores`
+/// terminals. Small networks prefer two stages with a larger radix, as
+/// the paper's examples do: the 12-core VOPD uses a 4-ary 2-fly (§6.1)
+/// and the 6-core DSP filter a 2-stage network of 3x3 switches
+/// (Fig. 10b); beyond 16 terminals the radix stays at 4 and stages grow.
+pub fn butterfly_dims(cores: usize) -> (usize, u32) {
+    if cores <= 4 {
+        return (2, 2);
+    }
+    if cores <= 9 {
+        return (3, 2);
+    }
+    if cores <= 16 {
+        return (4, 2);
+    }
+    let mut stages = 3u32;
+    while 4u64.pow(stages) < cores as u64 {
+        stages += 1;
+    }
+    (4, stages)
+}
+
+/// Builds one topology of the given kind. Custom kinds cannot be
+/// rebuilt from their tag alone — construct those through
+/// [`crate::CustomTopologyBuilder`].
+///
+/// # Errors
+///
+/// Propagates the individual builder errors for degenerate parameters;
+/// returns [`TopologyError::NotMappable`] for custom kinds.
+pub fn build(kind: TopologyKind, link_capacity: f64) -> Result<TopologyGraph, TopologyError> {
+    match kind {
+        TopologyKind::Mesh { rows, cols } => mesh(rows, cols, link_capacity),
+        TopologyKind::Torus { rows, cols } => torus(rows, cols, link_capacity),
+        TopologyKind::Hypercube { dim } => hypercube(dim, link_capacity),
+        TopologyKind::Clos {
+            ingress,
+            ports,
+            middle,
+        } => clos(ingress, ports, middle, link_capacity),
+        TopologyKind::Butterfly { radix, stages } => {
+            butterfly(radix, stages, link_capacity)
+        }
+        TopologyKind::Octagon => octagon(link_capacity),
+        TopologyKind::Star { ports } => star(ports, link_capacity),
+        TopologyKind::Custom { tag } => Err(TopologyError::NotMappable(tag as usize)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_dims_near_square() {
+        assert_eq!(grid_dims(12), (3, 4));
+        assert_eq!(grid_dims(16), (4, 4));
+        assert_eq!(grid_dims(14), (3, 5));
+        assert_eq!(grid_dims(6), (2, 3));
+        assert_eq!(grid_dims(1), (1, 1));
+        assert_eq!(grid_dims(2), (1, 2));
+    }
+
+    #[test]
+    fn butterfly_dims_match_paper_choices() {
+        // 12-core VOPD -> 4-ary 2-fly (16 terminals), as in §6.1.
+        assert_eq!(butterfly_dims(12), (4, 2));
+        assert_eq!(butterfly_dims(16), (4, 2));
+        // 6-core DSP filter -> 2 stages of 3x3 switches (Fig. 10b).
+        assert_eq!(butterfly_dims(6), (3, 2));
+        assert_eq!(butterfly_dims(4), (2, 2));
+        assert_eq!(butterfly_dims(17), (4, 3));
+        assert_eq!(butterfly_dims(64), (4, 3));
+        assert_eq!(butterfly_dims(65), (4, 4));
+    }
+
+    #[test]
+    fn standard_library_has_five_topologies_with_capacity() {
+        let lib = standard_library(12, 500.0).unwrap();
+        assert_eq!(lib.len(), 5);
+        let names: Vec<_> = lib.iter().map(|g| g.kind().name()).collect();
+        assert_eq!(names, ["Mesh", "Torus", "Hypercube", "Clos", "Butterfly"]);
+        for g in &lib {
+            assert!(
+                g.mappable_nodes().len() >= 12,
+                "{} offers too few slots",
+                g.kind()
+            );
+        }
+    }
+
+    #[test]
+    fn standard_library_rejects_zero_cores() {
+        assert!(standard_library(0, 500.0).is_err());
+    }
+
+    #[test]
+    fn build_round_trips_kind() {
+        for cores in [4usize, 9, 12, 16] {
+            for g in standard_library(cores, 500.0).unwrap() {
+                let rebuilt = build(g.kind(), 500.0).unwrap();
+                assert_eq!(rebuilt.node_count(), g.node_count());
+                assert_eq!(rebuilt.edge_count(), g.edge_count());
+            }
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! User-defined (heterogeneous) topologies — the paper's §7 future
+//! work: "we plan to enhance the tool with automatic heterogeneous
+//! topology modeling".
+//!
+//! [`CustomTopologyBuilder`] lets a user assemble an arbitrary switch
+//! graph with per-link capacities and explicit core-attachment points,
+//! producing a [`TopologyGraph`] that flows through mapping, selection
+//! and generation exactly like the library topologies. Generic
+//! fallbacks cover the topology-specific machinery: the quadrant graph
+//! of a custom topology is the whole graph, deterministic routing is
+//! the lexicographically-first minimum path, and the floorplanner lays
+//! switches out on a caller-controlled (or near-square default) grid.
+
+use std::collections::HashMap;
+
+use crate::{NodeCoords, NodeId, NodeKind, TopologyError, TopologyGraph, TopologyKind};
+
+/// Builder for heterogeneous topologies.
+///
+/// Switches are added first (optionally with explicit floorplan grid
+/// slots), then links and core-attachment ports.
+///
+/// # Examples
+///
+/// A three-switch "spine" with four cores:
+///
+/// ```
+/// use sunmap_topology::CustomTopologyBuilder;
+///
+/// let mut b = CustomTopologyBuilder::new("spine");
+/// let s0 = b.add_switch();
+/// let s1 = b.add_switch();
+/// let s2 = b.add_switch();
+/// b.add_link(s0, s1, 500.0)?;
+/// b.add_link(s1, s2, 1000.0)?; // heterogeneous capacity
+/// b.add_port(s0)?;
+/// b.add_port(s0)?;
+/// b.add_port(s2)?;
+/// b.add_port(s2)?;
+/// let g = b.build()?;
+/// assert_eq!(g.switch_count(), 3);
+/// assert_eq!(g.mappable_nodes().len(), 4);
+/// # Ok::<(), sunmap_topology::TopologyError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CustomTopologyBuilder {
+    name_hash: u32,
+    switches: Vec<Option<(usize, usize)>>,
+    links: Vec<(usize, usize, f64, bool)>,
+    ports: Vec<usize>,
+}
+
+/// Index of a switch inside a [`CustomTopologyBuilder`] (only
+/// meaningful before [`CustomTopologyBuilder::build`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SwitchRef(usize);
+
+impl CustomTopologyBuilder {
+    /// Starts a new custom topology. `name` distinguishes custom
+    /// topologies in reports (hashed into the kind tag).
+    pub fn new(name: &str) -> Self {
+        let name_hash = name
+            .bytes()
+            .fold(0u32, |h, b| h.wrapping_mul(31).wrapping_add(b as u32));
+        CustomTopologyBuilder {
+            name_hash,
+            switches: Vec::new(),
+            links: Vec::new(),
+            ports: Vec::new(),
+        }
+    }
+
+    /// Adds a switch; the floorplanner will place it on an
+    /// automatically chosen near-square grid.
+    pub fn add_switch(&mut self) -> SwitchRef {
+        self.switches.push(None);
+        SwitchRef(self.switches.len() - 1)
+    }
+
+    /// Adds a switch with an explicit floorplan grid slot.
+    pub fn add_switch_at(&mut self, row: usize, col: usize) -> SwitchRef {
+        self.switches.push(Some((row, col)));
+        SwitchRef(self.switches.len() - 1)
+    }
+
+    /// Adds a bidirectional channel of `capacity` MB/s between two
+    /// switches.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown switches, self-links and non-positive
+    /// capacities.
+    pub fn add_link(
+        &mut self,
+        a: SwitchRef,
+        b: SwitchRef,
+        capacity: f64,
+    ) -> Result<(), TopologyError> {
+        self.check_link(a, b, capacity)?;
+        self.links.push((a.0, b.0, capacity, true));
+        Ok(())
+    }
+
+    /// Adds a unidirectional channel from `a` to `b`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CustomTopologyBuilder::add_link`].
+    pub fn add_directed_link(
+        &mut self,
+        a: SwitchRef,
+        b: SwitchRef,
+        capacity: f64,
+    ) -> Result<(), TopologyError> {
+        self.check_link(a, b, capacity)?;
+        self.links.push((a.0, b.0, capacity, false));
+        Ok(())
+    }
+
+    fn check_link(&self, a: SwitchRef, b: SwitchRef, capacity: f64) -> Result<(), TopologyError> {
+        if a.0 >= self.switches.len() || b.0 >= self.switches.len() {
+            return Err(TopologyError::NotMappable(a.0.max(b.0)));
+        }
+        if a == b {
+            return Err(TopologyError::InvalidDimension {
+                parameter: "self-link",
+                value: a.0,
+            });
+        }
+        if !(capacity.is_finite() && capacity > 0.0) {
+            return Err(TopologyError::InvalidDimension {
+                parameter: "capacity",
+                value: capacity as usize,
+            });
+        }
+        Ok(())
+    }
+
+    /// Adds a core-attachment port to `switch`: one core may be mapped
+    /// onto each port.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown switches.
+    pub fn add_port(&mut self, switch: SwitchRef) -> Result<(), TopologyError> {
+        if switch.0 >= self.switches.len() {
+            return Err(TopologyError::NotMappable(switch.0));
+        }
+        self.ports.push(switch.0);
+        Ok(())
+    }
+
+    /// Finalises the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::InvalidDimension`] if the topology has
+    /// no switches or no ports.
+    pub fn build(self) -> Result<TopologyGraph, TopologyError> {
+        if self.switches.is_empty() {
+            return Err(TopologyError::InvalidDimension {
+                parameter: "switches",
+                value: 0,
+            });
+        }
+        if self.ports.is_empty() {
+            return Err(TopologyError::InvalidDimension {
+                parameter: "ports",
+                value: 0,
+            });
+        }
+        let mut g = TopologyGraph::new(TopologyKind::Custom {
+            tag: self.name_hash,
+        });
+        // Auto-grid for switches without explicit slots, avoiding any
+        // explicitly used slot.
+        let mut used: HashMap<(usize, usize), ()> = self
+            .switches
+            .iter()
+            .flatten()
+            .map(|slot| (*slot, ()))
+            .collect();
+        let side = (self.switches.len() as f64).sqrt().ceil() as usize;
+        let mut auto = 0usize;
+        let ids: Vec<NodeId> = self
+            .switches
+            .iter()
+            .map(|slot| {
+                let (row, col) = slot.unwrap_or_else(|| loop {
+                    let candidate = (auto / side.max(1), auto % side.max(1));
+                    auto += 1;
+                    if used.insert(candidate, ()).is_none() {
+                        break candidate;
+                    }
+                });
+                g.add_node(NodeKind::Switch, NodeCoords::Grid { row, col })
+            })
+            .collect();
+        for (a, b, capacity, bidir) in self.links {
+            if bidir {
+                g.add_channel(ids[a], ids[b], capacity);
+            } else {
+                g.add_edge(ids[a], ids[b], capacity);
+            }
+        }
+        for (index, sw) in self.ports.into_iter().enumerate() {
+            let p = g.add_node(NodeKind::CorePort, NodeCoords::Port { index });
+            g.add_edge(p, ids[sw], f64::INFINITY);
+            g.add_edge(ids[sw], p, f64::INFINITY);
+        }
+        Ok(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paths;
+
+    fn ring_of(n: usize) -> TopologyGraph {
+        let mut b = CustomTopologyBuilder::new("ring");
+        let sw: Vec<_> = (0..n).map(|_| b.add_switch()).collect();
+        for i in 0..n {
+            b.add_link(sw[i], sw[(i + 1) % n], 500.0).unwrap();
+        }
+        for &s in &sw {
+            b.add_port(s).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn ring_topology_builds_and_routes() {
+        let g = ring_of(6);
+        assert_eq!(g.switch_count(), 6);
+        assert_eq!(g.mappable_nodes().len(), 6);
+        assert!(!g.kind().is_direct(), "custom cores attach via ports");
+        let a = g.port(0).unwrap();
+        let b = g.port(3).unwrap();
+        // Opposite side of a 6-ring: 3 switch hops + 2 port hops.
+        assert_eq!(paths::shortest_path(&g, a, b, None).unwrap().len(), 6);
+    }
+
+    #[test]
+    fn heterogeneous_capacities_are_preserved() {
+        let mut b = CustomTopologyBuilder::new("fat");
+        let s0 = b.add_switch();
+        let s1 = b.add_switch();
+        b.add_link(s0, s1, 2000.0).unwrap();
+        b.add_port(s0).unwrap();
+        b.add_port(s1).unwrap();
+        let g = b.build().unwrap();
+        let caps: Vec<f64> = g
+            .edges()
+            .filter(|(_, e)| e.is_network_link())
+            .map(|(_, e)| e.capacity)
+            .collect();
+        assert_eq!(caps, vec![2000.0, 2000.0]);
+    }
+
+    #[test]
+    fn directed_links_are_one_way() {
+        let mut b = CustomTopologyBuilder::new("oneway");
+        let s0 = b.add_switch();
+        let s1 = b.add_switch();
+        b.add_directed_link(s0, s1, 500.0).unwrap();
+        b.add_port(s0).unwrap();
+        b.add_port(s1).unwrap();
+        let g = b.build().unwrap();
+        let a = g.port(0).unwrap();
+        let z = g.port(1).unwrap();
+        assert!(paths::shortest_path(&g, a, z, None).is_some());
+        assert!(paths::shortest_path(&g, z, a, None).is_none());
+    }
+
+    #[test]
+    fn multiple_ports_per_switch() {
+        let mut b = CustomTopologyBuilder::new("hub");
+        let hub = b.add_switch();
+        for _ in 0..4 {
+            b.add_port(hub).unwrap();
+        }
+        let g = b.build().unwrap();
+        assert_eq!(g.mappable_nodes().len(), 4);
+        for p in g.core_ports() {
+            assert_eq!(g.ingress_switch(p).unwrap(), g.egress_switch(p).unwrap());
+        }
+    }
+
+    #[test]
+    fn explicit_and_auto_slots_never_collide() {
+        let mut b = CustomTopologyBuilder::new("mixed");
+        let s0 = b.add_switch_at(0, 0);
+        let _s1 = b.add_switch(); // would default to (0,0) without collision avoidance
+        let _s2 = b.add_switch();
+        b.add_port(s0).unwrap();
+        let g = b.build().unwrap();
+        let mut slots = std::collections::HashSet::new();
+        for s in g.switches() {
+            let NodeCoords::Grid { row, col } = g.coords(s) else {
+                panic!("custom switches carry grid coords")
+            };
+            assert!(slots.insert((row, col)), "slot collision at ({row},{col})");
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut b = CustomTopologyBuilder::new("bad");
+        let s0 = b.add_switch();
+        assert!(b.add_link(s0, s0, 500.0).is_err());
+        assert!(b.add_link(s0, SwitchRef(9), 500.0).is_err());
+        assert!(b.add_link(s0, s0, -1.0).is_err());
+        assert!(b.add_port(SwitchRef(9)).is_err());
+        assert!(CustomTopologyBuilder::new("empty").build().is_err());
+        let mut no_ports = CustomTopologyBuilder::new("noports");
+        no_ports.add_switch();
+        assert!(no_ports.build().is_err());
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_tags() {
+        let a = CustomTopologyBuilder::new("alpha");
+        let b = CustomTopologyBuilder::new("beta");
+        assert_ne!(a.name_hash, b.name_hash);
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type for topology construction and queries.
+
+/// Errors produced while building or querying topology graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// A builder was given a zero or otherwise degenerate dimension.
+    InvalidDimension {
+        /// Which parameter was invalid.
+        parameter: &'static str,
+        /// The offending value.
+        value: usize,
+    },
+    /// A butterfly radix must be at least 2.
+    InvalidRadix(usize),
+    /// The requested node is not a mappable vertex of the graph.
+    NotMappable(usize),
+    /// The requested topology cannot host the requested number of cores.
+    TooManyCores {
+        /// Cores requested.
+        cores: usize,
+        /// Mappable slots available.
+        slots: usize,
+    },
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyError::InvalidDimension { parameter, value } => {
+                write!(f, "invalid topology dimension: {parameter} = {value}")
+            }
+            TopologyError::InvalidRadix(k) => {
+                write!(f, "butterfly radix must be at least 2, got {k}")
+            }
+            TopologyError::NotMappable(n) => {
+                write!(f, "node n{n} is not a mappable vertex of this topology")
+            }
+            TopologyError::TooManyCores { cores, slots } => {
+                write!(
+                    f,
+                    "topology provides {slots} mappable slots but {cores} cores were requested"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = TopologyError::InvalidDimension {
+            parameter: "rows",
+            value: 0,
+        };
+        assert!(e.to_string().contains("rows"));
+        let e = TopologyError::TooManyCores { cores: 20, slots: 16 };
+        assert!(e.to_string().contains("20"));
+        assert!(e.to_string().contains("16"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TopologyError>();
+    }
+}

@@ -1,0 +1,219 @@
+//! NoC topology library for SUNMAP.
+//!
+//! This crate provides the *NoC topology graph* abstraction of the SUNMAP
+//! paper (Murali & De Micheli, DAC 2004, Definition 2): a directed graph
+//! whose vertices are network nodes (switches, plus explicit core-attach
+//! ports for indirect topologies) and whose edges are physical channels
+//! annotated with bandwidth capacity.
+//!
+//! Five standard topologies are supported, mirroring the paper's topology
+//! library:
+//!
+//! * direct topologies — [`builders::mesh`], [`builders::torus`],
+//!   [`builders::hypercube`] — where each switch hosts exactly one core;
+//! * indirect topologies — [`builders::clos`] (3-stage) and
+//!   [`builders::butterfly`] (k-ary n-fly) — where cores attach to the
+//!   ingress/egress switch stages through dedicated port links.
+//!
+//! On top of the graphs the crate implements the topology-specific
+//! *quadrant graph* formation of paper §4.3 ([`quadrant`]), shortest-path
+//! machinery ([`paths`]) and dimension-ordered route construction
+//! ([`dimension_order`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use sunmap_topology::{builders, TopologyGraph};
+//!
+//! let mesh: TopologyGraph = builders::mesh(3, 4, 500.0)?;
+//! assert_eq!(mesh.switch_count(), 12);
+//! // A corner switch has two neighbours, an inner switch four.
+//! let corner = mesh.switch_at_grid(0, 0).unwrap();
+//! assert_eq!(mesh.switch_neighbors(corner).count(), 2);
+//! # Ok::<(), sunmap_topology::TopologyError>(())
+//! ```
+
+pub mod builders;
+mod custom;
+pub mod dimension_order;
+mod error;
+mod graph;
+mod node;
+pub mod paths;
+pub mod quadrant;
+
+pub use custom::{CustomTopologyBuilder, SwitchRef};
+pub use error::TopologyError;
+pub use graph::{Edge, EdgeId, TopologyGraph};
+pub use node::{NodeCoords, NodeId, NodeKind};
+
+/// Identifies which standard topology a [`TopologyGraph`] instantiates,
+/// together with its shape parameters.
+///
+/// The parameters follow the paper's conventions: a mesh/torus is given by
+/// its `rows × cols` grid, a hypercube (2-ary n-cube) by its dimension `n`,
+/// a 3-stage Clos by `(ingress_switches r, ports_per_ingress n, middle m)`
+/// and a butterfly (k-ary n-fly) by its radix `k` and stage count `n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TopologyKind {
+    /// 2-D mesh with `rows × cols` switches (paper Fig. 1a).
+    Mesh {
+        /// Number of grid rows.
+        rows: usize,
+        /// Number of grid columns.
+        cols: usize,
+    },
+    /// 2-D torus: a mesh plus wrap-around channels (paper Fig. 1b).
+    Torus {
+        /// Number of grid rows.
+        rows: usize,
+        /// Number of grid columns.
+        cols: usize,
+    },
+    /// 2-ary n-cube with `2^dim` switches (paper Fig. 1c).
+    Hypercube {
+        /// Cube dimension `n = log2(N)`.
+        dim: u32,
+    },
+    /// 3-stage Clos network (paper Fig. 2a).
+    Clos {
+        /// Ingress (and egress) switch count `r`.
+        ingress: usize,
+        /// Core ports per ingress/egress switch `n`.
+        ports: usize,
+        /// Middle-stage switch count `m`.
+        middle: usize,
+    },
+    /// k-ary n-fly butterfly (paper Fig. 2b).
+    Butterfly {
+        /// Switch radix `k`.
+        radix: usize,
+        /// Number of switch stages `n = log_k(N)`.
+        stages: u32,
+    },
+    /// The octagon network of Karim et al. (paper ref. \[6\]): eight
+    /// switches on a ring with cross links between opposite nodes, any
+    /// pair reachable in at most two hops. One of the topologies the
+    /// paper names as "easily added to the topology library".
+    Octagon,
+    /// A star network (paper ref. \[10\]): one central switch with every
+    /// core attached through a dedicated bidirectional channel — a
+    /// single-hop network whose central crossbar grows with the core
+    /// count.
+    Star {
+        /// Number of core-attach ports on the central switch.
+        ports: usize,
+    },
+    /// A user-defined heterogeneous topology built with
+    /// [`CustomTopologyBuilder`] (the paper's §7 future work).
+    Custom {
+        /// Hash of the builder's name, distinguishing custom designs.
+        tag: u32,
+    },
+}
+
+impl TopologyKind {
+    /// Short human-readable name used in reports ("Mesh", "Torus", ...).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TopologyKind::Mesh { .. } => "Mesh",
+            TopologyKind::Torus { .. } => "Torus",
+            TopologyKind::Hypercube { .. } => "Hypercube",
+            TopologyKind::Clos { .. } => "Clos",
+            TopologyKind::Butterfly { .. } => "Butterfly",
+            TopologyKind::Octagon => "Octagon",
+            TopologyKind::Star { .. } => "Star",
+            TopologyKind::Custom { .. } => "Custom",
+        }
+    }
+
+    /// Whether this is a direct topology (one core per switch).
+    pub fn is_direct(&self) -> bool {
+        matches!(
+            self,
+            TopologyKind::Mesh { .. }
+                | TopologyKind::Torus { .. }
+                | TopologyKind::Hypercube { .. }
+                | TopologyKind::Octagon
+        )
+    }
+}
+
+impl std::fmt::Display for TopologyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            TopologyKind::Mesh { rows, cols } => write!(f, "Mesh {rows}x{cols}"),
+            TopologyKind::Torus { rows, cols } => write!(f, "Torus {rows}x{cols}"),
+            TopologyKind::Hypercube { dim } => write!(f, "Hypercube dim={dim}"),
+            TopologyKind::Clos {
+                ingress,
+                ports,
+                middle,
+            } => write!(f, "Clos r={ingress} n={ports} m={middle}"),
+            TopologyKind::Butterfly { radix, stages } => {
+                write!(f, "Butterfly {radix}-ary {stages}-fly")
+            }
+            TopologyKind::Octagon => write!(f, "Octagon"),
+            TopologyKind::Star { ports } => write!(f, "Star {ports}-port"),
+            TopologyKind::Custom { tag } => write!(f, "Custom #{tag:08x}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(TopologyKind::Mesh { rows: 2, cols: 2 }.name(), "Mesh");
+        assert_eq!(TopologyKind::Torus { rows: 2, cols: 2 }.name(), "Torus");
+        assert_eq!(TopologyKind::Hypercube { dim: 3 }.name(), "Hypercube");
+        assert_eq!(
+            TopologyKind::Clos {
+                ingress: 4,
+                ports: 2,
+                middle: 4
+            }
+            .name(),
+            "Clos"
+        );
+        assert_eq!(
+            TopologyKind::Butterfly {
+                radix: 2,
+                stages: 3
+            }
+            .name(),
+            "Butterfly"
+        );
+    }
+
+    #[test]
+    fn direct_vs_indirect_classification() {
+        assert!(TopologyKind::Mesh { rows: 3, cols: 3 }.is_direct());
+        assert!(TopologyKind::Torus { rows: 3, cols: 3 }.is_direct());
+        assert!(TopologyKind::Hypercube { dim: 3 }.is_direct());
+        assert!(!TopologyKind::Clos {
+            ingress: 4,
+            ports: 2,
+            middle: 4
+        }
+        .is_direct());
+        assert!(!TopologyKind::Butterfly {
+            radix: 2,
+            stages: 3
+        }
+        .is_direct());
+    }
+
+    #[test]
+    fn display_includes_parameters() {
+        let s = TopologyKind::Butterfly {
+            radix: 4,
+            stages: 2,
+        }
+        .to_string();
+        assert!(s.contains("4-ary"));
+        assert!(s.contains("2-fly"));
+    }
+}

@@ -1,0 +1,111 @@
+//! Node identifiers, kinds and coordinates.
+
+/// Index of a vertex in a [`TopologyGraph`](crate::TopologyGraph).
+///
+/// `NodeId`s are dense indices `0..node_count()` and are only meaningful
+/// relative to the graph that produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// Raw index of the node.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(value: usize) -> Self {
+        NodeId(value)
+    }
+}
+
+/// Role of a vertex in the NoC topology graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// A switch (router). In direct topologies the switch also hosts one
+    /// core locally; in indirect topologies switches never host cores.
+    Switch,
+    /// A core-attach port of an indirect topology: a vertex cores are
+    /// mapped onto, connected to its ingress switch and from its egress
+    /// switch. Direct topologies have no `CorePort` vertices.
+    CorePort,
+}
+
+/// Topology-specific coordinates of a node.
+///
+/// Coordinates are what make the quadrant-graph and dimension-ordered
+/// routing computations of the paper possible; each builder annotates its
+/// nodes with the appropriate variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeCoords {
+    /// Position of a switch in a mesh/torus grid.
+    Grid {
+        /// Row (0-based, top row first as in paper Fig. 1).
+        row: usize,
+        /// Column (0-based).
+        col: usize,
+    },
+    /// Binary label of a hypercube switch: bit `j` of `label` is the
+    /// coordinate `h_{j+1}` of the paper's n-tuple.
+    Hyper {
+        /// Binary node label (the decimal node number).
+        label: u32,
+    },
+    /// Position of a switch in a multistage (Clos/butterfly) network.
+    Stage {
+        /// Stage index, 0-based from the ingress side.
+        stage: usize,
+        /// Switch index within the stage, 0-based from the top.
+        index: usize,
+    },
+    /// A core-attach port of an indirect topology.
+    Port {
+        /// Terminal index (0-based). Port `i` injects at ingress switch
+        /// `i / ports_per_switch` and ejects from the same egress index.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for NodeCoords {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            NodeCoords::Grid { row, col } => write!(f, "({row},{col})"),
+            NodeCoords::Hyper { label } => write!(f, "0b{label:b}"),
+            NodeCoords::Stage { stage, index } => write!(f, "s{stage}.{index}"),
+            NodeCoords::Port { index } => write!(f, "p{index}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let id = NodeId::from(7usize);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.to_string(), "n7");
+    }
+
+    #[test]
+    fn coords_display() {
+        assert_eq!(NodeCoords::Grid { row: 1, col: 2 }.to_string(), "(1,2)");
+        assert_eq!(NodeCoords::Hyper { label: 5 }.to_string(), "0b101");
+        assert_eq!(NodeCoords::Stage { stage: 0, index: 3 }.to_string(), "s0.3");
+        assert_eq!(NodeCoords::Port { index: 4 }.to_string(), "p4");
+    }
+
+    #[test]
+    fn node_id_ordering_follows_index() {
+        assert!(NodeId(1) < NodeId(2));
+        assert_eq!(NodeId::default(), NodeId(0));
+    }
+}

@@ -1,0 +1,397 @@
+//! Shortest-path machinery over topology graphs.
+//!
+//! All functions accept an optional *allowed set* of vertices, which is
+//! how the mapping engine restricts the search to a quadrant graph
+//! (paper §4.1 step 4–5): "Dijkstra's shortest path algorithm is applied
+//! to the quadrant graph and the minimum path is obtained". Source and
+//! destination are always considered allowed.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet, VecDeque};
+
+use crate::{EdgeId, NodeId, TopologyGraph};
+
+/// Restriction of a search to a vertex subset (a quadrant graph).
+pub type AllowedSet = HashSet<NodeId>;
+
+fn permitted(allowed: Option<&AllowedSet>, node: NodeId, src: NodeId, dst: NodeId) -> bool {
+    node == src || node == dst || allowed.is_none_or(|a| a.contains(&node))
+}
+
+/// Breadth-first minimum-hop path from `src` to `dst`, optionally
+/// restricted to `allowed`. Returns the vertex sequence including both
+/// endpoints, or `None` if unreachable.
+///
+/// # Examples
+///
+/// ```
+/// use sunmap_topology::{builders, paths};
+///
+/// let g = builders::mesh(3, 3, 500.0)?;
+/// let a = g.switch_at_grid(0, 0).unwrap();
+/// let b = g.switch_at_grid(2, 2).unwrap();
+/// let p = paths::shortest_path(&g, a, b, None).unwrap();
+/// assert_eq!(p.len(), 5); // 4 hops across the mesh diagonal
+/// # Ok::<(), sunmap_topology::TopologyError>(())
+/// ```
+pub fn shortest_path(
+    g: &TopologyGraph,
+    src: NodeId,
+    dst: NodeId,
+    allowed: Option<&AllowedSet>,
+) -> Option<Vec<NodeId>> {
+    if src == dst {
+        return Some(vec![src]);
+    }
+    let mut prev: Vec<Option<NodeId>> = vec![None; g.node_count()];
+    let mut seen = vec![false; g.node_count()];
+    seen[src.index()] = true;
+    let mut queue = VecDeque::from([src]);
+    while let Some(u) = queue.pop_front() {
+        for v in g.successors(u) {
+            if seen[v.index()] || !permitted(allowed, v, src, dst) {
+                continue;
+            }
+            seen[v.index()] = true;
+            prev[v.index()] = Some(u);
+            if v == dst {
+                return Some(reconstruct(&prev, src, dst));
+            }
+            queue.push_back(v);
+        }
+    }
+    None
+}
+
+fn reconstruct(prev: &[Option<NodeId>], src: NodeId, dst: NodeId) -> Vec<NodeId> {
+    let mut path = vec![dst];
+    let mut cur = dst;
+    while cur != src {
+        cur = prev[cur.index()].expect("predecessor chain reaches the source");
+        path.push(cur);
+    }
+    path.reverse();
+    path
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    cost: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on cost; ties broken by node id for determinism.
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Dijkstra's algorithm with a caller-supplied non-negative edge cost,
+/// optionally restricted to `allowed`. Returns `(total_cost, vertices)`.
+///
+/// The mapping engine uses a cost of `HOP_WEIGHT + current_load(edge)`
+/// so that routes stay minimum-hop while balancing load among ties, and
+/// increments edge loads after each commodity as in paper Fig. 5 step 6.
+///
+/// # Panics
+///
+/// Debug-asserts that edge costs are non-negative.
+pub fn dijkstra<F>(
+    g: &TopologyGraph,
+    src: NodeId,
+    dst: NodeId,
+    allowed: Option<&AllowedSet>,
+    mut edge_cost: F,
+) -> Option<(f64, Vec<NodeId>)>
+where
+    F: FnMut(EdgeId) -> f64,
+{
+    let mut dist = vec![f64::INFINITY; g.node_count()];
+    let mut prev: Vec<Option<NodeId>> = vec![None; g.node_count()];
+    dist[src.index()] = 0.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapEntry {
+        cost: 0.0,
+        node: src,
+    });
+    while let Some(HeapEntry { cost, node }) = heap.pop() {
+        if cost > dist[node.index()] {
+            continue;
+        }
+        if node == dst {
+            return Some((cost, reconstruct(&prev, src, dst)));
+        }
+        for &e in g.outgoing(node) {
+            let edge = g.edge(e);
+            if !permitted(allowed, edge.dst, src, dst) {
+                continue;
+            }
+            let w = edge_cost(e);
+            debug_assert!(w >= 0.0, "edge costs must be non-negative");
+            let next = cost + w;
+            if next < dist[edge.dst.index()] {
+                dist[edge.dst.index()] = next;
+                prev[edge.dst.index()] = Some(node);
+                heap.push(HeapEntry {
+                    cost: next,
+                    node: edge.dst,
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Enumerates every minimum-hop path from `src` to `dst` (up to `cap`
+/// paths), optionally restricted to `allowed`. Used by the
+/// split-traffic-across-minimum-paths routing function.
+pub fn all_shortest_paths(
+    g: &TopologyGraph,
+    src: NodeId,
+    dst: NodeId,
+    allowed: Option<&AllowedSet>,
+    cap: usize,
+) -> Vec<Vec<NodeId>> {
+    // BFS levels from src, then backtrack along strictly-decreasing
+    // levels from dst.
+    let Some(min) = shortest_path(g, src, dst, allowed).map(|p| p.len()) else {
+        return Vec::new();
+    };
+    let mut level = vec![usize::MAX; g.node_count()];
+    level[src.index()] = 0;
+    let mut queue = VecDeque::from([src]);
+    while let Some(u) = queue.pop_front() {
+        for v in g.successors(u) {
+            if level[v.index()] == usize::MAX && permitted(allowed, v, src, dst) {
+                level[v.index()] = level[u.index()] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    let mut stack = vec![src];
+    enumerate_levels(g, dst, &level, min - 1, &mut stack, &mut out, cap);
+    out
+}
+
+fn enumerate_levels(
+    g: &TopologyGraph,
+    dst: NodeId,
+    level: &[usize],
+    hops: usize,
+    stack: &mut Vec<NodeId>,
+    out: &mut Vec<Vec<NodeId>>,
+    cap: usize,
+) {
+    if out.len() >= cap {
+        return;
+    }
+    let here = *stack.last().expect("stack starts with the source");
+    if here == dst {
+        out.push(stack.clone());
+        return;
+    }
+    if stack.len() > hops {
+        return;
+    }
+    for v in g.successors(here) {
+        if level[v.index()] == stack.len() && (v == dst || level[v.index()] < usize::MAX) {
+            // Only extend along BFS-level-increasing edges: every such
+            // completion is a minimum-hop path.
+            stack.push(v);
+            enumerate_levels(g, dst, level, hops, stack, out, cap);
+            stack.pop();
+        }
+    }
+}
+
+/// Enumerates simple paths from `src` to `dst` within `allowed` (up to
+/// `cap` paths and `max_len` vertices each). Used by the
+/// split-traffic-across-all-paths routing function, where "all paths"
+/// means all simple paths inside the commodity's quadrant graph.
+pub fn all_simple_paths(
+    g: &TopologyGraph,
+    src: NodeId,
+    dst: NodeId,
+    allowed: Option<&AllowedSet>,
+    max_len: usize,
+    cap: usize,
+) -> Vec<Vec<NodeId>> {
+    let mut out = Vec::new();
+    let mut stack = vec![src];
+    let mut on_path: HashSet<NodeId> = HashSet::from([src]);
+    simple_dfs(g, dst, allowed, max_len, cap, &mut stack, &mut on_path, &mut out);
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn simple_dfs(
+    g: &TopologyGraph,
+    dst: NodeId,
+    allowed: Option<&AllowedSet>,
+    max_len: usize,
+    cap: usize,
+    stack: &mut Vec<NodeId>,
+    on_path: &mut HashSet<NodeId>,
+    out: &mut Vec<Vec<NodeId>>,
+) {
+    if out.len() >= cap {
+        return;
+    }
+    let here = *stack.last().expect("stack starts non-empty");
+    if here == dst {
+        out.push(stack.clone());
+        return;
+    }
+    if stack.len() >= max_len {
+        return;
+    }
+    let src = stack[0];
+    for v in g.successors(here) {
+        if on_path.contains(&v) || !permitted(allowed, v, src, dst) {
+            continue;
+        }
+        stack.push(v);
+        on_path.insert(v);
+        simple_dfs(g, dst, allowed, max_len, cap, stack, on_path, out);
+        on_path.remove(&v);
+        stack.pop();
+    }
+}
+
+/// Converts a vertex path into the directed edges traversed.
+///
+/// # Panics
+///
+/// Panics if consecutive vertices of `path` are not adjacent in `g`.
+pub fn path_edges(g: &TopologyGraph, path: &[NodeId]) -> Vec<EdgeId> {
+    path.windows(2)
+        .map(|w| {
+            g.find_edge(w[0], w[1])
+                .expect("consecutive path vertices must be adjacent")
+        })
+        .collect()
+}
+
+/// Minimum hop distance (edge count) between two vertices, or `None` if
+/// unreachable.
+pub fn hop_distance(g: &TopologyGraph, src: NodeId, dst: NodeId) -> Option<usize> {
+    shortest_path(g, src, dst, None).map(|p| p.len() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    #[test]
+    fn bfs_and_dijkstra_agree_on_unit_costs() {
+        let g = builders::torus(3, 4, 500.0).unwrap();
+        for a in g.switches() {
+            for b in g.switches() {
+                let bfs = shortest_path(&g, a, b, None).unwrap().len();
+                let (cost, path) = dijkstra(&g, a, b, None, |_| 1.0).unwrap();
+                assert_eq!(path.len(), bfs);
+                assert_eq!(cost as usize, bfs - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn restricted_search_respects_allowed_set() {
+        let g = builders::mesh(3, 3, 500.0).unwrap();
+        let a = g.switch_at_grid(0, 0).unwrap();
+        let b = g.switch_at_grid(0, 2).unwrap();
+        // Only allow the bottom row: the direct top-row path is blocked.
+        let allowed: AllowedSet = (0..3)
+            .map(|c| g.switch_at_grid(2, c).unwrap())
+            .chain((0..3).map(|r| g.switch_at_grid(r, 0).unwrap()))
+            .chain((0..3).map(|r| g.switch_at_grid(r, 2).unwrap()))
+            .filter(|n| *n != g.switch_at_grid(0, 1).unwrap())
+            .collect();
+        let p = shortest_path(&g, a, b, Some(&allowed)).unwrap();
+        assert!(p.len() > 3, "must detour around the blocked middle column");
+        assert!(!p.contains(&g.switch_at_grid(0, 1).unwrap()));
+    }
+
+    #[test]
+    fn all_shortest_paths_mesh_diagonal() {
+        let g = builders::mesh(3, 3, 500.0).unwrap();
+        let a = g.switch_at_grid(0, 0).unwrap();
+        let b = g.switch_at_grid(1, 1).unwrap();
+        let all = all_shortest_paths(&g, a, b, None, 16);
+        assert_eq!(all.len(), 2); // right-down and down-right
+        for p in &all {
+            assert_eq!(p.len(), 3);
+        }
+        // 2x2 sub-diagonal of the corner-to-corner walk: C(4,2) = 6.
+        let c = g.switch_at_grid(2, 2).unwrap();
+        assert_eq!(all_shortest_paths(&g, a, c, None, 32).len(), 6);
+    }
+
+    #[test]
+    fn all_shortest_paths_cap_is_respected() {
+        let g = builders::mesh(3, 3, 500.0).unwrap();
+        let a = g.switch_at_grid(0, 0).unwrap();
+        let c = g.switch_at_grid(2, 2).unwrap();
+        assert_eq!(all_shortest_paths(&g, a, c, None, 3).len(), 3);
+    }
+
+    #[test]
+    fn all_simple_paths_include_non_minimal() {
+        let g = builders::mesh(2, 2, 500.0).unwrap();
+        let a = g.switch_at_grid(0, 0).unwrap();
+        let b = g.switch_at_grid(0, 1).unwrap();
+        let all = all_simple_paths(&g, a, b, None, 4, 16);
+        // Direct hop plus the 3-hop detour around the square.
+        assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn dijkstra_prefers_cheap_edges() {
+        let g = builders::mesh(1, 3, 500.0).unwrap();
+        let a = g.switch_at_grid(0, 0).unwrap();
+        let c = g.switch_at_grid(0, 2).unwrap();
+        let (cost, path) = dijkstra(&g, a, c, None, |_| 2.5).unwrap();
+        assert_eq!(path.len(), 3);
+        assert_eq!(cost, 5.0);
+    }
+
+    #[test]
+    fn path_edges_matches_path() {
+        let g = builders::mesh(2, 3, 500.0).unwrap();
+        let a = g.switch_at_grid(0, 0).unwrap();
+        let b = g.switch_at_grid(1, 2).unwrap();
+        let p = shortest_path(&g, a, b, None).unwrap();
+        let es = path_edges(&g, &p);
+        assert_eq!(es.len(), p.len() - 1);
+        for (i, e) in es.iter().enumerate() {
+            assert_eq!(g.edge(*e).src, p[i]);
+            assert_eq!(g.edge(*e).dst, p[i + 1]);
+        }
+    }
+
+    #[test]
+    fn hop_distance_identity_and_symmetry_on_direct() {
+        let g = builders::hypercube(4, 500.0).unwrap();
+        for a in g.switches() {
+            assert_eq!(hop_distance(&g, a, a), Some(0));
+            for b in g.switches() {
+                assert_eq!(hop_distance(&g, a, b), hop_distance(&g, b, a));
+            }
+        }
+    }
+}

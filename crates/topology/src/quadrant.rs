@@ -1,0 +1,262 @@
+//! Topology-specific quadrant-graph formation (paper §4.3).
+//!
+//! The quadrant graph of a commodity is the vertex subset guaranteed to
+//! contain a minimum path between its source and destination. Routing
+//! searches are restricted to it, which is where the paper's "large
+//! computational time savings" come from: the quadrant is much smaller
+//! than the full NoC graph.
+
+use crate::paths::{shortest_path, AllowedSet};
+use crate::{NodeCoords, NodeId, TopologyGraph, TopologyKind};
+
+/// Builds the quadrant graph (as an allowed vertex set) for the
+/// commodity from `src` to `dst`, both mappable vertices of `g`.
+///
+/// * **Mesh**: switches inside the bounding box spanned by the row and
+///   column of source and destination (paper Fig. 3b shading).
+/// * **Torus**: same, but each dimension independently picks the shorter
+///   circular arc, so wrap-around channels participate (Fig. 3c).
+/// * **Hypercube**: the subcube of nodes matching source/destination on
+///   every dimension where the two agree (`(0,*,*)` in the paper's
+///   example of nodes 0 and 3).
+/// * **Clos**: source port, its ingress switch, every middle switch, the
+///   destination's egress switch and the destination port ("adjacency
+///   calculations are trivial").
+/// * **Butterfly**: the unique source→destination path ("no path
+///   diversity").
+///
+/// The returned set always contains `src` and `dst`.
+///
+/// # Examples
+///
+/// ```
+/// use sunmap_topology::{builders, quadrant};
+///
+/// let g = builders::mesh(3, 4, 500.0)?;
+/// let a = g.switch_at_grid(0, 0).unwrap();
+/// let b = g.switch_at_grid(2, 1).unwrap();
+/// let q = quadrant::quadrant_set(&g, a, b);
+/// assert_eq!(q.len(), 6); // 3 rows x 2 cols
+/// # Ok::<(), sunmap_topology::TopologyError>(())
+/// ```
+pub fn quadrant_set(g: &TopologyGraph, src: NodeId, dst: NodeId) -> AllowedSet {
+    match g.kind() {
+        TopologyKind::Mesh { .. } => mesh_quadrant(g, src, dst),
+        TopologyKind::Torus { rows, cols } => torus_quadrant(g, src, dst, rows, cols),
+        TopologyKind::Hypercube { dim } => hypercube_quadrant(g, src, dst, dim),
+        TopologyKind::Clos { .. } => clos_quadrant(g, src, dst),
+        TopologyKind::Butterfly { .. } => butterfly_quadrant(g, src, dst),
+        // Extension topologies: the octagon's two-hop diameter and the
+        // star's single switch make the whole graph its own quadrant.
+        TopologyKind::Octagon | TopologyKind::Star { .. } | TopologyKind::Custom { .. } => {
+            g.nodes().collect()
+        }
+    }
+}
+
+fn grid_coords(g: &TopologyGraph, n: NodeId) -> (usize, usize) {
+    match g.coords(n) {
+        NodeCoords::Grid { row, col } => (row, col),
+        other => panic!("expected grid coordinates, found {other}"),
+    }
+}
+
+fn mesh_quadrant(g: &TopologyGraph, src: NodeId, dst: NodeId) -> AllowedSet {
+    let (r1, c1) = grid_coords(g, src);
+    let (r2, c2) = grid_coords(g, dst);
+    let (rlo, rhi) = (r1.min(r2), r1.max(r2));
+    let (clo, chi) = (c1.min(c2), c1.max(c2));
+    g.switches()
+        .filter(|n| {
+            let (r, c) = grid_coords(g, *n);
+            (rlo..=rhi).contains(&r) && (clo..=chi).contains(&c)
+        })
+        .collect()
+}
+
+/// The set of coordinates along the shorter circular arc from `a` to `b`
+/// on a ring of length `len` (ties resolved to the direct, non-wrapping
+/// interval).
+fn ring_arc(a: usize, b: usize, len: usize) -> Vec<usize> {
+    if a == b {
+        return vec![a];
+    }
+    let fwd = (b + len - a) % len; // distance going "up" with wrap
+    let bwd = (a + len - b) % len;
+    let direct = if a <= b { b - a } else { a - b };
+    let wrap = len - direct;
+    if direct <= wrap {
+        let (lo, hi) = (a.min(b), a.max(b));
+        (lo..=hi).collect()
+    } else if fwd <= bwd {
+        // a -> a+1 -> ... wrapping up to b.
+        (0..=fwd).map(|k| (a + k) % len).collect()
+    } else {
+        (0..=bwd).map(|k| (b + k) % len).collect()
+    }
+}
+
+fn torus_quadrant(
+    g: &TopologyGraph,
+    src: NodeId,
+    dst: NodeId,
+    rows: usize,
+    cols: usize,
+) -> AllowedSet {
+    let (r1, c1) = grid_coords(g, src);
+    let (r2, c2) = grid_coords(g, dst);
+    let row_arc = ring_arc(r1, r2, rows);
+    let col_arc = ring_arc(c1, c2, cols);
+    g.switches()
+        .filter(|n| {
+            let (r, c) = grid_coords(g, *n);
+            row_arc.contains(&r) && col_arc.contains(&c)
+        })
+        .collect()
+}
+
+fn hypercube_quadrant(g: &TopologyGraph, src: NodeId, dst: NodeId, _dim: u32) -> AllowedSet {
+    let label = |n: NodeId| match g.coords(n) {
+        NodeCoords::Hyper { label } => label,
+        other => panic!("expected hypercube coordinates, found {other}"),
+    };
+    let (a, b) = (label(src), label(dst));
+    let fixed_mask = !(a ^ b); // bits where src and dst agree
+    g.switches()
+        .filter(|n| {
+            let l = label(*n);
+            (l ^ a) & fixed_mask == 0
+        })
+        .collect()
+}
+
+fn clos_quadrant(g: &TopologyGraph, src: NodeId, dst: NodeId) -> AllowedSet {
+    let mut set = AllowedSet::from([src, dst]);
+    if let Ok(ing) = g.ingress_switch(src) {
+        set.insert(ing);
+    }
+    if let Ok(eg) = g.egress_switch(dst) {
+        set.insert(eg);
+    }
+    for n in g.switches() {
+        if matches!(g.coords(n), NodeCoords::Stage { stage: 1, .. }) {
+            set.insert(n);
+        }
+    }
+    set
+}
+
+fn butterfly_quadrant(g: &TopologyGraph, src: NodeId, dst: NodeId) -> AllowedSet {
+    shortest_path(g, src, dst, None)
+        .map(|p| p.into_iter().collect())
+        .unwrap_or_else(|| AllowedSet::from([src, dst]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+    use crate::paths;
+
+    /// The defining quadrant property: restricting the search to the
+    /// quadrant never lengthens the minimum path.
+    fn assert_quadrant_preserves_min_path(g: &TopologyGraph) {
+        let nodes = g.mappable_nodes().to_vec();
+        for &a in &nodes {
+            for &b in &nodes {
+                if a == b {
+                    continue;
+                }
+                let q = quadrant_set(g, a, b);
+                assert!(q.contains(&a) && q.contains(&b));
+                let full = paths::shortest_path(g, a, b, None)
+                    .unwrap_or_else(|| panic!("{} unreachable pair", g.kind()));
+                let restricted = paths::shortest_path(g, a, b, Some(&q))
+                    .unwrap_or_else(|| panic!("{} quadrant disconnects pair", g.kind()));
+                assert_eq!(
+                    restricted.len(),
+                    full.len(),
+                    "{}: quadrant lengthens path {a}->{b}",
+                    g.kind()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quadrants_preserve_min_paths_on_all_topologies() {
+        for g in builders::standard_library(12, 500.0).unwrap() {
+            assert_quadrant_preserves_min_path(&g);
+        }
+    }
+
+    #[test]
+    fn mesh_quadrant_is_bounding_box() {
+        let g = builders::mesh(4, 4, 500.0).unwrap();
+        let a = g.switch_at_grid(1, 1).unwrap();
+        let b = g.switch_at_grid(3, 2).unwrap();
+        let q = quadrant_set(&g, a, b);
+        assert_eq!(q.len(), 6); // rows 1..=3 x cols 1..=2
+    }
+
+    #[test]
+    fn torus_quadrant_uses_wraparound() {
+        let g = builders::torus(4, 4, 500.0).unwrap();
+        let a = g.switch_at_grid(0, 0).unwrap();
+        let b = g.switch_at_grid(0, 3).unwrap();
+        let q = quadrant_set(&g, a, b);
+        // Columns {3, 0} via the wrap channel, a single row.
+        assert_eq!(q.len(), 2);
+        let p = paths::shortest_path(&g, a, b, Some(&q)).unwrap();
+        assert_eq!(p.len(), 2, "wrap channel gives a single-hop route");
+    }
+
+    #[test]
+    fn hypercube_quadrant_matches_paper_example() {
+        // Source 0 = (0,0,0), destination 3 = (0,1,1): the quadrant is
+        // all nodes of the form (0,*,*) = {0,1,2,3}.
+        let g = builders::hypercube(3, 500.0).unwrap();
+        let find = |l: u32| {
+            g.nodes()
+                .find(|n| g.coords(*n) == NodeCoords::Hyper { label: l })
+                .unwrap()
+        };
+        let q = quadrant_set(&g, find(0), find(3));
+        let labels: std::collections::BTreeSet<u32> = q
+            .iter()
+            .map(|n| match g.coords(*n) {
+                NodeCoords::Hyper { label } => label,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(labels, [0u32, 1, 2, 3].into_iter().collect());
+    }
+
+    #[test]
+    fn clos_quadrant_contains_all_middles() {
+        let g = builders::clos(3, 4, 5, 500.0).unwrap();
+        let a = g.port(0).unwrap();
+        let b = g.port(11).unwrap();
+        let q = quadrant_set(&g, a, b);
+        // src + dst + ingress + egress + 5 middles.
+        assert_eq!(q.len(), 9);
+    }
+
+    #[test]
+    fn butterfly_quadrant_is_the_unique_path() {
+        let g = builders::butterfly(4, 2, 500.0).unwrap();
+        let a = g.port(0).unwrap();
+        let b = g.port(15).unwrap();
+        let q = quadrant_set(&g, a, b);
+        assert_eq!(q.len(), 4); // port, stage0, stage1, port
+    }
+
+    #[test]
+    fn ring_arc_prefers_direct_on_tie() {
+        // len 4, distance 2 both ways: direct interval wins.
+        assert_eq!(ring_arc(0, 2, 4), vec![0, 1, 2]);
+        assert_eq!(ring_arc(0, 3, 4), vec![3, 0]);
+        assert_eq!(ring_arc(3, 0, 4), vec![3, 0]);
+        assert_eq!(ring_arc(1, 1, 4), vec![1]);
+    }
+}

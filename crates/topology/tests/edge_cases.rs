@@ -1,0 +1,156 @@
+//! Edge-case and structural tests for the topology crate.
+
+use sunmap_topology::{builders, dimension_order, paths, quadrant, NodeKind, TopologyKind};
+
+#[test]
+fn multistage_networks_are_one_directional() {
+    // Traffic in a butterfly/Clos flows ingress -> egress only: over
+    // the switch fabric alone (the folded core ports are endpoints, not
+    // through-routes), a later stage cannot reach an earlier one.
+    let switch_only = |g: &sunmap_topology::TopologyGraph| -> paths::AllowedSet {
+        g.switches().collect()
+    };
+    let g = builders::butterfly(4, 2, 500.0).unwrap();
+    let s0 = g.switch_at_stage(0, 0).unwrap();
+    let s1 = g.switch_at_stage(1, 0).unwrap();
+    assert!(paths::shortest_path(&g, s0, s1, Some(&switch_only(&g))).is_some());
+    assert!(paths::shortest_path(&g, s1, s0, Some(&switch_only(&g))).is_none());
+    let g = builders::clos(3, 3, 3, 500.0).unwrap();
+    let first = g.switch_at_stage(0, 0).unwrap();
+    let mid = g.switch_at_stage(1, 0).unwrap();
+    assert!(paths::shortest_path(&g, mid, first, Some(&switch_only(&g))).is_none());
+}
+
+#[test]
+fn every_mappable_pair_is_connected_in_every_library_topology() {
+    for cores in [2usize, 6, 12, 16, 20] {
+        for g in builders::standard_library(cores, 500.0).unwrap() {
+            let nodes = g.mappable_nodes();
+            for &a in nodes {
+                for &b in nodes {
+                    if a != b {
+                        assert!(
+                            paths::shortest_path(&g, a, b, None).is_some(),
+                            "{}: {a} cannot reach {b}",
+                            g.kind()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn one_by_n_mesh_is_a_line() {
+    let g = builders::mesh(1, 5, 500.0).unwrap();
+    assert_eq!(g.network_channel_count(), 4);
+    let a = g.switch_at_grid(0, 0).unwrap();
+    let b = g.switch_at_grid(0, 4).unwrap();
+    assert_eq!(paths::hop_distance(&g, a, b), Some(4));
+    // Dimension-ordered routing degenerates to walking the line.
+    let route = dimension_order::route(&g, a, b).unwrap();
+    assert_eq!(route.len(), 5);
+}
+
+#[test]
+fn two_wide_torus_has_no_wrap_duplicates() {
+    // rows = 2 suppresses row wraps; the channel count equals the mesh
+    // plus the column wraps only.
+    let torus = builders::torus(2, 4, 500.0).unwrap();
+    let mesh = builders::mesh(2, 4, 500.0).unwrap();
+    assert_eq!(
+        torus.network_channel_count(),
+        mesh.network_channel_count() + 2
+    );
+}
+
+#[test]
+fn quadrants_of_reverse_commodities_can_differ_in_multistage() {
+    // src->dst and dst->src quadrants are both valid but reference
+    // different ingress/egress switches.
+    let g = builders::clos(4, 2, 4, 500.0).unwrap();
+    let a = g.port(0).unwrap();
+    let b = g.port(7).unwrap();
+    let fwd = quadrant::quadrant_set(&g, a, b);
+    let rev = quadrant::quadrant_set(&g, b, a);
+    assert_ne!(fwd, rev);
+    assert!(paths::shortest_path(&g, a, b, Some(&fwd)).is_some());
+    assert!(paths::shortest_path(&g, b, a, Some(&rev)).is_some());
+}
+
+#[test]
+fn large_butterfly_scales() {
+    // 4-ary 3-fly: 64 terminals, 48 switches.
+    let g = builders::butterfly(4, 3, 500.0).unwrap();
+    assert_eq!(g.mappable_nodes().len(), 64);
+    assert_eq!(g.switch_count(), 48);
+    let a = g.port(0).unwrap();
+    let b = g.port(63).unwrap();
+    // port + 3 stages + port.
+    assert_eq!(paths::shortest_path(&g, a, b, None).unwrap().len(), 5);
+    // Still a unique path.
+    assert_eq!(paths::all_shortest_paths(&g, a, b, None, 8).len(), 1);
+}
+
+#[test]
+fn switch_radices_cover_every_switch_once() {
+    for g in builders::standard_library(12, 500.0).unwrap() {
+        let radices = g.switch_radices();
+        assert_eq!(radices.len(), g.switch_count(), "{}", g.kind());
+        let mut seen = std::collections::HashSet::new();
+        for (s, inp, outp) in radices {
+            assert!(seen.insert(s));
+            assert!(inp > 0 && outp > 0);
+            assert_eq!(g.node_kind(s), NodeKind::Switch);
+        }
+    }
+}
+
+#[test]
+fn kind_roundtrip_through_display() {
+    // Display strings carry the distinguishing parameters.
+    let kinds = [
+        TopologyKind::Mesh { rows: 3, cols: 4 },
+        TopologyKind::Torus { rows: 4, cols: 4 },
+        TopologyKind::Hypercube { dim: 4 },
+        TopologyKind::Clos {
+            ingress: 4,
+            ports: 4,
+            middle: 4,
+        },
+        TopologyKind::Butterfly {
+            radix: 4,
+            stages: 2,
+        },
+        TopologyKind::Octagon,
+        TopologyKind::Star { ports: 9 },
+    ];
+    let mut strings: Vec<String> = kinds.iter().map(|k| k.to_string()).collect();
+    strings.dedup();
+    assert_eq!(strings.len(), kinds.len(), "display strings must be unique");
+}
+
+#[test]
+fn dijkstra_tie_break_is_deterministic() {
+    let g = builders::mesh(3, 3, 500.0).unwrap();
+    let a = g.switch_at_grid(0, 0).unwrap();
+    let b = g.switch_at_grid(2, 2).unwrap();
+    let p1 = paths::dijkstra(&g, a, b, None, |_| 1.0).unwrap();
+    let p2 = paths::dijkstra(&g, a, b, None, |_| 1.0).unwrap();
+    assert_eq!(p1, p2);
+}
+
+#[test]
+fn all_simple_paths_respects_length_bound() {
+    let g = builders::mesh(3, 3, 500.0).unwrap();
+    let a = g.switch_at_grid(0, 0).unwrap();
+    let b = g.switch_at_grid(0, 2).unwrap();
+    for max_len in 3..=7 {
+        for p in paths::all_simple_paths(&g, a, b, None, max_len, 64) {
+            assert!(p.len() <= max_len);
+        }
+    }
+    // Bound below the distance -> nothing.
+    assert!(paths::all_simple_paths(&g, a, b, None, 2, 64).is_empty());
+}

@@ -1,0 +1,35 @@
+//! Application traffic models for SUNMAP.
+//!
+//! SUNMAP abstracts inter-core communication as a *core graph* (paper
+//! Definition 1): a directed graph whose vertices are cores and whose
+//! edge weights are sustained bandwidth demands in MB/s. This crate
+//! provides:
+//!
+//! * the [`CoreGraph`] data structure and its commodity view
+//!   ([`Commodity`], paper Eq. 2);
+//! * the four benchmark applications of the paper's evaluation, in
+//!   [`benchmarks`]: the Video Object Plane Decoder, the MPEG4 decoder,
+//!   the six-core DSP filter and the 16-node network processor;
+//! * synthetic traffic patterns in [`patterns`] for simulator-driven
+//!   experiments (uniform, transpose, bit-complement, bit-reversal,
+//!   tornado, hotspot).
+//!
+//! # Examples
+//!
+//! ```
+//! use sunmap_traffic::benchmarks;
+//!
+//! let vopd = benchmarks::vopd();
+//! assert_eq!(vopd.core_count(), 12);
+//! // Commodities come out sorted by decreasing bandwidth, as the
+//! // mapping algorithm of paper Fig. 5 requires.
+//! let d = vopd.commodities();
+//! assert!(d.windows(2).all(|w| w[0].bandwidth >= w[1].bandwidth));
+//! ```
+
+pub mod benchmarks;
+pub mod io;
+mod core_graph;
+pub mod patterns;
+
+pub use core_graph::{Commodity, Core, CoreGraph, CoreId, TrafficError};

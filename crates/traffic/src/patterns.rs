@@ -1,0 +1,226 @@
+//! Synthetic traffic patterns for simulator-driven experiments.
+//!
+//! The paper's network-processor study (§6.2) drives each candidate
+//! topology with "adversarial traffic" from traffic generators. These
+//! are the classic patterns used for that purpose (Dally & Towles):
+//! each pattern maps a source terminal to a destination terminal, and
+//! the simulator injects packets accordingly.
+
+use rand::Rng;
+
+/// A synthetic destination-selection pattern over `n` terminals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TrafficPattern {
+    /// Every packet picks a destination uniformly at random (excluding
+    /// the source).
+    UniformRandom,
+    /// Terminal `(x, y)` sends to `(y, x)` on a `sqrt(n)` grid: stresses
+    /// one mesh diagonal, bypassed by torus wrap channels.
+    Transpose,
+    /// Terminal `b_{k-1}..b_0` sends to its bitwise complement:
+    /// maximum-distance traffic on hypercubes and meshes.
+    BitComplement,
+    /// Terminal `b_{k-1}..b_0` sends to `b_0..b_{k-1}`: the classic
+    /// butterfly adversary (all traffic collides in the middle stages).
+    BitReverse,
+    /// Terminal `i` sends to `i + n/2 - 1 (mod n)`: the torus adversary,
+    /// marching almost half-way around every ring.
+    Tornado,
+    /// A fraction of packets target a fixed hotspot terminal; the rest
+    /// are uniform. Models the shared-memory contention of the MPEG4
+    /// SDRAM.
+    Hotspot {
+        /// The overloaded terminal.
+        target: usize,
+        /// Probability (0..=1 scaled by 1000) that a packet goes to the
+        /// hotspot, stored as per-mille to keep the type `Eq`.
+        per_mille: u32,
+    },
+    /// An arbitrary fixed permutation: `dest[i]` receives everything
+    /// terminal `i` sends.
+    Permutation(Vec<usize>),
+}
+
+impl TrafficPattern {
+    /// Picks the destination terminal for a packet injected at `src`
+    /// among `n` terminals. Deterministic patterns ignore `rng`.
+    ///
+    /// Sources mapped to themselves by a deterministic pattern return
+    /// `None` (such terminals simply do not inject).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src >= n`, or if a [`TrafficPattern::Permutation`] is
+    /// shorter than `n`.
+    pub fn destination<R: Rng + ?Sized>(&self, src: usize, n: usize, rng: &mut R) -> Option<usize> {
+        assert!(src < n, "source terminal {src} out of range 0..{n}");
+        let dst = match self {
+            TrafficPattern::UniformRandom => {
+                if n < 2 {
+                    return None;
+                }
+                let mut d = rng.gen_range(0..n - 1);
+                if d >= src {
+                    d += 1;
+                }
+                d
+            }
+            TrafficPattern::Transpose => {
+                let side = (n as f64).sqrt().round() as usize;
+                if side * side != n {
+                    // Fall back to a shuffle-free analogue: reverse order.
+                    n - 1 - src
+                } else {
+                    let (x, y) = (src / side, src % side);
+                    y * side + x
+                }
+            }
+            TrafficPattern::BitComplement => {
+                let bits = n.next_power_of_two().trailing_zeros();
+                (!src) & ((1usize << bits) - 1).min(n - 1)
+            }
+            TrafficPattern::BitReverse => {
+                let bits = n.next_power_of_two().trailing_zeros();
+                let mut v = 0usize;
+                for b in 0..bits {
+                    if src & (1 << b) != 0 {
+                        v |= 1 << (bits - 1 - b);
+                    }
+                }
+                v.min(n - 1)
+            }
+            TrafficPattern::Tornado => (src + n / 2 - 1 + n) % n,
+            TrafficPattern::Hotspot { target, per_mille } => {
+                if rng.gen_range(0..1000) < *per_mille {
+                    *target
+                } else {
+                    if n < 2 {
+                        return None;
+                    }
+                    let mut d = rng.gen_range(0..n - 1);
+                    if d >= src {
+                        d += 1;
+                    }
+                    d
+                }
+            }
+            TrafficPattern::Permutation(p) => {
+                assert!(p.len() >= n, "permutation shorter than terminal count");
+                p[src]
+            }
+        };
+        if dst == src || dst >= n {
+            None
+        } else {
+            Some(dst)
+        }
+    }
+
+    /// Human-readable pattern name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TrafficPattern::UniformRandom => "uniform",
+            TrafficPattern::Transpose => "transpose",
+            TrafficPattern::BitComplement => "bit-complement",
+            TrafficPattern::BitReverse => "bit-reverse",
+            TrafficPattern::Tornado => "tornado",
+            TrafficPattern::Hotspot { .. } => "hotspot",
+            TrafficPattern::Permutation(_) => "permutation",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_never_returns_source() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let p = TrafficPattern::UniformRandom;
+        for src in 0..16 {
+            for _ in 0..50 {
+                let d = p.destination(src, 16, &mut rng).unwrap();
+                assert_ne!(d, src);
+                assert!(d < 16);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_is_an_involution_on_square_counts() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let p = TrafficPattern::Transpose;
+        for src in 0..16 {
+            if let Some(d) = p.destination(src, 16, &mut rng) {
+                let back = p.destination(d, 16, &mut rng).unwrap();
+                assert_eq!(back, src);
+            } else {
+                // Diagonal terminals map to themselves.
+                let side = 4;
+                assert_eq!(src / side, src % side);
+            }
+        }
+    }
+
+    #[test]
+    fn bit_complement_pairs_opposite_corners() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let p = TrafficPattern::BitComplement;
+        assert_eq!(p.destination(0, 16, &mut rng), Some(15));
+        assert_eq!(p.destination(5, 16, &mut rng), Some(10));
+    }
+
+    #[test]
+    fn bit_reverse_matches_hand_computation() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let p = TrafficPattern::BitReverse;
+        // 16 terminals = 4 bits: 0b0001 -> 0b1000.
+        assert_eq!(p.destination(1, 16, &mut rng), Some(8));
+        assert_eq!(p.destination(3, 16, &mut rng), Some(12));
+        // Palindromic labels self-map and are skipped.
+        assert_eq!(p.destination(9, 16, &mut rng), None);
+    }
+
+    #[test]
+    fn tornado_travels_half_way() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let p = TrafficPattern::Tornado;
+        assert_eq!(p.destination(0, 16, &mut rng), Some(7));
+        assert_eq!(p.destination(10, 16, &mut rng), Some(1));
+    }
+
+    #[test]
+    fn hotspot_concentrates_traffic() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let p = TrafficPattern::Hotspot {
+            target: 3,
+            per_mille: 800,
+        };
+        let mut hits = 0;
+        for _ in 0..1000 {
+            if p.destination(0, 16, &mut rng) == Some(3) {
+                hits += 1;
+            }
+        }
+        assert!(hits > 600, "hotspot hit only {hits}/1000 times");
+    }
+
+    #[test]
+    fn permutation_is_table_lookup() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let p = TrafficPattern::Permutation(vec![2, 3, 0, 1]);
+        assert_eq!(p.destination(0, 4, &mut rng), Some(2));
+        assert_eq!(p.destination(3, 4, &mut rng), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_source_panics() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        TrafficPattern::UniformRandom.destination(16, 16, &mut rng);
+    }
+}

@@ -1,0 +1,57 @@
+//! MPEG4 design-space exploration (paper §6.1 Fig. 7 and §6.3 Fig. 9).
+//!
+//! Three studies on the MPEG4 decoder:
+//!
+//! 1. the per-topology table of Fig. 7(b) under split-traffic routing —
+//!    the butterfly produces no feasible mapping, the mesh wins;
+//! 2. the routing-function bandwidth staircase of Fig. 9(a): minimum
+//!    required link bandwidth under DO / MP / SM / SA routing;
+//! 3. the area-power Pareto points of Fig. 9(b) for mesh mappings.
+//!
+//! Run with: `cargo run --example mpeg4_design_space`
+
+use sunmap::topology::builders;
+use sunmap::traffic::benchmarks;
+use sunmap::{
+    pareto_exploration, routing_bandwidth_sweep, Objective, RoutingFunction, Sunmap,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mpeg4 = benchmarks::mpeg4();
+
+    println!("=== Fig. 7(b): MPEG4 mappings (split-traffic routing) ===");
+    let tool = Sunmap::builder(mpeg4.clone())
+        .link_capacity(500.0)
+        .routing(RoutingFunction::SplitAllPaths)
+        .objective(Objective::MinDelay)
+        .build();
+    let ex = tool.explore()?;
+    print!("{}", ex.table());
+    if let Some(best) = ex.best_candidate() {
+        println!("selected: {}", best.kind);
+    }
+
+    let mesh = builders::mesh(3, 4, 500.0)?;
+
+    println!("\n=== Fig. 9(a): minimum link bandwidth per routing function (mesh) ===");
+    for entry in routing_bandwidth_sweep(&mpeg4, &mesh) {
+        println!(
+            "  {:<3} {:>8.1} MB/s{}",
+            entry.routing.abbrev(),
+            entry.min_bandwidth,
+            if entry.min_bandwidth <= 500.0 {
+                "  (fits the 500 MB/s links)"
+            } else {
+                ""
+            }
+        );
+    }
+
+    println!("\n=== Fig. 9(b): area-power Pareto points (mesh mappings) ===");
+    let (points, front) = pareto_exploration(&mpeg4, &mesh);
+    println!("  explored {} mappings, {} Pareto-optimal:", points.len(), front.len());
+    for p in &front {
+        println!("  {:>8.2} mm2  {:>8.1} mW   [{}]", p.x, p.y, p.label);
+    }
+    Ok(())
+}

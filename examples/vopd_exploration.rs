@@ -1,0 +1,78 @@
+//! VOPD case study (paper §6.1, Figs. 3 and 6).
+//!
+//! Maps the Video Object Plane Decoder onto all five standard
+//! topologies, reproducing the paper's motivating mesh-vs-torus
+//! comparison (Fig. 3d) and the full topology characteristics of
+//! Fig. 6: average hop delay, switch/link resources, design area and
+//! power. The butterfly should come out best on all three cost axes.
+//!
+//! Run with: `cargo run --example vopd_exploration`
+
+use sunmap::traffic::benchmarks;
+use sunmap::{Objective, RoutingFunction, Sunmap};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tool = Sunmap::builder(benchmarks::vopd())
+        .link_capacity(500.0)
+        .routing(RoutingFunction::MinPath)
+        .objective(Objective::MinPower)
+        .build();
+    let ex = tool.explore()?;
+
+    println!("=== Fig. 6: VOPD mapping characteristics ===");
+    println!(
+        "{:<10} {:>8} {:>9} {:>7} {:>11} {:>11} {:>12}",
+        "Topo", "avg hops", "switches", "links", "area (mm2)", "power (mW)", "avg link(mm)"
+    );
+    for c in &ex.candidates {
+        match c.report() {
+            Some(r) => println!(
+                "{:<10} {:>8.2} {:>9} {:>7} {:>11.2} {:>11.1} {:>12.2}",
+                c.kind.name(),
+                r.avg_hops,
+                r.switch_count,
+                r.link_count,
+                r.design_area,
+                r.power_mw,
+                r.avg_link_length_mm
+            ),
+            None => println!("{:<10} infeasible", c.kind.name()),
+        }
+    }
+
+    let mesh = ex.candidates[0].report().expect("mesh feasible");
+    let torus = ex.candidates[1].report().expect("torus feasible");
+    println!("\n=== Fig. 3(d): mesh vs torus design parameters ===");
+    println!(
+        "{:<14} {:>10} {:>10} {:>12}",
+        "metric", "Mesh", "Torus", "torus/mesh"
+    );
+    println!(
+        "{:<14} {:>10.2} {:>10.2} {:>12.2}",
+        "avg hops",
+        mesh.avg_hops,
+        torus.avg_hops,
+        torus.avg_hops / mesh.avg_hops
+    );
+    println!(
+        "{:<14} {:>10.2} {:>10.2} {:>12.2}",
+        "area (mm2)",
+        mesh.design_area,
+        torus.design_area,
+        torus.design_area / mesh.design_area
+    );
+    println!(
+        "{:<14} {:>10.1} {:>10.1} {:>12.2}",
+        "power (mW)",
+        mesh.power_mw,
+        torus.power_mw,
+        torus.power_mw / mesh.power_mw
+    );
+
+    let best = ex.best_candidate().expect("VOPD is feasible");
+    println!(
+        "\nSelected topology: {} (the paper's winner is the 4-ary 2-fly butterfly)",
+        best.kind
+    );
+    Ok(())
+}

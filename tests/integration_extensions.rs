@@ -1,0 +1,157 @@
+//! End-to-end tests of the extension topologies (octagon and star),
+//! exercising the paper's §1 claim that "other topologies ... can be
+//! easily added to the topology library".
+
+use sunmap::sim::{NocSimulator, SimConfig};
+use sunmap::topology::builders;
+use sunmap::traffic::benchmarks;
+use sunmap::{Mapper, MapperConfig, Objective, RoutingFunction, Sunmap};
+
+/// The standard library plus octagon and star, sized for `cores`.
+fn extended_library(cores: usize, cap: f64) -> Vec<sunmap::TopologyGraph> {
+    let mut lib = builders::standard_library(cores, cap).unwrap();
+    if cores <= 8 {
+        lib.push(builders::octagon(cap).unwrap());
+    }
+    lib.push(builders::star(cores, cap).unwrap());
+    lib
+}
+
+#[test]
+fn dsp_filter_explores_extended_library() {
+    let tool = Sunmap::builder(benchmarks::dsp_filter())
+        .link_capacity(1000.0)
+        .build();
+    let ex = tool.explore_library(extended_library(6, 1000.0));
+    assert_eq!(ex.candidates.len(), 7);
+    let star = ex
+        .candidates
+        .iter()
+        .find(|c| c.kind.name() == "Star")
+        .unwrap();
+    let report = star.report().expect("star feasible at 1 GB/s channels");
+    // A star crosses exactly one switch.
+    assert!((report.avg_hops - 1.0).abs() < 1e-9);
+    let oct = ex
+        .candidates
+        .iter()
+        .find(|c| c.kind.name() == "Octagon")
+        .unwrap();
+    let report = oct.report().expect("octagon feasible");
+    // Octagon diameter 2 -> between 2 and 3 switch traversals.
+    assert!(report.avg_hops >= 2.0 && report.avg_hops <= 3.0);
+}
+
+#[test]
+fn star_feasibility_is_bounded_by_port_channels() {
+    // The DSP memory core moves 5 x 200 MB/s through its single star
+    // channel pair; at 500 MB/s channels that still fits per direction
+    // (600 out, 400 in exceeds 500 -> infeasible out).
+    let star = builders::star(6, 500.0).unwrap();
+    let cfg = MapperConfig::new(RoutingFunction::MinPath, Objective::MinDelay);
+    let result = Mapper::new(&star, &benchmarks::dsp_filter(), cfg).run();
+    assert!(
+        result.is_err(),
+        "memory's 600 MB/s egress cannot fit a 500 MB/s star channel"
+    );
+    // With 1 GB/s channels the star becomes feasible.
+    let star = builders::star(6, 1000.0).unwrap();
+    let mapping = Mapper::new(&star, &benchmarks::dsp_filter(), cfg)
+        .run()
+        .expect("star feasible at 1 GB/s");
+    assert!(mapping.report().max_link_load <= 1000.0);
+}
+
+#[test]
+fn octagon_full_flow_generates_components() {
+    let mut app = benchmarks::dsp_filter();
+    // Two more cores to fill the octagon.
+    let a = app.add_core("dma", 2.0);
+    let b = app.add_core("uart", 1.0);
+    app.add_traffic(a, b, 10.0).unwrap();
+    let tool = Sunmap::builder(app).link_capacity(1000.0).build();
+    let ex = tool.explore_library(vec![builders::octagon(1000.0).unwrap()]);
+    let best = ex.best_candidate().expect("octagon hosts 8 cores");
+    let design = tool.generate(best, "octagon_dsp");
+    assert_eq!(design.netlist.switch_count(), 8);
+    assert_eq!(design.netlist.ni_count(), 8);
+    // Octagon switches: 3 network neighbours + local core = 4x4.
+    assert_eq!(design.netlist.switch_configs(), vec![(4, 4)]);
+}
+
+#[test]
+fn extension_topologies_simulate() {
+    let oct = builders::octagon(500.0).unwrap();
+    let mut sim = NocSimulator::new(&oct, SimConfig::fast());
+    let stats = sim.run_synthetic(&sunmap::traffic::patterns::TrafficPattern::UniformRandom, 0.1);
+    assert!(stats.packets_delivered > 0);
+    assert!(stats.delivery_ratio() > 0.95);
+
+    let star = builders::star(8, 500.0).unwrap();
+    let mut sim = NocSimulator::new(&star, SimConfig::fast());
+    let stats = sim.run_synthetic(&sunmap::traffic::patterns::TrafficPattern::UniformRandom, 0.1);
+    assert!(stats.packets_delivered > 0, "{stats}");
+    // Star zero-ish load latency: one switch, very low.
+    assert!(stats.avg_latency < 20.0, "{stats}");
+}
+
+#[test]
+fn star_beats_everything_on_delay_but_not_on_power_at_scale() {
+    // For a 12-core app the star needs a 12x12 crossbar: best delay,
+    // poor power-per-bit. This is the trade-off that keeps stars niche.
+    let vopd = benchmarks::vopd();
+    let cfg = MapperConfig::new(RoutingFunction::MinPath, Objective::MinDelay);
+    let star = builders::star(12, 1000.0).unwrap();
+    let mesh = builders::mesh(3, 4, 1000.0).unwrap();
+    let star_map = Mapper::new(&star, &vopd, cfg).run().expect("star feasible");
+    let mesh_map = Mapper::new(&mesh, &vopd, cfg).run().expect("mesh feasible");
+    assert!(star_map.report().avg_hops < mesh_map.report().avg_hops);
+    assert!(
+        star_map.report().switch_power_mw > mesh_map.report().switch_power_mw,
+        "the big central crossbar must cost more switch power: star {} vs mesh {}",
+        star_map.report().switch_power_mw,
+        mesh_map.report().switch_power_mw
+    );
+}
+
+#[test]
+fn custom_heterogeneous_topology_flows_end_to_end() {
+    // The paper's §7 future work: heterogeneous topology modeling. A
+    // two-tier design: a fat 1 GB/s spine between two hub switches,
+    // thin 500 MB/s links to two leaf switches, cores spread across
+    // all four.
+    use sunmap::topology::CustomTopologyBuilder;
+
+    let mut b = CustomTopologyBuilder::new("two-tier");
+    let hub_a = b.add_switch_at(0, 1);
+    let hub_b = b.add_switch_at(0, 2);
+    let leaf_a = b.add_switch_at(0, 0);
+    let leaf_b = b.add_switch_at(0, 3);
+    b.add_link(hub_a, hub_b, 1000.0).unwrap();
+    b.add_link(leaf_a, hub_a, 500.0).unwrap();
+    b.add_link(hub_b, leaf_b, 500.0).unwrap();
+    for sw in [hub_a, hub_a, hub_b, hub_b, leaf_a, leaf_b] {
+        b.add_port(sw).unwrap();
+    }
+    let custom = b.build().unwrap();
+
+    let app = benchmarks::dsp_filter();
+    let tool = Sunmap::builder(app.clone()).link_capacity(1000.0).build();
+    let ex = tool.explore_library(vec![custom]);
+    let best = ex.best_candidate().expect("custom design hosts 6 cores");
+    assert_eq!(best.kind.name(), "Custom");
+    let report = best.report().unwrap();
+    assert!(report.feasible());
+    // The heavy fft->filter->ifft chain must exploit hub co-location.
+    assert!(report.max_link_load <= 1000.0);
+
+    // Phase 3 and simulation work unchanged.
+    let design = tool.generate(best, "two_tier");
+    assert_eq!(design.netlist.switch_count(), 4);
+    assert_eq!(design.netlist.ni_count(), 6);
+    let mapping = best.outcome.as_ref().unwrap();
+    let mut sim = NocSimulator::new(&best.graph, SimConfig::fast());
+    let stats = sim.run_trace(mapping.evaluation(), &app, 0.3);
+    assert!(stats.packets_delivered > 0);
+    assert!(stats.delivery_ratio() > 0.9, "{stats}");
+}
