@@ -1,0 +1,40 @@
+# Developer entry points. Each target runs exactly what CI runs
+# (.github/workflows/ci.yml), so `make ci` passing locally means the
+# workflow will pass too.
+
+CARGO ?= cargo
+
+.PHONY: all build test bench lint fmt ci clean
+
+all: build
+
+## Build every crate in release mode (the tier-1 build).
+build:
+	$(CARGO) build --release --workspace
+
+## Run the full test suite: unit, integration, property, doc tests.
+test:
+	$(CARGO) test -q --workspace
+
+## Compile all Criterion bench targets without running them.
+bench:
+	$(CARGO) bench --no-run --workspace
+
+## Run the benches for real (prints paper-figure tables + timings).
+bench-run:
+	$(CARGO) bench --workspace
+
+## Formatting + clippy, both as hard errors, matching the CI gates.
+lint:
+	$(CARGO) fmt --all -- --check
+	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
+## Apply rustfmt in place.
+fmt:
+	$(CARGO) fmt --all
+
+## Everything CI gates on, in CI's order.
+ci: lint build test bench
+
+clean:
+	$(CARGO) clean

@@ -42,7 +42,9 @@ fn print_swap_and_seed_ablations() {
         max_swap_passes: 0,
         ..MapperConfig::default()
     };
-    let greedy = Mapper::new(&mesh, &vopd, cfg_no_swaps).run().expect("feasible");
+    let greedy = Mapper::new(&mesh, &vopd, cfg_no_swaps)
+        .run()
+        .expect("feasible");
     let identity = Placement::new(mesh.mappable_nodes()[..12].to_vec(), &mesh).unwrap();
     let mut lib = AreaPowerLibrary::new(Technology::um_0_10());
     let naive = evaluate(

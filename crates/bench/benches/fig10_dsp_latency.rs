@@ -7,10 +7,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use sunmap_bench::explore;
 use sunmap::sim::{NocSimulator, SimConfig};
 use sunmap::traffic::benchmarks;
 use sunmap::{Objective, RoutingFunction};
+use sunmap_bench::explore;
 
 const INTENSITY: f64 = 0.45;
 
@@ -24,7 +24,10 @@ fn print_figure() {
         false,
     );
     println!("== Fig. 10(c): DSP filter, simulated avg packet latency ==");
-    println!("{:<11} {:>10} {:>10} {:>9}", "topology", "lat (cy)", "packets", "delivery");
+    println!(
+        "{:<11} {:>10} {:>10} {:>9}",
+        "topology", "lat (cy)", "packets", "delivery"
+    );
     for c in &ex.candidates {
         match &c.outcome {
             Ok(mapping) => {

@@ -18,22 +18,36 @@ fn print_figure() {
     let mesh = builders::mesh(3, 4, 500.0).unwrap();
     let torus = builders::torus(3, 4, 500.0).unwrap();
     let m = Mapper::new(&mesh, &vopd, cfg).run().expect("mesh feasible");
-    let t = Mapper::new(&torus, &vopd, cfg).run().expect("torus feasible");
+    let t = Mapper::new(&torus, &vopd, cfg)
+        .run()
+        .expect("torus feasible");
     let (m, t) = (m.report(), t.report());
 
     println!("== Fig. 3(d): VOPD mesh vs torus ==");
-    println!("{:<12} {:>9} {:>9} {:>11}", "metric", "Mesh", "Torus", "tor/mesh");
+    println!(
+        "{:<12} {:>9} {:>9} {:>11}",
+        "metric", "Mesh", "Torus", "tor/mesh"
+    );
     println!(
         "{:<12} {:>9.2} {:>9.2} {:>11.2}   (paper: 2.25, 2.03, 0.90)",
-        "avg hops", m.avg_hops, t.avg_hops, t.avg_hops / m.avg_hops
+        "avg hops",
+        m.avg_hops,
+        t.avg_hops,
+        t.avg_hops / m.avg_hops
     );
     println!(
         "{:<12} {:>9.2} {:>9.2} {:>11.2}   (paper: 54.59, 57.91, 1.06)",
-        "area (mm2)", m.design_area, t.design_area, t.design_area / m.design_area
+        "area (mm2)",
+        m.design_area,
+        t.design_area,
+        t.design_area / m.design_area
     );
     println!(
         "{:<12} {:>9.1} {:>9.1} {:>11.2}   (paper: 372.1, 454.9, 1.22)",
-        "power (mW)", m.power_mw, t.power_mw, t.power_mw / m.power_mw
+        "power (mW)",
+        m.power_mw,
+        t.power_mw,
+        t.power_mw / m.power_mw
     );
 }
 

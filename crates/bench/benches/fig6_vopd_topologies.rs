@@ -9,9 +9,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use sunmap_bench::{explore, print_header, print_row};
 use sunmap::traffic::benchmarks;
 use sunmap::{Objective, RoutingFunction};
+use sunmap_bench::{explore, print_header, print_row};
 
 fn print_figure() {
     let ex = explore(

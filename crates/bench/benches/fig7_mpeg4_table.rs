@@ -10,10 +10,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use sunmap_bench::{explore, print_header, print_row};
 use sunmap::topology::builders;
 use sunmap::traffic::benchmarks;
 use sunmap::{Mapper, MapperConfig, Objective, RoutingFunction};
+use sunmap_bench::{explore, print_header, print_row};
 
 fn print_figure() {
     let mpeg4 = benchmarks::mpeg4();

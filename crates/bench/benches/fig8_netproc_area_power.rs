@@ -8,9 +8,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use sunmap_bench::explore;
 use sunmap::traffic::benchmarks;
 use sunmap::{Objective, RoutingFunction};
+use sunmap_bench::explore;
 
 fn print_figure() {
     let ex = explore(
@@ -21,7 +21,10 @@ fn print_figure() {
         true,
     );
     println!("== Fig. 8(c,d): network processor design area & power ==");
-    println!("{:<11} {:>11} {:>11}", "topology", "area (mm2)", "power (mW)");
+    println!(
+        "{:<11} {:>11} {:>11}",
+        "topology", "area (mm2)", "power (mW)"
+    );
     for c in &ex.candidates {
         match c.report() {
             Some(r) => println!(

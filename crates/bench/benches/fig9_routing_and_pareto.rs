@@ -22,7 +22,11 @@ fn print_figure() {
             "  {:<3} {:>8.1} MB/s{}",
             e.routing.abbrev(),
             e.min_bandwidth,
-            if e.min_bandwidth <= 500.0 { "   <= fits 500 MB/s links" } else { "" }
+            if e.min_bandwidth <= 500.0 {
+                "   <= fits 500 MB/s links"
+            } else {
+                ""
+            }
         );
     }
     println!("(paper shape: DO >= MP > SM >= SA, with only SM/SA under 500)");

@@ -11,8 +11,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use sunmap::traffic::benchmarks;
-use sunmap::{Objective, RoutingFunction, Sunmap};
 use sunmap::traffic::CoreGraph;
+use sunmap::{Objective, RoutingFunction, Sunmap};
 
 fn apps() -> Vec<(&'static str, CoreGraph, f64, RoutingFunction)> {
     vec![

@@ -8,8 +8,8 @@
 //! `EXPERIMENTS.md`.
 
 use sunmap::mapping::CostReport;
-use sunmap::{Exploration, Objective, RoutingFunction, Sunmap};
 use sunmap::traffic::CoreGraph;
+use sunmap::{Exploration, Objective, RoutingFunction, Sunmap};
 
 pub use sunmap;
 
@@ -42,7 +42,10 @@ pub fn print_row(name: &str, report: Option<&CostReport>) {
             "{:<10} {:>8.2} {:>9} {:>7} {:>11.2} {:>11.1}",
             name, r.avg_hops, r.switch_count, r.link_count, r.design_area, r.power_mw
         ),
-        None => println!("{:<10} {:>8} {:>9} {:>7} {:>11} {:>11}", name, "-", "-", "-", "-", "-"),
+        None => println!(
+            "{:<10} {:>8} {:>9} {:>7} {:>11} {:>11}",
+            name, "-", "-", "-", "-", "-"
+        ),
     }
 }
 

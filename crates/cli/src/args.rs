@@ -132,9 +132,7 @@ impl Cli {
                         "MP" => RoutingFunction::MinPath,
                         "SM" => RoutingFunction::SplitMinPaths,
                         "SA" => RoutingFunction::SplitAllPaths,
-                        other => {
-                            return Err(ParseCliError(format!("unknown routing '{other}'")))
-                        }
+                        other => return Err(ParseCliError(format!("unknown routing '{other}'"))),
                     };
                 }
                 "--objective" => {
@@ -143,9 +141,7 @@ impl Cli {
                         "area" => Objective::MinArea,
                         "power" => Objective::MinPower,
                         "bandwidth" => Objective::MinBandwidth,
-                        other => {
-                            return Err(ParseCliError(format!("unknown objective '{other}'")))
-                        }
+                        other => return Err(ParseCliError(format!("unknown objective '{other}'"))),
                     };
                 }
                 "--relax-bandwidth" => cli.relax_bandwidth = true,
@@ -215,9 +211,18 @@ mod tests {
 
     #[test]
     fn errors_are_descriptive() {
-        assert!(Cli::parse::<[&str; 0], &str>([]).unwrap_err().0.contains("missing command"));
-        assert!(Cli::parse(["frobnicate", "x"]).unwrap_err().0.contains("unknown command"));
-        assert!(Cli::parse(["explore"]).unwrap_err().0.contains("missing application"));
+        assert!(Cli::parse::<[&str; 0], &str>([])
+            .unwrap_err()
+            .0
+            .contains("missing command"));
+        assert!(Cli::parse(["frobnicate", "x"])
+            .unwrap_err()
+            .0
+            .contains("unknown command"));
+        assert!(Cli::parse(["explore"])
+            .unwrap_err()
+            .0
+            .contains("missing application"));
         assert!(Cli::parse(["explore", "vopd", "--routing", "XY"])
             .unwrap_err()
             .0

@@ -9,8 +9,7 @@ use sunmap::sim::{NocSimulator, SimConfig};
 use sunmap::topology::builders;
 use sunmap::traffic::{benchmarks, io, CoreGraph};
 use sunmap::{
-    pareto_exploration, routing_bandwidth_sweep, Constraints, Exploration, Sunmap,
-    TopologyGraph,
+    pareto_exploration, routing_bandwidth_sweep, Constraints, Exploration, Sunmap, TopologyGraph,
 };
 
 type CliResult = Result<(), Box<dyn Error>>;
@@ -63,7 +62,10 @@ fn library(cli: &Cli, cores: usize) -> Result<Vec<TopologyGraph>, Box<dyn Error>
     Ok(lib)
 }
 
-fn explore_with_library(cli: &Cli, app: CoreGraph) -> Result<(Sunmap, Exploration), Box<dyn Error>> {
+fn explore_with_library(
+    cli: &Cli,
+    app: CoreGraph,
+) -> Result<(Sunmap, Exploration), Box<dyn Error>> {
     let cores = app.core_count();
     let tool = tool(cli, app);
     let lib = library(cli, cores)?;
@@ -106,14 +108,21 @@ fn generate(cli: &Cli, app: CoreGraph) -> CliResult {
 fn sweep(cli: &Cli, app: CoreGraph) -> CliResult {
     let (rows, cols) = builders::grid_dims(app.core_count());
     let mesh = builders::mesh(rows, cols, cli.capacity)?;
-    println!("== minimum link bandwidth per routing function ({}) ==", mesh.kind());
+    println!(
+        "== minimum link bandwidth per routing function ({}) ==",
+        mesh.kind()
+    );
     for e in routing_bandwidth_sweep(&app, &mesh) {
         let fits = if e.min_bandwidth <= cli.capacity {
             format!("  <= fits {} MB/s links", cli.capacity)
         } else {
             String::new()
         };
-        println!("  {:<3} {:>9.1} MB/s{fits}", e.routing.abbrev(), e.min_bandwidth);
+        println!(
+            "  {:<3} {:>9.1} MB/s{fits}",
+            e.routing.abbrev(),
+            e.min_bandwidth
+        );
     }
     println!("\n== area-power Pareto front (mesh mappings) ==");
     let (points, front) = pareto_exploration(&app, &mesh);
@@ -174,7 +183,14 @@ mod tests {
 
     #[test]
     fn explore_extended_runs() {
-        run(&cli(&["explore", "dsp", "--capacity", "1000", "--extended"])).unwrap();
+        run(&cli(&[
+            "explore",
+            "dsp",
+            "--capacity",
+            "1000",
+            "--extended",
+        ]))
+        .unwrap();
     }
 
     #[test]

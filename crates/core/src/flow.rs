@@ -186,9 +186,7 @@ fn select_best(
                 min_of(|r| r.design_area),
                 min_of(|r| r.power_mw),
             );
-            Box::new(move |r| {
-                r.avg_hops / dmin + r.design_area / amin + r.power_mw / pmin
-            })
+            Box::new(move |r| r.avg_hops / dmin + r.design_area / amin + r.power_mw / pmin)
         }
     };
     feasible
@@ -325,8 +323,7 @@ impl Sunmap {
             .into_iter()
             .map(|graph| {
                 let lib = AreaPowerLibrary::new(self.inner.technology);
-                let outcome =
-                    Mapper::with_library(&graph, &self.inner.app, config, lib).run();
+                let outcome = Mapper::with_library(&graph, &self.inner.app, config, lib).run();
                 TopologyCandidate {
                     kind: graph.kind(),
                     graph,
@@ -449,7 +446,9 @@ mod tests {
     #[test]
     fn no_feasible_topology_is_reported() {
         // 1 MB/s links cannot carry VOPD anywhere.
-        let tool = Sunmap::builder(benchmarks::vopd()).link_capacity(1.0).build();
+        let tool = Sunmap::builder(benchmarks::vopd())
+            .link_capacity(1.0)
+            .build();
         let err = tool.run("x").unwrap_err();
         assert!(matches!(err, SunmapError::NoFeasibleTopology(_)));
         assert!(err.to_string().contains("Mesh"));

@@ -50,20 +50,20 @@ pub use flow::{
 pub use pareto::{pareto_front, ParetoPoint};
 pub use sweep::{pareto_exploration, routing_bandwidth_sweep, RoutingSweepEntry};
 
+/// Re-export of the floorplanner crate.
+pub use sunmap_floorplan as floorplan;
+/// Re-export of the component-generator crate.
+pub use sunmap_gen as gen;
+/// Re-export of the mapping-engine crate.
+pub use sunmap_mapping as mapping;
+/// Re-export of the area–power model crate.
+pub use sunmap_power as power;
+/// Re-export of the NoC simulator crate.
+pub use sunmap_sim as sim;
 /// Re-export of the topology library crate.
 pub use sunmap_topology as topology;
 /// Re-export of the traffic-model crate.
 pub use sunmap_traffic as traffic;
-/// Re-export of the floorplanner crate.
-pub use sunmap_floorplan as floorplan;
-/// Re-export of the area–power model crate.
-pub use sunmap_power as power;
-/// Re-export of the mapping-engine crate.
-pub use sunmap_mapping as mapping;
-/// Re-export of the NoC simulator crate.
-pub use sunmap_sim as sim;
-/// Re-export of the component-generator crate.
-pub use sunmap_gen as gen;
 
 // The names a typical user needs, at the crate root.
 pub use sunmap_mapping::{

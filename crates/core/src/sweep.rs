@@ -3,9 +3,7 @@
 //! area-power Pareto exploration (Fig. 9b).
 
 use crate::{pareto_front, ParetoPoint};
-use sunmap_mapping::{
-    Constraints, Mapper, MapperConfig, Objective, RoutingFunction,
-};
+use sunmap_mapping::{Constraints, Mapper, MapperConfig, Objective, RoutingFunction};
 use sunmap_topology::TopologyGraph;
 use sunmap_traffic::CoreGraph;
 

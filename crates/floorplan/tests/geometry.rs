@@ -70,7 +70,13 @@ fn tiny_areas_do_not_degenerate() {
 fn link_length_is_symmetric_and_triangleish() {
     let mut rp = RelativePlacement::new();
     let ids: Vec<BlockId> = (0..9)
-        .map(|i| rp.add_block(BlockSpec::soft(format!("b{i}"), 2.0 + i as f64), i / 3, i % 3))
+        .map(|i| {
+            rp.add_block(
+                BlockSpec::soft(format!("b{i}"), 2.0 + i as f64),
+                i / 3,
+                i % 3,
+            )
+        })
         .collect();
     let plan = rp.floorplan().unwrap();
     for &a in &ids {

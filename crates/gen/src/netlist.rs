@@ -153,14 +153,22 @@ pub fn build_netlist(
         }
         let from = switch_index[&edge.src];
         let to = switch_index[&edge.dst];
-        let from_port = *next_out.get_mut(&edge.src).map(|p| {
-            *p += 1;
-            &*p
-        }).expect("switch registered") - 1;
-        let to_port = *next_in.get_mut(&edge.dst).map(|p| {
-            *p += 1;
-            &*p
-        }).expect("switch registered") - 1;
+        let from_port = *next_out
+            .get_mut(&edge.src)
+            .map(|p| {
+                *p += 1;
+                &*p
+            })
+            .expect("switch registered")
+            - 1;
+        let to_port = *next_in
+            .get_mut(&edge.dst)
+            .map(|p| {
+                *p += 1;
+                &*p
+            })
+            .expect("switch registered")
+            - 1;
         nl.connections.push(Connection {
             from,
             from_port,
@@ -197,12 +205,18 @@ pub fn build_netlist(
             to_port: 1,
             kind: LinkKind::Local,
         });
-        let ingress = g.ingress_switch(node).expect("mapped vertex has an ingress");
+        let ingress = g
+            .ingress_switch(node)
+            .expect("mapped vertex has an ingress");
         let egress = g.egress_switch(node).expect("mapped vertex has an egress");
-        let in_port = *next_in.get_mut(&ingress).map(|p| {
-            *p += 1;
-            &*p
-        }).expect("switch registered") - 1;
+        let in_port = *next_in
+            .get_mut(&ingress)
+            .map(|p| {
+                *p += 1;
+                &*p
+            })
+            .expect("switch registered")
+            - 1;
         nl.connections.push(Connection {
             from: ni_index,
             from_port: 0,
@@ -210,10 +224,14 @@ pub fn build_netlist(
             to_port: in_port,
             kind: LinkKind::Attach,
         });
-        let out_port = *next_out.get_mut(&egress).map(|p| {
-            *p += 1;
-            &*p
-        }).expect("switch registered") - 1;
+        let out_port = *next_out
+            .get_mut(&egress)
+            .map(|p| {
+                *p += 1;
+                &*p
+            })
+            .expect("switch registered")
+            - 1;
         nl.connections.push(Connection {
             from: switch_index[&egress],
             from_port: out_port,

@@ -90,7 +90,10 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = MappingError::TooManyCores { cores: 20, slots: 16 };
+        let e = MappingError::TooManyCores {
+            cores: 20,
+            slots: 16,
+        };
         assert!(e.to_string().contains("20"));
         let e: MappingError = TopologyError::InvalidRadix(1).into();
         assert!(std::error::Error::source(&e).is_some());

@@ -4,8 +4,8 @@
 use std::collections::HashMap;
 
 use crate::{
-    layout_blocks, route_commodity, Constraints, CostReport, LayoutBlocks, MappingError,
-    Placement, RoutingFunction,
+    layout_blocks, route_commodity, Constraints, CostReport, LayoutBlocks, MappingError, Placement,
+    RoutingFunction,
 };
 use sunmap_floorplan::Floorplan;
 use sunmap_power::{AreaPowerLibrary, SwitchConfig};
@@ -104,13 +104,18 @@ pub fn evaluate(
     for commodity in app.commodities() {
         let src_node = placement.node_of(commodity.src);
         let dst_node = placement.node_of(commodity.dst);
-        let paths = route_commodity(g, src_node, dst_node, routing, &link_loads, commodity.bandwidth)
-            .ok_or(
-            MappingError::Unroutable {
-                src: commodity.src.index(),
-                dst: commodity.dst.index(),
-            },
-        )?;
+        let paths = route_commodity(
+            g,
+            src_node,
+            dst_node,
+            routing,
+            &link_loads,
+            commodity.bandwidth,
+        )
+        .ok_or(MappingError::Unroutable {
+            src: commodity.src.index(),
+            dst: commodity.dst.index(),
+        })?;
         let mut hops = 0.0;
         for (path, fraction) in &paths {
             let flow = commodity.bandwidth * fraction;
@@ -189,7 +194,9 @@ pub fn evaluate(
         !edge.is_network_link() || link_loads[eid.index()] <= edge.capacity * (1.0 + 1e-9)
     });
     let chip_aspect = floorplan.chip_aspect();
-    let area_ok = constraints.max_area_mm2.is_none_or(|max| design_area <= max)
+    let area_ok = constraints
+        .max_area_mm2
+        .is_none_or(|max| design_area <= max)
         && chip_aspect >= constraints.min_chip_aspect
         && chip_aspect <= constraints.max_chip_aspect;
 

@@ -66,14 +66,19 @@ pub fn layout_blocks(
         }
         TopologyKind::Hypercube { dim } => {
             let half = dim / 2;
-            direct_layout(g, app, placement, switch_areas, move |coords| {
-                match coords {
-                    NodeCoords::Hyper { label } => {
-                        ((label >> half) as usize, (label & ((1 << half) - 1)) as usize)
-                    }
+            direct_layout(
+                g,
+                app,
+                placement,
+                switch_areas,
+                move |coords| match coords {
+                    NodeCoords::Hyper { label } => (
+                        (label >> half) as usize,
+                        (label & ((1 << half) - 1)) as usize,
+                    ),
                     other => panic!("expected hypercube coords, found {other}"),
-                }
-            })
+                },
+            )
         }
         TopologyKind::Clos { .. } | TopologyKind::Butterfly { .. } | TopologyKind::Star { .. } => {
             indirect_layout(g, app, placement, switch_areas)
@@ -102,11 +107,7 @@ fn direct_layout(
     for s in g.switches() {
         let (row, col) = slot(g.coords(s));
         let area = switch_areas[&s];
-        let id = rp.add_block(
-            BlockSpec::soft(format!("sw_{s}"), area),
-            row,
-            2 * col + 1,
-        );
+        let id = rp.add_block(BlockSpec::soft(format!("sw_{s}"), area), row, 2 * col + 1);
         switch_block.insert(s, id);
         if let Some(core) = placement.core_at(s) {
             let spec = core_spec(app, core);
@@ -154,7 +155,9 @@ fn indirect_layout(
     let max_stage = stage_size.iter().copied().max().unwrap_or(1);
     // Layout rows: enough for the tallest stage and a near-square core
     // arrangement.
-    let rows = ((ports as f64).sqrt().ceil() as usize).max(max_stage).max(1);
+    let rows = ((ports as f64).sqrt().ceil() as usize)
+        .max(max_stage)
+        .max(1);
     let core_cols = ports.div_ceil(rows);
     let left_cols = core_cols.div_ceil(2);
 
@@ -302,7 +305,10 @@ mod tests {
         let lb = layout_blocks(&g, &app, &p, &areas(&g));
         assert_eq!(lb.switch_block.len(), 8);
         assert_eq!(lb.core_block.len(), 12);
-        let fp = lb.placement.floorplan().expect("butterfly layout floorplans");
+        let fp = lb
+            .placement
+            .floorplan()
+            .expect("butterfly layout floorplans");
         assert!(fp.chip_aspect() > 0.2 && fp.chip_aspect() < 5.0);
     }
 
@@ -323,7 +329,9 @@ mod tests {
         let p = identity_placement(&g, 12);
         let lb = layout_blocks(&g, &app, &p, &areas(&g));
         assert_eq!(lb.switch_block.len(), 16);
-        lb.placement.floorplan().expect("hypercube layout floorplans");
+        lb.placement
+            .floorplan()
+            .expect("hypercube layout floorplans");
     }
 
     #[test]

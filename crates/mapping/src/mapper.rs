@@ -359,8 +359,10 @@ mod tests {
     fn swaps_never_worsen_the_initial_mapping() {
         let vopd = benchmarks::vopd();
         let g = builders::mesh(3, 4, 500.0).unwrap();
-        let mut no_swaps = MapperConfig::default();
-        no_swaps.max_swap_passes = 0;
+        let no_swaps = MapperConfig {
+            max_swap_passes: 0,
+            ..MapperConfig::default()
+        };
         let base = Mapper::new(&g, &vopd, no_swaps).run().unwrap();
         let tuned = Mapper::new(&g, &vopd, MapperConfig::default())
             .run()
@@ -410,7 +412,10 @@ mod tests {
         let g = builders::mesh(2, 2, 500.0).unwrap();
         assert!(matches!(
             Mapper::new(&g, &vopd, MapperConfig::default()).run(),
-            Err(MappingError::TooManyCores { cores: 12, slots: 4 })
+            Err(MappingError::TooManyCores {
+                cores: 12,
+                slots: 4
+            })
         ));
         let empty = sunmap_traffic::CoreGraph::new();
         assert!(matches!(
@@ -423,12 +428,20 @@ mod tests {
     fn objectives_steer_the_search() {
         let vopd = benchmarks::vopd();
         let g = builders::mesh(3, 4, 500.0).unwrap();
-        let delay = Mapper::new(&g, &vopd, MapperConfig::new(RoutingFunction::MinPath, Objective::MinDelay))
-            .run()
-            .unwrap();
-        let power = Mapper::new(&g, &vopd, MapperConfig::new(RoutingFunction::MinPath, Objective::MinPower))
-            .run()
-            .unwrap();
+        let delay = Mapper::new(
+            &g,
+            &vopd,
+            MapperConfig::new(RoutingFunction::MinPath, Objective::MinDelay),
+        )
+        .run()
+        .unwrap();
+        let power = Mapper::new(
+            &g,
+            &vopd,
+            MapperConfig::new(RoutingFunction::MinPath, Objective::MinPower),
+        )
+        .run()
+        .unwrap();
         // The delay-optimised mapping is at least as good on delay.
         assert!(delay.report().avg_hops <= power.report().avg_hops + 1e-9);
         // The power-optimised mapping is at least as good on power.
@@ -439,8 +452,12 @@ mod tests {
     fn mapper_is_deterministic() {
         let vopd = benchmarks::vopd();
         let g = builders::torus(3, 4, 500.0).unwrap();
-        let a = Mapper::new(&g, &vopd, MapperConfig::default()).run().unwrap();
-        let b = Mapper::new(&g, &vopd, MapperConfig::default()).run().unwrap();
+        let a = Mapper::new(&g, &vopd, MapperConfig::default())
+            .run()
+            .unwrap();
+        let b = Mapper::new(&g, &vopd, MapperConfig::default())
+            .run()
+            .unwrap();
         assert_eq!(a.placement().assignment(), b.placement().assignment());
     }
 }

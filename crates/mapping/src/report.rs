@@ -4,7 +4,6 @@
 /// mapping algorithms can have many different objectives ... an input
 /// parameter to SUNMAP").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Objective {
     /// Minimise average communication delay (traffic-weighted switch
     /// hops).
@@ -37,7 +36,6 @@ impl std::fmt::Display for Objective {
 /// Feasibility constraints of the mapping (paper §4.1: bandwidth and
 /// area constraints).
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Constraints {
     /// Maximum allowed design area in mm², if any.
     pub max_area_mm2: Option<f64>,
@@ -89,7 +87,6 @@ impl Constraints {
 /// Every metric the paper reports for a mapping, produced by
 /// [`crate::evaluate`] (Fig. 5 steps 7–8).
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CostReport {
     /// Traffic-weighted average switch traversals per byte — the
     /// "avg hops" of paper Figs. 3d, 6a, 7b. Adjacent-switch

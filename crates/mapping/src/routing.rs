@@ -146,7 +146,10 @@ fn min_max_split(
         return None;
     }
     if candidates.len() == 1 {
-        return Some(vec![(candidates.into_iter().next().expect("one path"), 1.0)]);
+        return Some(vec![(
+            candidates.into_iter().next().expect("one path"),
+            1.0,
+        )]);
     }
     // Bottlenecks are judged on network links only: the infinite-capacity
     // core-attach edges are shared by every candidate and would mask the
@@ -167,8 +170,7 @@ fn min_max_split(
     for _ in 0..SPLIT_CHUNKS {
         let rank = |i: usize| -> (bool, usize, f64) {
             let over = edge_lists[i].iter().any(|&e| {
-                local[e] + chunk
-                    > g.edge(sunmap_topology::EdgeId(e)).capacity * (1.0 + 1e-9)
+                local[e] + chunk > g.edge(sunmap_topology::EdgeId(e)).capacity * (1.0 + 1e-9)
             });
             let bottleneck = edge_lists[i]
                 .iter()
@@ -289,7 +291,8 @@ mod tests {
         let a = g.port(0).unwrap();
         let b = g.port(7).unwrap();
         let loads = zero_loads(&g);
-        let routed = route_commodity(&g, a, b, RoutingFunction::SplitMinPaths, &loads, 100.0).unwrap();
+        let routed =
+            route_commodity(&g, a, b, RoutingFunction::SplitMinPaths, &loads, 100.0).unwrap();
         assert_eq!(routed.len(), 4, "one path per middle switch");
     }
 

@@ -81,9 +81,24 @@ fn routing_freedom_orders_max_link_load_on_fixed_placement() {
         let eval = evaluate(&g, &app, placement.clone(), rf, &mut lib, &relaxed).unwrap();
         loads.push(eval.report.max_link_load);
     }
-    assert!(loads[0] >= loads[1] - 1e-6, "DO {} < MP {}", loads[0], loads[1]);
-    assert!(loads[1] >= loads[2] - 1e-6, "MP {} < SM {}", loads[1], loads[2]);
-    assert!(loads[2] >= loads[3] - 1e-6, "SM {} < SA {}", loads[2], loads[3]);
+    assert!(
+        loads[0] >= loads[1] - 1e-6,
+        "DO {} < MP {}",
+        loads[0],
+        loads[1]
+    );
+    assert!(
+        loads[1] >= loads[2] - 1e-6,
+        "MP {} < SM {}",
+        loads[1],
+        loads[2]
+    );
+    assert!(
+        loads[2] >= loads[3] - 1e-6,
+        "SM {} < SA {}",
+        loads[2],
+        loads[3]
+    );
 }
 
 #[test]
@@ -134,8 +149,7 @@ fn mapping_all_benchmarks_on_their_best_topologies() {
     for (app, cap, rf) in cases {
         let mut any = false;
         for g in builders::standard_library(app.core_count(), cap).unwrap() {
-            if let Ok(m) = Mapper::new(&g, &app, MapperConfig::new(rf, Objective::MinDelay)).run()
-            {
+            if let Ok(m) = Mapper::new(&g, &app, MapperConfig::new(rf, Objective::MinDelay)).run() {
                 assert!(m.report().feasible());
                 any = true;
             }
@@ -194,11 +208,17 @@ fn scales_to_a_64_core_soc() {
         max_swap_passes: 0,
         ..MapperConfig::default()
     };
-    let mapping = Mapper::new(&g, &app, cfg).run().expect("64-core greedy mapping");
+    let mapping = Mapper::new(&g, &app, cfg)
+        .run()
+        .expect("64-core greedy mapping");
     let r = mapping.report();
     assert!(r.feasible());
     assert!(r.avg_hops >= 2.0);
     // Greedy placement keeps the ring local: far below the 5.33 hops a
     // random placement would average on an 8x8 mesh.
-    assert!(r.avg_hops < 4.0, "greedy ring placement too loose: {}", r.avg_hops);
+    assert!(
+        r.avg_hops < 4.0,
+        "greedy ring placement too loose: {}",
+        r.avg_hops
+    );
 }

@@ -124,10 +124,42 @@ mod tests {
         let t = Technology::um_0_10();
         let base = SwitchConfig::symmetric(4);
         let a = switch_area(base, t);
-        assert!(switch_area(SwitchConfig { in_ports: 5, ..base }, t) > a);
-        assert!(switch_area(SwitchConfig { out_ports: 5, ..base }, t) > a);
-        assert!(switch_area(SwitchConfig { flit_width: 64, ..base }, t) > a);
-        assert!(switch_area(SwitchConfig { buffer_depth: 8, ..base }, t) > a);
+        assert!(
+            switch_area(
+                SwitchConfig {
+                    in_ports: 5,
+                    ..base
+                },
+                t
+            ) > a
+        );
+        assert!(
+            switch_area(
+                SwitchConfig {
+                    out_ports: 5,
+                    ..base
+                },
+                t
+            ) > a
+        );
+        assert!(
+            switch_area(
+                SwitchConfig {
+                    flit_width: 64,
+                    ..base
+                },
+                t
+            ) > a
+        );
+        assert!(
+            switch_area(
+                SwitchConfig {
+                    buffer_depth: 8,
+                    ..base
+                },
+                t
+            ) > a
+        );
         assert!(
             switch_area(
                 SwitchConfig {

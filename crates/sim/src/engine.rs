@@ -155,7 +155,8 @@ impl<'a> NocSimulator<'a> {
         self.reset();
         let n = self.terminals.len();
         let packet_prob = injection_rate / self.config.packet_flits as f64;
-        let total = self.config.warmup_cycles + self.config.measure_cycles + self.config.drain_cycles;
+        let total =
+            self.config.warmup_cycles + self.config.measure_cycles + self.config.drain_cycles;
         let inject_until = self.config.warmup_cycles + self.config.measure_cycles;
         while self.now < total {
             self.eject();
@@ -183,7 +184,12 @@ impl<'a> NocSimulator<'a> {
     /// commodity injects packets at a rate proportional to its bandwidth
     /// demand, scaled so the heaviest commodity injects `intensity`
     /// flits per cycle, over the paths the mapping evaluation selected.
-    pub fn run_trace(&mut self, eval: &Evaluation, app: &CoreGraph, intensity: f64) -> LatencyStats {
+    pub fn run_trace(
+        &mut self,
+        eval: &Evaluation,
+        app: &CoreGraph,
+        intensity: f64,
+    ) -> LatencyStats {
         self.reset();
         let max_bw = app
             .commodities()
@@ -208,7 +214,8 @@ impl<'a> NocSimulator<'a> {
             .iter()
             .map(|r| Trace {
                 terminal: term_index[&r.src_node],
-                packet_prob: (intensity * r.commodity.bandwidth / max_bw
+                packet_prob: (intensity * r.commodity.bandwidth
+                    / max_bw
                     / self.config.packet_flits as f64)
                     .clamp(0.0, 1.0),
                 routes: r
@@ -218,7 +225,8 @@ impl<'a> NocSimulator<'a> {
                     .collect(),
             })
             .collect();
-        let total = self.config.warmup_cycles + self.config.measure_cycles + self.config.drain_cycles;
+        let total =
+            self.config.warmup_cycles + self.config.measure_cycles + self.config.drain_cycles;
         let inject_until = self.config.warmup_cycles + self.config.measure_cycles;
         while self.now < total {
             self.eject();
@@ -435,7 +443,11 @@ impl<'a> NocSimulator<'a> {
                 self.edge_flits[e] += 1;
             }
             self.rr[e] = self.rr[e].wrapping_add(1);
-            self.owner[e] = if flit.is_tail { None } else { Some(flit.packet) };
+            self.owner[e] = if flit.is_tail {
+                None
+            } else {
+                Some(flit.packet)
+            };
             flit.hop += 1;
             let arrived = flit.path[flit.hop];
             // A flit reaching its destination core port leaves the
@@ -535,7 +547,10 @@ mod tests {
         );
         // Zero-load-ish latency: a couple of switch traversals plus
         // serialization of a 4-flit packet.
-        assert!(stats.avg_latency > 4.0 && stats.avg_latency < 30.0, "{stats}");
+        assert!(
+            stats.avg_latency > 4.0 && stats.avg_latency < 30.0,
+            "{stats}"
+        );
     }
 
     #[test]
@@ -590,7 +605,9 @@ mod tests {
     fn trace_driven_vopd_runs() {
         let g = builders::mesh(3, 4, 500.0).unwrap();
         let app = benchmarks::vopd();
-        let mapping = Mapper::new(&g, &app, MapperConfig::default()).run().unwrap();
+        let mapping = Mapper::new(&g, &app, MapperConfig::default())
+            .run()
+            .unwrap();
         let mut sim = NocSimulator::new(&g, SimConfig::fast());
         let stats = sim.run_trace(mapping.evaluation(), &app, 0.2);
         assert!(stats.packets_delivered > 0);

@@ -95,10 +95,7 @@ mod tests {
     fn paper_fig2b_wiring_2ary_3fly() {
         let g = butterfly(2, 3, 500.0).unwrap();
         let s0 = g.switch_at_stage(0, 0).unwrap();
-        let targets: Vec<_> = g
-            .switch_neighbors(s0)
-            .map(|t| g.coords(t))
-            .collect();
+        let targets: Vec<_> = g.switch_neighbors(s0).map(|t| g.coords(t)).collect();
         assert!(targets.contains(&NodeCoords::Stage { stage: 1, index: 0 }));
         assert!(targets.contains(&NodeCoords::Stage { stage: 1, index: 2 }));
         let s1 = g.switch_at_stage(1, 0).unwrap();

@@ -108,8 +108,20 @@ mod tests {
             let p = g.port(i).unwrap();
             let ing = g.ingress_switch(p).unwrap();
             let eg = g.egress_switch(p).unwrap();
-            assert_eq!(g.coords(ing), NodeCoords::Stage { stage: 0, index: i / 4 });
-            assert_eq!(g.coords(eg), NodeCoords::Stage { stage: 2, index: i / 4 });
+            assert_eq!(
+                g.coords(ing),
+                NodeCoords::Stage {
+                    stage: 0,
+                    index: i / 4
+                }
+            );
+            assert_eq!(
+                g.coords(eg),
+                NodeCoords::Stage {
+                    stage: 2,
+                    index: i / 4
+                }
+            );
         }
     }
 

@@ -88,8 +88,14 @@ mod tests {
     #[test]
     fn paper_example_node2_adjacent_node6() {
         let g = hypercube(3, 500.0).unwrap();
-        let n2 = g.nodes().find(|n| g.coords(*n) == NodeCoords::Hyper { label: 2 }).unwrap();
-        let n6 = g.nodes().find(|n| g.coords(*n) == NodeCoords::Hyper { label: 6 }).unwrap();
+        let n2 = g
+            .nodes()
+            .find(|n| g.coords(*n) == NodeCoords::Hyper { label: 2 })
+            .unwrap();
+        let n6 = g
+            .nodes()
+            .find(|n| g.coords(*n) == NodeCoords::Hyper { label: 6 })
+            .unwrap();
         assert!(g.find_edge(n2, n6).is_some());
     }
 

@@ -132,9 +132,7 @@ pub fn build(kind: TopologyKind, link_capacity: f64) -> Result<TopologyGraph, To
             ports,
             middle,
         } => clos(ingress, ports, middle, link_capacity),
-        TopologyKind::Butterfly { radix, stages } => {
-            butterfly(radix, stages, link_capacity)
-        }
+        TopologyKind::Butterfly { radix, stages } => butterfly(radix, stages, link_capacity),
         TopologyKind::Octagon => octagon(link_capacity),
         TopologyKind::Star { ports } => star(ports, link_capacity),
         TopologyKind::Custom { tag } => Err(TopologyError::NotMappable(tag as usize)),

@@ -40,11 +40,7 @@ use crate::{NodeCoords, NodeId, TopologyError, TopologyGraph, TopologyKind};
 /// assert_eq!(route.len(), 5);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub fn route(
-    g: &TopologyGraph,
-    src: NodeId,
-    dst: NodeId,
-) -> Result<Vec<NodeId>, TopologyError> {
+pub fn route(g: &TopologyGraph, src: NodeId, dst: NodeId) -> Result<Vec<NodeId>, TopologyError> {
     if !g.mappable_nodes().contains(&src) {
         return Err(TopologyError::NotMappable(src.index()));
     }
@@ -66,8 +62,9 @@ pub fn route(
         TopologyKind::Star { .. } => {
             shortest_path(g, src, dst, None).expect("star ports are connected")
         }
-        TopologyKind::Custom { .. } => shortest_path(g, src, dst, None)
-            .ok_or(TopologyError::NotMappable(dst.index()))?,
+        TopologyKind::Custom { .. } => {
+            shortest_path(g, src, dst, None).ok_or(TopologyError::NotMappable(dst.index()))?
+        }
     })
 }
 

@@ -59,7 +59,10 @@ mod tests {
             value: 0,
         };
         assert!(e.to_string().contains("rows"));
-        let e = TopologyError::TooManyCores { cores: 20, slots: 16 };
+        let e = TopologyError::TooManyCores {
+            cores: 20,
+            slots: 16,
+        };
         assert!(e.to_string().contains("20"));
         assert!(e.to_string().contains("16"));
     }

@@ -134,7 +134,10 @@ impl TopologyGraph {
 
     /// Number of switch vertices.
     pub fn switch_count(&self) -> usize {
-        self.kinds.iter().filter(|k| **k == NodeKind::Switch).count()
+        self.kinds
+            .iter()
+            .filter(|k| **k == NodeKind::Switch)
+            .count()
     }
 
     /// Number of physical channels between switches. A bidirectional
@@ -212,12 +215,14 @@ impl TopologyGraph {
 
     /// All switch vertices.
     pub fn switches(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes().filter(|n| self.node_kind(*n) == NodeKind::Switch)
+        self.nodes()
+            .filter(|n| self.node_kind(*n) == NodeKind::Switch)
     }
 
     /// All core-port vertices (empty for direct topologies).
     pub fn core_ports(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes().filter(|n| self.node_kind(*n) == NodeKind::CorePort)
+        self.nodes()
+            .filter(|n| self.node_kind(*n) == NodeKind::CorePort)
     }
 
     /// Vertices cores may be mapped onto: switches for direct topologies,
@@ -247,7 +252,9 @@ impl TopologyGraph {
 
     /// Successor vertices of `node` (over directed edges).
     pub fn successors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.out_adj[node.index()].iter().map(|e| self.edges[e.index()].dst)
+        self.out_adj[node.index()]
+            .iter()
+            .map(|e| self.edges[e.index()].dst)
     }
 
     /// Neighbouring *switches* of a switch, ignoring core-attach links.

@@ -233,7 +233,16 @@ pub fn all_simple_paths(
     let mut out = Vec::new();
     let mut stack = vec![src];
     let mut on_path: HashSet<NodeId> = HashSet::from([src]);
-    simple_dfs(g, dst, allowed, max_len, cap, &mut stack, &mut on_path, &mut out);
+    simple_dfs(
+        g,
+        dst,
+        allowed,
+        max_len,
+        cap,
+        &mut stack,
+        &mut on_path,
+        &mut out,
+    );
     out
 }
 

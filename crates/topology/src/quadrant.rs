@@ -83,7 +83,7 @@ fn ring_arc(a: usize, b: usize, len: usize) -> Vec<usize> {
     }
     let fwd = (b + len - a) % len; // distance going "up" with wrap
     let bwd = (a + len - b) % len;
-    let direct = if a <= b { b - a } else { a - b };
+    let direct = b.abs_diff(a);
     let wrap = len - direct;
     if direct <= wrap {
         let (lo, hi) = (a.min(b), a.max(b));

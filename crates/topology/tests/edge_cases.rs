@@ -7,9 +7,8 @@ fn multistage_networks_are_one_directional() {
     // Traffic in a butterfly/Clos flows ingress -> egress only: over
     // the switch fabric alone (the folded core ports are endpoints, not
     // through-routes), a later stage cannot reach an earlier one.
-    let switch_only = |g: &sunmap_topology::TopologyGraph| -> paths::AllowedSet {
-        g.switches().collect()
-    };
+    let switch_only =
+        |g: &sunmap_topology::TopologyGraph| -> paths::AllowedSet { g.switches().collect() };
     let g = builders::butterfly(4, 2, 500.0).unwrap();
     let s0 = g.switch_at_stage(0, 0).unwrap();
     let s1 = g.switch_at_stage(1, 0).unwrap();

@@ -26,16 +26,16 @@ pub fn vopd() -> CoreGraph {
     graph_from_tables(
         &[
             ("vld", 2.5),
-            ("rld", 2.0),       // run-length decoder
-            ("iscan", 2.0),     // inverse scan
-            ("acdc", 3.0),      // AC/DC prediction
-            ("smem", 6.0),      // stripe memory
+            ("rld", 2.0),   // run-length decoder
+            ("iscan", 2.0), // inverse scan
+            ("acdc", 3.0),  // AC/DC prediction
+            ("smem", 6.0),  // stripe memory
             ("iquant", 2.5),
             ("idct", 4.0),
             ("upsamp", 3.5),
-            ("vopr", 4.0),      // VOP reconstruction
-            ("pad", 2.5),       // padding
-            ("vopm", 8.0),      // VOP memory
+            ("vopr", 4.0), // VOP reconstruction
+            ("pad", 2.5),  // padding
+            ("vopm", 8.0), // VOP memory
             ("arm", 10.0),
         ],
         &[
@@ -76,14 +76,14 @@ pub fn vopd() -> CoreGraph {
 pub fn mpeg4() -> CoreGraph {
     graph_from_tables(
         &[
-            ("vu", 3.0),        // video unit
-            ("au", 2.0),        // audio unit
-            ("cpumed", 8.0),    // media CPU
-            ("rast", 3.0),      // rasterizer
-            ("adsp", 5.0),      // audio DSP
+            ("vu", 3.0),     // video unit
+            ("au", 2.0),     // audio unit
+            ("cpumed", 8.0), // media CPU
+            ("rast", 3.0),   // rasterizer
+            ("adsp", 5.0),   // audio DSP
             ("idct_etc", 5.0),
             ("upsamp", 3.0),
-            ("bab", 3.0),       // binary alpha blocks
+            ("bab", 3.0), // binary alpha blocks
             ("risc", 8.0),
             ("sram1", 5.0),
             ("sram2", 5.0),
@@ -214,9 +214,7 @@ mod tests {
         assert_eq!(top[1].bandwidth, 600.0);
         let fft = g.core_by_name("fft").unwrap();
         let filter = g.core_by_name("filter").unwrap();
-        assert!(top[..2]
-            .iter()
-            .any(|c| c.src == fft && c.dst == filter));
+        assert!(top[..2].iter().any(|c| c.src == fft && c.dst == filter));
     }
 
     #[test]

@@ -4,7 +4,6 @@ use std::collections::HashMap;
 
 /// Index of a core in a [`CoreGraph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CoreId(pub usize);
 
 impl CoreId {
@@ -30,7 +29,6 @@ impl From<usize> for CoreId {
 /// area/power as tool inputs (§5); we carry area (for floorplanning)
 /// and an aspect-ratio flexibility flag (soft vs hard block).
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Core {
     /// Human-readable core name ("vld", "sdram", ...).
     pub name: String,
@@ -45,7 +43,6 @@ pub struct Core {
 /// A single-commodity flow `d_k` (paper Eq. 2): one directed core-graph
 /// edge with its bandwidth value `vl(d_k) = comm_{i,j}`.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Commodity {
     /// Producing core (`source(d_k)` before mapping).
     pub src: CoreId,
@@ -102,7 +99,6 @@ impl std::error::Error for TrafficError {}
 /// # Ok::<(), sunmap_traffic::TrafficError>(())
 /// ```
 #[derive(Debug, Clone, Default, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CoreGraph {
     cores: Vec<Core>,
     edges: Vec<Commodity>,
@@ -173,11 +169,7 @@ impl CoreGraph {
         if !(bandwidth.is_finite() && bandwidth > 0.0) {
             return Err(TrafficError::InvalidBandwidth(bandwidth));
         }
-        if let Some(existing) = self
-            .edges
-            .iter_mut()
-            .find(|e| e.src == src && e.dst == dst)
-        {
+        if let Some(existing) = self.edges.iter_mut().find(|e| e.src == src && e.dst == dst) {
             existing.bandwidth += bandwidth;
         } else {
             self.edges.push(Commodity {
@@ -215,10 +207,7 @@ impl CoreGraph {
 
     /// Looks a core up by name.
     pub fn core_by_name(&self, name: &str) -> Option<CoreId> {
-        self.cores
-            .iter()
-            .position(|c| c.name == name)
-            .map(CoreId)
+        self.cores.iter().position(|c| c.name == name).map(CoreId)
     }
 
     /// The commodity set `D`, sorted by decreasing bandwidth — the order
@@ -258,16 +247,14 @@ impl CoreGraph {
     ///
     /// Returns `None` for an empty graph.
     pub fn max_communication_core(&self) -> Option<CoreId> {
-        (0..self.core_count())
-            .map(CoreId)
-            .max_by(|a, b| {
-                self.communication_of(*a)
-                    .partial_cmp(&self.communication_of(*b))
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    // Deterministic tie-break: lower id wins (max_by keeps
-                    // the last maximal element, so order the tie that way).
-                    .then_with(|| b.cmp(a))
-            })
+        (0..self.core_count()).map(CoreId).max_by(|a, b| {
+            self.communication_of(*a)
+                .partial_cmp(&self.communication_of(*b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                // Deterministic tie-break: lower id wins (max_by keeps
+                // the last maximal element, so order the tie that way).
+                .then_with(|| b.cmp(a))
+        })
     }
 
     /// Bandwidth communicated between `core` and a set of placed cores
@@ -334,10 +321,7 @@ impl FromIterator<(String, f64)> for CoreGraph {
 ///
 /// Panics on unknown names, self-edges or invalid values — intended for
 /// statically known benchmark tables.
-pub(crate) fn graph_from_tables(
-    cores: &[(&str, f64)],
-    traffic: &[(&str, &str, f64)],
-) -> CoreGraph {
+pub(crate) fn graph_from_tables(cores: &[(&str, f64)], traffic: &[(&str, &str, f64)]) -> CoreGraph {
     let mut g = CoreGraph::new();
     let mut ids = HashMap::new();
     for (name, area) in cores {
@@ -346,7 +330,8 @@ pub(crate) fn graph_from_tables(
     for (src, dst, bw) in traffic {
         let s = ids[src];
         let d = ids[dst];
-        g.add_traffic(s, d, *bw).expect("benchmark tables are valid");
+        g.add_traffic(s, d, *bw)
+            .expect("benchmark tables are valid");
     }
     g
 }

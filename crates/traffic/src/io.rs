@@ -163,18 +163,18 @@ pub fn parse_app(text: &str) -> Result<CoreGraph, ParseAppError> {
                         expected: 4,
                     });
                 }
-                let src = app
-                    .core_by_name(fields[1])
-                    .ok_or_else(|| ParseAppError::UnknownCore {
-                        line,
-                        name: fields[1].to_string(),
-                    })?;
-                let dst = app
-                    .core_by_name(fields[2])
-                    .ok_or_else(|| ParseAppError::UnknownCore {
-                        line,
-                        name: fields[2].to_string(),
-                    })?;
+                let src =
+                    app.core_by_name(fields[1])
+                        .ok_or_else(|| ParseAppError::UnknownCore {
+                            line,
+                            name: fields[1].to_string(),
+                        })?;
+                let dst =
+                    app.core_by_name(fields[2])
+                        .ok_or_else(|| ParseAppError::UnknownCore {
+                            line,
+                            name: fields[2].to_string(),
+                        })?;
                 let bw: f64 = fields[3].parse().map_err(|_| ParseAppError::BadNumber {
                     line,
                     text: fields[3].to_string(),
@@ -197,7 +197,12 @@ pub fn parse_app(text: &str) -> Result<CoreGraph, ParseAppError> {
 /// round-trips through [`parse_app`].
 pub fn write_app(app: &CoreGraph) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "# {} cores, {} flows", app.core_count(), app.edge_count());
+    let _ = writeln!(
+        out,
+        "# {} cores, {} flows",
+        app.core_count(),
+        app.edge_count()
+    );
     for (_, core) in app.cores() {
         if core.soft {
             let _ = writeln!(out, "core {} {}", core.name, core.area);

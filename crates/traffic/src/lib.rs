@@ -28,8 +28,8 @@
 //! ```
 
 pub mod benchmarks;
-pub mod io;
 mod core_graph;
+pub mod io;
 pub mod patterns;
 
 pub use core_graph::{Commodity, Core, CoreGraph, CoreId, TrafficError};

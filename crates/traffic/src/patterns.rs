@@ -92,7 +92,7 @@ impl TrafficPattern {
             }
             TrafficPattern::Tornado => (src + n / 2 - 1 + n) % n,
             TrafficPattern::Hotspot { target, per_mille } => {
-                if rng.gen_range(0..1000) < *per_mille {
+                if rng.gen_range(0u32..1000) < *per_mille {
                     *target
                 } else {
                     if n < 2 {

@@ -12,9 +12,7 @@
 
 use sunmap::topology::builders;
 use sunmap::traffic::benchmarks;
-use sunmap::{
-    pareto_exploration, routing_bandwidth_sweep, Objective, RoutingFunction, Sunmap,
-};
+use sunmap::{pareto_exploration, routing_bandwidth_sweep, Objective, RoutingFunction, Sunmap};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mpeg4 = benchmarks::mpeg4();
@@ -49,7 +47,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n=== Fig. 9(b): area-power Pareto points (mesh mappings) ===");
     let (points, front) = pareto_exploration(&mpeg4, &mesh);
-    println!("  explored {} mappings, {} Pareto-optimal:", points.len(), front.len());
+    println!(
+        "  explored {} mappings, {} Pareto-optimal:",
+        points.len(),
+        front.len()
+    );
     for p in &front {
         println!("  {:>8.2} mm2  {:>8.1} mW   [{}]", p.x, p.y, p.label);
     }

@@ -28,10 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .constraints(Constraints::relaxed_bandwidth())
         .build();
     let ex = tool.explore()?;
-    println!(
-        "{:<10} {:>11} {:>11}",
-        "Topo", "area (mm2)", "power (mW)"
-    );
+    println!("{:<10} {:>11} {:>11}", "Topo", "area (mm2)", "power (mW)");
     for c in &ex.candidates {
         if let Some(r) = c.report() {
             println!(

@@ -6,9 +6,7 @@
 use sunmap::sim::{adversarial_pattern, NocSimulator, SimConfig};
 use sunmap::topology::builders;
 use sunmap::traffic::benchmarks;
-use sunmap::{
-    routing_bandwidth_sweep, Constraints, Objective, RoutingFunction, Sunmap,
-};
+use sunmap::{routing_bandwidth_sweep, Constraints, Objective, RoutingFunction, Sunmap};
 
 fn vopd_exploration() -> sunmap::Exploration {
     Sunmap::builder(benchmarks::vopd())
@@ -32,7 +30,10 @@ fn fig3d_torus_trades_hops_for_area_and_power() {
         "hop advantage should be modest (paper: 10%)"
     );
     assert!(torus.design_area > mesh.design_area, "mesh wins area");
-    assert!(torus.power_mw > 1.1 * mesh.power_mw, "mesh wins power by >10%");
+    assert!(
+        torus.power_mw > 1.1 * mesh.power_mw,
+        "mesh wins power by >10%"
+    );
     assert!(torus.power_mw < 1.6 * mesh.power_mw, "but not absurdly");
 }
 
@@ -183,9 +184,10 @@ fn fig10c_butterfly_has_minimum_simulated_latency_for_dsp() {
     };
     let mut latencies = Vec::new();
     for c in &ex.candidates {
-        let mapping = c.outcome.as_ref().unwrap_or_else(|e| {
-            panic!("{} should be feasible at 1 GB/s links: {e}", c.kind)
-        });
+        let mapping = c
+            .outcome
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{} should be feasible at 1 GB/s links: {e}", c.kind));
         let mut sim = NocSimulator::new(&c.graph, cfg);
         let stats = sim.run_trace(mapping.evaluation(), &app, 0.45);
         latencies.push((c.kind.name(), stats.avg_latency));

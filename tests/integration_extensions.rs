@@ -83,13 +83,19 @@ fn octagon_full_flow_generates_components() {
 fn extension_topologies_simulate() {
     let oct = builders::octagon(500.0).unwrap();
     let mut sim = NocSimulator::new(&oct, SimConfig::fast());
-    let stats = sim.run_synthetic(&sunmap::traffic::patterns::TrafficPattern::UniformRandom, 0.1);
+    let stats = sim.run_synthetic(
+        &sunmap::traffic::patterns::TrafficPattern::UniformRandom,
+        0.1,
+    );
     assert!(stats.packets_delivered > 0);
     assert!(stats.delivery_ratio() > 0.95);
 
     let star = builders::star(8, 500.0).unwrap();
     let mut sim = NocSimulator::new(&star, SimConfig::fast());
-    let stats = sim.run_synthetic(&sunmap::traffic::patterns::TrafficPattern::UniformRandom, 0.1);
+    let stats = sim.run_synthetic(
+        &sunmap::traffic::patterns::TrafficPattern::UniformRandom,
+        0.1,
+    );
     assert!(stats.packets_delivered > 0, "{stats}");
     // Star zero-ish load latency: one switch, very low.
     assert!(stats.avg_latency < 20.0, "{stats}");

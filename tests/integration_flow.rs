@@ -108,7 +108,10 @@ fn single_core_application_maps_trivially() {
 
 #[test]
 fn technology_scaling_propagates_to_reports() {
-    let fine = Sunmap::builder(benchmarks::vopd()).build().explore().unwrap();
+    let fine = Sunmap::builder(benchmarks::vopd())
+        .build()
+        .explore()
+        .unwrap();
     let coarse = Sunmap::builder(benchmarks::vopd())
         .technology(sunmap::power::Technology::um_0_18())
         .build()

@@ -15,10 +15,7 @@ use sunmap::{pareto_front, Mapper, MapperConfig, ParetoPoint, RoutingFunction};
 fn arb_app(max_cores: usize) -> impl Strategy<Value = CoreGraph> {
     (2..=max_cores)
         .prop_flat_map(|n| {
-            let edges = proptest::collection::vec(
-                (0..n, 0..n, 1.0f64..400.0),
-                1..(2 * n).min(12),
-            );
+            let edges = proptest::collection::vec((0..n, 0..n, 1.0f64..400.0), 1..(2 * n).min(12));
             (Just(n), edges)
         })
         .prop_map(|(n, edges)| {

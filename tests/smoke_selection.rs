@@ -1,0 +1,42 @@
+//! Workspace smoke test for the paper's headline result (§6.1): the
+//! VOPD benchmark, explored over the full topology library under the
+//! minimum-power objective, selects the butterfly.
+//!
+//! This is the core crate's doctest quickstart promoted to a real
+//! integration test so the end-to-end claim is exercised by `cargo
+//! test` even when doctests are skipped.
+
+use sunmap::traffic::benchmarks;
+use sunmap::{Objective, RoutingFunction, Sunmap};
+
+#[test]
+fn vopd_min_power_selects_butterfly() {
+    let tool = Sunmap::builder(benchmarks::vopd())
+        .link_capacity(500.0)
+        .routing(RoutingFunction::MinPath)
+        .objective(Objective::MinPower)
+        .build();
+
+    let exploration = tool
+        .explore()
+        .expect("the standard library builds for VOPD");
+    let best = exploration
+        .best_candidate()
+        .expect("VOPD maps feasibly onto at least one topology");
+
+    assert_eq!(
+        best.kind.name(),
+        "Butterfly",
+        "§6.1: the butterfly must win for VOPD under MinPower"
+    );
+
+    // The winning candidate must carry a feasible, fully costed report.
+    let report = best
+        .outcome
+        .as_ref()
+        .expect("winning candidate has a mapping")
+        .report();
+    assert!(report.feasible(), "selected topology must meet constraints");
+    assert!(report.power_mw > 0.0, "power estimate must be positive");
+    assert!(report.design_area > 0.0, "area estimate must be positive");
+}

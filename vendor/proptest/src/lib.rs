@@ -1,0 +1,141 @@
+//! Minimal, offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate implements the subset of proptest that SUNMAP's property
+//! tests use: the [`Strategy`] trait with `prop_map` / `prop_flat_map`,
+//! range and tuple strategies, [`collection::vec`], [`strategy::Just`],
+//! and the [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] /
+//! [`prop_assume!`] macros.
+//!
+//! Differences from real proptest: no shrinking (a failing case is
+//! reported with its case number and message only), and generation is
+//! deterministic per test name so failures reproduce exactly.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the current
+/// case (instead of panicking the whole runner) when it is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "{}", concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{}` == `{}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+}
+
+/// Rejects the current case (it is regenerated, not counted as a run)
+/// when the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...)` item
+/// becomes a `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            ));
+            let strategy = ($($strat,)+);
+            let mut passed: u32 = 0;
+            let mut attempts: u32 = 0;
+            let max_attempts = config
+                .cases
+                .saturating_mul(config.max_global_rejects)
+                .max(config.cases);
+            while passed < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= max_attempts,
+                    "proptest '{}': too many rejected cases ({} attempts for {} passes)",
+                    stringify!($name),
+                    attempts,
+                    passed
+                );
+                let ($($arg,)+) =
+                    $crate::strategy::Strategy::generate(&strategy, &mut rng);
+                let outcome = (|| -> $crate::test_runner::TestCaseResult {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => passed += 1,
+                    ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(_),
+                    ) => {}
+                    ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(message),
+                    ) => {
+                        panic!(
+                            "proptest '{}' failed at case {}: {}",
+                            stringify!($name),
+                            passed,
+                            message
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}

@@ -1,0 +1,223 @@
+//! Minimal, offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate provides the (small) API subset SUNMAP actually uses:
+//! [`Rng::gen_range`], [`Rng::gen_bool`], [`SeedableRng::seed_from_u64`]
+//! and [`rngs::SmallRng`]. The generator is `xoshiro256++` seeded via
+//! SplitMix64 — the same construction the real `SmallRng` uses on
+//! 64-bit targets — so statistical quality is adequate for simulation
+//! workloads. It is **not** cryptographically secure.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// A random number generator seedable from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed (SplitMix64 expansion).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a range by an [`Rng`].
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from `self`.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// High-level sampling methods, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a uniform value from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        // 53 random mantissa bits, exactly like rand's `f64` sampling.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),+) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end - self.start) as u64;
+                // Debiased multiply-shift rejection (Lemire's method).
+                loop {
+                    let x = rng.next_u64();
+                    let hi = ((x as u128 * span as u128) >> 64) as u64;
+                    let lo = (x as u128 * span as u128) as u64;
+                    if lo >= span || lo >= span.wrapping_neg() % span {
+                        return self.start + hi as $t;
+                    }
+                }
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty inclusive range in gen_range");
+                // Span arithmetic stays in u64 so `end == T::MAX` never
+                // overflows; the one span that doesn't fit (MIN..=MAX of
+                // a 64-bit type) is the trivial full-range draw.
+                if (end - start) as u64 == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let span = (end - start) as u64 + 1;
+                let offset = SampleRange::sample_single(0u64..span, rng);
+                start + offset as $t
+            }
+        }
+    )+};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_sample_range {
+    ($($t:ty => $u:ty),+) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = self.end.wrapping_sub(self.start) as $u as u64;
+                let offset = SampleRange::sample_single(0u64..span, rng);
+                self.start.wrapping_add(offset as $t)
+            }
+        }
+    )+};
+}
+
+signed_sample_range!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        let unit = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic PRNG (`xoshiro256++`).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(mut state: u64) -> Self {
+            // SplitMix64 seed expansion, as recommended by the xoshiro
+            // authors (and used by rand's seed_from_u64).
+            let mut next = || {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let f: f64 = rng.gen_range(-2.0..3.5);
+            assert!((-2.0..3.5).contains(&f));
+            let i = rng.gen_range(-5i32..5);
+            assert!((-5..5).contains(&i));
+            let inc = rng.gen_range(1usize..=4);
+            assert!((1..=4).contains(&inc));
+        }
+    }
+
+    #[test]
+    fn inclusive_ranges_reach_type_max() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut saw_max = false;
+        for _ in 0..10_000 {
+            let v = rng.gen_range(1u8..=u8::MAX);
+            assert!(v >= 1);
+            saw_max |= v == u8::MAX;
+        }
+        assert!(saw_max, "u8::MAX must be reachable");
+        let w = rng.gen_range(0u64..=u64::MAX);
+        let _ = w; // full-range draw must not panic
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.25)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}
