@@ -4,7 +4,7 @@
 
 CARGO ?= cargo
 
-.PHONY: all build test bench lint fmt ci clean
+.PHONY: all build test bench bench-smoke lint fmt ci clean
 
 all: build
 
@@ -24,6 +24,13 @@ bench:
 bench-run:
 	$(CARGO) bench --workspace
 
+## Smoke-run the mapping-speed bench: each benchmark body executes once
+## under the vendored criterion's --test mode (no warm-up, no sampling),
+## so CI verifies the bench actually runs without paying for
+## measurement.
+bench-smoke:
+	$(CARGO) bench --bench mapping_speed -- --test
+
 ## Formatting + clippy, both as hard errors, matching the CI gates.
 lint:
 	$(CARGO) fmt --all -- --check
@@ -34,7 +41,7 @@ fmt:
 	$(CARGO) fmt --all
 
 ## Everything CI gates on, in CI's order.
-ci: lint build test bench
+ci: lint build test bench bench-smoke
 
 clean:
 	$(CARGO) clean

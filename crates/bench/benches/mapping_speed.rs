@@ -3,15 +3,22 @@
 //! workstation".
 //!
 //! This bench times the full selection flow (phases 1+2 over the whole
-//! topology library) for each of the paper's applications, plus the
-//! phase-3 generation step. On modern hardware the flow completes in
-//! milliseconds-to-seconds; the shape to reproduce is simply
-//! "interactive-scale, not overnight-scale".
+//! topology library) for each of the paper's applications, plus a
+//! *scaling* group driving the mapper's swap search on synthetic 8×8
+//! and 10×10 mesh workloads built from [`sunmap::traffic::patterns`],
+//! reported as candidate-evaluations/second. On modern hardware the
+//! paper apps complete in milliseconds; the synthetic workloads show
+//! how the cached evaluation engine holds up far beyond the paper's
+//! 12–16 core benchmarks.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 use std::hint::black_box;
-use sunmap::traffic::benchmarks;
-use sunmap::traffic::CoreGraph;
+use sunmap::mapping::{Constraints, Mapper, MapperConfig};
+use sunmap::topology::builders;
+use sunmap::traffic::patterns::TrafficPattern;
+use sunmap::traffic::{benchmarks, CoreGraph};
 use sunmap::{Objective, RoutingFunction, Sunmap};
 
 fn apps() -> Vec<(&'static str, CoreGraph, f64, RoutingFunction)> {
@@ -63,8 +70,93 @@ fn print_summary() {
     }
 }
 
+/// Builds a synthetic application of `n` cores whose traffic follows a
+/// classic adversarial pattern over the terminals (one commodity per
+/// injecting core, bandwidths staggered so the decreasing-bandwidth
+/// routing order is non-trivial).
+fn pattern_app(n: usize, pattern: &TrafficPattern) -> CoreGraph {
+    let mut rng = SmallRng::seed_from_u64(0x5EED);
+    let mut app = CoreGraph::new();
+    let cores: Vec<_> = (0..n)
+        .map(|i| app.add_core(format!("c{i}"), 1.0 + (i % 4) as f64 * 0.5))
+        .collect();
+    for src in 0..n {
+        if let Some(dst) = pattern.destination(src, n, &mut rng) {
+            let bw = 40.0 + (src % 8) as f64 * 15.0;
+            app.add_traffic(cores[src], cores[dst], bw)
+                .expect("pattern destinations are valid distinct cores");
+        }
+    }
+    app
+}
+
+/// The scaling workloads: mesh side length, traffic pattern, routing.
+fn scaling_workloads() -> Vec<(&'static str, usize, CoreGraph, RoutingFunction)> {
+    vec![
+        (
+            "mesh8x8/transpose/MP",
+            8,
+            pattern_app(64, &TrafficPattern::Transpose),
+            RoutingFunction::MinPath,
+        ),
+        (
+            "mesh8x8/bit_reverse/SM",
+            8,
+            pattern_app(64, &TrafficPattern::BitReverse),
+            RoutingFunction::SplitMinPaths,
+        ),
+        (
+            "mesh10x10/tornado/MP",
+            10,
+            pattern_app(100, &TrafficPattern::Tornado),
+            RoutingFunction::MinPath,
+        ),
+    ]
+}
+
+/// One steepest-descent pass over all vertex pairs; bandwidth relaxed
+/// so every synthetic pattern maps (the metric is evaluation
+/// throughput, not feasibility).
+fn scaling_config(routing: RoutingFunction) -> MapperConfig {
+    MapperConfig {
+        routing,
+        objective: Objective::MinDelay,
+        constraints: Constraints::relaxed_bandwidth(),
+        max_swap_passes: 1,
+    }
+}
+
+fn print_scaling_summary() {
+    println!("== scaling: candidate evaluations/second on synthetic meshes ==");
+    for (name, side, app, routing) in scaling_workloads() {
+        let g = builders::mesh(side, side, 500.0).expect("mesh builds");
+        let start = std::time::Instant::now();
+        let mapping = Mapper::new(&g, &app, scaling_config(routing))
+            .run()
+            .expect("synthetic workload maps under relaxed bandwidth");
+        let elapsed = start.elapsed();
+        let evals = mapping.evaluated_candidates();
+        println!(
+            "  {:<24} {:>8} evals in {:>8.1} ms = {:>9.0} evals/s",
+            name,
+            evals,
+            elapsed.as_secs_f64() * 1e3,
+            evals as f64 / elapsed.as_secs_f64()
+        );
+    }
+}
+
+/// Whether the bench binary runs in criterion's `--test` smoke mode;
+/// the summary printers do full explores/mapper runs, so smoke mode
+/// skips them to keep CI at one execution per workload.
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 fn bench(c: &mut Criterion) {
-    print_summary();
+    if !smoke_mode() {
+        print_summary();
+    }
     let mut group = c.benchmark_group("selection_flow");
     group.sample_size(10);
     for (name, app, cap, routing) in apps() {
@@ -80,9 +172,28 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_scaling(c: &mut Criterion) {
+    if !smoke_mode() {
+        print_scaling_summary();
+    }
+    let mut group = c.benchmark_group("mapper_scaling");
+    group.sample_size(10);
+    for (name, side, app, routing) in scaling_workloads() {
+        let g = builders::mesh(side, side, 500.0).expect("mesh builds");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &app, |b, app| {
+            b.iter(|| {
+                Mapper::new(&g, black_box(app), scaling_config(routing))
+                    .run()
+                    .expect("synthetic workload maps under relaxed bandwidth")
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench
+    targets = bench, bench_scaling
 }
 criterion_main!(benches);

@@ -2,7 +2,8 @@
 
 use sunmap_gen::{build_netlist, emit_dot, emit_systemc, Netlist, SourceFile};
 use sunmap_mapping::{
-    Constraints, Mapper, MapperConfig, Mapping, MappingError, Objective, RoutingFunction,
+    Constraints, Mapper, MapperConfig, Mapping, MappingError, Objective, RouteTable,
+    RoutingFunction,
 };
 use sunmap_power::{AreaPowerLibrary, Technology};
 use sunmap_topology::{builders, TopologyError, TopologyGraph, TopologyKind};
@@ -323,7 +324,14 @@ impl Sunmap {
             .into_iter()
             .map(|graph| {
                 let lib = AreaPowerLibrary::new(self.inner.technology);
-                let outcome = Mapper::with_library(&graph, &self.inner.app, config, lib).run();
+                // One route table per library candidate: the mapper's
+                // swap search shares its caches across every pass, and
+                // callers re-exploring the same graphs can keep their
+                // own tables via Mapper::with_route_table.
+                let mut table = RouteTable::new(&graph);
+                let outcome = Mapper::with_library(&graph, &self.inner.app, config, lib)
+                    .with_route_table(&mut table)
+                    .run();
                 TopologyCandidate {
                     kind: graph.kind(),
                     graph,

@@ -3,7 +3,7 @@
 //! area-power Pareto exploration (Fig. 9b).
 
 use crate::{pareto_front, ParetoPoint};
-use sunmap_mapping::{Constraints, Mapper, MapperConfig, Objective, RoutingFunction};
+use sunmap_mapping::{Constraints, Mapper, MapperConfig, Objective, RouteTable, RoutingFunction};
 use sunmap_topology::TopologyGraph;
 use sunmap_traffic::CoreGraph;
 
@@ -40,6 +40,10 @@ pub struct RoutingSweepEntry {
 /// # Ok::<(), sunmap::topology::TopologyError>(())
 /// ```
 pub fn routing_bandwidth_sweep(app: &CoreGraph, graph: &TopologyGraph) -> Vec<RoutingSweepEntry> {
+    // One route table serves all four runs: the adjacency matrix, hop
+    // distances and quadrant sets are routing-independent, and each
+    // routing function's path caches fill once on first use.
+    let mut table = RouteTable::new(graph);
     RoutingFunction::ALL
         .iter()
         .map(|&routing| {
@@ -50,6 +54,7 @@ pub fn routing_bandwidth_sweep(app: &CoreGraph, graph: &TopologyGraph) -> Vec<Ro
                 max_swap_passes: 4,
             };
             let min_bandwidth = Mapper::new(graph, app, config)
+                .with_route_table(&mut table)
                 .run()
                 .map(|m| m.report().max_link_load)
                 .unwrap_or(f64::INFINITY);
@@ -77,6 +82,9 @@ pub fn pareto_exploration(
     graph: &TopologyGraph,
 ) -> (Vec<ParetoPoint>, Vec<ParetoPoint>) {
     let mut points = Vec::new();
+    // All 16 objective × routing runs share one per-topology route
+    // table.
+    let mut table = RouteTable::new(graph);
     for objective in [
         Objective::MinDelay,
         Objective::MinArea,
@@ -91,13 +99,15 @@ pub fn pareto_exploration(
                 max_swap_passes: 2,
             };
             let label = format!("{objective}/{routing}");
-            let _ = Mapper::new(graph, app, config).run_observed(|report| {
-                points.push(ParetoPoint {
-                    label: label.clone(),
-                    x: report.floorplan_area,
-                    y: report.power_mw,
+            let _ = Mapper::new(graph, app, config)
+                .with_route_table(&mut table)
+                .run_observed(|report| {
+                    points.push(ParetoPoint {
+                        label: label.clone(),
+                        x: report.floorplan_area,
+                        y: report.power_mw,
+                    });
                 });
-            });
         }
     }
     let front = pareto_front(&points);

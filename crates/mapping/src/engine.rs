@@ -1,0 +1,920 @@
+//! The cached evaluation fast path: per-topology route tables,
+//! allocation-free scratch buffers, and a parallel swap sweep.
+//!
+//! The mapper's phase-3 search evaluates O(passes · n²) candidate
+//! placements per topology. The reference evaluator
+//! ([`crate::evaluate`]) rebuilds everything from scratch per candidate:
+//! BFS/Dijkstra state, quadrant sets, enumerated path sets, `find_edge`
+//! scans per path window and map-backed accumulators. This module
+//! amortises all placement-independent work into a [`RouteTable`] built
+//! once per topology, keeps the per-candidate working state in a
+//! reusable [`EvalScratch`], and fans the swap sweep out across scoped
+//! threads with a deterministic reduction.
+//!
+//! **Equivalence contract**: for any placement, [`EvalEngine::
+//! evaluate_report`] returns a [`CostReport`] bit-identical to
+//! `evaluate(..).report`, and errors exactly when the reference errors.
+//! The routed-path *sets* are placement-independent per `(src, dst)`
+//! pair (quadrants, enumerated min/simple paths, dimension-ordered
+//! routes), which is what makes caching sound; the load-dependent parts
+//! (Dijkstra tie-breaking, min-max chunk assignment) run the same code
+//! as the reference — `paths::dijkstra_into` backs `paths::dijkstra`,
+//! and [`crate::routing::assign_chunks`] backs `min_max_split` — so the
+//! arithmetic cannot drift. The proptest suite in
+//! `tests/fast_path_equivalence.rs` enforces the contract across every
+//! topology builder, routing function and objective.
+
+use crate::routing::{assign_chunks, DETOUR_SLACK, HOP_COST, MAX_SPLIT_PATHS, SPLIT_CHUNKS};
+use crate::{layout_blocks, Constraints, CostReport, MappingError, Placement, RoutingFunction};
+use sunmap_power::{switch_power_from_energy, AreaPowerLibrary, SwitchConfig};
+use sunmap_topology::paths::{AllowedSet, DijkstraScratch};
+use sunmap_topology::{
+    dimension_order, paths, quadrant, AdjacencyMatrix, EdgeId, NodeId, NodeKind, TopologyGraph,
+    TopologyKind,
+};
+use sunmap_traffic::{Commodity, CoreGraph};
+
+/// Sentinel for "unreachable" in the hop-distance matrix, chosen so the
+/// greedy placement cost matches the reference's
+/// `hop_distance(..).unwrap_or(usize::MAX / 2)`.
+const UNREACHABLE_HOPS: u32 = u32::MAX;
+
+/// FNV-1a hash of a graph's directed edge list, capacities included.
+fn edge_fingerprint(g: &TopologyGraph) -> u64 {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    let mut mix = |word: u64| {
+        for byte in word.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for (_, e) in g.edges() {
+        mix(e.src.index() as u64);
+        mix(e.dst.index() as u64);
+        mix(e.capacity.to_bits());
+    }
+    hash
+}
+
+/// One enumerated route with everything the accumulation loop needs
+/// precomputed: the directed edge per path window, the network-link
+/// subset (for min-max splitting) and the switch vertices in traversal
+/// order (for traffic accumulation and hop counting).
+#[derive(Debug, Clone)]
+struct CachedPath {
+    edges: Vec<EdgeId>,
+    net_edges: Vec<usize>,
+    switch_nodes: Vec<NodeId>,
+}
+
+impl CachedPath {
+    fn build(g: &TopologyGraph, adj: &AdjacencyMatrix, nodes: &[NodeId]) -> Self {
+        let edges: Vec<EdgeId> = nodes
+            .windows(2)
+            .map(|w| {
+                adj.edge_between(w[0], w[1])
+                    .expect("enumerated paths follow topology edges")
+            })
+            .collect();
+        let net_edges = edges
+            .iter()
+            .filter(|e| g.edge(**e).is_network_link())
+            .map(|e| e.index())
+            .collect();
+        let switch_nodes = nodes
+            .iter()
+            .copied()
+            .filter(|n| g.node_kind(*n) == NodeKind::Switch)
+            .collect();
+        CachedPath {
+            edges,
+            net_edges,
+            switch_nodes,
+        }
+    }
+}
+
+/// Placement-independent routing state of one topology, computed once
+/// per [`crate::Mapper::run`] and reusable across runs on the same
+/// graph (the Fig. 9 sweeps re-map one graph under four routing
+/// functions; `core`'s exploration flow builds one table per library
+/// candidate).
+///
+/// Contents:
+///
+/// * all-pairs hop distances — one BFS per *source* instead of one per
+///   pair;
+/// * a dense `NodeId × NodeId → Option<EdgeId>` adjacency matrix
+///   replacing linear `find_edge` scans;
+/// * memoized quadrant sets per mappable pair;
+/// * enumerated minimum-path / simple-path sets and dimension-ordered
+///   routes per pair, filled on demand per routing function by
+///   [`RouteTable::prepare`].
+#[derive(Debug)]
+pub struct RouteTable {
+    kind: TopologyKind,
+    node_count: usize,
+    edge_count: usize,
+    /// FNV-1a over the full edge list (endpoints + capacity bits), so
+    /// [`RouteTable::matches`] rejects a graph that merely shares its
+    /// kind and counts with the table's graph.
+    edge_fingerprint: u64,
+    mappable: Vec<NodeId>,
+    /// Node index → dense mappable index (`u32::MAX` = not mappable).
+    midx: Vec<u32>,
+    adj: AdjacencyMatrix,
+    /// Full-graph BFS hop distances, `m × node_count`, row per
+    /// mappable source.
+    hop: Vec<u32>,
+    quadrants: Vec<Vec<NodeId>>,
+    quadrants_ready: bool,
+    do_paths: Vec<Option<CachedPath>>,
+    do_ready: bool,
+    sm_paths: Vec<Vec<CachedPath>>,
+    sm_ready: bool,
+    sa_paths: Vec<Vec<CachedPath>>,
+    sa_ready: bool,
+}
+
+impl RouteTable {
+    /// Builds the routing-function-independent parts (adjacency matrix
+    /// and the all-pairs hop-distance matrix) for `g`.
+    pub fn new(g: &TopologyGraph) -> Self {
+        let mappable = g.mappable_nodes().to_vec();
+        let mut midx = vec![u32::MAX; g.node_count()];
+        for (i, n) in mappable.iter().enumerate() {
+            midx[n.index()] = i as u32;
+        }
+        let mut hop = vec![UNREACHABLE_HOPS; mappable.len() * g.node_count()];
+        for (i, &src) in mappable.iter().enumerate() {
+            let levels = paths::bfs_levels(g, src);
+            let row = &mut hop[i * g.node_count()..(i + 1) * g.node_count()];
+            for (slot, level) in row.iter_mut().zip(levels) {
+                if level != usize::MAX {
+                    *slot = level as u32;
+                }
+            }
+        }
+        RouteTable {
+            kind: g.kind(),
+            node_count: g.node_count(),
+            edge_count: g.edge_count(),
+            edge_fingerprint: edge_fingerprint(g),
+            mappable,
+            midx,
+            adj: g.adjacency_matrix(),
+            hop,
+            quadrants: Vec::new(),
+            quadrants_ready: false,
+            do_paths: Vec::new(),
+            do_ready: false,
+            sm_paths: Vec::new(),
+            sm_ready: false,
+            sa_paths: Vec::new(),
+            sa_ready: false,
+        }
+    }
+
+    /// Whether this table was built for `g`: same kind, shape, and
+    /// edge list (endpoints and capacities, order-sensitive).
+    pub fn matches(&self, g: &TopologyGraph) -> bool {
+        self.kind == g.kind()
+            && self.node_count == g.node_count()
+            && self.edge_count == g.edge_count()
+            && self.edge_fingerprint == edge_fingerprint(g)
+    }
+
+    /// Whether [`RouteTable::prepare`] has run for `routing`.
+    pub fn prepared(&self, routing: RoutingFunction) -> bool {
+        match routing {
+            RoutingFunction::DimensionOrdered => self.do_ready,
+            RoutingFunction::MinPath => self.quadrants_ready,
+            RoutingFunction::SplitMinPaths => self.sm_ready,
+            RoutingFunction::SplitAllPaths => self.sa_ready,
+        }
+    }
+
+    /// Fills the per-pair caches `routing` needs (idempotent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table was built for a different graph.
+    pub fn prepare(&mut self, g: &TopologyGraph, routing: RoutingFunction) {
+        assert!(self.matches(g), "route table built for a different graph");
+        match routing {
+            RoutingFunction::DimensionOrdered => self.prepare_dimension_ordered(g),
+            RoutingFunction::MinPath => self.prepare_quadrants(g),
+            RoutingFunction::SplitMinPaths => self.prepare_split_min(g),
+            RoutingFunction::SplitAllPaths => self.prepare_split_all(g),
+        }
+    }
+
+    fn pair(&self, a: NodeId, b: NodeId) -> usize {
+        let (i, j) = (self.midx[a.index()], self.midx[b.index()]);
+        debug_assert!(i != u32::MAX && j != u32::MAX, "pair of mappable nodes");
+        i as usize * self.mappable.len() + j as usize
+    }
+
+    /// Hop distance between two mappable nodes as the greedy placement
+    /// sees it (the reference used
+    /// `hop_distance(..).unwrap_or(usize::MAX / 2) as f64`).
+    pub(crate) fn greedy_distance(&self, a: NodeId, b: NodeId) -> f64 {
+        let i = self.midx[a.index()] as usize;
+        let h = self.hop[i * self.node_count + b.index()];
+        if h == UNREACHABLE_HOPS {
+            (usize::MAX / 2) as f64
+        } else {
+            h as f64
+        }
+    }
+
+    fn prepare_quadrants(&mut self, g: &TopologyGraph) {
+        if self.quadrants_ready {
+            return;
+        }
+        let m = self.mappable.len();
+        let mut quads = vec![Vec::new(); m * m];
+        for &a in &self.mappable {
+            for &b in &self.mappable {
+                if a == b {
+                    continue;
+                }
+                let mut q: Vec<NodeId> = quadrant::quadrant_set(g, a, b).into_iter().collect();
+                q.sort_unstable();
+                quads[self.pair(a, b)] = q;
+            }
+        }
+        self.quadrants = quads;
+        self.quadrants_ready = true;
+    }
+
+    fn prepare_dimension_ordered(&mut self, g: &TopologyGraph) {
+        if self.do_ready {
+            return;
+        }
+        let m = self.mappable.len();
+        let mut cache = vec![None; m * m];
+        for &a in &self.mappable {
+            for &b in &self.mappable {
+                if a == b {
+                    continue;
+                }
+                cache[self.pair(a, b)] = dimension_order::route(g, a, b)
+                    .ok()
+                    .map(|p| CachedPath::build(g, &self.adj, &p));
+            }
+        }
+        self.do_paths = cache;
+        self.do_ready = true;
+    }
+
+    fn prepare_split_min(&mut self, g: &TopologyGraph) {
+        if self.sm_ready {
+            return;
+        }
+        self.prepare_quadrants(g);
+        let m = self.mappable.len();
+        let mut cache = vec![Vec::new(); m * m];
+        for &a in &self.mappable {
+            for &b in &self.mappable {
+                if a == b {
+                    continue;
+                }
+                let p = self.pair(a, b);
+                let q: AllowedSet = self.quadrants[p].iter().copied().collect();
+                cache[p] = paths::all_shortest_paths(g, a, b, Some(&q), MAX_SPLIT_PATHS)
+                    .into_iter()
+                    .map(|nodes| CachedPath::build(g, &self.adj, &nodes))
+                    .collect();
+            }
+        }
+        self.sm_paths = cache;
+        self.sm_ready = true;
+    }
+
+    fn prepare_split_all(&mut self, g: &TopologyGraph) {
+        if self.sa_ready {
+            return;
+        }
+        let m = self.mappable.len();
+        let mut cache = vec![Vec::new(); m * m];
+        for (i, &a) in self.mappable.iter().enumerate() {
+            for &b in &self.mappable {
+                if a == b {
+                    continue;
+                }
+                // "All paths" searches the whole NoC graph; the slack
+                // and cap mirror route_commodity exactly. Unreachable
+                // pairs keep an empty candidate list (= unroutable).
+                let min_hops = self.hop[i * self.node_count + b.index()];
+                if min_hops == UNREACHABLE_HOPS {
+                    continue;
+                }
+                let min_len = min_hops as usize + 1;
+                cache[self.pair(a, b)] =
+                    paths::all_simple_paths(g, a, b, None, min_len + DETOUR_SLACK, MAX_SPLIT_PATHS)
+                        .into_iter()
+                        .map(|nodes| CachedPath::build(g, &self.adj, &nodes))
+                        .collect();
+            }
+        }
+        self.sa_paths = cache;
+        self.sa_ready = true;
+    }
+}
+
+/// Reusable per-worker buffers for one candidate evaluation. After the
+/// first use every steady-state evaluation routes its commodities
+/// without touching the allocator (the floorplan solve still builds its
+/// block list; see the crate README).
+#[derive(Debug)]
+pub struct EvalScratch {
+    link_loads: Vec<f64>,
+    switch_traffic: Vec<f64>,
+    /// Working copy of the loads for min-max chunk assignment.
+    local: Vec<f64>,
+    chunks: Vec<usize>,
+    quad_mask: Vec<bool>,
+    dijkstra: DijkstraScratch,
+    path: Vec<NodeId>,
+}
+
+impl EvalScratch {
+    fn new(node_count: usize, edge_count: usize) -> Self {
+        EvalScratch {
+            link_loads: vec![0.0; edge_count],
+            switch_traffic: vec![0.0; node_count],
+            local: vec![0.0; edge_count],
+            chunks: Vec::new(),
+            quad_mask: vec![false; node_count],
+            dijkstra: DijkstraScratch::new(node_count),
+            path: Vec::new(),
+        }
+    }
+}
+
+/// The caching evaluation engine shared by the mapper's swap search and
+/// the exploration flow. Holds the [`RouteTable`] plus every
+/// placement-independent quantity of the cost model: sorted
+/// commodities, per-switch areas and bit energies, the constant design
+/// area and channel counts.
+#[derive(Debug)]
+pub struct EvalEngine<'a> {
+    g: &'a TopologyGraph,
+    app: &'a CoreGraph,
+    table: &'a RouteTable,
+    routing: RoutingFunction,
+    constraints: Constraints,
+    commodities: Vec<Commodity>,
+    /// Node-indexed switch block areas (zero for non-switches).
+    switch_areas: Vec<f64>,
+    /// Node-indexed bit-traversal energies (J/bit).
+    switch_energy: Vec<f64>,
+    switch_area_total: f64,
+    design_area: f64,
+    /// Edge-indexed bandwidth capacities (min-max splitting hot path).
+    edge_capacity: Vec<f64>,
+    switch_count: usize,
+    link_count: usize,
+    lib: AreaPowerLibrary,
+}
+
+impl<'a> EvalEngine<'a> {
+    /// Creates an engine for `app` on `g`. `table` must already be
+    /// [prepared](RouteTable::prepare) for `routing`; `lib` is used to
+    /// warm the switch area/energy caches and cloned for link power.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` does not match `g` or is not prepared for
+    /// `routing`.
+    pub fn new(
+        g: &'a TopologyGraph,
+        app: &'a CoreGraph,
+        table: &'a RouteTable,
+        routing: RoutingFunction,
+        lib: &mut AreaPowerLibrary,
+        constraints: &Constraints,
+    ) -> Self {
+        assert!(table.matches(g), "route table built for a different graph");
+        assert!(
+            table.prepared(routing),
+            "route table not prepared for {routing}"
+        );
+        let mut switch_areas = vec![0.0; g.node_count()];
+        let mut switch_energy = vec![0.0; g.node_count()];
+        let mut switch_area_total = 0.0;
+        for (s, inp, outp) in g.switch_radices() {
+            let cfg = SwitchConfig::new(inp, outp);
+            let area = lib.area(cfg);
+            switch_areas[s.index()] = area;
+            switch_energy[s.index()] = lib.energy_per_bit(cfg);
+            switch_area_total += area;
+        }
+        let design_area = (switch_area_total + app.total_core_area()) / constraints.utilization;
+        let edge_capacity = g.edges().map(|(_, e)| e.capacity).collect();
+        EvalEngine {
+            g,
+            app,
+            table,
+            routing,
+            constraints: *constraints,
+            commodities: app.commodities(),
+            switch_areas,
+            switch_energy,
+            switch_area_total,
+            design_area,
+            edge_capacity,
+            switch_count: g.switch_count(),
+            link_count: g.network_channel_count() + g.attach_channel_count(),
+            lib: lib.clone(),
+        }
+    }
+
+    /// Fresh scratch buffers sized for this engine's graph.
+    pub fn new_scratch(&self) -> EvalScratch {
+        EvalScratch::new(self.g.node_count(), self.g.edge_count())
+    }
+
+    /// Evaluates `placement` and returns the cost report — bit-identical
+    /// to `evaluate(..)?.report`, at a fraction of the cost and (outside
+    /// the floorplan solve) without heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the reference's: [`MappingError::Unroutable`] when a
+    /// commodity has no route, [`MappingError::Floorplan`] when the
+    /// layout cannot be solved.
+    pub fn evaluate_report(
+        &self,
+        placement: &Placement,
+        scratch: &mut EvalScratch,
+    ) -> Result<CostReport, MappingError> {
+        let g = self.g;
+        scratch.link_loads.fill(0.0);
+        scratch.switch_traffic.fill(0.0);
+
+        let mut total_bw = 0.0f64;
+        let mut bw_hops = 0.0f64;
+        let mut hops_sum = 0.0f64;
+        for c in &self.commodities {
+            let src = placement.node_of(c.src);
+            let dst = placement.node_of(c.dst);
+            let hops = self.route_cached(src, dst, c.bandwidth, scratch).ok_or(
+                MappingError::Unroutable {
+                    src: c.src.index(),
+                    dst: c.dst.index(),
+                },
+            )?;
+            total_bw += c.bandwidth;
+            bw_hops += c.bandwidth * hops;
+            hops_sum += hops;
+        }
+
+        let layout = layout_blocks(g, self.app, placement, &self.switch_areas);
+        let floorplan = layout.placement.floorplan()?;
+
+        let mut switch_power_mw = 0.0;
+        for s in g.switches() {
+            let traffic = scratch.switch_traffic[s.index()];
+            if traffic > 0.0 {
+                switch_power_mw += switch_power_from_energy(self.switch_energy[s.index()], traffic);
+            }
+        }
+
+        let mut link_power_mw = 0.0;
+        let mut length_sum = 0.0;
+        let mut loaded_links = 0usize;
+        for (eid, edge) in g.edges() {
+            let load = scratch.link_loads[eid.index()];
+            if load <= 0.0 || !edge.is_network_link() {
+                continue;
+            }
+            let (Some(a), Some(b)) = (
+                layout.block_of_node(placement, edge.src),
+                layout.block_of_node(placement, edge.dst),
+            ) else {
+                continue;
+            };
+            let length = floorplan.link_length(a, b);
+            link_power_mw += self.lib.link_power(load, length);
+            length_sum += length;
+            loaded_links += 1;
+        }
+
+        let bandwidth_ok = g.edges().all(|(eid, edge)| {
+            !edge.is_network_link()
+                || scratch.link_loads[eid.index()] <= edge.capacity * (1.0 + 1e-9)
+        });
+        let chip_aspect = floorplan.chip_aspect();
+        let area_ok = self
+            .constraints
+            .max_area_mm2
+            .is_none_or(|max| self.design_area <= max)
+            && chip_aspect >= self.constraints.min_chip_aspect
+            && chip_aspect <= self.constraints.max_chip_aspect;
+
+        let avg_hops = if total_bw > 0.0 {
+            bw_hops / total_bw
+        } else {
+            0.0
+        };
+        let mean_hops = if self.commodities.is_empty() {
+            0.0
+        } else {
+            hops_sum / self.commodities.len() as f64
+        };
+        let max_link_load = g
+            .edges()
+            .filter(|(_, e)| e.is_network_link())
+            .map(|(eid, _)| scratch.link_loads[eid.index()])
+            .fold(0.0, f64::max);
+
+        Ok(CostReport {
+            avg_hops,
+            mean_hops,
+            design_area: self.design_area,
+            floorplan_area: floorplan.chip_area(),
+            switch_area: self.switch_area_total,
+            power_mw: switch_power_mw + link_power_mw,
+            switch_power_mw,
+            link_power_mw,
+            max_link_load,
+            avg_link_length_mm: if loaded_links > 0 {
+                length_sum / loaded_links as f64
+            } else {
+                0.0
+            },
+            chip_aspect,
+            bandwidth_ok,
+            area_ok,
+            bandwidth_enforced: self.constraints.enforce_bandwidth,
+            switch_count: self.switch_count,
+            link_count: self.link_count,
+        })
+    }
+
+    /// Routes one commodity using the cached per-pair state,
+    /// accumulating loads and switch traffic into `scratch`. Returns
+    /// the commodity's fraction-weighted switch hops, or `None` when no
+    /// route exists (the reference's `route_commodity` `None`).
+    fn route_cached(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        bandwidth: f64,
+        scratch: &mut EvalScratch,
+    ) -> Option<f64> {
+        let g = self.g;
+        let pair = self.table.pair(src, dst);
+        match self.routing {
+            RoutingFunction::DimensionOrdered => {
+                let cached = self.table.do_paths[pair].as_ref()?;
+                Some(accumulate_cached(cached, 1.0, bandwidth, scratch))
+            }
+            RoutingFunction::MinPath => {
+                let EvalScratch {
+                    link_loads,
+                    quad_mask,
+                    dijkstra,
+                    path,
+                    ..
+                } = scratch;
+                let quad = &self.table.quadrants[pair];
+                for n in quad {
+                    quad_mask[n.index()] = true;
+                }
+                quad_mask[src.index()] = true;
+                quad_mask[dst.index()] = true;
+                let found = paths::dijkstra_into(
+                    g,
+                    src,
+                    dst,
+                    |n| quad_mask[n.index()],
+                    |e| HOP_COST + link_loads[e.index()],
+                    dijkstra,
+                    path,
+                );
+                for n in quad {
+                    quad_mask[n.index()] = false;
+                }
+                quad_mask[src.index()] = false;
+                quad_mask[dst.index()] = false;
+                found?;
+                Some(self.accumulate_dynamic(1.0, bandwidth, scratch))
+            }
+            RoutingFunction::SplitMinPaths => {
+                self.accumulate_split(&self.table.sm_paths[pair], bandwidth, scratch)
+            }
+            RoutingFunction::SplitAllPaths => {
+                self.accumulate_split(&self.table.sa_paths[pair], bandwidth, scratch)
+            }
+        }
+    }
+
+    /// Min-max water filling over cached candidates — the same chunk
+    /// assignment as the reference's `min_max_split`, including its
+    /// single-candidate shortcut.
+    fn accumulate_split(
+        &self,
+        candidates: &[CachedPath],
+        bandwidth: f64,
+        scratch: &mut EvalScratch,
+    ) -> Option<f64> {
+        match candidates {
+            [] => None,
+            [only] => Some(accumulate_cached(only, 1.0, bandwidth, scratch)),
+            _ => {
+                {
+                    let EvalScratch {
+                        local,
+                        chunks,
+                        link_loads,
+                        ..
+                    } = &mut *scratch;
+                    // The chunk assignment only ever touches candidate
+                    // network edges, so only those entries of the
+                    // working copy need refreshing (the reference
+                    // copies the whole load vector; same values where
+                    // it matters).
+                    for cand in candidates {
+                        for &e in &cand.net_edges {
+                            local[e] = link_loads[e];
+                        }
+                    }
+                    assign_chunks(
+                        |e| self.edge_capacity[e],
+                        candidates.len(),
+                        |i| candidates[i].net_edges.as_slice(),
+                        local,
+                        bandwidth,
+                        chunks,
+                    );
+                }
+                let mut hops = 0.0;
+                for (i, cand) in candidates.iter().enumerate() {
+                    let n = scratch.chunks[i];
+                    if n > 0 {
+                        let fraction = n as f64 / SPLIT_CHUNKS as f64;
+                        hops += accumulate_cached(cand, fraction, bandwidth, scratch);
+                    }
+                }
+                Some(hops)
+            }
+        }
+    }
+
+    /// Accumulates the freshly found MinPath route held in
+    /// `scratch.path`.
+    fn accumulate_dynamic(&self, fraction: f64, bandwidth: f64, scratch: &mut EvalScratch) -> f64 {
+        let g = self.g;
+        let flow = bandwidth * fraction;
+        let EvalScratch {
+            link_loads,
+            switch_traffic,
+            path,
+            ..
+        } = scratch;
+        for w in path.windows(2) {
+            let e = self
+                .table
+                .adj
+                .edge_between(w[0], w[1])
+                .expect("routed paths follow topology edges");
+            link_loads[e.index()] += flow;
+        }
+        let mut switch_hops = 0usize;
+        for n in path.iter() {
+            if g.node_kind(*n) == NodeKind::Switch {
+                switch_traffic[n.index()] += flow;
+                switch_hops += 1;
+            }
+        }
+        fraction * switch_hops as f64
+    }
+
+    /// Evaluates every `(a, b)` swap of `base` and returns one report
+    /// slot per pair, in pair order. `None` marks pairs the search
+    /// skips: both vertices empty, or an evaluation error.
+    ///
+    /// Large sweeps are partitioned across `std::thread::scope` workers,
+    /// each with its own scratch and placement copy; because the output
+    /// is positional, the reduction the mapper runs over it is
+    /// bit-identical to a sequential scan regardless of worker count.
+    pub fn sweep_reports(
+        &self,
+        base: &Placement,
+        pairs: &[(NodeId, NodeId)],
+    ) -> Vec<Option<CostReport>> {
+        self.sweep_reports_with_workers(base, pairs, worker_count(pairs.len()))
+    }
+
+    /// [`EvalEngine::sweep_reports`] with an explicit worker count —
+    /// this is how tests exercise the chunked multi-worker path on
+    /// single-CPU machines and assert it agrees with the sequential
+    /// scan.
+    pub fn sweep_reports_with_workers(
+        &self,
+        base: &Placement,
+        pairs: &[(NodeId, NodeId)],
+        workers: usize,
+    ) -> Vec<Option<CostReport>> {
+        if workers <= 1 || pairs.is_empty() {
+            let mut scratch = self.new_scratch();
+            let mut local = base.clone();
+            return pairs
+                .iter()
+                .map(|&(a, b)| self.swap_report(&mut local, a, b, &mut scratch))
+                .collect();
+        }
+        let chunk = pairs.len().div_ceil(workers);
+        let mut out = Vec::with_capacity(pairs.len());
+        std::thread::scope(|s| {
+            let handles: Vec<_> = pairs
+                .chunks(chunk)
+                .map(|chunk_pairs| {
+                    s.spawn(move || {
+                        let mut scratch = self.new_scratch();
+                        let mut local = base.clone();
+                        chunk_pairs
+                            .iter()
+                            .map(|&(a, b)| self.swap_report(&mut local, a, b, &mut scratch))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                out.extend(h.join().expect("swap-sweep worker panicked"));
+            }
+        });
+        out
+    }
+
+    /// Applies the swap, evaluates, and restores `local` (swapping the
+    /// same pair twice is the identity).
+    fn swap_report(
+        &self,
+        local: &mut Placement,
+        a: NodeId,
+        b: NodeId,
+        scratch: &mut EvalScratch,
+    ) -> Option<CostReport> {
+        if !local.swap_nodes(a, b) {
+            return None;
+        }
+        let report = self.evaluate_report(local, scratch).ok();
+        local.swap_nodes(a, b);
+        report
+    }
+}
+
+/// How many sweep workers to spawn for `pairs` candidate swaps: one per
+/// core, but never so many that a worker gets a trivial share (thread
+/// spawn would dominate), and always 1 for tiny sweeps.
+fn worker_count(pairs: usize) -> usize {
+    const MIN_PAIRS_PER_WORKER: usize = 8;
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    cpus.min(pairs / MIN_PAIRS_PER_WORKER).max(1)
+}
+
+/// Adds one cached path's flow onto the load and switch-traffic
+/// accumulators, mirroring the reference's per-path loop order.
+fn accumulate_cached(
+    cached: &CachedPath,
+    fraction: f64,
+    bandwidth: f64,
+    scratch: &mut EvalScratch,
+) -> f64 {
+    let flow = bandwidth * fraction;
+    for e in &cached.edges {
+        scratch.link_loads[e.index()] += flow;
+    }
+    for n in &cached.switch_nodes {
+        scratch.switch_traffic[n.index()] += flow;
+    }
+    fraction * cached.switch_nodes.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{evaluate, Mapper, MapperConfig, Objective};
+    use sunmap_power::Technology;
+    use sunmap_topology::builders;
+    use sunmap_traffic::benchmarks;
+
+    fn engine_fixture(
+        g: &TopologyGraph,
+        routing: RoutingFunction,
+    ) -> (RouteTable, AreaPowerLibrary, Constraints) {
+        let mut table = RouteTable::new(g);
+        table.prepare(g, routing);
+        (
+            table,
+            AreaPowerLibrary::new(Technology::um_0_10()),
+            Constraints::default(),
+        )
+    }
+
+    #[test]
+    fn multi_worker_sweep_equals_sequential_sweep() {
+        // The CI container is single-CPU, so the chunked thread::scope
+        // path never runs through worker_count(); force it here and
+        // assert positional agreement with the sequential scan for
+        // every worker count that produces a different chunking.
+        let g = builders::mesh(3, 4, 500.0).unwrap();
+        let app = benchmarks::vopd();
+        let routing = RoutingFunction::SplitMinPaths;
+        let (table, mut lib, constraints) = engine_fixture(&g, routing);
+        let engine = EvalEngine::new(&g, &app, &table, routing, &mut lib, &constraints);
+        let base = Mapper::new(&g, &app, MapperConfig::default()).greedy_placement();
+        let nodes = g.mappable_nodes();
+        let mut pairs = Vec::new();
+        for i in 0..nodes.len() {
+            for j in i + 1..nodes.len() {
+                pairs.push((nodes[i], nodes[j]));
+            }
+        }
+        let sequential = engine.sweep_reports_with_workers(&base, &pairs, 1);
+        assert_eq!(sequential.len(), pairs.len());
+        for workers in [2, 3, 4, 7] {
+            let parallel = engine.sweep_reports_with_workers(&base, &pairs, workers);
+            assert_eq!(sequential, parallel, "{workers} workers diverged");
+        }
+    }
+
+    #[test]
+    fn report_matches_reference_on_greedy_placement() {
+        for g in builders::standard_library(12, 500.0).unwrap() {
+            let app = benchmarks::vopd();
+            let routing = RoutingFunction::MinPath;
+            let (table, mut lib, constraints) = engine_fixture(&g, routing);
+            let engine = EvalEngine::new(&g, &app, &table, routing, &mut lib, &constraints);
+            let placement = Mapper::new(&g, &app, MapperConfig::default()).greedy_placement();
+            let mut scratch = engine.new_scratch();
+            let fast = engine.evaluate_report(&placement, &mut scratch).unwrap();
+            let reference = evaluate(&g, &app, placement, routing, &mut lib, &constraints)
+                .unwrap()
+                .report;
+            assert_eq!(fast, reference, "{} diverged", g.kind());
+        }
+    }
+
+    #[test]
+    fn route_table_rejects_same_shape_different_edges() {
+        // Same kind, node count and edge count, different capacities:
+        // matches() must reject via the edge fingerprint.
+        let a = builders::mesh(3, 4, 500.0).unwrap();
+        let b = builders::mesh(3, 4, 400.0).unwrap();
+        let table = RouteTable::new(&a);
+        assert!(table.matches(&a));
+        assert!(!table.matches(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "different graph")]
+    fn prepare_panics_on_mismatched_graph() {
+        let a = builders::mesh(3, 4, 500.0).unwrap();
+        let b = builders::torus(3, 4, 500.0).unwrap();
+        let mut table = RouteTable::new(&a);
+        table.prepare(&b, RoutingFunction::MinPath);
+    }
+
+    #[test]
+    fn sweep_handles_empty_vertices_and_errors_like_the_search() {
+        // A 4x4 mesh with only 12 cores leaves empty vertices: pairs of
+        // two empty slots must come back None (skipped), matching the
+        // sequential search's swap_nodes() == false skip.
+        let g = builders::mesh(4, 4, 500.0).unwrap();
+        let app = benchmarks::vopd();
+        let routing = RoutingFunction::MinPath;
+        let (table, mut lib, constraints) = engine_fixture(&g, routing);
+        let engine = EvalEngine::new(&g, &app, &table, routing, &mut lib, &constraints);
+        let base = Mapper::new(&g, &app, MapperConfig::new(routing, Objective::MinDelay))
+            .greedy_placement();
+        let occupied: Vec<bool> = g
+            .mappable_nodes()
+            .iter()
+            .map(|n| base.core_at(*n).is_some())
+            .collect();
+        let nodes = g.mappable_nodes();
+        let mut pairs = Vec::new();
+        for i in 0..nodes.len() {
+            for j in i + 1..nodes.len() {
+                pairs.push((nodes[i], nodes[j]));
+            }
+        }
+        let reports = engine.sweep_reports(&base, &pairs);
+        for (k, &(a, b)) in pairs.iter().enumerate() {
+            let ia = nodes.iter().position(|n| *n == a).unwrap();
+            let ib = nodes.iter().position(|n| *n == b).unwrap();
+            if !occupied[ia] && !occupied[ib] {
+                assert!(reports[k].is_none(), "empty-empty pair {k} evaluated");
+            } else {
+                assert!(reports[k].is_some(), "occupied pair {k} skipped");
+            }
+        }
+    }
+}

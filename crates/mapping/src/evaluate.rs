@@ -1,7 +1,11 @@
 //! Mapping evaluation: routing, load accumulation, floorplanning and
 //! cost-report generation (paper Fig. 5 steps 2–8).
-
-use std::collections::HashMap;
+//!
+//! This is the *reference* evaluator: a from-scratch, allocation-happy
+//! implementation that serves as the oracle the cached fast path
+//! ([`crate::EvalEngine`]) is tested against. The mapper's inner search
+//! loop uses the fast path; the reference evaluates the initial
+//! placement and re-materialises the winning candidate.
 
 use crate::{
     layout_blocks, route_commodity, Constraints, CostReport, LayoutBlocks, MappingError, Placement,
@@ -96,7 +100,9 @@ pub fn evaluate(
     constraints: &Constraints,
 ) -> Result<Evaluation, MappingError> {
     let mut link_loads = vec![0.0f64; g.edge_count()];
-    let mut switch_traffic: HashMap<NodeId, f64> = HashMap::new();
+    // Node-indexed accumulator: deterministic by construction (no map
+    // iteration order involved in any float summation below).
+    let mut switch_traffic = vec![0.0f64; g.node_count()];
     let mut routes = Vec::with_capacity(app.edge_count());
 
     // Fig. 5 steps 2-6: route commodities in decreasing-cost order,
@@ -128,7 +134,7 @@ pub fn evaluate(
             }
             for n in path {
                 if g.node_kind(*n) == NodeKind::Switch {
-                    *switch_traffic.entry(*n).or_insert(0.0) += flow;
+                    switch_traffic[n.index()] += flow;
                 }
             }
         }
@@ -141,17 +147,16 @@ pub fn evaluate(
         });
     }
 
-    // Fig. 5 step 7: floorplan and area-power estimates.
-    let mut switch_areas = HashMap::new();
-    let mut switch_configs = HashMap::new();
+    // Fig. 5 step 7: floorplan and area-power estimates, accumulated in
+    // node order (switch_radices iterates switches ascending).
+    let mut switch_areas = vec![0.0f64; g.node_count()];
+    let mut switch_configs = vec![SwitchConfig::new(0, 0); g.node_count()];
     let mut switch_area = 0.0f64;
-    // Sum in node order so the result is bit-for-bit deterministic
-    // (HashMap iteration order would reorder float additions).
     for (s, inp, outp) in g.switch_radices() {
         let cfg = SwitchConfig::new(inp, outp);
         let area = lib.area(cfg);
-        switch_configs.insert(s, cfg);
-        switch_areas.insert(s, area);
+        switch_configs[s.index()] = cfg;
+        switch_areas[s.index()] = area;
         switch_area += area;
     }
     let layout = layout_blocks(g, app, &placement, &switch_areas);
@@ -160,8 +165,12 @@ pub fn evaluate(
 
     let mut switch_power_mw = 0.0;
     for s in g.switches() {
-        if let Some(traffic) = switch_traffic.get(&s) {
-            switch_power_mw += lib.switch_power(switch_configs[&s], *traffic);
+        // Every accumulated flow is strictly positive, so a zero entry
+        // means "no commodity crossed this switch" — such switches draw
+        // no dynamic power in the paper's model.
+        let traffic = switch_traffic[s.index()];
+        if traffic > 0.0 {
+            switch_power_mw += lib.switch_power(switch_configs[s.index()], traffic);
         }
     }
 

@@ -22,15 +22,17 @@ use sunmap_topology::{NodeCoords, NodeId, TopologyGraph, TopologyKind};
 use sunmap_traffic::{CoreGraph, CoreId};
 
 /// The relative placement plus lookup tables from topology vertices and
-/// cores to their floorplan blocks.
+/// cores to their floorplan blocks. Both tables are flat vectors (node-
+/// and core-indexed) rather than maps: the evaluation hot loop probes
+/// them for every loaded link of every candidate placement.
 #[derive(Debug, Clone)]
 pub struct LayoutBlocks {
     /// Blocks on the floorplan grid.
     pub placement: RelativePlacement,
-    /// Switch vertex → block.
-    pub switch_block: HashMap<NodeId, BlockId>,
-    /// Core → block.
-    pub core_block: HashMap<CoreId, BlockId>,
+    /// Node-indexed switch blocks (`None` for non-switch vertices).
+    pub switch_block: Vec<Option<BlockId>>,
+    /// Core-indexed blocks (`None` for unplaced cores).
+    pub core_block: Vec<Option<BlockId>>,
 }
 
 impl LayoutBlocks {
@@ -38,25 +40,36 @@ impl LayoutBlocks {
     /// mapped core its core block, for a bare switch its switch block.
     pub fn block_of_node(&self, p: &Placement, node: NodeId) -> Option<BlockId> {
         if let Some(core) = p.core_at(node) {
-            return self.core_block.get(&core).copied();
+            return self.core_block[core.index()];
         }
-        self.switch_block.get(&node).copied()
+        self.switch_block[node.index()]
+    }
+
+    /// Number of switch blocks placed.
+    pub fn switch_block_count(&self) -> usize {
+        self.switch_block.iter().flatten().count()
+    }
+
+    /// Number of core blocks placed.
+    pub fn core_block_count(&self) -> usize {
+        self.core_block.iter().flatten().count()
     }
 }
 
 /// Builds the relative placement for `placement` of `app` onto `g`,
 /// with per-switch block areas in `switch_areas` (mm², from the area
-/// library).
+/// library), indexed by node id.
 ///
 /// # Panics
 ///
-/// Panics if `switch_areas` misses a switch of `g` — callers size every
-/// switch via [`sunmap_topology::TopologyGraph::switch_radices`].
+/// Panics if `switch_areas` is shorter than the graph's node count —
+/// callers size every switch via
+/// [`sunmap_topology::TopologyGraph::switch_radices`].
 pub fn layout_blocks(
     g: &TopologyGraph,
     app: &CoreGraph,
     placement: &Placement,
-    switch_areas: &HashMap<NodeId, f64>,
+    switch_areas: &[f64],
 ) -> LayoutBlocks {
     match g.kind() {
         TopologyKind::Mesh { .. } | TopologyKind::Torus { .. } | TopologyKind::Octagon => {
@@ -98,21 +111,21 @@ fn direct_layout(
     g: &TopologyGraph,
     app: &CoreGraph,
     placement: &Placement,
-    switch_areas: &HashMap<NodeId, f64>,
+    switch_areas: &[f64],
     slot: impl Fn(NodeCoords) -> (usize, usize),
 ) -> LayoutBlocks {
     let mut rp = RelativePlacement::new();
-    let mut switch_block = HashMap::new();
-    let mut core_block = HashMap::new();
+    let mut switch_block = vec![None; g.node_count()];
+    let mut core_block = vec![None; app.core_count()];
     for s in g.switches() {
         let (row, col) = slot(g.coords(s));
-        let area = switch_areas[&s];
+        let area = switch_areas[s.index()];
         let id = rp.add_block(BlockSpec::soft(format!("sw_{s}"), area), row, 2 * col + 1);
-        switch_block.insert(s, id);
+        switch_block[s.index()] = Some(id);
         if let Some(core) = placement.core_at(s) {
             let spec = core_spec(app, core);
             let cid = rp.add_block(spec, row, 2 * col);
-            core_block.insert(core, cid);
+            core_block[core.index()] = Some(cid);
         }
     }
     LayoutBlocks {
@@ -135,7 +148,7 @@ fn indirect_layout(
     g: &TopologyGraph,
     app: &CoreGraph,
     placement: &Placement,
-    switch_areas: &HashMap<NodeId, f64>,
+    switch_areas: &[f64],
 ) -> LayoutBlocks {
     let ports = g.core_ports().count();
     let stages = 1 + g
@@ -162,8 +175,8 @@ fn indirect_layout(
     let left_cols = core_cols.div_ceil(2);
 
     let mut rp = RelativePlacement::new();
-    let mut switch_block = HashMap::new();
-    let mut core_block = HashMap::new();
+    let mut switch_block = vec![None; g.node_count()];
+    let mut core_block = vec![None; app.core_count()];
 
     // Core ports flank the switch stages: left columns, then stages,
     // then right columns.
@@ -182,7 +195,7 @@ fn indirect_layout(
             core_col + stages
         };
         let id = rp.add_block(core_spec(app, core), row, col);
-        core_block.insert(core, id);
+        core_block[core.index()] = Some(id);
     }
     for s in g.switches() {
         let NodeCoords::Stage { stage, index } = g.coords(s) else {
@@ -191,11 +204,11 @@ fn indirect_layout(
         let col = left_cols + stage;
         let row = index * rows / stage_size[stage];
         let id = rp.add_block(
-            BlockSpec::soft(format!("sw_{s}"), switch_areas[&s]),
+            BlockSpec::soft(format!("sw_{s}"), switch_areas[s.index()]),
             row,
             col,
         );
-        switch_block.insert(s, id);
+        switch_block[s.index()] = Some(id);
     }
     LayoutBlocks {
         placement: rp,
@@ -212,7 +225,7 @@ fn custom_layout(
     g: &TopologyGraph,
     app: &CoreGraph,
     placement: &Placement,
-    switch_areas: &HashMap<NodeId, f64>,
+    switch_areas: &[f64],
 ) -> LayoutBlocks {
     let mut ports_of: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
     for port in g.core_ports() {
@@ -223,25 +236,25 @@ fn custom_layout(
     let expand = ports_of.values().map(Vec::len).max().unwrap_or(1).max(1);
 
     let mut rp = RelativePlacement::new();
-    let mut switch_block = HashMap::new();
-    let mut core_block = HashMap::new();
+    let mut switch_block = vec![None; g.node_count()];
+    let mut core_block = vec![None; app.core_count()];
     for s in g.switches() {
         let NodeCoords::Grid { row, col } = g.coords(s) else {
             continue;
         };
         let id = rp.add_block(
-            BlockSpec::soft(format!("sw_{s}"), switch_areas[&s]),
+            BlockSpec::soft(format!("sw_{s}"), switch_areas[s.index()]),
             row * expand,
             2 * col + 1,
         );
-        switch_block.insert(s, id);
+        switch_block[s.index()] = Some(id);
         let mut stacked = 0usize;
         for port in ports_of.get(&s).map(Vec::as_slice).unwrap_or(&[]) {
             let Some(core) = placement.core_at(*port) else {
                 continue;
             };
             let cid = rp.add_block(core_spec(app, core), row * expand + stacked, 2 * col);
-            core_block.insert(core, cid);
+            core_block[core.index()] = Some(cid);
             stacked += 1;
         }
     }
@@ -259,16 +272,12 @@ mod tests {
     use sunmap_topology::builders;
     use sunmap_traffic::benchmarks;
 
-    fn areas(g: &TopologyGraph) -> HashMap<NodeId, f64> {
-        g.switch_radices()
-            .into_iter()
-            .map(|(s, i, o)| {
-                (
-                    s,
-                    switch_area(SwitchConfig::new(i, o), Technology::um_0_10()),
-                )
-            })
-            .collect()
+    fn areas(g: &TopologyGraph) -> Vec<f64> {
+        let mut areas = vec![0.0; g.node_count()];
+        for (s, i, o) in g.switch_radices() {
+            areas[s.index()] = switch_area(SwitchConfig::new(i, o), Technology::um_0_10());
+        }
+        areas
     }
 
     fn identity_placement(g: &TopologyGraph, n: usize) -> Placement {
@@ -281,8 +290,8 @@ mod tests {
         let app = benchmarks::vopd();
         let p = identity_placement(&g, 12);
         let lb = layout_blocks(&g, &app, &p, &areas(&g));
-        assert_eq!(lb.switch_block.len(), 12);
-        assert_eq!(lb.core_block.len(), 12);
+        assert_eq!(lb.switch_block_count(), 12);
+        assert_eq!(lb.core_block_count(), 12);
         assert_eq!(lb.placement.block_count(), 24);
         lb.placement.floorplan().expect("mesh layout floorplans");
     }
@@ -293,8 +302,8 @@ mod tests {
         let app = benchmarks::vopd();
         let p = identity_placement(&g, 12);
         let lb = layout_blocks(&g, &app, &p, &areas(&g));
-        assert_eq!(lb.switch_block.len(), 16);
-        assert_eq!(lb.core_block.len(), 12);
+        assert_eq!(lb.switch_block_count(), 16);
+        assert_eq!(lb.core_block_count(), 12);
     }
 
     #[test]
@@ -303,8 +312,8 @@ mod tests {
         let app = benchmarks::vopd();
         let p = identity_placement(&g, 12);
         let lb = layout_blocks(&g, &app, &p, &areas(&g));
-        assert_eq!(lb.switch_block.len(), 8);
-        assert_eq!(lb.core_block.len(), 12);
+        assert_eq!(lb.switch_block_count(), 8);
+        assert_eq!(lb.core_block_count(), 12);
         let fp = lb
             .placement
             .floorplan()
@@ -318,7 +327,7 @@ mod tests {
         let app = benchmarks::network_processor(100.0);
         let p = identity_placement(&g, 16);
         let lb = layout_blocks(&g, &app, &p, &areas(&g));
-        assert_eq!(lb.switch_block.len(), 12);
+        assert_eq!(lb.switch_block_count(), 12);
         lb.placement.floorplan().expect("clos layout floorplans");
     }
 
@@ -328,7 +337,7 @@ mod tests {
         let app = benchmarks::vopd();
         let p = identity_placement(&g, 12);
         let lb = layout_blocks(&g, &app, &p, &areas(&g));
-        assert_eq!(lb.switch_block.len(), 16);
+        assert_eq!(lb.switch_block_count(), 16);
         lb.placement
             .floorplan()
             .expect("hypercube layout floorplans");
@@ -342,9 +351,6 @@ mod tests {
         let lb = layout_blocks(&g, &app, &p, &areas(&g));
         let node = g.mappable_nodes()[0];
         let core = p.core_at(node).unwrap();
-        assert_eq!(
-            lb.block_of_node(&p, node),
-            lb.core_block.get(&core).copied()
-        );
+        assert_eq!(lb.block_of_node(&p, node), lb.core_block[core.index()]);
     }
 }

@@ -18,6 +18,12 @@
 //! 3. pair-wise swapping of topology vertices repeats phase 2, and the
 //!    best evaluated mapping is returned.
 //!
+//! Phase 3 scores its O(n²) candidate swaps per pass through a cached
+//! fast path ([`EvalEngine`] over a per-topology [`RouteTable`], with
+//! reusable [`EvalScratch`] buffers and a parallel sweep) that is
+//! bit-identical to the reference [`evaluate`]; see the `engine` module
+//! docs for the equivalence contract.
+//!
 //! Four routing functions are supported ([`RoutingFunction`]): dimension
 //! ordered, minimum-path, split-traffic across minimum paths and
 //! split-traffic across all paths. Four objectives are supported
@@ -40,6 +46,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+mod engine;
 mod error;
 mod evaluate;
 mod layout;
@@ -48,6 +55,7 @@ mod placement;
 mod report;
 mod routing;
 
+pub use engine::{EvalEngine, EvalScratch, RouteTable};
 pub use error::MappingError;
 pub use evaluate::{evaluate, Evaluation, RoutedCommodity};
 pub use layout::{layout_blocks, LayoutBlocks};

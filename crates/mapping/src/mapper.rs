@@ -1,13 +1,11 @@
 //! The three-phase mapping heuristic of paper Fig. 5.
 
-use std::collections::HashMap;
-
 use crate::{
-    evaluate, Constraints, CostReport, Evaluation, MappingError, Objective, Placement,
-    RoutingFunction,
+    evaluate, Constraints, CostReport, EvalEngine, Evaluation, MappingError, Objective, Placement,
+    RouteTable, RoutingFunction,
 };
 use sunmap_power::{AreaPowerLibrary, Technology};
-use sunmap_topology::{paths, NodeId, TopologyGraph};
+use sunmap_topology::{NodeId, TopologyGraph};
 use sunmap_traffic::{CoreGraph, CoreId};
 
 /// Configuration of one mapping run.
@@ -104,6 +102,10 @@ pub struct Mapper<'a> {
     app: &'a CoreGraph,
     config: MapperConfig,
     lib: AreaPowerLibrary,
+    /// Optional caller-owned route table, reused across runs on the
+    /// same graph (the Fig. 9 sweeps re-map one topology under several
+    /// routing functions and objectives).
+    table: Option<&'a mut RouteTable>,
 }
 
 impl<'a> Mapper<'a> {
@@ -114,6 +116,7 @@ impl<'a> Mapper<'a> {
             app,
             config,
             lib: AreaPowerLibrary::new(Technology::um_0_10()),
+            table: None,
         }
     }
 
@@ -129,7 +132,21 @@ impl<'a> Mapper<'a> {
             app,
             config,
             lib,
+            table: None,
         }
+    }
+
+    /// Attaches a caller-owned [`RouteTable`] so its per-topology caches
+    /// (hop distances, adjacency matrix, quadrants, enumerated path
+    /// sets) survive across multiple runs on the same graph.
+    ///
+    /// # Panics
+    ///
+    /// [`Mapper::run`] panics if the table was built for a different
+    /// graph.
+    pub fn with_route_table(mut self, table: &'a mut RouteTable) -> Self {
+        self.table = Some(table);
+        self
     }
 
     /// Runs the three phases and returns the best feasible mapping.
@@ -153,8 +170,11 @@ impl<'a> Mapper<'a> {
         &mut self,
         mut observer: impl FnMut(&CostReport),
     ) -> Result<Mapping, MappingError> {
-        let slots = self.graph.mappable_nodes().len();
-        let cores = self.app.core_count();
+        let graph = self.graph;
+        let app = self.app;
+        let config = self.config;
+        let slots = graph.mappable_nodes().len();
+        let cores = app.core_count();
         if cores == 0 {
             return Err(MappingError::EmptyApplication);
         }
@@ -162,54 +182,80 @@ impl<'a> Mapper<'a> {
             return Err(MappingError::TooManyCores { cores, slots });
         }
 
+        // The per-topology route table: either the caller's (reused
+        // across runs) or a run-local one.
+        let mut local_table = None;
+        let table: &mut RouteTable = match self.table.as_deref_mut() {
+            Some(t) => t,
+            None => local_table.insert(RouteTable::new(graph)),
+        };
+        table.prepare(graph, config.routing);
+        let table: &RouteTable = table;
+
         let mut evaluated = 0usize;
-        // Phase 1: greedy initial mapping.
-        let initial = self.initial_placement();
+        // Phase 1: greedy initial mapping, evaluated by the reference
+        // path (the search keeps the full Evaluation of the incumbent).
+        let initial = initial_placement(graph, app, table);
         let mut best = evaluate(
-            self.graph,
-            self.app,
+            graph,
+            app,
             initial,
-            self.config.routing,
+            config.routing,
             &mut self.lib,
-            &self.config.constraints,
+            &config.constraints,
         )?;
         observer(&best.report);
         evaluated += 1;
 
         // Phase 3 (steps 9-10): pair-wise swaps, steepest-descent
-        // passes.
-        let nodes = self.graph.mappable_nodes().to_vec();
-        for _pass in 0..self.config.max_swap_passes {
-            let mut best_swap: Option<Evaluation> = None;
-            for i in 0..nodes.len() {
-                for j in i + 1..nodes.len() {
-                    let mut candidate = best.placement.clone();
-                    if !candidate.swap_nodes(nodes[i], nodes[j]) {
-                        continue;
-                    }
-                    let Ok(eval) = evaluate(
-                        self.graph,
-                        self.app,
-                        candidate,
-                        self.config.routing,
-                        &mut self.lib,
-                        &self.config.constraints,
-                    ) else {
-                        continue;
-                    };
-                    observer(&eval.report);
-                    evaluated += 1;
-                    let improves_on = best_swap.as_ref().map_or(&best, |b| b);
-                    if eval
-                        .report
-                        .better_than(&improves_on.report, self.config.objective)
-                    {
-                        best_swap = Some(eval);
-                    }
+        // passes. Candidates are scored through the cached fast path
+        // (parallel sweep, reports reduced in pair order — bit-identical
+        // to a sequential reference scan); only each pass's winner is
+        // re-materialised into a full Evaluation.
+        let engine = EvalEngine::new(
+            graph,
+            app,
+            table,
+            config.routing,
+            &mut self.lib,
+            &config.constraints,
+        );
+        let nodes = graph.mappable_nodes();
+        let mut pairs = Vec::with_capacity(nodes.len() * nodes.len().saturating_sub(1) / 2);
+        for i in 0..nodes.len() {
+            for j in i + 1..nodes.len() {
+                pairs.push((nodes[i], nodes[j]));
+            }
+        }
+        for _pass in 0..config.max_swap_passes {
+            let reports = engine.sweep_reports(&best.placement, &pairs);
+            let mut best_swap: Option<(usize, CostReport)> = None;
+            for (k, report) in reports.into_iter().enumerate() {
+                let Some(report) = report else { continue };
+                observer(&report);
+                evaluated += 1;
+                let improves_on = best_swap.as_ref().map_or(&best.report, |(_, r)| r);
+                if report.better_than(improves_on, config.objective) {
+                    best_swap = Some((k, report));
                 }
             }
             match best_swap {
-                Some(better) => best = better,
+                Some((k, report)) => {
+                    let (a, b) = pairs[k];
+                    let mut placement = best.placement.clone();
+                    placement.swap_nodes(a, b);
+                    let eval = evaluate(
+                        graph,
+                        app,
+                        placement,
+                        config.routing,
+                        &mut self.lib,
+                        &config.constraints,
+                    )
+                    .expect("fast path evaluated this placement");
+                    debug_assert_eq!(eval.report, report, "fast path diverged from reference");
+                    best = eval;
+                }
                 None => break,
             }
         }
@@ -224,117 +270,121 @@ impl<'a> Mapper<'a> {
         }
     }
 
-    /// Phase 1: the greedy constructive placement of Fig. 5 step 1.
-    fn initial_placement(&self) -> Placement {
-        let cores = self.app.core_count();
-        let nodes = self.graph.mappable_nodes().to_vec();
-        // Hop distances between all mappable-node pairs, for the greedy
-        // cost function.
-        let dist = self.distance_table(&nodes);
-
-        let mut assignment: Vec<Option<NodeId>> = vec![None; cores];
-        let mut free: Vec<NodeId> = nodes.clone();
-        let mut placed: Vec<CoreId> = Vec::new();
-
-        // Seed: the core with maximum communication goes to the node
-        // with maximum neighbours.
-        let seed_core = self
-            .app
-            .max_communication_core()
-            .expect("non-empty application");
-        let seed_node = *free
-            .iter()
-            .max_by_key(|n| {
-                self.graph
-                    .ingress_switch(**n)
-                    .map(|s| self.graph.neighbor_count(s))
-                    .unwrap_or(0)
-            })
-            .expect("topology has mappable nodes");
-        assignment[seed_core.index()] = Some(seed_node);
-        free.retain(|n| *n != seed_node);
-        placed.push(seed_core);
-
-        while placed.len() < cores {
-            // Next: the unplaced core communicating most with placed
-            // cores.
-            let next_core = (0..cores)
-                .map(CoreId)
-                .filter(|c| assignment[c.index()].is_none())
-                .max_by(|a, b| {
-                    self.app
-                        .communication_with(*a, &placed)
-                        .partial_cmp(&self.app.communication_with(*b, &placed))
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then_with(|| b.cmp(a))
-                })
-                .expect("an unplaced core remains");
-            // Its node: minimise bandwidth-weighted distance to the
-            // placed communication partners.
-            let best_node = *free
-                .iter()
-                .min_by(|x, y| {
-                    let cx = self.greedy_cost(next_core, **x, &assignment, &dist);
-                    let cy = self.greedy_cost(next_core, **y, &assignment, &dist);
-                    cx.partial_cmp(&cy)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then_with(|| x.cmp(y))
-                })
-                .expect("a free node remains (|V| <= |U|)");
-            assignment[next_core.index()] = Some(best_node);
-            free.retain(|n| *n != best_node);
-            placed.push(next_core);
-        }
-
-        let assignment: Vec<NodeId> = assignment
-            .into_iter()
-            .map(|n| n.expect("all cores placed"))
-            .collect();
-        Placement::new(assignment, self.graph).expect("greedy placement is valid")
-    }
-
-    fn distance_table(&self, nodes: &[NodeId]) -> HashMap<(NodeId, NodeId), f64> {
-        let mut table = HashMap::new();
-        for &a in nodes {
-            for &b in nodes {
-                if a == b {
-                    continue;
-                }
-                let d = paths::hop_distance(self.graph, a, b).unwrap_or(usize::MAX / 2) as f64;
-                table.insert((a, b), d);
+    /// Phase 1 in isolation: the greedy constructive placement of
+    /// Fig. 5 step 1. Exposed so the equivalence suite can replay the
+    /// reference search from the same starting point as [`Mapper::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the application is empty, has more cores than the
+    /// topology has mappable slots ([`Mapper::run`] reports these as
+    /// errors before placing), or an attached route table was built for
+    /// a different graph (the same guard [`Mapper::run`] applies).
+    pub fn greedy_placement(&self) -> Placement {
+        match &self.table {
+            Some(t) => {
+                assert!(
+                    t.matches(self.graph),
+                    "route table built for a different graph"
+                );
+                initial_placement(self.graph, self.app, t)
             }
+            None => initial_placement(self.graph, self.app, &RouteTable::new(self.graph)),
         }
-        table
+    }
+}
+
+/// Phase 1: the greedy constructive placement of Fig. 5 step 1. Hop
+/// distances come from the route table's matrix (one BFS per source)
+/// instead of the former per-pair BFS (O(n³) total).
+fn initial_placement(graph: &TopologyGraph, app: &CoreGraph, table: &RouteTable) -> Placement {
+    let cores = app.core_count();
+    let nodes = graph.mappable_nodes().to_vec();
+
+    let mut assignment: Vec<Option<NodeId>> = vec![None; cores];
+    let mut free: Vec<NodeId> = nodes.clone();
+    let mut placed: Vec<CoreId> = Vec::new();
+
+    // Seed: the core with maximum communication goes to the node
+    // with maximum neighbours.
+    let seed_core = app.max_communication_core().expect("non-empty application");
+    let seed_node = *free
+        .iter()
+        .max_by_key(|n| {
+            graph
+                .ingress_switch(**n)
+                .map(|s| graph.neighbor_count(s))
+                .unwrap_or(0)
+        })
+        .expect("topology has mappable nodes");
+    assignment[seed_core.index()] = Some(seed_node);
+    free.retain(|n| *n != seed_node);
+    placed.push(seed_core);
+
+    while placed.len() < cores {
+        // Next: the unplaced core communicating most with placed
+        // cores.
+        let next_core = (0..cores)
+            .map(CoreId)
+            .filter(|c| assignment[c.index()].is_none())
+            .max_by(|a, b| {
+                app.communication_with(*a, &placed)
+                    .partial_cmp(&app.communication_with(*b, &placed))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| b.cmp(a))
+            })
+            .expect("an unplaced core remains");
+        // Its node: minimise bandwidth-weighted distance to the
+        // placed communication partners.
+        let best_node = *free
+            .iter()
+            .min_by(|x, y| {
+                let cx = greedy_cost(app, table, next_core, **x, &assignment);
+                let cy = greedy_cost(app, table, next_core, **y, &assignment);
+                cx.partial_cmp(&cy)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| x.cmp(y))
+            })
+            .expect("a free node remains (|V| <= |U|)");
+        assignment[next_core.index()] = Some(best_node);
+        free.retain(|n| *n != best_node);
+        placed.push(next_core);
     }
 
-    fn greedy_cost(
-        &self,
-        core: CoreId,
-        node: NodeId,
-        assignment: &[Option<NodeId>],
-        dist: &HashMap<(NodeId, NodeId), f64>,
-    ) -> f64 {
-        let mut cost = 0.0;
-        for e in self.app.edges() {
-            let (other, forward) = if e.src == core {
-                (e.dst, true)
-            } else if e.dst == core {
-                (e.src, false)
-            } else {
-                continue;
-            };
-            let Some(Some(other_node)) = assignment.get(other.index()) else {
-                continue;
-            };
-            let key = if forward {
-                (node, *other_node)
-            } else {
-                (*other_node, node)
-            };
-            cost += e.bandwidth * dist.get(&key).copied().unwrap_or(0.0);
-        }
-        cost
+    let assignment: Vec<NodeId> = assignment
+        .into_iter()
+        .map(|n| n.expect("all cores placed"))
+        .collect();
+    Placement::new(assignment, graph).expect("greedy placement is valid")
+}
+
+fn greedy_cost(
+    app: &CoreGraph,
+    table: &RouteTable,
+    core: CoreId,
+    node: NodeId,
+    assignment: &[Option<NodeId>],
+) -> f64 {
+    let mut cost = 0.0;
+    for e in app.edges() {
+        let (other, forward) = if e.src == core {
+            (e.dst, true)
+        } else if e.dst == core {
+            (e.src, false)
+        } else {
+            continue;
+        };
+        let Some(Some(other_node)) = assignment.get(other.index()) else {
+            continue;
+        };
+        let d = if forward {
+            table.greedy_distance(node, *other_node)
+        } else {
+            table.greedy_distance(*other_node, node)
+        };
+        cost += e.bandwidth * d;
     }
+    cost
 }
 
 #[cfg(test)]

@@ -1,7 +1,5 @@
 //! The one-to-one mapping function `map: V -> U` (paper Eq. 1).
 
-use std::collections::HashMap;
-
 use crate::MappingError;
 use sunmap_topology::{NodeId, TopologyGraph};
 use sunmap_traffic::CoreId;
@@ -25,7 +23,10 @@ use sunmap_traffic::CoreId;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Placement {
     core_to_node: Vec<NodeId>,
-    node_to_core: HashMap<NodeId, CoreId>,
+    /// Node-indexed reverse table. A flat vector (not a map): the swap
+    /// search clones placements per sweep worker and probes occupancy
+    /// on every layout/link loop, so O(1) unhashed access matters.
+    node_to_core: Vec<Option<CoreId>>,
 }
 
 impl Placement {
@@ -36,14 +37,14 @@ impl Placement {
     /// Returns [`MappingError::InvalidPlacement`] if any target is not
     /// mappable in `graph` or two cores share a vertex.
     pub fn new(assignment: Vec<NodeId>, graph: &TopologyGraph) -> Result<Self, MappingError> {
-        let mut node_to_core = HashMap::new();
+        let mut node_to_core = vec![None; graph.node_count()];
         for (i, node) in assignment.iter().enumerate() {
             if !graph.mappable_nodes().contains(node) {
                 return Err(MappingError::InvalidPlacement(format!(
                     "core c{i} assigned to non-mappable vertex {node}"
                 )));
             }
-            if node_to_core.insert(*node, CoreId(i)).is_some() {
+            if node_to_core[node.index()].replace(CoreId(i)).is_some() {
                 return Err(MappingError::InvalidPlacement(format!(
                     "vertex {node} hosts two cores"
                 )));
@@ -71,7 +72,7 @@ impl Placement {
 
     /// The core hosted on `node`, if any.
     pub fn core_at(&self, node: NodeId) -> Option<CoreId> {
-        self.node_to_core.get(&node).copied()
+        self.node_to_core[node.index()]
     }
 
     /// The full core→vertex table.
@@ -86,17 +87,17 @@ impl Placement {
         if a == b {
             return false;
         }
-        let ca = self.node_to_core.remove(&a);
-        let cb = self.node_to_core.remove(&b);
+        let ca = self.node_to_core[a.index()].take();
+        let cb = self.node_to_core[b.index()].take();
         if ca.is_none() && cb.is_none() {
             return false;
         }
         if let Some(c) = ca {
-            self.node_to_core.insert(b, c);
+            self.node_to_core[b.index()] = Some(c);
             self.core_to_node[c.index()] = b;
         }
         if let Some(c) = cb {
-            self.node_to_core.insert(a, c);
+            self.node_to_core[a.index()] = Some(c);
             self.core_to_node[c.index()] = a;
         }
         true

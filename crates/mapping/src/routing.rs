@@ -50,16 +50,16 @@ impl std::fmt::Display for RoutingFunction {
 /// Hop-dominant Dijkstra cost: minimum-hop routes win, current load
 /// breaks ties so consecutive commodities spread out (paper Fig. 5
 /// step 6 increments edge weights by the routed bandwidth).
-const HOP_COST: f64 = 1.0e9;
+pub(crate) const HOP_COST: f64 = 1.0e9;
 
 /// Caps keeping path enumeration tractable; quadrants of on-chip
 /// networks are small so these are rarely binding.
-const MAX_SPLIT_PATHS: usize = 32;
-const DETOUR_SLACK: usize = 2;
+pub(crate) const MAX_SPLIT_PATHS: usize = 32;
+pub(crate) const DETOUR_SLACK: usize = 2;
 /// Granularity of split-traffic routing: each commodity is divided into
 /// this many equal chunks, assigned greedily to the candidate path with
 /// the smallest resulting bottleneck load (min-max water filling).
-const SPLIT_CHUNKS: usize = 16;
+pub(crate) const SPLIT_CHUNKS: usize = 16;
 
 /// Routes one commodity of `bandwidth` MB/s from `src` to `dst` (mapped
 /// vertices of `g`) under `routing`, given the link loads accumulated so
@@ -165,23 +165,65 @@ fn min_max_split(
         })
         .collect();
     let mut local = loads.to_vec();
+    let mut chunks_per_path = Vec::new();
+    assign_chunks(
+        |e| g.edge(sunmap_topology::EdgeId(e)).capacity,
+        candidates.len(),
+        |i| edge_lists[i].as_slice(),
+        &mut local,
+        bandwidth,
+        &mut chunks_per_path,
+    );
+    Some(
+        candidates
+            .into_iter()
+            .zip(chunks_per_path)
+            .filter(|(_, n)| *n > 0)
+            .map(|(p, n)| (p, n as f64 / SPLIT_CHUNKS as f64))
+            .collect(),
+    )
+}
+
+/// Core of the min-max water filling, shared by [`min_max_split`] and
+/// the cached fast path ([`crate::EvalEngine`]) so both assign chunks
+/// with bit-identical arithmetic. `capacity_of(e)` yields an edge's
+/// bandwidth capacity; `edges_of(i)` yields candidate `i`'s
+/// *network-link* edge indices; `local` must hold the current link
+/// loads at every candidate edge (other entries are never touched) and
+/// is mutated as chunks land; `chunks_per_path` receives one count per
+/// candidate.
+pub(crate) fn assign_chunks<'e>(
+    capacity_of: impl Fn(usize) -> f64,
+    count: usize,
+    edges_of: impl Fn(usize) -> &'e [usize],
+    local: &mut [f64],
+    bandwidth: f64,
+    chunks_per_path: &mut Vec<usize>,
+) {
+    debug_assert!(count <= MAX_SPLIT_PATHS, "candidate enumeration is capped");
     let chunk = bandwidth.max(f64::MIN_POSITIVE) / SPLIT_CHUNKS as f64;
-    let mut chunks_per_path = vec![0usize; candidates.len()];
+    chunks_per_path.clear();
+    chunks_per_path.resize(count, 0);
+    let mut ranks = [(false, 0usize, 0.0f64); MAX_SPLIT_PATHS];
     for _ in 0..SPLIT_CHUNKS {
-        let rank = |i: usize| -> (bool, usize, f64) {
-            let over = edge_lists[i].iter().any(|&e| {
-                local[e] + chunk > g.edge(sunmap_topology::EdgeId(e)).capacity * (1.0 + 1e-9)
-            });
-            let bottleneck = edge_lists[i]
-                .iter()
-                .map(|&e| local[e] + chunk)
-                .fold(0.0, f64::max);
-            (over, edge_lists[i].len(), bottleneck)
-        };
-        let best = (0..candidates.len())
+        // Rank every candidate once per chunk, in one pass over its
+        // edges (the former closure-based min_by recomputed ranks per
+        // comparison, with separate over/bottleneck passes).
+        for (i, rank) in ranks.iter_mut().enumerate().take(count) {
+            let edges = edges_of(i);
+            let mut over = false;
+            let mut bottleneck = 0.0f64;
+            for &e in edges {
+                let would_be = local[e] + chunk;
+                over |= would_be > capacity_of(e) * (1.0 + 1e-9);
+                bottleneck = bottleneck.max(would_be);
+            }
+            *rank = (over, edges.len(), bottleneck);
+        }
+        let best = (0..count)
             .min_by(|&a, &b| {
-                let (oa, la, ba) = rank(a);
-                let (ob, lb, bb) = rank(b);
+                let (oa, la, ba) = ranks[a];
+                let (ob, lb, bb) = ranks[b];
                 oa.cmp(&ob)
                     .then_with(|| {
                         if oa {
@@ -202,18 +244,10 @@ fn min_max_split(
             })
             .expect("candidates are non-empty");
         chunks_per_path[best] += 1;
-        for &e in &edge_lists[best] {
+        for &e in edges_of(best) {
             local[e] += chunk;
         }
     }
-    Some(
-        candidates
-            .into_iter()
-            .zip(chunks_per_path)
-            .filter(|(_, n)| *n > 0)
-            .map(|(p, n)| (p, n as f64 / SPLIT_CHUNKS as f64))
-            .collect(),
-    )
 }
 
 #[cfg(test)]

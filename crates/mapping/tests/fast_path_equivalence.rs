@@ -1,0 +1,308 @@
+//! Equivalence suite for the cached evaluation fast path.
+//!
+//! The contract (see `sunmap_mapping::engine`): for every placement,
+//! [`EvalEngine::evaluate_report`] is bit-identical to the reference
+//! [`evaluate`], and the mapper's engine-driven parallel swap search
+//! returns exactly what a sequential reference search (the paper's
+//! plain Fig. 5 loop over the reference evaluator) returns — same
+//! assignments, same reports, same candidate counts, same observed
+//! report sequence. Properties draw from every standard topology
+//! builder, all four routing functions, all four objectives and both
+//! constraint regimes.
+
+use proptest::prelude::*;
+use sunmap_mapping::{
+    evaluate, Constraints, CostReport, EvalEngine, Mapper, MapperConfig, MappingError, Objective,
+    Placement, RouteTable, RoutingFunction,
+};
+use sunmap_power::{AreaPowerLibrary, Technology};
+use sunmap_topology::{builders, TopologyGraph};
+use sunmap_traffic::CoreGraph;
+
+/// The five standard topologies, sized for 12 cores as in the paper.
+fn topology(idx: usize) -> TopologyGraph {
+    let mut library = builders::standard_library(12, 500.0).expect("library builds");
+    library.swap_remove(idx % 5)
+}
+
+fn routing(idx: usize) -> RoutingFunction {
+    RoutingFunction::ALL[idx % 4]
+}
+
+fn objective(idx: usize) -> Objective {
+    [
+        Objective::MinDelay,
+        Objective::MinArea,
+        Objective::MinPower,
+        Objective::MinBandwidth,
+    ][idx % 4]
+}
+
+fn constraints(relaxed: bool) -> Constraints {
+    if relaxed {
+        Constraints::relaxed_bandwidth()
+    } else {
+        Constraints::default()
+    }
+}
+
+/// Builds an application from generated (src, dst, bandwidth) triples,
+/// skipping self-edges (parallel demands accumulate, as in the API).
+fn build_app(cores: usize, edges: &[(usize, usize, f64)]) -> CoreGraph {
+    let mut app = CoreGraph::new();
+    let ids: Vec<_> = (0..cores)
+        .map(|i| app.add_core(format!("c{i}"), 0.5 + (i % 5) as f64))
+        .collect();
+    for &(s, d, bw) in edges {
+        let (s, d) = (s % cores, d % cores);
+        if s != d {
+            app.add_traffic(ids[s], ids[d], bw).expect("valid demand");
+        }
+    }
+    app
+}
+
+/// Deterministic Fisher–Yates permutation of the first `take` mappable
+/// nodes, seeded by `seed` (SplitMix64 steps).
+fn random_placement(g: &TopologyGraph, take: usize, mut seed: u64) -> Placement {
+    let mut next = move || {
+        seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut nodes = g.mappable_nodes().to_vec();
+    for i in (1..nodes.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        nodes.swap(i, j);
+    }
+    nodes.truncate(take);
+    Placement::new(nodes, g).expect("permutation of mappable nodes is valid")
+}
+
+/// The pre-engine sequential search: phase 1's greedy seed, then plain
+/// steepest-descent passes over all vertex pairs, every candidate
+/// scored by the reference evaluator. Returns what `Mapper::run`
+/// returned before the fast path existed, plus the observed reports.
+#[allow(clippy::type_complexity)]
+fn reference_search(
+    g: &TopologyGraph,
+    app: &CoreGraph,
+    config: MapperConfig,
+) -> (
+    Result<(Placement, CostReport), MappingError>,
+    Vec<CostReport>,
+    usize,
+) {
+    let mut observed = Vec::new();
+    let mut lib = AreaPowerLibrary::new(Technology::um_0_10());
+    let initial = Mapper::new(g, app, config).greedy_placement();
+    let mut best = match evaluate(
+        g,
+        app,
+        initial,
+        config.routing,
+        &mut lib,
+        &config.constraints,
+    ) {
+        Ok(eval) => eval,
+        Err(e) => return (Err(e), observed, 0),
+    };
+    observed.push(best.report.clone());
+    let mut evaluated = 1usize;
+    let nodes = g.mappable_nodes().to_vec();
+    for _pass in 0..config.max_swap_passes {
+        let mut best_swap = None;
+        for i in 0..nodes.len() {
+            for j in i + 1..nodes.len() {
+                let mut candidate = best.placement.clone();
+                if !candidate.swap_nodes(nodes[i], nodes[j]) {
+                    continue;
+                }
+                let Ok(eval) = evaluate(
+                    g,
+                    app,
+                    candidate,
+                    config.routing,
+                    &mut lib,
+                    &config.constraints,
+                ) else {
+                    continue;
+                };
+                observed.push(eval.report.clone());
+                evaluated += 1;
+                let improves_on: &sunmap_mapping::Evaluation =
+                    best_swap.as_ref().map_or(&best, |b| b);
+                if eval
+                    .report
+                    .better_than(&improves_on.report, config.objective)
+                {
+                    best_swap = Some(eval);
+                }
+            }
+        }
+        match best_swap {
+            Some(better) => best = better,
+            None => break,
+        }
+    }
+    let outcome = if best.report.feasible() {
+        Ok((best.placement, best.report))
+    } else {
+        Err(MappingError::NoFeasibleMapping(Box::new(best.report)))
+    };
+    (outcome, observed, evaluated)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// `EvalEngine::evaluate_report` ≡ `evaluate(..).report`, bit for
+    /// bit, on random placements across all topologies and routing
+    /// functions — including identical error behaviour.
+    #[test]
+    fn report_matches_reference(
+        topo in 0usize..5,
+        rf in 0usize..4,
+        cores in 2usize..=12,
+        edges in proptest::collection::vec((0usize..12, 0usize..12, 5.0f64..400.0), 1..18),
+        seed in 0u64..1_000_000,
+        relaxed in 0usize..2,
+    ) {
+        let g = topology(topo);
+        let app = build_app(cores, &edges);
+        prop_assume!(app.edge_count() > 0);
+        let routing = routing(rf);
+        let constraints = constraints(relaxed == 1);
+        let placement = random_placement(&g, cores, seed);
+
+        let mut table = RouteTable::new(&g);
+        table.prepare(&g, routing);
+        let mut lib = AreaPowerLibrary::new(Technology::um_0_10());
+        let engine = EvalEngine::new(&g, &app, &table, routing, &mut lib, &constraints);
+        let mut scratch = engine.new_scratch();
+
+        let fast = engine.evaluate_report(&placement, &mut scratch);
+        let reference = evaluate(
+            &g,
+            &app,
+            placement.clone(),
+            routing,
+            &mut lib,
+            &constraints,
+        );
+        match (fast, reference) {
+            (Ok(f), Ok(r)) => prop_assert_eq!(f, r.report),
+            (Err(MappingError::Unroutable { src: fs, dst: fd }),
+             Err(MappingError::Unroutable { src: rs, dst: rd })) => {
+                prop_assert_eq!((fs, fd), (rs, rd));
+            }
+            (f, r) => {
+                return Err(TestCaseError::fail(format!(
+                    "outcome mismatch: fast {f:?} vs reference {}",
+                    r.map(|e| format!("{:?}", e.report)).unwrap_or_else(|e| e.to_string())
+                )));
+            }
+        }
+        // A second evaluation through the same scratch must not be
+        // polluted by the first (lazy resets are per-call).
+        let placement2 = random_placement(&g, cores, seed ^ 0xABCD_EF01);
+        let fast2 = engine.evaluate_report(&placement2, &mut scratch).ok();
+        let ref2 = evaluate(&g, &app, placement2, routing, &mut lib, &constraints)
+            .ok()
+            .map(|e| e.report);
+        prop_assert_eq!(fast2, ref2);
+    }
+
+    /// The engine-driven (cached, parallel) mapper returns exactly what
+    /// the sequential reference search returns: same placement, same
+    /// report, same evaluation count, same observed report sequence.
+    #[test]
+    fn mapper_matches_reference_search(
+        topo in 0usize..5,
+        rf in 0usize..4,
+        obj in 0usize..4,
+        cores in 2usize..=10,
+        edges in proptest::collection::vec((0usize..10, 0usize..10, 5.0f64..400.0), 1..14),
+        relaxed in 0usize..2,
+        passes in 1usize..=2,
+    ) {
+        let g = topology(topo);
+        let app = build_app(cores, &edges);
+        prop_assume!(app.edge_count() > 0);
+        let config = MapperConfig {
+            routing: routing(rf),
+            objective: objective(obj),
+            constraints: constraints(relaxed == 1),
+            max_swap_passes: passes,
+        };
+
+        let mut fast_observed = Vec::new();
+        let fast = Mapper::new(&g, &app, config).run_observed(|r| fast_observed.push(r.clone()));
+        let (reference, ref_observed, ref_evaluated) = reference_search(&g, &app, config);
+
+        prop_assert_eq!(&fast_observed, &ref_observed);
+        match (fast, reference) {
+            (Ok(mapping), Ok((placement, report))) => {
+                prop_assert_eq!(mapping.placement().assignment(), placement.assignment());
+                prop_assert_eq!(mapping.report(), &report);
+                prop_assert_eq!(mapping.evaluated_candidates(), ref_evaluated);
+            }
+            (Err(MappingError::NoFeasibleMapping(f)),
+             Err(MappingError::NoFeasibleMapping(r))) => {
+                prop_assert_eq!(*f, *r);
+            }
+            (Err(MappingError::Unroutable { src: fs, dst: fd }),
+             Err(MappingError::Unroutable { src: rs, dst: rd })) => {
+                prop_assert_eq!((fs, fd), (rs, rd));
+            }
+            (f, r) => {
+                return Err(TestCaseError::fail(format!(
+                    "outcome mismatch: fast {:?} vs reference {:?}",
+                    f.map(|m| m.report().clone()).map_err(|e| e.to_string()),
+                    r.map(|(_, rep)| rep).map_err(|e| e.to_string())
+                )));
+            }
+        }
+    }
+
+    /// Reusing one route table across routing functions and repeated
+    /// runs (the sweep/exploration pattern) changes nothing.
+    #[test]
+    fn route_table_reuse_is_transparent(
+        topo in 0usize..5,
+        cores in 2usize..=10,
+        edges in proptest::collection::vec((0usize..10, 0usize..10, 5.0f64..400.0), 1..10),
+    ) {
+        let g = topology(topo);
+        let app = build_app(cores, &edges);
+        prop_assume!(app.edge_count() > 0);
+        let mut table = RouteTable::new(&g);
+        for rf in RoutingFunction::ALL {
+            let config = MapperConfig {
+                routing: rf,
+                objective: Objective::MinDelay,
+                constraints: Constraints::relaxed_bandwidth(),
+                max_swap_passes: 1,
+            };
+            let shared = Mapper::new(&g, &app, config)
+                .with_route_table(&mut table)
+                .run();
+            let fresh = Mapper::new(&g, &app, config).run();
+            match (shared, fresh) {
+                (Ok(a), Ok(b)) => {
+                    prop_assert_eq!(a.placement().assignment(), b.placement().assignment());
+                    prop_assert_eq!(a.report(), b.report());
+                }
+                (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
+                (a, b) => {
+                    return Err(TestCaseError::fail(format!(
+                        "reuse mismatch: {:?} vs {:?}",
+                        a.is_ok(), b.is_ok()
+                    )));
+                }
+            }
+        }
+    }
+}

@@ -35,7 +35,7 @@ mod library;
 mod switch;
 mod wire;
 
-pub use library::AreaPowerLibrary;
+pub use library::{switch_power_from_energy, AreaPowerLibrary};
 pub use switch::{switch_area, switch_energy_per_bit, switch_power, SwitchConfig};
 pub use wire::{link_power, WireModel};
 

@@ -80,7 +80,7 @@ impl AreaPowerLibrary {
 
     /// Power of a switch carrying `traffic_mbs` MB/s, in mW.
     pub fn switch_power(&mut self, cfg: SwitchConfig, traffic_mbs: f64) -> f64 {
-        self.energy_per_bit(cfg) * traffic_mbs * 8.0e6 * 1.0e3
+        switch_power_from_energy(self.energy_per_bit(cfg), traffic_mbs)
     }
 
     /// Power of a link of `length_mm` carrying `traffic_mbs` MB/s, in mW.
@@ -92,6 +92,14 @@ impl AreaPowerLibrary {
     pub fn entries(&self) -> usize {
         self.areas.len().max(self.energies.len())
     }
+}
+
+/// Switch power (mW) from a precomputed bit-traversal energy — the
+/// exact expression [`AreaPowerLibrary::switch_power`] evaluates,
+/// factored out so callers that cache `energy_per_bit` (the mapping
+/// engine's fast path) cannot drift from the library's formula.
+pub fn switch_power_from_energy(energy_per_bit: f64, traffic_mbs: f64) -> f64 {
+    energy_per_bit * traffic_mbs * 8.0e6 * 1.0e3
 }
 
 #[cfg(test)]

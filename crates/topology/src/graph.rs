@@ -41,6 +41,48 @@ impl Edge {
     }
 }
 
+/// Dense adjacency lookup built by [`TopologyGraph::adjacency_matrix`]:
+/// `edge_between(src, dst)` answers in O(1) what `find_edge` answers by
+/// scanning the outgoing list. Matches `find_edge` exactly, including
+/// first-edge-wins semantics for (hypothetical) parallel edges.
+///
+/// # Examples
+///
+/// ```
+/// use sunmap_topology::builders;
+///
+/// let g = builders::mesh(2, 2, 500.0)?;
+/// let adj = g.adjacency_matrix();
+/// let a = g.switch_at_grid(0, 0).unwrap();
+/// let b = g.switch_at_grid(0, 1).unwrap();
+/// assert_eq!(adj.edge_between(a, b), g.find_edge(a, b));
+/// assert_eq!(adj.edge_between(b, b), None);
+/// # Ok::<(), sunmap_topology::TopologyError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdjacencyMatrix {
+    n: usize,
+    /// `u32::MAX` marks an absent edge; anything else is an edge id.
+    slots: Vec<u32>,
+}
+
+impl AdjacencyMatrix {
+    /// The directed edge from `src` to `dst`, if present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of bounds for the originating graph.
+    pub fn edge_between(&self, src: NodeId, dst: NodeId) -> Option<EdgeId> {
+        let slot = self.slots[src.index() * self.n + dst.index()];
+        (slot != u32::MAX).then_some(EdgeId(slot as usize))
+    }
+
+    /// Number of nodes of the originating graph.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+}
+
 /// The NoC topology graph `P(U, F)` of the paper: vertices are network
 /// nodes, directed edges are channels with bandwidth capacities.
 ///
@@ -280,6 +322,24 @@ impl TopologyGraph {
             .find(|e| self.edges[e.index()].dst == dst)
     }
 
+    /// Builds a dense `src × dst → Option<EdgeId>` lookup table. A
+    /// single O(V² + E) build amortises the linear [`find_edge`] scan
+    /// away on hot paths (the evaluation engine resolves every path
+    /// window through this matrix).
+    pub fn adjacency_matrix(&self) -> AdjacencyMatrix {
+        let n = self.node_count();
+        let mut slots = vec![u32::MAX; n * n];
+        // Iterate in edge-id order keeping the first match, so lookups
+        // agree with `find_edge` (whose out_adj lists are id-ordered).
+        for (i, e) in self.edges.iter().enumerate() {
+            let slot = &mut slots[e.src.index() * n + e.dst.index()];
+            if *slot == u32::MAX {
+                *slot = i as u32;
+            }
+        }
+        AdjacencyMatrix { n, slots }
+    }
+
     /// The switch a mappable vertex injects into: the vertex itself for
     /// direct topologies, the ingress-stage switch for indirect ones.
     ///
@@ -430,6 +490,29 @@ mod tests {
         // 4 network neighbours + 1 local core = 5x5 switch.
         assert_eq!(inp, 5);
         assert_eq!(outp, 5);
+    }
+
+    #[test]
+    fn adjacency_matrix_agrees_with_find_edge_everywhere() {
+        for g in [
+            builders::mesh(3, 4, 500.0).unwrap(),
+            builders::torus(3, 3, 500.0).unwrap(),
+            builders::butterfly(4, 2, 500.0).unwrap(),
+            builders::clos(4, 2, 4, 500.0).unwrap(),
+        ] {
+            let adj = g.adjacency_matrix();
+            assert_eq!(adj.node_count(), g.node_count());
+            for a in g.nodes() {
+                for b in g.nodes() {
+                    assert_eq!(
+                        adj.edge_between(a, b),
+                        g.find_edge(a, b),
+                        "{}: {a}->{b} mismatch",
+                        g.kind()
+                    );
+                }
+            }
+        }
     }
 
     #[test]

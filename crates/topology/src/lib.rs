@@ -44,7 +44,7 @@ pub mod quadrant;
 
 pub use custom::{CustomTopologyBuilder, SwitchRef};
 pub use error::TopologyError;
-pub use graph::{Edge, EdgeId, TopologyGraph};
+pub use graph::{AdjacencyMatrix, Edge, EdgeId, TopologyGraph};
 pub use node::{NodeCoords, NodeId, NodeKind};
 
 /// Identifies which standard topology a [`TopologyGraph`] instantiates,

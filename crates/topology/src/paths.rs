@@ -64,17 +64,56 @@ pub fn shortest_path(
 }
 
 fn reconstruct(prev: &[Option<NodeId>], src: NodeId, dst: NodeId) -> Vec<NodeId> {
-    let mut path = vec![dst];
-    let mut cur = dst;
-    while cur != src {
-        cur = prev[cur.index()].expect("predecessor chain reaches the source");
-        path.push(cur);
-    }
-    path.reverse();
+    let mut path = Vec::new();
+    reconstruct_into(prev, src, dst, &mut path);
     path
 }
 
-#[derive(PartialEq)]
+fn reconstruct_into(prev: &[Option<NodeId>], src: NodeId, dst: NodeId, out: &mut Vec<NodeId>) {
+    out.clear();
+    out.push(dst);
+    let mut cur = dst;
+    while cur != src {
+        cur = prev[cur.index()].expect("predecessor chain reaches the source");
+        out.push(cur);
+    }
+    out.reverse();
+}
+
+/// BFS hop levels from `src` to every vertex of `g` in one O(V + E)
+/// pass (`usize::MAX` marks unreachable vertices). One call per source
+/// replaces the per-*pair* BFS that [`hop_distance`] would cost when
+/// tabulating all-pairs distances.
+///
+/// # Examples
+///
+/// ```
+/// use sunmap_topology::{builders, paths};
+///
+/// let g = builders::mesh(3, 3, 500.0)?;
+/// let a = g.switch_at_grid(0, 0).unwrap();
+/// let b = g.switch_at_grid(2, 2).unwrap();
+/// let levels = paths::bfs_levels(&g, a);
+/// assert_eq!(levels[b.index()], 4);
+/// assert_eq!(levels[a.index()], 0);
+/// # Ok::<(), sunmap_topology::TopologyError>(())
+/// ```
+pub fn bfs_levels(g: &TopologyGraph, src: NodeId) -> Vec<usize> {
+    let mut level = vec![usize::MAX; g.node_count()];
+    level[src.index()] = 0;
+    let mut queue = VecDeque::from([src]);
+    while let Some(u) = queue.pop_front() {
+        for v in g.successors(u) {
+            if level[v.index()] == usize::MAX {
+                level[v.index()] = level[u.index()] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    level
+}
+
+#[derive(Debug, PartialEq)]
 struct HeapEntry {
     cost: f64,
     node: NodeId,
@@ -99,6 +138,41 @@ impl PartialOrd for HeapEntry {
     }
 }
 
+/// Reusable Dijkstra state (dist / prev / heap) sized for one graph.
+///
+/// The mapping engine's steady-state candidate evaluation runs one
+/// Dijkstra per commodity per candidate; allocating these vectors fresh
+/// each time dominated small-search runtime. A scratch is reset lazily:
+/// only vertices touched by the previous search are cleared.
+#[derive(Debug, Default)]
+pub struct DijkstraScratch {
+    dist: Vec<f64>,
+    prev: Vec<Option<NodeId>>,
+    touched: Vec<usize>,
+    heap: BinaryHeap<HeapEntry>,
+}
+
+impl DijkstraScratch {
+    /// Creates scratch buffers for a graph of `node_count` vertices.
+    pub fn new(node_count: usize) -> Self {
+        DijkstraScratch {
+            dist: vec![f64::INFINITY; node_count],
+            prev: vec![None; node_count],
+            touched: Vec::new(),
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    fn reset(&mut self) {
+        for &i in &self.touched {
+            self.dist[i] = f64::INFINITY;
+            self.prev[i] = None;
+        }
+        self.touched.clear();
+        self.heap.clear();
+    }
+}
+
 /// Dijkstra's algorithm with a caller-supplied non-negative edge cost,
 /// optionally restricted to `allowed`. Returns `(total_cost, vertices)`.
 ///
@@ -119,33 +193,73 @@ pub fn dijkstra<F>(
 where
     F: FnMut(EdgeId) -> f64,
 {
-    let mut dist = vec![f64::INFINITY; g.node_count()];
-    let mut prev: Vec<Option<NodeId>> = vec![None; g.node_count()];
-    dist[src.index()] = 0.0;
-    let mut heap = BinaryHeap::new();
-    heap.push(HeapEntry {
+    let mut scratch = DijkstraScratch::new(g.node_count());
+    let mut path = Vec::new();
+    let cost = dijkstra_into(
+        g,
+        src,
+        dst,
+        |n| permitted(allowed, n, src, dst),
+        &mut edge_cost,
+        &mut scratch,
+        &mut path,
+    )?;
+    Some((cost, path))
+}
+
+/// Allocation-free Dijkstra: identical algorithm (and therefore
+/// identical tie-breaking) to [`dijkstra`], but vertex admission comes
+/// from a caller-supplied predicate, working state lives in `scratch`,
+/// and the path is written into `path_out`. Returns the total cost, or
+/// `None` if `dst` is unreachable (in which case `path_out` is
+/// unspecified).
+///
+/// The predicate must admit `src` and `dst` themselves; [`dijkstra`]
+/// wires this up via [`AllowedSet`] semantics.
+pub fn dijkstra_into<P, F>(
+    g: &TopologyGraph,
+    src: NodeId,
+    dst: NodeId,
+    admit: P,
+    mut edge_cost: F,
+    scratch: &mut DijkstraScratch,
+    path_out: &mut Vec<NodeId>,
+) -> Option<f64>
+where
+    P: Fn(NodeId) -> bool,
+    F: FnMut(EdgeId) -> f64,
+{
+    debug_assert_eq!(scratch.dist.len(), g.node_count());
+    scratch.reset();
+    scratch.dist[src.index()] = 0.0;
+    scratch.touched.push(src.index());
+    scratch.heap.push(HeapEntry {
         cost: 0.0,
         node: src,
     });
-    while let Some(HeapEntry { cost, node }) = heap.pop() {
-        if cost > dist[node.index()] {
+    while let Some(HeapEntry { cost, node }) = scratch.heap.pop() {
+        if cost > scratch.dist[node.index()] {
             continue;
         }
         if node == dst {
-            return Some((cost, reconstruct(&prev, src, dst)));
+            reconstruct_into(&scratch.prev, src, dst, path_out);
+            return Some(cost);
         }
         for &e in g.outgoing(node) {
             let edge = g.edge(e);
-            if !permitted(allowed, edge.dst, src, dst) {
+            if !admit(edge.dst) {
                 continue;
             }
             let w = edge_cost(e);
             debug_assert!(w >= 0.0, "edge costs must be non-negative");
             let next = cost + w;
-            if next < dist[edge.dst.index()] {
-                dist[edge.dst.index()] = next;
-                prev[edge.dst.index()] = Some(node);
-                heap.push(HeapEntry {
+            if next < scratch.dist[edge.dst.index()] {
+                if scratch.dist[edge.dst.index()] == f64::INFINITY {
+                    scratch.touched.push(edge.dst.index());
+                }
+                scratch.dist[edge.dst.index()] = next;
+                scratch.prev[edge.dst.index()] = Some(node);
+                scratch.heap.push(HeapEntry {
                     cost: next,
                     node: edge.dst,
                 });
@@ -390,6 +504,43 @@ mod tests {
         for (i, e) in es.iter().enumerate() {
             assert_eq!(g.edge(*e).src, p[i]);
             assert_eq!(g.edge(*e).dst, p[i + 1]);
+        }
+    }
+
+    #[test]
+    fn bfs_levels_match_hop_distance() {
+        for g in [
+            builders::mesh(3, 4, 500.0).unwrap(),
+            builders::butterfly(4, 2, 500.0).unwrap(),
+        ] {
+            for a in g.nodes() {
+                let levels = bfs_levels(&g, a);
+                for b in g.nodes() {
+                    match hop_distance(&g, a, b) {
+                        Some(d) => assert_eq!(levels[b.index()], d, "{a}->{b}"),
+                        None => assert_eq!(levels[b.index()], usize::MAX, "{a}->{b}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_dijkstra_reproduces_allocating_dijkstra() {
+        let g = builders::torus(3, 4, 500.0).unwrap();
+        let mut scratch = DijkstraScratch::new(g.node_count());
+        let mut path = Vec::new();
+        // Non-uniform costs exercise tie-breaking; reuse the scratch
+        // across every pair to exercise the lazy reset.
+        let cost_of = |e: EdgeId| 1.0 + (e.index() % 7) as f64 * 0.25;
+        for a in g.switches() {
+            for b in g.switches() {
+                let reference = dijkstra(&g, a, b, None, cost_of).unwrap();
+                let cost =
+                    dijkstra_into(&g, a, b, |_| true, cost_of, &mut scratch, &mut path).unwrap();
+                assert_eq!(cost, reference.0);
+                assert_eq!(path, reference.1);
+            }
         }
     }
 

@@ -12,9 +12,22 @@
 //! is long enough to time), and reports min / median / max per
 //! iteration. There is no statistical regression analysis and no
 //! report directory; output goes to stdout only.
+//!
+//! Like real criterion, passing `--test` on the bench binary's command
+//! line (`cargo bench --bench <name> -- --test`) switches to smoke
+//! mode: every benchmark body runs exactly once, unsampled, so CI can
+//! validate that benches execute without paying for measurement.
 
 use std::fmt;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+/// Whether `--test` was passed to the bench binary (criterion's smoke
+/// mode: run each benchmark once, skip warm-up and sampling).
+fn test_mode() -> bool {
+    static MODE: OnceLock<bool> = OnceLock::new();
+    *MODE.get_or_init(|| std::env::args().any(|a| a == "--test"))
+}
 
 /// Top-level harness state, mirroring `criterion::Criterion`.
 pub struct Criterion {
@@ -153,11 +166,16 @@ pub struct Bencher {
 
 impl Bencher {
     /// Times `routine`, collecting the configured number of samples.
+    /// In `--test` smoke mode the routine runs exactly once, untimed.
     pub fn iter<O, F>(&mut self, mut routine: F)
     where
         F: FnMut() -> O,
     {
         self.measured = true;
+        if test_mode() {
+            std::hint::black_box(routine());
+            return;
+        }
         // Calibrate batch size so one sample lasts >= ~1 ms even for
         // nanosecond-scale bodies.
         let probe = Instant::now();
@@ -182,6 +200,16 @@ fn run_benchmark<F>(id: &str, sample_size: usize, warm_up: Duration, f: &mut F)
 where
     F: FnMut(&mut Bencher),
 {
+    if test_mode() {
+        let mut bencher = Bencher {
+            iters_per_sample: 1,
+            samples: Vec::new(),
+            measured: false,
+        };
+        f(&mut bencher);
+        println!("{id:<50} (smoke: ran once, not measured)");
+        return;
+    }
     // Warm-up: run the closure body (un-sampled) until the budget is
     // spent at least once.
     let warm_start = Instant::now();
@@ -299,5 +327,12 @@ mod tests {
     fn benchmark_id_display_forms() {
         assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
         assert_eq!(BenchmarkId::from_parameter("vopd").to_string(), "vopd");
+    }
+
+    #[test]
+    fn smoke_mode_runs_body_once_per_bencher() {
+        // The unit-test binary is not invoked with --test on its argv,
+        // so test_mode() is false here; assert the flag parse itself.
+        assert!(!test_mode());
     }
 }
