@@ -1,47 +1,65 @@
 # Developer entry points. Each target runs exactly what CI runs
 # (.github/workflows/ci.yml), so `make ci` passing locally means the
 # workflow will pass too.
+#
+# Every cargo invocation carries --locked: Cargo.lock is committed, and
+# silent lockfile drift should fail loudly here and in CI.
 
 CARGO ?= cargo
 
-.PHONY: all build test bench bench-smoke lint fmt ci clean
+BENCH_SMOKE_JSONL := target/bench-smoke.jsonl
+BENCH_RESULTS := target/BENCH_results.json
+
+.PHONY: all build test bench bench-run bench-smoke doc lint fmt ci clean
 
 all: build
 
 ## Build every crate in release mode (the tier-1 build).
 build:
-	$(CARGO) build --release --workspace
+	$(CARGO) build --locked --release --workspace
 
 ## Run the full test suite: unit, integration, property, doc tests.
 test:
-	$(CARGO) test -q --workspace
+	$(CARGO) test --locked -q --workspace
 
 ## Compile all Criterion bench targets without running them.
 bench:
-	$(CARGO) bench --no-run --workspace
+	$(CARGO) bench --locked --no-run --workspace
 
 ## Run the benches for real (prints paper-figure tables + timings).
 bench-run:
-	$(CARGO) bench --workspace
+	$(CARGO) bench --locked --workspace
 
-## Smoke-run the mapping-speed bench: each benchmark body executes once
-## under the vendored criterion's --test mode (no warm-up, no sampling),
-## so CI verifies the bench actually runs without paying for
-## measurement.
+## Smoke-run EVERY bench target: each benchmark body executes once
+## under the vendored criterion's --test mode (no warm-up, no
+## sampling), so CI verifies that no bench target rots unexecuted.
+## Each run appends a JSON-lines record to $(BENCH_SMOKE_JSONL); the
+## recipe wraps them into the $(BENCH_RESULTS) artifact CI uploads.
 bench-smoke:
-	$(CARGO) bench --bench mapping_speed -- --test
+	rm -f $(BENCH_SMOKE_JSONL)
+	CRITERION_SMOKE_JSON=$(CURDIR)/$(BENCH_SMOKE_JSONL) \
+		$(CARGO) bench --locked -p sunmap-bench --benches -- --test
+	@printf '{"schema":"sunmap-bench-smoke/1","benches":[' > $(BENCH_RESULTS)
+	@paste -sd, $(BENCH_SMOKE_JSONL) >> $(BENCH_RESULTS)
+	@printf ']}\n' >> $(BENCH_RESULTS)
+	@echo "wrote $(BENCH_RESULTS)"
+
+## Build API docs for every workspace crate with rustdoc warnings as
+## hard errors (broken intra-doc links rot fast otherwise).
+doc:
+	RUSTDOCFLAGS="-D warnings" $(CARGO) doc --locked --workspace --no-deps
 
 ## Formatting + clippy, both as hard errors, matching the CI gates.
 lint:
 	$(CARGO) fmt --all -- --check
-	$(CARGO) clippy --workspace --all-targets -- -D warnings
+	$(CARGO) clippy --locked --workspace --all-targets -- -D warnings
 
 ## Apply rustfmt in place.
 fmt:
 	$(CARGO) fmt --all
 
 ## Everything CI gates on, in CI's order.
-ci: lint build test bench bench-smoke
+ci: lint build test doc bench bench-smoke
 
 clean:
 	$(CARGO) clean

@@ -21,25 +21,39 @@ pub struct Cli {
     pub relax_bandwidth: bool,
     /// Include the octagon/star extension topologies.
     pub extended: bool,
-    /// Output directory for `generate`.
+    /// Output directory for `generate`, `simulate` and `sweep`.
     pub out_dir: String,
     /// Design name for `generate`.
     pub design_name: String,
     /// Trace intensity for `simulate` (flits/cycle for the heaviest
     /// commodity).
     pub intensity: f64,
+    /// Injection rates for `sweep` (flits/cycle/terminal).
+    pub rates: Vec<f64>,
+    /// Synthetic pattern for `sweep` (`None` = each topology's
+    /// adversarial pattern, paper §6.2).
+    pub pattern: Option<String>,
+    /// Sweep worker threads (`0` = one per CPU). Results are
+    /// bit-identical at any setting.
+    pub workers: usize,
+    /// Run the phase-4 simulation validation after `explore`.
+    pub validate: bool,
 }
 
 /// The `sunmap` subcommands.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Command {
-    /// Phase 1+2: per-topology table and selection.
+    /// Phase 1+2: per-topology table and selection (optionally with the
+    /// phase-4 validation).
     Explore,
     /// Full flow: explore, select and write SystemC sources.
     Generate,
-    /// Fig. 9 design-space sweeps (routing bandwidth + Pareto).
+    /// Fig. 8b: latency-vs-injection-rate curves (CSV + JSON).
     Sweep,
-    /// Trace-driven simulation of every feasible candidate.
+    /// Fig. 9 design-space sweeps (routing bandwidth + Pareto).
+    DesignSweep,
+    /// Trace-driven simulation of every feasible candidate (Fig. 10c),
+    /// with a JSON report.
     Simulate,
 }
 
@@ -60,10 +74,11 @@ pub const USAGE: &str = "\
 usage: sunmap <command> <app> [options]
 
 commands:
-  explore    map the application onto the topology library, print the table
-  generate   full flow: explore, select, write SystemC sources
-  sweep      routing-function bandwidth staircase + area-power Pareto front
-  simulate   trace-driven latency of every feasible candidate
+  explore       map the application onto the topology library, print the table
+  generate      full flow: explore, select, write SystemC sources
+  simulate      trace-driven latency of every feasible candidate (+ JSON)
+  sweep         latency-vs-injection-rate curves (Fig. 8b; CSV + JSON)
+  design-sweep  routing-function bandwidth staircase + area-power Pareto front
 
 <app> is a .app file (core/traffic lines) or a built-in benchmark:
   vopd | mpeg4 | dsp | netproc
@@ -74,9 +89,17 @@ options:
   --objective <obj>     delay|area|power|bandwidth (default delay)
   --relax-bandwidth     do not enforce link capacities
   --extended            add octagon and star to the library
-  --out <dir>           output directory     (generate; default sunmap-out)
+  --out <dir>           output directory     (generate/simulate/sweep;
+                        default sunmap-out)
   --name <name>         design name          (generate; default 'design')
-  --intensity <f>       injection intensity  (simulate; default 0.45)
+  --intensity <f>       injection intensity  (simulate/explore --validate;
+                        default 0.45)
+  --validate            simulate winner + runner-up after explore (phase 4)
+  --rates <r1,r2,..>    sweep injection rates (default 0.02..0.45)
+  --pattern <name>      sweep pattern: uniform|transpose|bit-complement|
+                        bit-reverse|tornado (default: per-topology adversary)
+  --workers <n>         sweep threads, 0 = one per CPU (default 0;
+                        results identical at any setting)
 ";
 
 impl Cli {
@@ -96,6 +119,7 @@ impl Cli {
             Some("explore") => Command::Explore,
             Some("generate") => Command::Generate,
             Some("sweep") => Command::Sweep,
+            Some("design-sweep") => Command::DesignSweep,
             Some("simulate") => Command::Simulate,
             Some(other) => return Err(ParseCliError(format!("unknown command '{other}'"))),
             None => return Err(ParseCliError("missing command".to_string())),
@@ -115,6 +139,10 @@ impl Cli {
             out_dir: "sunmap-out".to_string(),
             design_name: "design".to_string(),
             intensity: 0.45,
+            rates: vec![0.02, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45],
+            pattern: None,
+            workers: 0,
+            validate: false,
         };
         while let Some(flag) = it.next() {
             let mut value = |name: &str| {
@@ -149,11 +177,45 @@ impl Cli {
                 "--out" => cli.out_dir = value("--out")?,
                 "--name" => cli.design_name = value("--name")?,
                 "--intensity" => cli.intensity = parse_f64(&value("--intensity")?)?,
+                "--validate" => cli.validate = true,
+                "--rates" => {
+                    let list = value("--rates")?;
+                    cli.rates = list
+                        .split(',')
+                        .map(|s| parse_f64(s.trim()))
+                        .collect::<Result<Vec<f64>, _>>()?;
+                    if cli.rates.is_empty() {
+                        return Err(ParseCliError("--rates needs at least one rate".to_string()));
+                    }
+                }
+                "--pattern" => {
+                    let name = value("--pattern")?.to_lowercase();
+                    if sunmap::traffic::patterns::TrafficPattern::from_name(&name).is_none() {
+                        return Err(ParseCliError(format!("unknown pattern '{name}'")));
+                    }
+                    cli.pattern = Some(name);
+                }
+                "--workers" => {
+                    let text = value("--workers")?;
+                    cli.workers = text
+                        .parse()
+                        .map_err(|_| ParseCliError(format!("'{text}' is not a worker count")))?;
+                }
                 other => return Err(ParseCliError(format!("unknown option '{other}'"))),
             }
         }
         if !(cli.capacity.is_finite() && cli.capacity > 0.0) {
             return Err(ParseCliError("--capacity must be positive".to_string()));
+        }
+        if cli.rates.iter().any(|r| !r.is_finite() || *r < 0.0) {
+            return Err(ParseCliError(
+                "--rates must be non-negative numbers".to_string(),
+            ));
+        }
+        if !cli.intensity.is_finite() || cli.intensity < 0.0 {
+            return Err(ParseCliError(
+                "--intensity must be a non-negative number".to_string(),
+            ));
         }
         Ok(cli)
     }
@@ -239,6 +301,53 @@ mod tests {
             .unwrap_err()
             .0
             .contains("unknown option"));
+    }
+
+    #[test]
+    fn sweep_options_parse() {
+        let cli = Cli::parse([
+            "sweep",
+            "netproc",
+            "--rates",
+            "0.05, 0.1,0.2",
+            "--pattern",
+            "Tornado",
+            "--workers",
+            "3",
+        ])
+        .unwrap();
+        assert_eq!(cli.command, Command::Sweep);
+        assert_eq!(cli.rates, vec![0.05, 0.1, 0.2]);
+        assert_eq!(cli.pattern.as_deref(), Some("tornado"));
+        assert_eq!(cli.workers, 3);
+    }
+
+    #[test]
+    fn design_sweep_and_validate_parse() {
+        let cli = Cli::parse(["design-sweep", "mpeg4"]).unwrap();
+        assert_eq!(cli.command, Command::DesignSweep);
+        let cli = Cli::parse(["explore", "vopd", "--validate"]).unwrap();
+        assert!(cli.validate);
+    }
+
+    #[test]
+    fn bad_sweep_options_error() {
+        assert!(Cli::parse(["sweep", "vopd", "--rates", "0.1,x"])
+            .unwrap_err()
+            .0
+            .contains("not a number"));
+        assert!(Cli::parse(["sweep", "vopd", "--rates", "-0.1"])
+            .unwrap_err()
+            .0
+            .contains("non-negative"));
+        assert!(Cli::parse(["sweep", "vopd", "--pattern", "hotspot"])
+            .unwrap_err()
+            .0
+            .contains("unknown pattern"));
+        assert!(Cli::parse(["sweep", "vopd", "--workers", "many"])
+            .unwrap_err()
+            .0
+            .contains("worker count"));
     }
 
     #[test]

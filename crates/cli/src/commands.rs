@@ -5,8 +5,10 @@ use std::fs;
 use std::path::Path;
 
 use crate::args::{Cli, Command};
-use sunmap::sim::{NocSimulator, SimConfig};
+use sunmap::sim::sweep::{injection_sweep, stats_json_fields, sweep_csv, sweep_json, SweepRequest};
+use sunmap::sim::{adversarial_pattern, NocSimulator, SimConfig};
 use sunmap::topology::builders;
+use sunmap::traffic::patterns::TrafficPattern;
 use sunmap::traffic::{benchmarks, io, CoreGraph};
 use sunmap::{
     pareto_exploration, routing_bandwidth_sweep, Constraints, Exploration, Sunmap, TopologyGraph,
@@ -21,6 +23,7 @@ pub fn run(cli: &Cli) -> CliResult {
         Command::Explore => explore(cli, app),
         Command::Generate => generate(cli, app),
         Command::Sweep => sweep(cli, app),
+        Command::DesignSweep => design_sweep(cli, app),
         Command::Simulate => simulate(cli, app),
     }
 }
@@ -74,7 +77,10 @@ fn explore_with_library(
 }
 
 fn explore(cli: &Cli, app: CoreGraph) -> CliResult {
-    let (_, ex) = explore_with_library(cli, app)?;
+    let (tool, mut ex) = explore_with_library(cli, app)?;
+    if cli.validate {
+        tool.validate(&mut ex, SimConfig::default(), cli.intensity);
+    }
     print!("{}", ex.table());
     match ex.best_candidate() {
         Some(best) => println!("selected: {}", best.kind),
@@ -105,7 +111,54 @@ fn generate(cli: &Cli, app: CoreGraph) -> CliResult {
     Ok(())
 }
 
+/// Fig. 8(b): latency-versus-injection-rate curves for every topology
+/// in the library under adversarial (or a chosen) synthetic traffic,
+/// written as `sweep.csv` and `sweep.json` in the output directory.
 fn sweep(cli: &Cli, app: CoreGraph) -> CliResult {
+    let lib = library(cli, app.core_count())?;
+    let pattern = cli
+        .pattern
+        .as_deref()
+        .map(|name| TrafficPattern::from_name(name).expect("pattern validated at parse time"));
+    let requests: Vec<SweepRequest<'_>> = lib
+        .iter()
+        .map(|g| SweepRequest {
+            graph: g,
+            pattern: pattern
+                .clone()
+                .unwrap_or_else(|| adversarial_pattern(g.kind())),
+        })
+        .collect();
+    let points = injection_sweep(&requests, &cli.rates, SimConfig::default(), cli.workers);
+    let out = Path::new(&cli.out_dir);
+    fs::create_dir_all(out)?;
+    fs::write(out.join("sweep.csv"), sweep_csv(&points))?;
+    fs::write(out.join("sweep.json"), sweep_json(&points))?;
+    println!(
+        "{:<12} {:<15} {:>6} {:>10} {:>9}",
+        "topology", "pattern", "rate", "lat (cy)", "delivery"
+    );
+    for p in &points {
+        println!(
+            "{:<12} {:<15} {:>6} {:>10.1} {:>8.0}%",
+            p.topology.name(),
+            p.pattern,
+            p.rate,
+            p.stats.avg_latency,
+            p.stats.delivery_ratio() * 100.0
+        );
+    }
+    println!(
+        "wrote {} points to {} (sweep.csv, sweep.json)",
+        points.len(),
+        out.display()
+    );
+    Ok(())
+}
+
+/// Fig. 9: routing-function bandwidth staircase and area-power Pareto
+/// front on the application's mesh.
+fn design_sweep(cli: &Cli, app: CoreGraph) -> CliResult {
     let (rows, cols) = builders::grid_dims(app.core_count());
     let mesh = builders::mesh(rows, cols, cli.capacity)?;
     println!(
@@ -133,13 +186,24 @@ fn sweep(cli: &Cli, app: CoreGraph) -> CliResult {
     Ok(())
 }
 
+/// Fig. 10(c): trace-driven latency of every feasible candidate, with a
+/// JSON report (`simulate.json`) in the output directory.
 fn simulate(cli: &Cli, app: CoreGraph) -> CliResult {
+    use sunmap::sim::sweep::{json_number, json_string};
     let (_, ex) = explore_with_library(cli, app.clone())?;
     println!(
         "{:<12} {:>10} {:>10} {:>9}",
         "topology", "lat (cy)", "packets", "delivery"
     );
-    for c in &ex.candidates {
+    let mut json = format!(
+        "{{\"schema\":\"sunmap-simulate/1\",\"app\":{},\"intensity\":{},\"topologies\":[",
+        json_string(&cli.app),
+        json_number(cli.intensity)
+    );
+    for (i, c) in ex.candidates.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
         match &c.outcome {
             Ok(mapping) => {
                 let mut sim = NocSimulator::new(&c.graph, SimConfig::default());
@@ -151,10 +215,26 @@ fn simulate(cli: &Cli, app: CoreGraph) -> CliResult {
                     stats.packets_delivered,
                     stats.delivery_ratio() * 100.0
                 );
+                json.push_str(&format!(
+                    "{{\"topology\":{},\"feasible\":true,{}}}",
+                    json_string(c.kind.name()),
+                    stats_json_fields(&stats)
+                ));
             }
-            Err(_) => println!("{:<12} {:>10}", c.kind.name(), "infeasible"),
+            Err(_) => {
+                println!("{:<12} {:>10}", c.kind.name(), "infeasible");
+                json.push_str(&format!(
+                    "{{\"topology\":{},\"feasible\":false}}",
+                    json_string(c.kind.name())
+                ));
+            }
         }
     }
+    json.push_str("]}");
+    let out = Path::new(&cli.out_dir);
+    fs::create_dir_all(out)?;
+    fs::write(out.join("simulate.json"), json)?;
+    println!("wrote {}", out.join("simulate.json").display());
     Ok(())
 }
 
@@ -194,8 +274,64 @@ mod tests {
     }
 
     #[test]
-    fn sweep_runs_on_mpeg4() {
-        run(&cli(&["sweep", "mpeg4"])).unwrap();
+    fn design_sweep_runs_on_mpeg4() {
+        run(&cli(&["design-sweep", "mpeg4"])).unwrap();
+    }
+
+    #[test]
+    fn injection_sweep_writes_csv_and_json() {
+        let dir = std::env::temp_dir().join("sunmap_cli_test_sweep");
+        let _ = fs::remove_dir_all(&dir);
+        run(&cli(&[
+            "sweep",
+            "dsp",
+            "--capacity",
+            "1000",
+            "--rates",
+            "0.05,0.2",
+            "--workers",
+            "2",
+            "--out",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let csv = fs::read_to_string(dir.join("sweep.csv")).unwrap();
+        assert!(csv.starts_with("topology,pattern,rate"));
+        assert!(csv.contains("Mesh,") && csv.contains("Torus,"));
+        let json = fs::read_to_string(dir.join("sweep.json")).unwrap();
+        assert!(json.contains("\"Mesh\"") && json.contains("\"rate\":0.2"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn simulate_writes_json_report() {
+        let dir = std::env::temp_dir().join("sunmap_cli_test_sim");
+        let _ = fs::remove_dir_all(&dir);
+        run(&cli(&[
+            "simulate",
+            "dsp",
+            "--capacity",
+            "1000",
+            "--out",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let json = fs::read_to_string(dir.join("simulate.json")).unwrap();
+        assert!(json.starts_with("{\"schema\":\"sunmap-simulate/1\""));
+        assert!(json.contains("\"feasible\":true"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn explore_with_validation_annotates_table() {
+        run(&cli(&[
+            "explore",
+            "dsp",
+            "--capacity",
+            "1000",
+            "--validate",
+        ]))
+        .unwrap();
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! `sunmap` — the SUNMAP flow as a command-line tool.
 //!
 //! ```text
-//! sunmap explore vopd
-//! sunmap sweep mpeg4
+//! sunmap explore vopd --validate
+//! sunmap design-sweep mpeg4
 //! sunmap generate dsp --capacity 1000 --out target/dsp-noc
 //! sunmap simulate my_design.app --capacity 800 --intensity 0.4
+//! sunmap sweep netproc --rates 0.05,0.1,0.2 --out target/netproc-sweep
 //! ```
 //!
 //! See `sunmap --help` (or [`args::USAGE`]) for the full surface.

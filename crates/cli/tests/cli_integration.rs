@@ -1,0 +1,346 @@
+//! End-to-end tests of the `sunmap` binary itself: exit codes, stdout
+//! shape, and machine-readable artifacts. `CARGO_BIN_EXE_sunmap` points
+//! at the compiled binary under test.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn sunmap(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_sunmap"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(name);
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A minimal JSON value model + recursive-descent parser, enough to
+/// assert the CLI's reports are *valid* JSON (not just greppable text).
+#[derive(Debug, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn parse(text: &'a str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing bytes at {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::String(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end".to_string()),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Json::Number)
+            .ok_or_else(|| format!("bad number at {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.bytes.get(self.pos).ok_or("bad escape")?;
+                    out.push(match esc {
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        b'/' => '/',
+                        b'n' => '\n',
+                        b'r' => '\r',
+                        b't' => '\t',
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("bad \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            self.pos += 4;
+                            char::from_u32(code).ok_or("bad codepoint")?
+                        }
+                        other => return Err(format!("bad escape '{}'", *other as char)),
+                    });
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while self
+                        .bytes
+                        .get(self.pos)
+                        .is_some_and(|b| *b != b'"' && *b != b'\\')
+                    {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|e| e.to_string())?,
+                    );
+                }
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.eat(b':')?;
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at {}", self.pos)),
+            }
+        }
+    }
+}
+
+fn topology_names(points: &[Json], key: &str) -> Vec<String> {
+    points
+        .iter()
+        .filter_map(|p| Some(p.get(key)?.as_str()?.to_string()))
+        .collect()
+}
+
+#[test]
+fn explore_selects_a_topology() {
+    let out = sunmap(&["explore", "vopd"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for name in ["Mesh", "Torus", "Hypercube", "Clos", "Butterfly"] {
+        assert!(stdout.contains(name), "{name} missing:\n{stdout}");
+    }
+    assert!(stdout.contains("selected: "), "{stdout}");
+}
+
+#[test]
+fn sweep_emits_parsable_csv_and_json() {
+    let dir = temp_dir("sunmap_it_sweep");
+    let out = sunmap(&[
+        "sweep",
+        "dsp",
+        "--capacity",
+        "1000",
+        "--rates",
+        "0.05,0.2",
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+
+    let json_text = fs::read_to_string(dir.join("sweep.json")).unwrap();
+    let json = Parser::parse(&json_text).expect("sweep.json parses");
+    assert_eq!(
+        json.get("schema").and_then(Json::as_str),
+        Some("sunmap-sweep/1")
+    );
+    let points = json.get("points").and_then(Json::as_array).unwrap();
+    let names = topology_names(points, "topology");
+    assert!(names.iter().any(|n| n == "Mesh"), "{names:?}");
+    assert!(names.iter().any(|n| n == "Torus"), "{names:?}");
+    // Every (topology, rate) cell is present.
+    let libraries = names.len() / 2;
+    assert_eq!(points.len(), libraries * 2);
+
+    let csv = fs::read_to_string(dir.join("sweep.csv")).unwrap();
+    assert_eq!(csv.lines().count(), points.len() + 1, "header + rows");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn simulate_emits_parsable_json() {
+    let dir = temp_dir("sunmap_it_simulate");
+    let out = sunmap(&[
+        "simulate",
+        "dsp",
+        "--capacity",
+        "1000",
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let json_text = fs::read_to_string(dir.join("simulate.json")).unwrap();
+    let json = Parser::parse(&json_text).expect("simulate.json parses");
+    assert_eq!(
+        json.get("schema").and_then(Json::as_str),
+        Some("sunmap-simulate/1")
+    );
+    let topologies = json.get("topologies").and_then(Json::as_array).unwrap();
+    let names = topology_names(topologies, "topology");
+    for expected in ["Mesh", "Torus"] {
+        assert!(names.iter().any(|n| n == expected), "{names:?}");
+    }
+    // Feasible rows carry measured latency numbers.
+    assert!(topologies.iter().any(|t| {
+        t.get("feasible") == Some(&Json::Bool(true))
+            && matches!(t.get("avg_latency_cycles"), Some(Json::Number(v)) if *v > 0.0)
+    }));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_invocations_fail_with_nonzero_exit() {
+    let out = sunmap(&["frobnicate", "vopd"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown command"), "{stderr}");
+
+    let out = sunmap(&["explore", "/does/not/exist.app"]);
+    assert!(!out.status.success());
+
+    // Infeasible generation surfaces as a clean error, not a panic.
+    let out = sunmap(&["generate", "vopd", "--capacity", "1"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("no feasible topology"));
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = sunmap(&["--help"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("usage: sunmap"));
+    assert!(stdout.contains("design-sweep"));
+}

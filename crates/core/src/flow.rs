@@ -1,4 +1,5 @@
-//! The three-phase SUNMAP flow (paper Fig. 4).
+//! The three-phase SUNMAP flow (paper Fig. 4), plus the optional
+//! phase-4 simulation validation of §6.2.
 
 use sunmap_gen::{build_netlist, emit_dot, emit_systemc, Netlist, SourceFile};
 use sunmap_mapping::{
@@ -6,6 +7,7 @@ use sunmap_mapping::{
     RoutingFunction,
 };
 use sunmap_power::{AreaPowerLibrary, Technology};
+use sunmap_sim::{LatencyStats, NocSimulator, SimConfig};
 use sunmap_topology::{builders, TopologyError, TopologyGraph, TopologyKind};
 use sunmap_traffic::CoreGraph;
 
@@ -87,6 +89,31 @@ impl TopologyCandidate {
     }
 }
 
+/// One phase-4 measurement: a candidate simulated under its mapping's
+/// traffic trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationEntry {
+    /// Index of the simulated candidate in `Exploration::candidates`.
+    pub candidate: usize,
+    /// Which topology was simulated.
+    pub kind: TopologyKind,
+    /// The measured statistics.
+    pub stats: LatencyStats,
+}
+
+/// Phase-4 result: trace simulations of the top-ranked candidates (the
+/// winner first, then the runner-up), annotating the selection report
+/// with *measured* latency the way §6.2 backs the analytical table with
+/// cycle-accurate numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Validation {
+    /// Measured entries, in rank order (winner first).
+    pub entries: Vec<ValidationEntry>,
+    /// The trace intensity used (flits/cycle for the heaviest
+    /// commodity).
+    pub intensity: f64,
+}
+
 /// Phase 1+2 result: every candidate plus the selected best.
 #[derive(Debug)]
 pub struct Exploration {
@@ -97,12 +124,24 @@ pub struct Exploration {
     pub best: Option<usize>,
     /// The objective used for selection.
     pub objective: Objective,
+    /// Phase-4 measurements, when [`Sunmap::validate`] has run.
+    pub validation: Option<Validation>,
 }
 
 impl Exploration {
     /// The selected candidate (phase 2 winner).
     pub fn best_candidate(&self) -> Option<&TopologyCandidate> {
         self.best.map(|i| &self.candidates[i])
+    }
+
+    /// The measured latency of candidate `i`, if phase 4 simulated it.
+    pub fn measured_stats(&self, i: usize) -> Option<&LatencyStats> {
+        self.validation
+            .as_ref()?
+            .entries
+            .iter()
+            .find(|e| e.candidate == i)
+            .map(|e| &e.stats)
     }
 
     /// Formats the exploration as a paper-style table (one row per
@@ -120,9 +159,13 @@ impl Exploration {
                 Ok(m) => {
                     let r = m.report();
                     let best = if Some(i) == self.best { " <= best" } else { "" };
+                    let measured = match self.measured_stats(i) {
+                        Some(s) => format!(" [measured {:.1} cy]", s.avg_latency),
+                        None => String::new(),
+                    };
                     let _ = writeln!(
                         out,
-                        "{:<10} {:>9.2} {:>12.2} {:>11.1} {:>9}{best}",
+                        "{:<10} {:>9.2} {:>12.2} {:>11.1} {:>9}{best}{measured}",
                         c.kind.name(),
                         r.avg_hops,
                         r.design_area,
@@ -158,19 +201,22 @@ pub struct GeneratedDesign {
     pub dot: String,
 }
 
-/// Phase-2 winner selection.
-fn select_best(
+/// Phase-2 candidate ranking: feasible candidate indices ordered best
+/// to worst under `policy` (ties keep library order). The head of the
+/// list is the phase-2 winner; the second entry is the runner-up that
+/// phase 4 also simulates.
+fn rank_feasible(
     candidates: &[TopologyCandidate],
     policy: SelectionPolicy,
     objective: Objective,
-) -> Option<usize> {
+) -> Vec<usize> {
     let feasible: Vec<(usize, &sunmap_mapping::CostReport)> = candidates
         .iter()
         .enumerate()
         .filter_map(|(i, c)| c.report().map(|r| (i, r)))
         .collect();
     if feasible.is_empty() {
-        return None;
+        return Vec::new();
     }
     let score: Box<dyn Fn(&sunmap_mapping::CostReport) -> f64> = match policy {
         SelectionPolicy::ByObjective => Box::new(move |r| r.cost(objective)),
@@ -190,14 +236,12 @@ fn select_best(
             Box::new(move |r| r.avg_hops / dmin + r.design_area / amin + r.power_mw / pmin)
         }
     };
-    feasible
-        .iter()
-        .min_by(|(_, a), (_, b)| {
-            score(a)
-                .partial_cmp(&score(b))
-                .unwrap_or(std::cmp::Ordering::Equal)
-        })
-        .map(|(i, _)| *i)
+    let mut ranked: Vec<(usize, f64)> = feasible.iter().map(|(i, r)| (*i, score(r))).collect();
+    // Stable sort under a total order (NaN scores sort last instead of
+    // feeding sort_by an intransitive comparator); equal scores keep
+    // library order, so the winner matches a min-scan selection.
+    ranked.sort_by(|(_, a), (_, b)| a.total_cmp(b));
+    ranked.into_iter().map(|(i, _)| i).collect()
 }
 
 /// Builder for [`Sunmap`] (see the crate-level quickstart).
@@ -339,12 +383,43 @@ impl Sunmap {
                 }
             })
             .collect();
-        let best = select_best(&candidates, self.inner.selection, self.inner.objective);
+        let best = rank_feasible(&candidates, self.inner.selection, self.inner.objective)
+            .first()
+            .copied();
         Exploration {
             candidates,
             best,
             objective: self.inner.objective,
+            validation: None,
         }
+    }
+
+    /// Phase 4 (paper §6.2): trace-simulates the phase-2 winner and the
+    /// runner-up under their mapped traffic at `intensity` and attaches
+    /// the measured latencies to `exploration` — the selection table
+    /// then carries simulated numbers next to the analytical ones. A
+    /// no-op when nothing is feasible.
+    pub fn validate(&self, exploration: &mut Exploration, config: SimConfig, intensity: f64) {
+        let ranked = rank_feasible(
+            &exploration.candidates,
+            self.inner.selection,
+            self.inner.objective,
+        );
+        let entries: Vec<ValidationEntry> = ranked
+            .into_iter()
+            .take(2)
+            .map(|i| {
+                let c = &exploration.candidates[i];
+                let mapping = c.outcome.as_ref().expect("ranked candidates are feasible");
+                let mut sim = NocSimulator::new(&c.graph, config);
+                ValidationEntry {
+                    candidate: i,
+                    kind: c.kind,
+                    stats: sim.run_trace(mapping.evaluation(), &self.inner.app, intensity),
+                }
+            })
+            .collect();
+        exploration.validation = (!entries.is_empty()).then_some(Validation { entries, intensity });
     }
 
     /// Phase 3: generates the network components for a mapped
@@ -449,6 +524,40 @@ mod tests {
             assert!(table.contains(name), "{name} missing from table");
         }
         assert!(table.contains("<= best"));
+    }
+
+    #[test]
+    fn validate_simulates_winner_and_runner_up() {
+        let tool = Sunmap::builder(benchmarks::vopd()).build();
+        let mut ex = tool.explore().unwrap();
+        assert!(ex.validation.is_none());
+        tool.validate(&mut ex, SimConfig::fast(), 0.3);
+        let v = ex.validation.as_ref().expect("VOPD validates");
+        assert_eq!(v.entries.len(), 2);
+        assert_eq!(Some(v.entries[0].candidate), ex.best);
+        assert_ne!(v.entries[1].candidate, v.entries[0].candidate);
+        for e in &v.entries {
+            assert!(e.stats.packets_delivered > 0, "{}: {}", e.kind, e.stats);
+            assert!(e.stats.avg_latency > 0.0);
+        }
+        // The annotated table carries the measured numbers.
+        let table = ex.table();
+        assert!(table.contains("[measured "), "{table}");
+        // Determinism: validating again yields identical measurements.
+        let mut ex2 = tool.explore().unwrap();
+        tool.validate(&mut ex2, SimConfig::fast(), 0.3);
+        assert_eq!(ex.validation, ex2.validation);
+    }
+
+    #[test]
+    fn validate_on_infeasible_exploration_is_a_noop() {
+        let tool = Sunmap::builder(benchmarks::vopd())
+            .link_capacity(1.0)
+            .build();
+        let mut ex = tool.explore().unwrap();
+        assert!(ex.best.is_none());
+        tool.validate(&mut ex, SimConfig::fast(), 0.3);
+        assert!(ex.validation.is_none());
     }
 
     #[test]

@@ -45,7 +45,7 @@ mod sweep;
 
 pub use flow::{
     Exploration, GeneratedDesign, SelectionPolicy, Sunmap, SunmapBuilder, SunmapError,
-    TopologyCandidate,
+    TopologyCandidate, Validation, ValidationEntry,
 };
 pub use pareto::{pareto_front, ParetoPoint};
 pub use sweep::{pareto_exploration, routing_bandwidth_sweep, RoutingSweepEntry};

@@ -60,11 +60,24 @@ fn edge_fingerprint(g: &TopologyGraph) -> u64 {
 /// precomputed: the directed edge per path window, the network-link
 /// subset (for min-max splitting) and the switch vertices in traversal
 /// order (for traffic accumulation and hop counting).
+///
+/// The simulator replays these routes flit by flit (see the
+/// `sunmap-sim` crate), which is why the edge sequence is public.
 #[derive(Debug, Clone)]
-struct CachedPath {
+pub struct CachedPath {
     edges: Vec<EdgeId>,
     net_edges: Vec<usize>,
     switch_nodes: Vec<NodeId>,
+}
+
+impl CachedPath {
+    /// The route as its directed-edge sequence, in traversal order.
+    /// The vertex sequence is recoverable through
+    /// [`TopologyGraph::edge`]: the source of the first edge, then each
+    /// edge's destination.
+    pub fn edges(&self) -> &[EdgeId] {
+        &self.edges
+    }
 }
 
 impl CachedPath {
@@ -134,6 +147,13 @@ pub struct RouteTable {
     sm_ready: bool,
     sa_paths: Vec<Vec<CachedPath>>,
     sa_ready: bool,
+    /// Unrestricted all-shortest-path sets per pair for simulator
+    /// replay (no quadrant filter — the simulator routes adaptively
+    /// over every minimum path, paper §6.2), capped per pair.
+    sim_paths: Vec<Vec<CachedPath>>,
+    /// The cap `sim_paths` was enumerated under; `usize::MAX` = not
+    /// prepared yet.
+    sim_cap: usize,
 }
 
 impl RouteTable {
@@ -172,7 +192,75 @@ impl RouteTable {
             sm_ready: false,
             sa_paths: Vec::new(),
             sa_ready: false,
+            sim_paths: Vec::new(),
+            sim_cap: usize::MAX,
         }
+    }
+
+    /// The mappable vertices this table indexes pairs over, in the
+    /// graph's canonical order (the simulator's terminal order).
+    pub fn mappable_nodes(&self) -> &[NodeId] {
+        &self.mappable
+    }
+
+    /// The cached dimension-ordered route between two mappable
+    /// vertices, or `None` when no such route exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`RouteTable::prepare`] has run for
+    /// [`RoutingFunction::DimensionOrdered`].
+    pub fn dimension_ordered_route(&self, a: NodeId, b: NodeId) -> Option<&CachedPath> {
+        assert!(self.do_ready, "dimension-ordered routes not prepared");
+        self.do_paths[self.pair(a, b)].as_ref()
+    }
+
+    /// Whether [`RouteTable::prepare_sim_routes`] has run with `cap`.
+    pub fn sim_routes_ready(&self, cap: usize) -> bool {
+        self.sim_cap == cap
+    }
+
+    /// Fills the per-pair minimum-path sets the simulator replays:
+    /// every shortest path on the *full* graph (no quadrant
+    /// restriction), at most `cap` per pair, in the deterministic
+    /// enumeration order of [`paths::all_shortest_paths`]. Idempotent
+    /// for a given `cap`; re-preparing with a different `cap`
+    /// re-enumerates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table was built for a different graph.
+    pub fn prepare_sim_routes(&mut self, g: &TopologyGraph, cap: usize) {
+        assert!(self.matches(g), "route table built for a different graph");
+        if self.sim_cap == cap {
+            return;
+        }
+        let m = self.mappable.len();
+        let mut cache = vec![Vec::new(); m * m];
+        for &a in &self.mappable {
+            for &b in &self.mappable {
+                if a == b {
+                    continue;
+                }
+                cache[self.pair(a, b)] = paths::all_shortest_paths(g, a, b, None, cap)
+                    .into_iter()
+                    .map(|nodes| CachedPath::build(g, &self.adj, &nodes))
+                    .collect();
+            }
+        }
+        self.sim_paths = cache;
+        self.sim_cap = cap;
+    }
+
+    /// The simulator-replay route set between two mappable vertices
+    /// (empty = unreachable pair).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`RouteTable::prepare_sim_routes`] has run.
+    pub fn sim_route_set(&self, a: NodeId, b: NodeId) -> &[CachedPath] {
+        assert!(self.sim_cap != usize::MAX, "sim routes not prepared");
+        &self.sim_paths[self.pair(a, b)]
     }
 
     /// Whether this table was built for `g`: same kind, shape, and

@@ -1,16 +1,44 @@
-//! The cycle-based wormhole simulation engine.
+//! The flat, allocation-free cycle engine.
+//!
+//! A simulated cycle is a tight scan over dense arrays:
+//!
+//! * **flits are `Copy` records** (40 bytes: route id, hop index,
+//!   packet id, next-edge demand, timestamps, flags) instead of heap
+//!   nodes holding an `Rc<[NodeId]>` path — the per-edge ring-buffer
+//!   slab is the flit pool, indexed by `edge × slot`;
+//! * **per-edge input buffers are ring buffers** carved out of one
+//!   dense `Vec<Flit>` with `head`/`len` arrays, not
+//!   `Vec<VecDeque<Flit>>`;
+//! * **routes are resolved once per pair** through the mapper's
+//!   [`RouteTable`] and compiled into a [`RoutePlan`] — a flat arena of
+//!   per-hop records with the edge id, the bubble-rule space
+//!   requirement and the arrival-latency increment precomputed, so the
+//!   arbitration loop never touches the graph, never recomputes a turn
+//!   axis and never hashes a pair key.
+//!
+//! The engine is behaviorally identical to the original implementation
+//! (kept as [`crate::reference`]): same RNG consumption order, same
+//! index-ordered arbitration, same timing — for any seed the
+//! [`LatencyStats`] match bit for bit. `tests/flat_equivalence.rs`
+//! enforces this across topologies, patterns, rates and configs, and
+//! `tests/regression_fixtures.rs` pins values captured from the
+//! pre-rebuild engine.
 
-use std::collections::{HashMap, VecDeque};
-use std::rc::Rc;
+use std::collections::VecDeque;
+use std::sync::Arc;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::LatencyStats;
-use sunmap_mapping::Evaluation;
-use sunmap_topology::{dimension_order, paths, NodeId, NodeKind, TopologyGraph};
+use sunmap_mapping::{Evaluation, RouteTable, RoutingFunction};
+use sunmap_topology::{EdgeId, NodeCoords, NodeId, NodeKind, TopologyGraph, TopologyKind};
 use sunmap_traffic::patterns::TrafficPattern;
 use sunmap_traffic::CoreGraph;
+
+/// Per-pair cap on enumerated minimum paths for synthetic routing on
+/// indirect topologies (the adaptive-routing fan-out of paper §6.2).
+pub const SIM_PATH_CAP: usize = 8;
 
 /// Simulator parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,25 +88,344 @@ impl SimConfig {
     }
 }
 
-#[derive(Debug, Clone)]
+const F_HEAD: u8 = 1;
+const F_TAIL: u8 = 2;
+const F_MEASURED: u8 = 4;
+
+/// "No packet owns this output" sentinel for the wormhole allocator.
+const NO_OWNER: u32 = u32::MAX;
+
+/// "This flit is at its final node" sentinel for [`Flit::next_edge`].
+const NO_EDGE: u32 = u32::MAX;
+
+/// One flit in flight: 40 bytes, `Copy`, no indirection. The path is a
+/// route id into the [`RoutePlan`]; `hop` indexes the route's steps.
+/// The edge the flit wants next and the downstream space its transfer
+/// needs are denormalised into the record when it is (re)queued, so the
+/// arbitration scan compares plain fields without touching the plan.
+#[derive(Debug, Clone, Copy)]
 struct Flit {
-    packet: u64,
-    inject_cycle: u64,
-    path: Rc<[NodeId]>,
-    /// Index into `path` of the node this flit currently occupies.
-    hop: usize,
-    is_head: bool,
-    is_tail: bool,
     ready_at: u64,
-    measured: bool,
+    inject_cycle: u64,
+    route: u32,
+    packet: u32,
+    /// The edge this flit's next step crosses (`NO_EDGE` at the final
+    /// node).
+    next_edge: u32,
+    /// Downstream slots its transfer requires (1 for body flits, the
+    /// step's bubble-rule space for head flits).
+    required: u32,
+    hop: u16,
+    flags: u8,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Source {
-    /// The injection queue of terminal `t` (index into `terminals`).
-    Inject(usize),
-    /// The input buffer fed by edge `e`.
-    Buffer(usize),
+impl Flit {
+    const EMPTY: Flit = Flit {
+        ready_at: 0,
+        inject_cycle: 0,
+        route: 0,
+        packet: 0,
+        next_edge: NO_EDGE,
+        required: 1,
+        hop: 0,
+        flags: 0,
+    };
+}
+
+/// One precompiled hop of a route: everything the transfer loop needs,
+/// resolved at plan-build time.
+#[derive(Debug, Clone, Copy)]
+struct HopStep {
+    /// The directed edge this step crosses.
+    edge: u32,
+    /// Cycles added to `ready_at` on arrival (link + downstream switch
+    /// pipeline; attach links are NI wires folded into the switch).
+    ready_add: u64,
+    /// Free downstream space a *head* flit needs: one packet, or two
+    /// when entering a new ring (injection or axis turn — the bubble
+    /// condition keeping torus rings deadlock-free).
+    head_space: u32,
+    /// Whether a flit finishing this step leaves the network at a core
+    /// port (indirect-topology egress) instead of entering the buffer.
+    eject_at_dst: bool,
+}
+
+/// A route in the plan: a span of [`HopStep`]s.
+#[derive(Debug, Clone, Copy)]
+struct RouteSpan {
+    first_step: u32,
+    step_count: u16,
+    /// The source vertex is a switch (injection pays its pipeline).
+    start_at_switch: bool,
+}
+
+/// Flat arena of compiled routes.
+#[derive(Debug, Default)]
+struct RouteArena {
+    steps: Vec<HopStep>,
+    routes: Vec<RouteSpan>,
+}
+
+/// Hot per-node simulator state (see the `nodes` field docs).
+#[derive(Debug, Clone, Copy)]
+struct NodeState {
+    /// Wanted-edge bitmap by `edge_local` position: bit set when some
+    /// queued head flit (ready *or* still pending) wants that outgoing
+    /// edge. In steady state most switches hold *some* flit, so a busy
+    /// count alone filters little — the bitmap dismisses an unwanted
+    /// edge with one test. Pending heads keep their bit set (they will
+    /// become eligible by time alone, with no event to hook); the
+    /// readiness timestamp is checked in the arbitration scan.
+    mask: u64,
+    /// Nonempty queues (injection or buffer) at this node; the
+    /// transfer scan skips every edge whose source node counts zero.
+    /// Pure bookkeeping: skipped edges could not have moved a flit,
+    /// so arbitration order is unchanged.
+    busy: u32,
+}
+
+impl NodeState {
+    const EMPTY: NodeState = NodeState { mask: 0, busy: 0 };
+}
+
+/// FNV-1a hash of a graph's directed edge list, capacities included
+/// (the same identity check the mapper's `RouteTable` uses).
+fn edge_fingerprint(g: &TopologyGraph) -> u64 {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    let mut mix = |word: u64| {
+        for byte in word.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for (_, e) in g.edges() {
+        mix(e.src.index() as u64);
+        mix(e.dst.index() as u64);
+        mix(e.capacity.to_bits());
+    }
+    hash
+}
+
+/// Axis of movement of the step `u -> v`, used to detect when a packet
+/// turns into a new ring (grid column/row, hypercube dimension). `None`
+/// for stage networks, which are acyclic anyway.
+fn axis_of(g: &TopologyGraph, u: NodeId, v: NodeId) -> Option<u32> {
+    match (g.coords(u), g.coords(v)) {
+        (NodeCoords::Grid { row: r1, .. }, NodeCoords::Grid { row: r2, .. }) => {
+            Some(if r1 == r2 { 0 } else { 1 })
+        }
+        (NodeCoords::Hyper { label: a }, NodeCoords::Hyper { label: b }) => {
+            Some(2 + (a ^ b).trailing_zeros())
+        }
+        _ => None,
+    }
+}
+
+impl RouteArena {
+    /// Compiles the route `nodes`/`edges` (with `edges[i]` connecting
+    /// `nodes[i]` to `nodes[i+1]`) and returns its route id.
+    fn push_route(
+        &mut self,
+        g: &TopologyGraph,
+        config: &SimConfig,
+        nodes: &[NodeId],
+        edges: &[EdgeId],
+    ) -> u32 {
+        debug_assert_eq!(nodes.len(), edges.len() + 1);
+        let pf = config.packet_flits as u32;
+        let first_step = self.steps.len() as u32;
+        for (i, &e) in edges.iter().enumerate() {
+            let (u, v) = (nodes[i], nodes[i + 1]);
+            let attach =
+                g.node_kind(u) == NodeKind::CorePort || g.node_kind(v) == NodeKind::CorePort;
+            let ready_add = if attach {
+                config.switch_pipeline
+            } else {
+                1 + config.switch_pipeline
+            };
+            let ring_entry = i == 0 || axis_of(g, nodes[i - 1], u) != axis_of(g, u, v);
+            let head_space = if ring_entry { 2 * pf } else { pf };
+            let eject_at_dst = i + 1 == edges.len() && g.node_kind(v) == NodeKind::CorePort;
+            self.steps.push(HopStep {
+                edge: e.index() as u32,
+                ready_add,
+                head_space,
+                eject_at_dst,
+            });
+        }
+        self.routes.push(RouteSpan {
+            first_step,
+            step_count: edges.len() as u16,
+            start_at_switch: g.node_kind(nodes[0]) == NodeKind::Switch,
+        });
+        (self.routes.len() - 1) as u32
+    }
+
+    /// Compiles a route given as an edge sequence (the mapper
+    /// [`RouteTable`]'s cached representation).
+    fn push_edge_route(&mut self, g: &TopologyGraph, config: &SimConfig, edges: &[EdgeId]) -> u32 {
+        let mut nodes = Vec::with_capacity(edges.len() + 1);
+        nodes.push(g.edge(edges[0]).src);
+        for &e in edges {
+            nodes.push(g.edge(e).dst);
+        }
+        self.push_route(g, config, &nodes, edges)
+    }
+}
+
+/// The compiled per-pair routes of one topology under one simulator
+/// configuration: built once (through the mapper's [`RouteTable`]) and
+/// shareable across simulators — the sweep driver builds one plan per
+/// topology and hands clones of the `Arc` to every rate worker.
+#[derive(Debug)]
+pub struct RoutePlan {
+    arena: RouteArena,
+    /// Terminal-pair table: `pair_offsets[t*n+d]..pair_offsets[t*n+d+1]`
+    /// indexes `route_ids`.
+    pair_offsets: Vec<u32>,
+    route_ids: Vec<u32>,
+    /// Identity of the compiled-for graph: kind, shape and an FNV-1a
+    /// fingerprint of the full directed edge list, so
+    /// [`RoutePlan::compatible`] rejects a merely same-shaped graph
+    /// whose edge ids mean different physical links.
+    kind: TopologyKind,
+    edge_fingerprint: u64,
+    terminal_count: usize,
+    edge_count: usize,
+    /// Direct topologies take the single dimension-ordered route; on
+    /// indirect ones the simulator picks uniformly among the set.
+    direct: bool,
+    packet_flits: usize,
+    switch_pipeline: u64,
+}
+
+impl RoutePlan {
+    /// Compiles the synthetic-traffic routes of `g` under `config`:
+    /// dimension-ordered on direct topologies (deadlock-free with the
+    /// bubble rule), all minimum paths (capped at [`SIM_PATH_CAP`]) on
+    /// the acyclic multistage networks. Pair enumeration and caching go
+    /// through the mapper's `table`, so a table prepared by the
+    /// exploration flow is reused as-is.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` was built for a different graph.
+    pub fn synthetic(g: &TopologyGraph, table: &mut RouteTable, config: &SimConfig) -> RoutePlan {
+        let direct = g.kind().is_direct();
+        if direct {
+            table.prepare(g, RoutingFunction::DimensionOrdered);
+        } else {
+            table.prepare_sim_routes(g, SIM_PATH_CAP);
+        }
+        let terminals = table.mappable_nodes().to_vec();
+        let n = terminals.len();
+        let mut arena = RouteArena::default();
+        let mut pair_offsets = Vec::with_capacity(n * n + 1);
+        let mut route_ids = Vec::new();
+        pair_offsets.push(0u32);
+        for &a in &terminals {
+            for &b in &terminals {
+                if a != b {
+                    if direct {
+                        if let Some(p) = table.dimension_ordered_route(a, b) {
+                            route_ids.push(arena.push_edge_route(g, config, p.edges()));
+                        }
+                    } else {
+                        for p in table.sim_route_set(a, b) {
+                            route_ids.push(arena.push_edge_route(g, config, p.edges()));
+                        }
+                    }
+                }
+                pair_offsets.push(route_ids.len() as u32);
+            }
+        }
+        RoutePlan {
+            arena,
+            pair_offsets,
+            route_ids,
+            kind: g.kind(),
+            edge_fingerprint: edge_fingerprint(g),
+            terminal_count: n,
+            edge_count: g.edge_count(),
+            direct,
+            packet_flits: config.packet_flits,
+            switch_pipeline: config.switch_pipeline,
+        }
+    }
+
+    /// Compiles a trace plan from a mapping evaluation's chosen paths
+    /// (no pair table; routes are addressed by id).
+    fn trace(g: &TopologyGraph, config: &SimConfig, eval: &Evaluation) -> (RoutePlan, Vec<Trace>) {
+        let adj = g.adjacency_matrix();
+        let mut arena = RouteArena::default();
+        let mut traces = Vec::with_capacity(eval.routes.len());
+        let mut term_of = vec![u32::MAX; g.node_count()];
+        for (i, t) in g.mappable_nodes().iter().enumerate() {
+            term_of[t.index()] = i as u32;
+        }
+        for r in &eval.routes {
+            let mut routes = Vec::with_capacity(r.paths.len());
+            for (p, f) in &r.paths {
+                let edges: Vec<EdgeId> = p
+                    .windows(2)
+                    .map(|w| {
+                        adj.edge_between(w[0], w[1])
+                            .expect("evaluated routes follow topology edges")
+                    })
+                    .collect();
+                routes.push((arena.push_route(g, config, p, &edges), *f));
+            }
+            traces.push(Trace {
+                terminal: term_of[r.src_node.index()] as usize,
+                packet_prob: 0.0, // filled by the caller (needs intensity)
+                bandwidth: r.commodity.bandwidth,
+                routes,
+            });
+        }
+        let plan = RoutePlan {
+            arena,
+            pair_offsets: Vec::new(),
+            route_ids: Vec::new(),
+            kind: g.kind(),
+            edge_fingerprint: edge_fingerprint(g),
+            terminal_count: g.mappable_nodes().len(),
+            edge_count: g.edge_count(),
+            direct: g.kind().is_direct(),
+            packet_flits: config.packet_flits,
+            switch_pipeline: config.switch_pipeline,
+        };
+        (plan, traces)
+    }
+
+    #[inline]
+    fn routes_for(&self, src_terminal: usize, dst_terminal: usize) -> &[u32] {
+        let p = src_terminal * self.terminal_count + dst_terminal;
+        let lo = self.pair_offsets[p] as usize;
+        let hi = self.pair_offsets[p + 1] as usize;
+        &self.route_ids[lo..hi]
+    }
+
+    /// Whether this plan was compiled for `g` under `config`: same
+    /// topology kind, shape, directed edge list (endpoints and
+    /// capacities, order-sensitive) and timing-relevant parameters.
+    pub fn compatible(&self, g: &TopologyGraph, config: &SimConfig) -> bool {
+        self.kind == g.kind()
+            && self.terminal_count == g.mappable_nodes().len()
+            && self.edge_count == g.edge_count()
+            && self.edge_fingerprint == edge_fingerprint(g)
+            && self.packet_flits == config.packet_flits
+            && self.switch_pipeline == config.switch_pipeline
+    }
+}
+
+/// One trace-driven commodity: injection probability plus its weighted
+/// compiled routes.
+#[derive(Debug)]
+struct Trace {
+    terminal: usize,
+    packet_prob: f64,
+    bandwidth: f64,
+    routes: Vec<(u32, f64)>,
 }
 
 /// The flit-level simulator. Create one per run; it borrows the
@@ -91,53 +438,184 @@ pub struct NocSimulator<'a> {
     config: SimConfig,
     rng: SmallRng,
     terminals: Vec<NodeId>,
-    /// Input buffer per directed edge (flits that crossed the edge).
-    buffers: Vec<VecDeque<Flit>>,
-    /// Injection queue per terminal.
-    inject_queues: Vec<VecDeque<Flit>>,
-    /// Wormhole output allocation per edge.
-    owner: Vec<Option<u64>>,
+    /// Cached synthetic route plan (built on first use, or supplied).
+    plan: Option<Arc<RoutePlan>>,
+
+    // Static per-graph arrays.
+    /// Source node index per edge.
+    edge_src: Vec<u32>,
+    /// Destination node index per edge.
+    edge_dst: Vec<u32>,
+    /// Node index of each terminal.
+    term_node: Vec<u32>,
+    /// Whether each edge is a network link (for utilisation stats).
+    edge_is_net: Vec<bool>,
+    /// Flattened candidate-source lists per node: sources
+    /// `ns_items[ns_offsets[v]..ns_offsets[v+1]]` compete for outputs
+    /// of node `v`. Encoded: `< terminal_count` = injection queue,
+    /// otherwise `item - terminal_count` = edge buffer.
+    ns_offsets: Vec<u32>,
+    ns_items: Vec<u32>,
+
+    // Ring buffers: one slab, `cap` slots per edge.
+    cap: u32,
+    ring_slots: Vec<Flit>,
+    ring_head: Vec<u32>,
+    ring_len: Vec<u32>,
+    /// Denormalised head-flit metadata per ring (valid when
+    /// `ring_len > 0`, maintained on every head change): the head's
+    /// `ready_at` and whether it is at its final node. The per-cycle
+    /// eject scan reads only these dense arrays and touches the flit
+    /// slab just to pop.
+    ring_ready: Vec<u64>,
+    ring_final: Vec<bool>,
+
+    /// Injection queue per terminal (unbounded; flits are `Copy`, the
+    /// deques are reused across runs without reallocating).
+    inject: Vec<VecDeque<Flit>>,
+    /// Wormhole output allocation per edge (`NO_OWNER` = free).
+    owner: Vec<u32>,
     /// Round-robin pointer per edge.
-    rr: Vec<usize>,
-    /// Candidate flit sources at each node (indexed by node id).
-    node_sources: Vec<Vec<Source>>,
-    /// Minimum-path cache for synthetic routing.
-    path_cache: HashMap<(NodeId, NodeId), Vec<Rc<[NodeId]>>>,
-    next_packet: u64,
+    rr: Vec<u32>,
+    /// Per-source "released a flit this cycle" flags (terminals then
+    /// edges).
+    source_moved: Vec<bool>,
+    /// Hot per-node state, one record per node so the transfer loop's
+    /// per-edge fast path touches a single cache line.
+    nodes: Vec<NodeState>,
+    /// Denormalised head-flit mirror per source, aligned with
+    /// `ns_items`: the edge the head wants (`NO_EDGE` = empty source
+    /// or a flit at its final node), its packet id, space requirement,
+    /// readiness timestamp and wanted-edge mask bit. Updated
+    /// **synchronously at every queue-head change** (pop, eject, push
+    /// onto an empty queue), so the entries always equal what the
+    /// reference engine would read live from the heads — there is no
+    /// staleness window, and the per-edge arbitration scan compares
+    /// plain integers. Sources that already released a flit this cycle
+    /// are excluded via `source_moved`.
+    want_edge: Vec<u32>,
+    want_packet: Vec<u32>,
+    want_required: Vec<u32>,
+    want_ready: Vec<u64>,
+    want_bit: Vec<u64>,
+    /// Source id → its slot in `ns_items` (each source appears once).
+    source_slot: Vec<u32>,
+    /// Position of each edge within its source node's outgoing list
+    /// (`u8::MAX` when beyond the 64 mask bits — such nodes fall back
+    /// to always scanning).
+    edge_local: Vec<u8>,
+
+    next_packet: u32,
     now: u64,
     latencies: Vec<u64>,
     offered: usize,
     /// Flits transferred per edge during the measurement window.
     edge_flits: Vec<u64>,
+    /// Injected-but-not-ejected flits; lets the drain loop stop early
+    /// once the network is empty (no observable effect on statistics).
+    in_flight: u64,
 }
 
 impl<'a> NocSimulator<'a> {
     /// Creates a simulator over `graph` with terminals at its mappable
-    /// nodes.
+    /// nodes. The synthetic route plan is compiled on first use; to
+    /// share one plan across simulators (the sweep driver does), use
+    /// [`NocSimulator::with_plan`].
     pub fn new(graph: &'a TopologyGraph, config: SimConfig) -> Self {
+        Self::build(graph, config, None)
+    }
+
+    /// Creates a simulator reusing a precompiled route `plan`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plan` is not [`compatible`](RoutePlan::compatible)
+    /// with `graph` and `config`.
+    pub fn with_plan(graph: &'a TopologyGraph, config: SimConfig, plan: Arc<RoutePlan>) -> Self {
+        assert!(
+            plan.compatible(graph, &config),
+            "route plan compiled for a different graph or configuration"
+        );
+        Self::build(graph, config, Some(plan))
+    }
+
+    fn build(graph: &'a TopologyGraph, config: SimConfig, plan: Option<Arc<RoutePlan>>) -> Self {
         let terminals = graph.mappable_nodes().to_vec();
-        let mut node_sources = vec![Vec::new(); graph.node_count()];
+        let terms = terminals.len();
+        let edge_count = graph.edge_count();
+        // Candidate sources per node, in the reference order: injection
+        // queues first (terminal order), then input buffers (edge
+        // order).
+        let mut per_node: Vec<Vec<u32>> = vec![Vec::new(); graph.node_count()];
         for (i, t) in terminals.iter().enumerate() {
-            node_sources[t.index()].push(Source::Inject(i));
+            per_node[t.index()].push(i as u32);
         }
+        let mut edge_src = vec![0u32; edge_count];
+        let mut edge_dst = vec![0u32; edge_count];
+        let mut edge_is_net = vec![false; edge_count];
         for (eid, edge) in graph.edges() {
-            node_sources[edge.dst.index()].push(Source::Buffer(eid.index()));
+            per_node[edge.dst.index()].push((terms + eid.index()) as u32);
+            edge_src[eid.index()] = edge.src.index() as u32;
+            edge_dst[eid.index()] = edge.dst.index() as u32;
+            edge_is_net[eid.index()] = edge.is_network_link();
         }
+        let term_node: Vec<u32> = terminals.iter().map(|t| t.index() as u32).collect();
+        let mut out_degree_so_far = vec![0usize; graph.node_count()];
+        let mut edge_local = vec![u8::MAX; edge_count];
+        for (eid, edge) in graph.edges() {
+            let pos = out_degree_so_far[edge.src.index()];
+            out_degree_so_far[edge.src.index()] += 1;
+            if pos < 64 {
+                edge_local[eid.index()] = pos as u8;
+            }
+        }
+        let mut ns_offsets = Vec::with_capacity(graph.node_count() + 1);
+        let mut ns_items = Vec::new();
+        ns_offsets.push(0u32);
+        for list in &per_node {
+            ns_items.extend_from_slice(list);
+            ns_offsets.push(ns_items.len() as u32);
+        }
+        let mut source_slot = vec![0u32; terms + edge_count];
+        for (k, &s) in ns_items.iter().enumerate() {
+            source_slot[s as usize] = k as u32;
+        }
+        let cap = (config.buffer_depth * config.packet_flits) as u32;
         NocSimulator {
             graph,
             rng: SmallRng::seed_from_u64(config.seed),
             terminals,
-            buffers: vec![VecDeque::new(); graph.edge_count()],
-            inject_queues: Vec::new(),
-            owner: vec![None; graph.edge_count()],
-            rr: vec![0; graph.edge_count()],
-            node_sources,
-            path_cache: HashMap::new(),
+            plan,
+            edge_src,
+            edge_dst,
+            term_node,
+            edge_is_net,
+            ns_offsets,
+            ns_items,
+            cap,
+            ring_slots: vec![Flit::EMPTY; edge_count * cap as usize],
+            ring_head: vec![0; edge_count],
+            ring_len: vec![0; edge_count],
+            ring_ready: vec![0; edge_count],
+            ring_final: vec![false; edge_count],
+            inject: (0..terms).map(|_| VecDeque::new()).collect(),
+            owner: vec![NO_OWNER; edge_count],
+            rr: vec![0; edge_count],
+            source_moved: vec![false; terms + edge_count],
+            nodes: vec![NodeState::EMPTY; graph.node_count()],
+            want_edge: vec![NO_EDGE; terms + edge_count],
+            want_packet: vec![0; terms + edge_count],
+            want_required: vec![1; terms + edge_count],
+            want_ready: vec![0; terms + edge_count],
+            want_bit: vec![0; terms + edge_count],
+            source_slot,
+            edge_local,
             next_packet: 0,
             now: 0,
             latencies: Vec::new(),
             offered: 0,
-            edge_flits: vec![0; graph.edge_count()],
+            edge_flits: vec![0; edge_count],
+            in_flight: 0,
             config,
         }
     }
@@ -147,14 +625,28 @@ impl<'a> NocSimulator<'a> {
         self.terminals.len()
     }
 
+    /// The synthetic route plan, compiling it on first use.
+    fn synthetic_plan(&mut self) -> Arc<RoutePlan> {
+        if self.plan.is_none() {
+            let mut table = RouteTable::new(self.graph);
+            self.plan = Some(Arc::new(RoutePlan::synthetic(
+                self.graph,
+                &mut table,
+                &self.config,
+            )));
+        }
+        self.plan.as_ref().expect("plan just built").clone()
+    }
+
     /// Runs a synthetic-traffic simulation: every terminal injects
     /// packets as a Bernoulli process of `injection_rate` flits per
     /// cycle, destinations drawn from `pattern`, routes drawn uniformly
     /// from the minimum paths.
     pub fn run_synthetic(&mut self, pattern: &TrafficPattern, injection_rate: f64) -> LatencyStats {
+        let plan = self.synthetic_plan();
         self.reset();
         let n = self.terminals.len();
-        let packet_prob = injection_rate / self.config.packet_flits as f64;
+        let packet_prob = (injection_rate / self.config.packet_flits as f64).clamp(0.0, 1.0);
         let total =
             self.config.warmup_cycles + self.config.measure_cycles + self.config.drain_cycles;
         let inject_until = self.config.warmup_cycles + self.config.measure_cycles;
@@ -162,19 +654,28 @@ impl<'a> NocSimulator<'a> {
             self.eject();
             if self.now < inject_until {
                 for t in 0..n {
-                    if self.rng.gen_bool(packet_prob.clamp(0.0, 1.0)) {
+                    if self.rng.gen_bool(packet_prob) {
                         let Some(dst) = pattern.destination(t, n, &mut self.rng) else {
                             continue;
                         };
-                        let src_node = self.terminals[t];
-                        let dst_node = self.terminals[dst];
-                        if let Some(path) = self.pick_min_path(src_node, dst_node) {
-                            self.inject(t, path);
+                        let ids = plan.routes_for(t, dst);
+                        if ids.is_empty() {
+                            continue;
                         }
+                        let rid = if plan.direct {
+                            ids[0]
+                        } else {
+                            ids[self.rng.gen_range(0..ids.len())]
+                        };
+                        self.inject_packet(t, rid, &plan);
                     }
                 }
+            } else if self.in_flight == 0 {
+                // Injection is over and the network is drained: the
+                // remaining cycles cannot change any statistic.
+                break;
             }
-            self.transfer();
+            self.transfer(&plan);
             self.now += 1;
         }
         self.stats()
@@ -190,41 +691,18 @@ impl<'a> NocSimulator<'a> {
         app: &CoreGraph,
         intensity: f64,
     ) -> LatencyStats {
-        self.reset();
+        let (plan, mut traces) = RoutePlan::trace(self.graph, &self.config, eval);
+        let plan = Arc::new(plan);
         let max_bw = app
             .commodities()
             .first()
             .map(|c| c.bandwidth)
             .unwrap_or(1.0);
-        // Per commodity: source terminal index, packet probability and
-        // weighted route choices.
-        struct Trace {
-            terminal: usize,
-            packet_prob: f64,
-            routes: Vec<(Rc<[NodeId]>, f64)>,
+        for tr in &mut traces {
+            tr.packet_prob = (intensity * tr.bandwidth / max_bw / self.config.packet_flits as f64)
+                .clamp(0.0, 1.0);
         }
-        let term_index: HashMap<NodeId, usize> = self
-            .terminals
-            .iter()
-            .enumerate()
-            .map(|(i, n)| (*n, i))
-            .collect();
-        let traces: Vec<Trace> = eval
-            .routes
-            .iter()
-            .map(|r| Trace {
-                terminal: term_index[&r.src_node],
-                packet_prob: (intensity * r.commodity.bandwidth
-                    / max_bw
-                    / self.config.packet_flits as f64)
-                    .clamp(0.0, 1.0),
-                routes: r
-                    .paths
-                    .iter()
-                    .map(|(p, f)| (Rc::from(p.as_slice()), *f))
-                    .collect(),
-            })
-            .collect();
+        self.reset();
         let total =
             self.config.warmup_cycles + self.config.measure_cycles + self.config.drain_cycles;
         let inject_until = self.config.warmup_cycles + self.config.measure_cycles;
@@ -235,243 +713,336 @@ impl<'a> NocSimulator<'a> {
                     if self.rng.gen_bool(tr.packet_prob) {
                         let pick: f64 = self.rng.gen_range(0.0..1.0);
                         let mut acc = 0.0;
-                        let mut chosen = tr.routes.last().expect("commodity has a route").0.clone();
-                        for (p, f) in &tr.routes {
+                        let mut chosen = tr.routes.last().expect("commodity has a route").0;
+                        for &(rid, f) in &tr.routes {
                             acc += f;
                             if pick <= acc {
-                                chosen = p.clone();
+                                chosen = rid;
                                 break;
                             }
                         }
-                        self.inject(tr.terminal, chosen);
+                        self.inject_packet(tr.terminal, chosen, &plan);
                     }
                 }
+            } else if self.in_flight == 0 {
+                break;
             }
-            self.transfer();
+            self.transfer(&plan);
             self.now += 1;
         }
         self.stats()
     }
 
     fn reset(&mut self) {
-        self.buffers = vec![VecDeque::new(); self.graph.edge_count()];
-        self.inject_queues = vec![VecDeque::new(); self.terminals.len()];
-        self.owner = vec![None; self.graph.edge_count()];
-        self.rr = vec![0; self.graph.edge_count()];
+        self.ring_head.fill(0);
+        self.ring_len.fill(0);
+        for q in &mut self.inject {
+            q.clear();
+        }
+        self.owner.fill(NO_OWNER);
+        self.rr.fill(0);
+        self.nodes.fill(NodeState::EMPTY);
+        self.want_edge.fill(NO_EDGE);
+        self.want_bit.fill(0);
         self.next_packet = 0;
         self.now = 0;
         self.latencies.clear();
         self.offered = 0;
-        self.edge_flits = vec![0; self.graph.edge_count()];
+        self.edge_flits.fill(0);
+        self.in_flight = 0;
         self.rng = SmallRng::seed_from_u64(self.config.seed);
     }
 
-    /// Route selection for synthetic traffic, deadlock-free by
-    /// construction: dimension-ordered routes on direct topologies
-    /// (acyclic channel dependencies together with bubble flow control
-    /// on torus rings), a random minimum path on the acyclic multistage
-    /// networks — which is precisely what gives the Clos its
-    /// path-diversity advantage in the paper's §6.2 study.
-    fn pick_min_path(&mut self, src: NodeId, dst: NodeId) -> Option<Rc<[NodeId]>> {
-        if src == dst {
-            return None;
-        }
-        let graph = self.graph;
-        if graph.kind().is_direct() {
-            let options = self.path_cache.entry((src, dst)).or_insert_with(|| {
-                dimension_order::route(graph, src, dst)
-                    .into_iter()
-                    .map(|p| Rc::from(p.as_slice()))
-                    .collect()
-            });
-            return options.first().cloned();
-        }
-        let options = self.path_cache.entry((src, dst)).or_insert_with(|| {
-            paths::all_shortest_paths(graph, src, dst, None, 8)
-                .into_iter()
-                .map(|p| Rc::from(p.as_slice()))
-                .collect()
-        });
-        if options.is_empty() {
-            return None;
-        }
-        let i = self.rng.gen_range(0..options.len());
-        Some(options[i].clone())
-    }
-
-    /// Axis of movement of the step `u -> v`, used to detect when a
-    /// packet turns into a new ring (grid column/row, hypercube
-    /// dimension). `None` for stage networks, which are acyclic anyway.
-    fn axis_of(&self, u: NodeId, v: NodeId) -> Option<u32> {
-        use sunmap_topology::NodeCoords;
-        match (self.graph.coords(u), self.graph.coords(v)) {
-            (NodeCoords::Grid { row: r1, .. }, NodeCoords::Grid { row: r2, .. }) => {
-                Some(if r1 == r2 { 0 } else { 1 })
-            }
-            (NodeCoords::Hyper { label: a }, NodeCoords::Hyper { label: b }) => {
-                Some(2 + (a ^ b).trailing_zeros())
-            }
-            _ => None,
-        }
-    }
-
-    fn inject(&mut self, terminal: usize, path: Rc<[NodeId]>) {
+    fn inject_packet(&mut self, terminal: usize, route: u32, plan: &RoutePlan) {
         let measured = self.now >= self.config.warmup_cycles
             && self.now < self.config.warmup_cycles + self.config.measure_cycles;
         if measured {
             self.offered += 1;
         }
-        let pid = self.next_packet;
+        let packet = self.next_packet;
         self.next_packet += 1;
         // The head flit pays the source-switch pipeline before it can
         // leave (injection goes through the local switch for direct
         // topologies; core ports are plain wires).
-        let ready = if self.graph.node_kind(path[0]) == NodeKind::Switch {
+        let ready_at = if plan.arena.routes[route as usize].start_at_switch {
             self.now + self.config.switch_pipeline
         } else {
             self.now
         };
-        for i in 0..self.config.packet_flits {
-            self.inject_queues[terminal].push_back(Flit {
-                packet: pid,
+        let pf = self.config.packet_flits;
+        let base = if measured { F_MEASURED } else { 0 };
+        let fresh_head = self.inject[terminal].is_empty();
+        if fresh_head {
+            self.nodes[self.term_node[terminal] as usize].busy += 1;
+        }
+        let span = plan.arena.routes[route as usize];
+        let (next_edge, head_space) = if span.step_count == 0 {
+            (NO_EDGE, 1)
+        } else {
+            let step = plan.arena.steps[span.first_step as usize];
+            (step.edge, step.head_space)
+        };
+        for i in 0..pf {
+            let mut flags = base;
+            let mut required = 1;
+            if i == 0 {
+                flags |= F_HEAD;
+                required = head_space;
+            }
+            if i + 1 == pf {
+                flags |= F_TAIL;
+            }
+            self.inject[terminal].push_back(Flit {
+                ready_at,
                 inject_cycle: self.now,
-                path: path.clone(),
+                route,
+                packet,
+                next_edge,
+                required,
                 hop: 0,
-                is_head: i == 0,
-                is_tail: i + 1 == self.config.packet_flits,
-                ready_at: ready,
-                measured,
+                flags,
             });
         }
+        self.in_flight += pf as u64;
+        if fresh_head {
+            self.update_source_desire(terminal as u32, self.term_node[terminal] as usize);
+        }
+    }
+
+    /// The head flit of encoded source `s`, if any.
+    #[inline]
+    fn source_head(&self, s: u32) -> Option<&Flit> {
+        let s = s as usize;
+        let terms = self.terminals.len();
+        if s < terms {
+            self.inject[s].front()
+        } else {
+            let b = s - terms;
+            if self.ring_len[b] == 0 {
+                None
+            } else {
+                Some(&self.ring_slots[b * self.cap as usize + self.ring_head[b] as usize])
+            }
+        }
+    }
+
+    /// Mirrors source `s`'s (possibly new) head flit into its desire
+    /// entry and refolds `node`'s wanted-edge bitmap from its sources'
+    /// cached bits. Called at every queue-head change, so the entries
+    /// always match a live read of the heads.
+    fn update_source_desire(&mut self, s: u32, node: usize) {
+        let k = self.source_slot[s as usize] as usize;
+        match self.source_head(s).copied() {
+            Some(head) => {
+                self.want_edge[k] = head.next_edge;
+                self.want_packet[k] = head.packet;
+                self.want_required[k] = head.required;
+                self.want_ready[k] = head.ready_at;
+                self.want_bit[k] = if head.next_edge == NO_EDGE {
+                    0
+                } else {
+                    // A flit at this node always wants one of the
+                    // node's outgoing edges.
+                    let l = self.edge_local[head.next_edge as usize];
+                    if l < 64 {
+                        1u64 << l
+                    } else {
+                        u64::MAX
+                    }
+                };
+            }
+            None => {
+                self.want_edge[k] = NO_EDGE;
+                self.want_bit[k] = 0;
+            }
+        }
+        let s0 = self.ns_offsets[node] as usize;
+        let s1 = self.ns_offsets[node + 1] as usize;
+        let mut mask = 0u64;
+        for kk in s0..s1 {
+            mask |= self.want_bit[kk];
+        }
+        self.nodes[node].mask = mask;
+    }
+
+    fn pop_source(&mut self, s: u32) -> Flit {
+        let s = s as usize;
+        let terms = self.terminals.len();
+        if s < terms {
+            let node = self.term_node[s] as usize;
+            let flit = self.inject[s].pop_front().expect("candidate head exists");
+            if self.inject[s].is_empty() {
+                self.nodes[node].busy -= 1;
+            }
+            self.update_source_desire(s as u32, node);
+            flit
+        } else {
+            let b = s - terms;
+            let node = self.edge_dst[b] as usize;
+            let cap = self.cap;
+            let flit = self.ring_slots[b * cap as usize + self.ring_head[b] as usize];
+            self.ring_head[b] = (self.ring_head[b] + 1) % cap;
+            self.ring_len[b] -= 1;
+            if self.ring_len[b] == 0 {
+                self.nodes[node].busy -= 1;
+            } else {
+                self.sync_ring_head(b);
+            }
+            self.update_source_desire((terms + b) as u32, node);
+            flit
+        }
+    }
+
+    /// Refreshes the denormalised head metadata of ring `b` (which must
+    /// be nonempty).
+    #[inline]
+    fn sync_ring_head(&mut self, b: usize) {
+        let head = &self.ring_slots[b * self.cap as usize + self.ring_head[b] as usize];
+        self.ring_ready[b] = head.ready_at;
+        self.ring_final[b] = head.next_edge == NO_EDGE;
     }
 
     fn eject(&mut self) {
-        for buf in &mut self.buffers {
-            let Some(head) = buf.front() else { continue };
-            if head.ready_at > self.now || head.hop + 1 != head.path.len() {
+        if self.in_flight == 0 {
+            return;
+        }
+        let cap = self.cap as usize;
+        for e in 0..self.ring_len.len() {
+            // Dense-array pre-check; the flit slab is only touched for
+            // an actual ejection.
+            if self.ring_len[e] == 0 || !self.ring_final[e] || self.ring_ready[e] > self.now {
                 continue;
             }
-            let flit = buf.pop_front().expect("head exists");
-            if flit.is_tail && flit.measured {
-                self.latencies.push(self.now - flit.inject_cycle);
+            let head = self.ring_slots[e * cap + self.ring_head[e] as usize];
+            self.ring_head[e] = (self.ring_head[e] + 1) % self.cap;
+            self.ring_len[e] -= 1;
+            let node = self.edge_dst[e] as usize;
+            if self.ring_len[e] == 0 {
+                self.nodes[node].busy -= 1;
+            } else {
+                self.sync_ring_head(e);
+            }
+            self.update_source_desire((self.terminals.len() + e) as u32, node);
+            self.in_flight -= 1;
+            if head.flags & F_TAIL != 0 && head.flags & F_MEASURED != 0 {
+                self.latencies.push(self.now - head.inject_cycle);
             }
         }
     }
 
-    fn transfer(&mut self) {
+    fn transfer(&mut self, plan: &RoutePlan) {
         // One flit per edge per cycle; a source queue also releases at
-        // most one flit per cycle.
-        let terms = self.terminals.len();
-        let mut source_moved = vec![false; terms + self.graph.edge_count()];
-        let moved_key = |s: Source| match s {
-            Source::Inject(t) => t,
-            Source::Buffer(b) => terms + b,
-        };
-        // Virtual cut-through with bubble flow control: a head flit
-        // needs space for the whole packet downstream (so tails always
-        // drain behind their head), and a head *entering a new ring*
-        // (injection or axis turn) must additionally leave one packet
-        // of free space — the classic bubble condition that keeps torus
-        // rings deadlock-free.
-        let pf = self.config.packet_flits;
-        let cap = self.config.buffer_depth * pf;
-        for (eid, edge) in self.graph.edges() {
-            let e = eid.index();
-            let free = cap.saturating_sub(self.buffers[e].len());
+        // most one flit per cycle. Virtual cut-through with bubble flow
+        // control (see HopStep::head_space).
+        if self.in_flight == 0 {
+            return;
+        }
+        self.source_moved.fill(false);
+        let measure_window = self.now >= self.config.warmup_cycles
+            && self.now < self.config.warmup_cycles + self.config.measure_cycles;
+        for e in 0..self.edge_src.len() {
+            let node = self.edge_src[e] as usize;
+            let state = self.nodes[node];
+            // No queue at the source node holds a flit: nothing could
+            // cross this edge, skip the arbitration scan entirely.
+            // (busy > 0 implies the node has sources.)
+            if state.busy == 0 {
+                continue;
+            }
+            // No queued head (ready or pending) wants this edge: one
+            // bit test instead of a source scan.
+            let l = self.edge_local[e];
+            let wanted = if l < 64 {
+                state.mask & (1u64 << l) != 0
+            } else {
+                state.mask == u64::MAX
+            };
+            if !wanted {
+                continue;
+            }
+            let free = self.cap - self.ring_len[e];
             if free == 0 {
                 continue;
             }
-            let srcs = &self.node_sources[edge.src.index()];
-            if srcs.is_empty() {
-                continue;
-            }
-            // Find candidate sources whose head flit wants edge `e` now
-            // and fits under the VCT/bubble space rule.
-            let candidate_ok = |sim: &Self, s: Source| -> Option<u64> {
-                let head = match s {
-                    Source::Inject(t) => sim.inject_queues[t].front(),
-                    Source::Buffer(b) => sim.buffers[b].front(),
-                }?;
-                if head.ready_at > sim.now {
-                    return None;
-                }
-                if head.hop + 1 >= head.path.len() {
-                    return None;
-                }
-                if head.path[head.hop + 1] != edge.dst || head.path[head.hop] != edge.src {
-                    return None;
-                }
-                let required = if !head.is_head {
-                    1
-                } else {
-                    let ring_entry = match s {
-                        Source::Inject(_) => true,
-                        Source::Buffer(_) => {
-                            head.hop > 0
-                                && sim.axis_of(head.path[head.hop - 1], head.path[head.hop])
-                                    != sim.axis_of(head.path[head.hop], head.path[head.hop + 1])
-                        }
-                    };
-                    if ring_entry {
-                        2 * pf
-                    } else {
-                        pf
-                    }
-                };
-                (free >= required).then_some(head.packet)
+            let s0 = self.ns_offsets[node] as usize;
+            let s1 = self.ns_offsets[node + 1] as usize;
+            let n_src = s1 - s0;
+            let eu = e as u32;
+            let eligible = |sim: &Self, k: usize| -> bool {
+                sim.want_edge[k] == eu
+                    && sim.want_ready[k] <= sim.now
+                    && free >= sim.want_required[k]
+                    && !sim.source_moved[sim.ns_items[k] as usize]
             };
-            let chosen = if let Some(pid) = self.owner[e] {
-                srcs.iter()
-                    .copied()
-                    .find(|s| !source_moved[moved_key(*s)] && candidate_ok(self, *s) == Some(pid))
+            let chosen = if self.owner[e] != NO_OWNER {
+                let pid = self.owner[e];
+                (s0..s1).find(|&k| self.want_packet[k] == pid && eligible(self, k))
             } else {
-                let start = self.rr[e] % srcs.len();
-                (0..srcs.len())
-                    .map(|k| srcs[(start + k) % srcs.len()])
-                    .find(|s| !source_moved[moved_key(*s)] && candidate_ok(self, *s).is_some())
+                let start = self.rr[e] as usize % n_src;
+                // Circular scan from `start` without a per-step modulo
+                // (start + j stays below 2·n_src, one conditional
+                // subtract wraps it).
+                (0..n_src)
+                    .map(|j| {
+                        let mut k = start + j;
+                        if k >= n_src {
+                            k -= n_src;
+                        }
+                        s0 + k
+                    })
+                    .find(|&k| eligible(self, k))
             };
-            let Some(src_slot) = chosen else { continue };
-            let mut flit = match src_slot {
-                Source::Inject(t) => self.inject_queues[t].pop_front(),
-                Source::Buffer(b) => self.buffers[b].pop_front(),
-            }
-            .expect("candidate head exists");
-            source_moved[moved_key(src_slot)] = true;
-            if self.now >= self.config.warmup_cycles
-                && self.now < self.config.warmup_cycles + self.config.measure_cycles
-            {
+            let Some(k) = chosen else { continue };
+            let src_slot = self.ns_items[k];
+            let mut flit = self.pop_source(src_slot);
+            self.source_moved[src_slot as usize] = true;
+            if measure_window {
                 self.edge_flits[e] += 1;
             }
             self.rr[e] = self.rr[e].wrapping_add(1);
-            self.owner[e] = if flit.is_tail {
-                None
-            } else {
-                Some(flit.packet)
-            };
+            let is_tail = flit.flags & F_TAIL != 0;
+            self.owner[e] = if is_tail { NO_OWNER } else { flit.packet };
+            let route = plan.arena.routes[flit.route as usize];
+            let step = plan.arena.steps[route.first_step as usize + flit.hop as usize];
             flit.hop += 1;
-            let arrived = flit.path[flit.hop];
             // A flit reaching its destination core port leaves the
             // network right here: the egress attach link is an NI wire,
             // not a buffered channel.
-            if flit.hop + 1 == flit.path.len()
-                && self.graph.node_kind(arrived) == NodeKind::CorePort
-            {
-                if flit.is_tail && flit.measured {
+            if u32::from(flit.hop) == u32::from(route.step_count) && step.eject_at_dst {
+                self.in_flight -= 1;
+                if is_tail && flit.flags & F_MEASURED != 0 {
                     self.latencies.push(self.now - flit.inject_cycle);
                 }
                 continue;
             }
-            // Network links cost one cycle plus the downstream switch
-            // pipeline; ingress attach links (from a core port) are short
-            // NI wires folded into the adjacent switch traversal, so
-            // indirect topologies are not double-charged for their
-            // explicit port vertices.
-            flit.ready_at = if g_is_attach(self.graph, edge.src, arrived) {
-                self.now + self.config.switch_pipeline
+            if u32::from(flit.hop) < u32::from(route.step_count) {
+                let next = plan.arena.steps[route.first_step as usize + flit.hop as usize];
+                flit.next_edge = next.edge;
+                flit.required = if flit.flags & F_HEAD != 0 {
+                    next.head_space
+                } else {
+                    1
+                };
             } else {
-                self.now + 1 + self.config.switch_pipeline
-            };
-            self.buffers[e].push_back(flit);
+                flit.next_edge = NO_EDGE;
+            }
+            flit.ready_at = self.now + step.ready_add;
+            let cap = self.cap;
+            let idx = e * cap as usize + ((self.ring_head[e] + self.ring_len[e]) % cap) as usize;
+            self.ring_slots[idx] = flit;
+            let was_empty = self.ring_len[e] == 0;
+            self.ring_len[e] += 1;
+            if was_empty {
+                let dst = self.edge_dst[e] as usize;
+                self.nodes[dst].busy += 1;
+                self.ring_ready[e] = flit.ready_at;
+                self.ring_final[e] = flit.next_edge == NO_EDGE;
+                // The ring gained a head flit mid-cycle; with a
+                // zero-cycle arrival increment it can already be
+                // eligible at a later edge this same cycle, exactly
+                // like the reference engine's live head reads.
+                self.update_source_desire((self.terminals.len() + e) as u32, dst);
+            }
         }
     }
 
@@ -486,11 +1057,11 @@ impl<'a> NocSimulator<'a> {
         let mut max_util = 0.0f64;
         let mut util_sum = 0.0f64;
         let mut network_edges = 0usize;
-        for (eid, edge) in self.graph.edges() {
-            if !edge.is_network_link() {
+        for e in 0..self.edge_flits.len() {
+            if !self.edge_is_net[e] {
                 continue;
             }
-            let util = self.edge_flits[eid.index()] as f64 / window;
+            let util = self.edge_flits[e] as f64 / window;
             max_util = max_util.max(util);
             util_sum += util;
             network_edges += 1;
@@ -511,12 +1082,6 @@ impl<'a> NocSimulator<'a> {
             },
         }
     }
-}
-
-/// Whether the step `src -> dst` is a core-attach link (one endpoint is
-/// a core port).
-fn g_is_attach(g: &TopologyGraph, src: NodeId, dst: NodeId) -> bool {
-    g.node_kind(src) == NodeKind::CorePort || g.node_kind(dst) == NodeKind::CorePort
 }
 
 #[cfg(test)]
@@ -545,8 +1110,6 @@ mod tests {
             stats.delivery_ratio() > 0.99,
             "low load must not saturate: {stats}"
         );
-        // Zero-load-ish latency: a couple of switch traversals plus
-        // serialization of a 4-flit packet.
         assert!(
             stats.avg_latency > 4.0 && stats.avg_latency < 30.0,
             "{stats}"
@@ -558,7 +1121,6 @@ mod tests {
         let g = builders::mesh(4, 4, 500.0).unwrap();
         let mut sim = NocSimulator::new(&g, SimConfig::fast());
         let low = sim.run_synthetic(&TrafficPattern::UniformRandom, 0.05);
-        let mut sim = NocSimulator::new(&g, SimConfig::fast());
         let high = sim.run_synthetic(&TrafficPattern::UniformRandom, 0.35);
         assert!(
             high.avg_latency > low.avg_latency,
@@ -567,11 +1129,31 @@ mod tests {
     }
 
     #[test]
-    fn simulation_is_deterministic_per_seed() {
+    fn same_seed_runs_are_bit_identical() {
+        // The determinism regression test: two same-seed runs on one
+        // simulator (plan cached) and on a fresh simulator must agree
+        // exactly. Everything in the engine is index-ordered; nothing
+        // iterates a hash map.
         let g = builders::torus(3, 3, 500.0).unwrap();
+        let mut sim = NocSimulator::new(&g, SimConfig::fast());
+        let a = sim.run_synthetic(&TrafficPattern::Tornado, 0.1);
+        let b = sim.run_synthetic(&TrafficPattern::Tornado, 0.1);
+        let mut fresh = NocSimulator::new(&g, SimConfig::fast());
+        let c = fresh.run_synthetic(&TrafficPattern::Tornado, 0.1);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn trace_same_seed_runs_are_bit_identical() {
+        let g = builders::mesh(3, 4, 500.0).unwrap();
+        let app = benchmarks::vopd();
+        let mapping = Mapper::new(&g, &app, MapperConfig::default())
+            .run()
+            .unwrap();
         let run = || {
             let mut sim = NocSimulator::new(&g, SimConfig::fast());
-            sim.run_synthetic(&TrafficPattern::Tornado, 0.1)
+            sim.run_trace(mapping.evaluation(), &app, 0.3)
         };
         assert_eq!(run(), run());
     }
@@ -623,5 +1205,53 @@ mod tests {
             stats.saturated() || stats.avg_latency > 50.0,
             "bit-complement at 0.9 flits/cy should swamp a 3x3 mesh: {stats}"
         );
+    }
+
+    #[test]
+    fn shared_plan_matches_owned_plan() {
+        let g = builders::clos(4, 4, 4, 500.0).unwrap();
+        let config = SimConfig::fast();
+        let mut table = RouteTable::new(&g);
+        let plan = Arc::new(RoutePlan::synthetic(&g, &mut table, &config));
+        let mut shared = NocSimulator::with_plan(&g, config, plan);
+        let mut owned = NocSimulator::new(&g, config);
+        assert_eq!(
+            shared.run_synthetic(&TrafficPattern::Transpose, 0.2),
+            owned.run_synthetic(&TrafficPattern::Transpose, 0.2),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "different graph")]
+    fn mismatched_plan_is_rejected() {
+        let a = builders::mesh(3, 3, 500.0).unwrap();
+        let b = builders::mesh(4, 4, 500.0).unwrap();
+        let config = SimConfig::fast();
+        let mut table = RouteTable::new(&a);
+        let plan = Arc::new(RoutePlan::synthetic(&a, &mut table, &config));
+        let _ = NocSimulator::with_plan(&b, config, plan);
+    }
+
+    #[test]
+    fn compatible_rejects_same_shape_different_edges_and_config() {
+        // Same kind, node count and edge count, different capacities:
+        // the edge fingerprint must reject (edge ids would index
+        // different physical links).
+        let a = builders::mesh(3, 4, 500.0).unwrap();
+        let b = builders::mesh(3, 4, 400.0).unwrap();
+        let config = SimConfig::fast();
+        let mut table = RouteTable::new(&a);
+        let plan = RoutePlan::synthetic(&a, &mut table, &config);
+        assert!(plan.compatible(&a, &config));
+        assert!(!plan.compatible(&b, &config));
+        // Transposed grid: same counts, different kind parameters.
+        let c = builders::mesh(4, 3, 500.0).unwrap();
+        assert!(!plan.compatible(&c, &config));
+        // Timing-relevant config drift is rejected too.
+        let other = SimConfig {
+            packet_flits: 2,
+            ..config
+        };
+        assert!(!plan.compatible(&a, &other));
     }
 }

@@ -25,6 +25,17 @@
 //! window, reproducing the latency-versus-injection-rate methodology of
 //! paper Fig. 8(b) and the per-topology latency bars of Fig. 10(c).
 //!
+//! The implementation is the flat-array engine of [`engine`]: `Copy`
+//! flits in dense per-edge ring buffers, with per-pair routes compiled
+//! once — through the mapper's [`RouteTable`](sunmap_mapping::RouteTable)
+//! — into a shareable [`RoutePlan`]. Simulations are deterministic per
+//! seed (everything is index-ordered; no hash-map iteration anywhere),
+//! and [`sweep`] fans rate×topology grids out across scoped threads
+//! with bit-identical results at any worker count. The pre-rebuild
+//! engine survives as [`reference`](mod@reference), the behavioral
+//! oracle the equivalence tests and the `sim_speed` bench compare
+//! against.
+//!
 //! # Examples
 //!
 //! ```
@@ -40,11 +51,14 @@
 //! # Ok::<(), sunmap_topology::TopologyError>(())
 //! ```
 
-mod engine;
+pub mod engine;
+pub mod reference;
 mod stats;
+pub mod sweep;
 
-pub use engine::{NocSimulator, SimConfig};
+pub use engine::{NocSimulator, RoutePlan, SimConfig, SIM_PATH_CAP};
 pub use stats::LatencyStats;
+pub use sweep::{adversarial_sweep, injection_sweep, SweepPoint, SweepRequest};
 
 use sunmap_topology::TopologyGraph;
 use sunmap_topology::TopologyKind;
@@ -80,17 +94,19 @@ pub fn adversarial_pattern(kind: TopologyKind) -> TrafficPattern {
 }
 
 /// Convenience: sweep injection rates on one topology under a pattern,
-/// returning `(rate, avg_latency)` pairs — one Fig. 8(b) curve.
+/// returning `(rate, avg_latency)` pairs — one Fig. 8(b) curve. The
+/// route plan is compiled once and shared across the rates; for
+/// multi-topology or multi-threaded sweeps use [`sweep::injection_sweep`].
 pub fn latency_sweep(
     graph: &TopologyGraph,
     config: SimConfig,
     pattern: &TrafficPattern,
     rates: &[f64],
 ) -> Vec<(f64, f64)> {
+    let mut sim = NocSimulator::new(graph, config);
     rates
         .iter()
         .map(|&rate| {
-            let mut sim = NocSimulator::new(graph, config);
             let stats = sim.run_synthetic(pattern, rate);
             (rate, stats.avg_latency)
         })

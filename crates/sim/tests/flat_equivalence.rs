@@ -1,0 +1,158 @@
+//! The flat engine's contract: for any seed, topology, pattern, rate
+//! and configuration, its [`LatencyStats`] are bit-identical to the
+//! pre-rebuild engine's (kept as [`sunmap_sim::reference`]). The two
+//! implementations share nothing but the `SimConfig` type, so agreement
+//! here pins the RNG consumption order, the arbitration order, the
+//! bubble-rule spacing and the timing model all at once.
+
+use sunmap_mapping::{Mapper, MapperConfig};
+use sunmap_sim::{adversarial_pattern, reference, NocSimulator, SimConfig};
+use sunmap_topology::builders;
+use sunmap_traffic::benchmarks;
+use sunmap_traffic::patterns::TrafficPattern;
+
+fn assert_synthetic_equivalent(
+    g: &sunmap_topology::TopologyGraph,
+    config: SimConfig,
+    pattern: &TrafficPattern,
+    rate: f64,
+) {
+    let mut old = reference::NocSimulator::new(g, config);
+    let mut new = NocSimulator::new(g, config);
+    let a = old.run_synthetic(pattern, rate);
+    let b = new.run_synthetic(pattern, rate);
+    assert_eq!(
+        a,
+        b,
+        "{} {} rate {rate}: reference and flat engines diverged",
+        g.kind(),
+        pattern.name()
+    );
+}
+
+#[test]
+fn standard_library_adversarial_rates() {
+    for g in builders::standard_library(16, 500.0).unwrap() {
+        let pattern = adversarial_pattern(g.kind());
+        for rate in [0.05, 0.2, 0.45] {
+            assert_synthetic_equivalent(&g, SimConfig::fast(), &pattern, rate);
+        }
+    }
+}
+
+#[test]
+fn uniform_random_consumes_rng_identically() {
+    // UniformRandom draws from the RNG for every destination, and the
+    // indirect topologies draw again per path pick — the strictest
+    // check that the flat engine consumes randomness in the reference
+    // order.
+    for g in builders::standard_library(12, 500.0).unwrap() {
+        assert_synthetic_equivalent(&g, SimConfig::fast(), &TrafficPattern::UniformRandom, 0.15);
+    }
+}
+
+#[test]
+fn every_pattern_on_mesh_and_clos() {
+    let patterns = [
+        TrafficPattern::UniformRandom,
+        TrafficPattern::Transpose,
+        TrafficPattern::BitComplement,
+        TrafficPattern::BitReverse,
+        TrafficPattern::Tornado,
+        TrafficPattern::Hotspot {
+            target: 3,
+            per_mille: 300,
+        },
+        TrafficPattern::Permutation((0..16).rev().collect()),
+    ];
+    let mesh = builders::mesh(4, 4, 500.0).unwrap();
+    let clos = builders::clos(4, 4, 4, 500.0).unwrap();
+    for pattern in &patterns {
+        assert_synthetic_equivalent(&mesh, SimConfig::fast(), pattern, 0.1);
+        assert_synthetic_equivalent(&clos, SimConfig::fast(), pattern, 0.1);
+    }
+}
+
+#[test]
+fn extension_topologies_agree() {
+    let octagon = builders::octagon(500.0).unwrap();
+    let star = builders::star(8, 500.0).unwrap();
+    for g in [&octagon, &star] {
+        assert_synthetic_equivalent(g, SimConfig::fast(), &adversarial_pattern(g.kind()), 0.1);
+    }
+}
+
+#[test]
+fn config_knobs_preserve_equivalence() {
+    let g = builders::torus(4, 4, 500.0).unwrap();
+    let configs = [
+        SimConfig {
+            packet_flits: 1,
+            ..SimConfig::fast()
+        },
+        SimConfig {
+            packet_flits: 6,
+            buffer_depth: 2,
+            ..SimConfig::fast()
+        },
+        SimConfig {
+            switch_pipeline: 0,
+            ..SimConfig::fast()
+        },
+        SimConfig {
+            buffer_depth: 1,
+            seed: 1234,
+            ..SimConfig::fast()
+        },
+        SimConfig {
+            drain_cycles: 0,
+            ..SimConfig::fast()
+        },
+    ];
+    for config in configs {
+        assert_synthetic_equivalent(&g, config, &TrafficPattern::Tornado, 0.25);
+    }
+}
+
+#[test]
+fn saturated_network_agrees() {
+    let g = builders::mesh(3, 3, 500.0).unwrap();
+    assert_synthetic_equivalent(&g, SimConfig::fast(), &TrafficPattern::BitComplement, 0.9);
+}
+
+#[test]
+fn trace_mode_agrees_on_mapped_benchmarks() {
+    for (app, rows, cols) in [(benchmarks::vopd(), 3, 4), (benchmarks::dsp_filter(), 2, 3)] {
+        let g = builders::mesh(rows, cols, 1000.0).unwrap();
+        let mapping = Mapper::new(&g, &app, MapperConfig::default())
+            .run()
+            .unwrap();
+        for intensity in [0.1, 0.45] {
+            let mut old = reference::NocSimulator::new(&g, SimConfig::fast());
+            let mut new = NocSimulator::new(&g, SimConfig::fast());
+            let a = old.run_trace(mapping.evaluation(), &app, intensity);
+            let b = new.run_trace(mapping.evaluation(), &app, intensity);
+            assert_eq!(a, b, "trace intensity {intensity} diverged");
+        }
+    }
+}
+
+#[test]
+fn trace_mode_agrees_with_split_routing() {
+    // Split routing produces multi-path route sets, exercising the
+    // weighted path pick.
+    use sunmap_mapping::RoutingFunction;
+    let g = builders::mesh(3, 4, 1000.0).unwrap();
+    let app = benchmarks::vopd();
+    let config = MapperConfig {
+        routing: RoutingFunction::SplitMinPaths,
+        ..MapperConfig::default()
+    };
+    let mapping = Mapper::new(&g, &app, config).run().unwrap();
+    let mut old = reference::NocSimulator::new(&g, SimConfig::fast());
+    let mut new = NocSimulator::new(&g, SimConfig::fast());
+    assert_eq!(
+        old.run_trace(mapping.evaluation(), &app, 0.4),
+        new.run_trace(mapping.evaluation(), &app, 0.4),
+    );
+}

@@ -323,7 +323,7 @@ impl TopologyGraph {
     }
 
     /// Builds a dense `src × dst → Option<EdgeId>` lookup table. A
-    /// single O(V² + E) build amortises the linear [`find_edge`] scan
+    /// single O(V² + E) build amortises the linear [`TopologyGraph::find_edge`] scan
     /// away on hot paths (the evaluation engine resolves every path
     /// window through this matrix).
     pub fn adjacency_matrix(&self) -> AdjacencyMatrix {

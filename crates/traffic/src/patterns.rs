@@ -117,6 +117,20 @@ impl TrafficPattern {
         }
     }
 
+    /// Parses a parameter-free pattern from its [`name`](Self::name)
+    /// (the CLI's `--pattern` values). `Hotspot` and `Permutation`
+    /// carry parameters and are not nameable; they return `None`.
+    pub fn from_name(name: &str) -> Option<TrafficPattern> {
+        match name {
+            "uniform" => Some(TrafficPattern::UniformRandom),
+            "transpose" => Some(TrafficPattern::Transpose),
+            "bit-complement" => Some(TrafficPattern::BitComplement),
+            "bit-reverse" => Some(TrafficPattern::BitReverse),
+            "tornado" => Some(TrafficPattern::Tornado),
+            _ => None,
+        }
+    }
+
     /// Human-readable pattern name for reports.
     pub fn name(&self) -> &'static str {
         match self {
@@ -215,6 +229,21 @@ mod tests {
         let p = TrafficPattern::Permutation(vec![2, 3, 0, 1]);
         assert_eq!(p.destination(0, 4, &mut rng), Some(2));
         assert_eq!(p.destination(3, 4, &mut rng), Some(1));
+    }
+
+    #[test]
+    fn from_name_round_trips_parameter_free_patterns() {
+        for p in [
+            TrafficPattern::UniformRandom,
+            TrafficPattern::Transpose,
+            TrafficPattern::BitComplement,
+            TrafficPattern::BitReverse,
+            TrafficPattern::Tornado,
+        ] {
+            assert_eq!(TrafficPattern::from_name(p.name()), Some(p));
+        }
+        assert_eq!(TrafficPattern::from_name("hotspot"), None);
+        assert_eq!(TrafficPattern::from_name("nope"), None);
     }
 
     #[test]

@@ -17,8 +17,17 @@
 //! line (`cargo bench --bench <name> -- --test`) switches to smoke
 //! mode: every benchmark body runs exactly once, unsampled, so CI can
 //! validate that benches execute without paying for measurement.
+//!
+//! Smoke mode also emits a machine-readable summary: when the
+//! `CRITERION_SMOKE_JSON` environment variable names a file, every
+//! benchmark appends one JSON object per line
+//! (`{"id":...,"mode":"smoke","duration_ns":...}`) to it. The repo's
+//! `make bench-smoke` wraps those lines into `BENCH_results.json`,
+//! which CI uploads as an artifact — the start of a per-commit perf
+//! trajectory.
 
 use std::fmt;
+use std::io::Write as _;
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
@@ -196,6 +205,36 @@ impl Bencher {
     }
 }
 
+/// Appends one JSON-lines record for a smoke-mode run to the file named
+/// by `CRITERION_SMOKE_JSON`, if set. The single-execution duration is
+/// *not* a statistical measurement — it is recorded so the smoke
+/// artifact still sketches a coarse perf trajectory across commits.
+fn record_smoke(id: &str, duration: Duration) {
+    let Ok(path) = std::env::var("CRITERION_SMOKE_JSON") else {
+        return;
+    };
+    let escaped: String = id
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect();
+    let line = format!(
+        "{{\"id\":\"{escaped}\",\"mode\":\"smoke\",\"duration_ns\":{}}}\n",
+        duration.as_nanos()
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("criterion: cannot record smoke result to {path}: {e}");
+    }
+}
+
 fn run_benchmark<F>(id: &str, sample_size: usize, warm_up: Duration, f: &mut F)
 where
     F: FnMut(&mut Bencher),
@@ -206,7 +245,9 @@ where
             samples: Vec::new(),
             measured: false,
         };
+        let start = Instant::now();
         f(&mut bencher);
+        record_smoke(id, start.elapsed());
         println!("{id:<50} (smoke: ran once, not measured)");
         return;
     }
@@ -334,5 +375,24 @@ mod tests {
         // The unit-test binary is not invoked with --test on its argv,
         // so test_mode() is false here; assert the flag parse itself.
         assert!(!test_mode());
+    }
+
+    #[test]
+    fn smoke_records_are_json_lines() {
+        let path = std::env::temp_dir().join("criterion_smoke_test.jsonl");
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("CRITERION_SMOKE_JSON", &path);
+        record_smoke("group/bench \"q\"", Duration::from_nanos(1234));
+        record_smoke("group/other", Duration::from_micros(5));
+        std::env::remove_var("CRITERION_SMOKE_JSON");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"id\":\"group/bench \\\"q\\\"\",\"mode\":\"smoke\",\"duration_ns\":1234}"
+        );
+        assert!(lines[1].contains("\"duration_ns\":5000"));
+        let _ = std::fs::remove_file(&path);
     }
 }

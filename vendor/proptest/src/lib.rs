@@ -2,7 +2,7 @@
 //!
 //! The build environment has no access to crates.io, so this vendored
 //! crate implements the subset of proptest that SUNMAP's property
-//! tests use: the [`Strategy`] trait with `prop_map` / `prop_flat_map`,
+//! tests use: the [`Strategy`](strategy::Strategy) trait with `prop_map` / `prop_flat_map`,
 //! range and tuple strategies, [`collection::vec`], [`strategy::Just`],
 //! and the [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] /
 //! [`prop_assume!`] macros.
