@@ -10,7 +10,7 @@ CARGO ?= cargo
 BENCH_SMOKE_JSONL := target/bench-smoke.jsonl
 BENCH_RESULTS := target/BENCH_results.json
 
-.PHONY: all build test bench bench-run bench-smoke doc lint fmt ci clean
+.PHONY: all build test bench bench-run bench-smoke batch-smoke doc lint fmt ci clean
 
 all: build
 
@@ -44,6 +44,18 @@ bench-smoke:
 	@printf ']}\n' >> $(BENCH_RESULTS)
 	@echo "wrote $(BENCH_RESULTS)"
 
+## Smoke-run the batch exploration engine end-to-end: the committed
+## 20-job sample manifest (4 seed benchmarks + 16 synthetic workloads)
+## through the sunmap binary, sharded across 2 workers. Output must be
+## non-empty JSONL with one line per job.
+batch-smoke:
+	rm -rf target/batch-smoke
+	$(CARGO) run --locked --release -p sunmap-cli -- batch \
+		--jobs examples/batch.manifest --out target/batch-smoke --workers 2
+	@test "$$(wc -l < target/batch-smoke/batch.jsonl)" -eq 20 \
+		|| { echo "batch-smoke: expected 20 JSONL lines"; exit 1; }
+	@echo "wrote target/batch-smoke/batch.jsonl (20 jobs)"
+
 ## Build API docs for every workspace crate with rustdoc warnings as
 ## hard errors (broken intra-doc links rot fast otherwise).
 doc:
@@ -59,7 +71,7 @@ fmt:
 	$(CARGO) fmt --all
 
 ## Everything CI gates on, in CI's order.
-ci: lint build test doc bench bench-smoke
+ci: lint build test doc bench bench-smoke batch-smoke
 
 clean:
 	$(CARGO) clean

@@ -1,0 +1,83 @@
+//! Batch-exploration throughput: full `run_batch` invocations over a
+//! mixed seed + synthetic grid, reported as explorations per second.
+//!
+//! This is the engine the ROADMAP's batching/sharding direction rests
+//! on: each job is a complete phase-1/2 exploration (five topologies,
+//! swap search, floorplan, selection), and the batch runner shares one
+//! `RouteTable` per topology across every job a worker executes. The
+//! bench measures the end-to-end grid on one worker and on one worker
+//! per CPU (on the 1-CPU CI container both report the same number; the
+//! comparison is meaningful on wider machines).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sunmap::batch::{run_batch, BatchManifest};
+
+/// An 8-job grid: two seed benchmarks and two synthetic workloads,
+/// each explored under two objectives.
+const GRID: &str = "\
+app dsp
+app vopd
+app synth:seed=1,cores=8
+app synth:seed=2,cores=12,locality=0.7
+objective power
+objective delay
+routing MP
+capacity 1000
+";
+
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+fn print_summary() {
+    let manifest = BatchManifest::parse(GRID).expect("bench grid parses");
+    let jobs = manifest.jobs().expect("bench grid loads");
+    println!("== batch exploration throughput ({} jobs) ==", jobs.len());
+    for (label, workers) in [("1 worker", 1usize), ("1/cpu", 0)] {
+        let start = std::time::Instant::now();
+        let mut lines = 0usize;
+        run_batch(&jobs, None, workers, |_, _| {
+            lines += 1;
+            true
+        });
+        let elapsed = start.elapsed();
+        println!(
+            "  {:<9} {:>2} explorations in {:>7.1} ms = {:>6.1} explorations/s",
+            label,
+            lines,
+            elapsed.as_secs_f64() * 1e3,
+            lines as f64 / elapsed.as_secs_f64()
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    if !smoke_mode() {
+        print_summary();
+    }
+    let manifest = BatchManifest::parse(GRID).expect("bench grid parses");
+    let jobs = manifest.jobs().expect("bench grid loads");
+    let mut group = c.benchmark_group("batch_throughput");
+    group.sample_size(10);
+    for (label, workers) in [("jobs8/workers1", 1usize), ("jobs8/workers_auto", 0)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut lines = 0usize;
+                run_batch(black_box(&jobs), None, workers, |_, line| {
+                    lines += line.len();
+                    true
+                });
+                lines
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

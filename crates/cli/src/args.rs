@@ -33,11 +33,15 @@ pub struct Cli {
     /// Synthetic pattern for `sweep` (`None` = each topology's
     /// adversarial pattern, paper §6.2).
     pub pattern: Option<String>,
-    /// Sweep worker threads (`0` = one per CPU). Results are
+    /// Sweep/batch worker threads (`0` = one per CPU). Results are
     /// bit-identical at any setting.
     pub workers: usize,
     /// Run the phase-4 simulation validation after `explore`.
     pub validate: bool,
+    /// Manifest path for `batch`.
+    pub jobs_path: String,
+    /// Skip `batch` jobs already present in the output file.
+    pub resume: bool,
 }
 
 /// The `sunmap` subcommands.
@@ -55,6 +59,9 @@ pub enum Command {
     /// Trace-driven simulation of every feasible candidate (Fig. 10c),
     /// with a JSON report.
     Simulate,
+    /// Batch exploration: a manifest-driven grid of applications ×
+    /// configurations, sharded across workers, streamed as JSONL.
+    Batch,
 }
 
 /// Parse errors with the usage line callers print.
@@ -79,9 +86,13 @@ commands:
   simulate      trace-driven latency of every feasible candidate (+ JSON)
   sweep         latency-vs-injection-rate curves (Fig. 8b; CSV + JSON)
   design-sweep  routing-function bandwidth staircase + area-power Pareto front
+  batch         run a manifest's application x configuration grid, streamed
+                as JSONL (batch --jobs <manifest>; no <app> argument)
 
-<app> is a .app file (core/traffic lines) or a built-in benchmark:
-  vopd | mpeg4 | dsp | netproc
+<app> is a .app file (core/traffic lines), a built-in benchmark, or a
+seeded synthetic workload spec:
+  vopd | mpeg4 | dsp | netproc | synth:seed=<n>[,cores=..,locality=..,
+  hotspot=..,degree=..,bwmin=..,bwmax=..]
 
 options:
   --capacity <MB/s>     link bandwidth       (default 500)
@@ -98,8 +109,11 @@ options:
   --rates <r1,r2,..>    sweep injection rates (default 0.02..0.45)
   --pattern <name>      sweep pattern: uniform|transpose|bit-complement|
                         bit-reverse|tornado (default: per-topology adversary)
-  --workers <n>         sweep threads, 0 = one per CPU (default 0;
+  --workers <n>         sweep/batch threads, 0 = one per CPU (default 0;
                         results identical at any setting)
+  --jobs <manifest>     batch job manifest file (required for batch)
+  --resume              batch: skip jobs already present in the output
+                        file (<out>/batch.jsonl), append the rest
 ";
 
 impl Cli {
@@ -121,13 +135,19 @@ impl Cli {
             Some("sweep") => Command::Sweep,
             Some("design-sweep") => Command::DesignSweep,
             Some("simulate") => Command::Simulate,
+            Some("batch") => Command::Batch,
             Some(other) => return Err(ParseCliError(format!("unknown command '{other}'"))),
             None => return Err(ParseCliError("missing command".to_string())),
         };
-        let app = it
-            .next()
-            .ok_or_else(|| ParseCliError("missing application".to_string()))?
-            .clone();
+        // `batch` reads its applications from the manifest; every other
+        // command takes one application positionally.
+        let app = if command == Command::Batch {
+            String::new()
+        } else {
+            it.next()
+                .ok_or_else(|| ParseCliError("missing application".to_string()))?
+                .clone()
+        };
         let mut cli = Cli {
             command,
             app,
@@ -143,6 +163,8 @@ impl Cli {
             pattern: None,
             workers: 0,
             validate: false,
+            jobs_path: String::new(),
+            resume: false,
         };
         while let Some(flag) = it.next() {
             let mut value = |name: &str| {
@@ -154,23 +176,16 @@ impl Cli {
                 "--capacity" => {
                     cli.capacity = parse_f64(&value("--capacity")?)?;
                 }
+                // Routing/objective names parse through the same
+                // helpers the batch manifest uses, so the two surfaces
+                // cannot drift.
                 "--routing" => {
-                    cli.routing = match value("--routing")?.to_uppercase().as_str() {
-                        "DO" => RoutingFunction::DimensionOrdered,
-                        "MP" => RoutingFunction::MinPath,
-                        "SM" => RoutingFunction::SplitMinPaths,
-                        "SA" => RoutingFunction::SplitAllPaths,
-                        other => return Err(ParseCliError(format!("unknown routing '{other}'"))),
-                    };
+                    cli.routing = sunmap::batch::parse_routing(&value("--routing")?)
+                        .map_err(ParseCliError)?;
                 }
                 "--objective" => {
-                    cli.objective = match value("--objective")?.to_lowercase().as_str() {
-                        "delay" => Objective::MinDelay,
-                        "area" => Objective::MinArea,
-                        "power" => Objective::MinPower,
-                        "bandwidth" => Objective::MinBandwidth,
-                        other => return Err(ParseCliError(format!("unknown objective '{other}'"))),
-                    };
+                    cli.objective = sunmap::batch::parse_objective(&value("--objective")?)
+                        .map_err(ParseCliError)?;
                 }
                 "--relax-bandwidth" => cli.relax_bandwidth = true,
                 "--extended" => cli.extended = true,
@@ -189,11 +204,15 @@ impl Cli {
                     }
                 }
                 "--pattern" => {
-                    let name = value("--pattern")?.to_lowercase();
-                    if sunmap::traffic::patterns::TrafficPattern::from_name(&name).is_none() {
-                        return Err(ParseCliError(format!("unknown pattern '{name}'")));
+                    use sunmap::traffic::patterns::TrafficPattern;
+                    let name = value("--pattern")?;
+                    if TrafficPattern::from_name(&name).is_none() {
+                        return Err(ParseCliError(format!(
+                            "unknown pattern '{name}' (valid: {})",
+                            TrafficPattern::NAMES.join(", ")
+                        )));
                     }
-                    cli.pattern = Some(name);
+                    cli.pattern = Some(name.to_lowercase());
                 }
                 "--workers" => {
                     let text = value("--workers")?;
@@ -201,6 +220,8 @@ impl Cli {
                         .parse()
                         .map_err(|_| ParseCliError(format!("'{text}' is not a worker count")))?;
                 }
+                "--jobs" => cli.jobs_path = value("--jobs")?,
+                "--resume" => cli.resume = true,
                 other => return Err(ParseCliError(format!("unknown option '{other}'"))),
             }
         }
@@ -215,6 +236,11 @@ impl Cli {
         if !cli.intensity.is_finite() || cli.intensity < 0.0 {
             return Err(ParseCliError(
                 "--intensity must be a non-negative number".to_string(),
+            ));
+        }
+        if cli.command == Command::Batch && cli.jobs_path.is_empty() {
+            return Err(ParseCliError(
+                "batch needs a manifest: --jobs <file>".to_string(),
             ));
         }
         Ok(cli)
@@ -328,6 +354,47 @@ mod tests {
         assert_eq!(cli.command, Command::DesignSweep);
         let cli = Cli::parse(["explore", "vopd", "--validate"]).unwrap();
         assert!(cli.validate);
+    }
+
+    #[test]
+    fn batch_options_parse() {
+        let cli = Cli::parse([
+            "batch",
+            "--jobs",
+            "grid.manifest",
+            "--workers",
+            "4",
+            "--resume",
+            "--out",
+            "target/batch",
+        ])
+        .unwrap();
+        assert_eq!(cli.command, Command::Batch);
+        assert_eq!(cli.jobs_path, "grid.manifest");
+        assert_eq!(cli.workers, 4);
+        assert!(cli.resume);
+        assert_eq!(cli.out_dir, "target/batch");
+        assert!(cli.app.is_empty(), "batch takes no positional app");
+    }
+
+    #[test]
+    fn batch_requires_a_manifest() {
+        assert!(Cli::parse(["batch"]).unwrap_err().0.contains("--jobs"));
+        assert!(Cli::parse(["batch", "--resume"])
+            .unwrap_err()
+            .0
+            .contains("--jobs"));
+    }
+
+    #[test]
+    fn pattern_errors_list_valid_names() {
+        let err = Cli::parse(["sweep", "vopd", "--pattern", "warp"]).unwrap_err();
+        for name in sunmap::traffic::patterns::TrafficPattern::NAMES {
+            assert!(err.0.contains(name), "'{name}' missing from: {}", err.0);
+        }
+        // Case-insensitive acceptance, normalised for reports.
+        let cli = Cli::parse(["sweep", "vopd", "--pattern", "TORNADO"]).unwrap();
+        assert_eq!(cli.pattern.as_deref(), Some("tornado"));
     }
 
     #[test]

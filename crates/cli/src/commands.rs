@@ -2,14 +2,16 @@
 
 use std::error::Error;
 use std::fs;
+use std::io::Write as _;
 use std::path::Path;
 
 use crate::args::{Cli, Command};
+use sunmap::batch::{resolve_app, run_batch, BatchJob, BatchManifest};
 use sunmap::sim::sweep::{injection_sweep, stats_json_fields, sweep_csv, sweep_json, SweepRequest};
 use sunmap::sim::{adversarial_pattern, NocSimulator, SimConfig};
 use sunmap::topology::builders;
 use sunmap::traffic::patterns::TrafficPattern;
-use sunmap::traffic::{benchmarks, io, CoreGraph};
+use sunmap::traffic::CoreGraph;
 use sunmap::{
     pareto_exploration, routing_bandwidth_sweep, Constraints, Exploration, Sunmap, TopologyGraph,
 };
@@ -18,6 +20,9 @@ type CliResult = Result<(), Box<dyn Error>>;
 
 /// Dispatches a parsed command line.
 pub fn run(cli: &Cli) -> CliResult {
+    if cli.command == Command::Batch {
+        return batch(cli);
+    }
     let app = load_app(&cli.app)?;
     match cli.command {
         Command::Explore => explore(cli, app),
@@ -25,22 +30,14 @@ pub fn run(cli: &Cli) -> CliResult {
         Command::Sweep => sweep(cli, app),
         Command::DesignSweep => design_sweep(cli, app),
         Command::Simulate => simulate(cli, app),
+        Command::Batch => unreachable!("dispatched above"),
     }
 }
 
-/// Loads an application from a built-in name or a `.app` file.
+/// Loads an application from a built-in name, a `synth:` spec or a
+/// `.app` file — the shared resolver of `sunmap::batch`.
 pub fn load_app(source: &str) -> Result<CoreGraph, Box<dyn Error>> {
-    Ok(match source {
-        "vopd" => benchmarks::vopd(),
-        "mpeg4" => benchmarks::mpeg4(),
-        "dsp" => benchmarks::dsp_filter(),
-        "netproc" => benchmarks::network_processor(100.0),
-        path => {
-            let text = fs::read_to_string(path)
-                .map_err(|e| format!("cannot read application '{path}': {e}"))?;
-            io::parse_app(&text)?
-        }
-    })
+    resolve_app(source).map_err(Into::into)
 }
 
 fn tool(cli: &Cli, app: CoreGraph) -> Sunmap {
@@ -156,6 +153,96 @@ fn sweep(cli: &Cli, app: CoreGraph) -> CliResult {
     Ok(())
 }
 
+/// Extracts the `"job"` field of a generated batch JSONL line (the
+/// first string value after `"job":`), decoding exactly the escapes
+/// `sunmap::sim::sweep::json_string` emits so an id containing a
+/// quote, backslash or control character round-trips for the resume
+/// comparison.
+fn job_id_of(line: &str) -> Option<String> {
+    let rest = line.split_once("\"job\":\"")?.1;
+    let mut id = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(id),
+            '\\' => id.push(match chars.next()? {
+                'n' => '\n',
+                'r' => '\r',
+                't' => '\t',
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    char::from_u32(u32::from_str_radix(&hex, 16).ok()?)?
+                }
+                other => other, // \" \\ \/
+            }),
+            c => id.push(c),
+        }
+    }
+    None
+}
+
+/// Batch exploration: runs the manifest's job grid across workers and
+/// streams JSONL to `<out>/batch.jsonl`. With `--resume`, jobs whose
+/// ids already appear in the output file are skipped and the remainder
+/// is appended — because lines are always written in job order, a
+/// killed run leaves a prefix and the resumed file is byte-identical
+/// to an uninterrupted one.
+fn batch(cli: &Cli) -> CliResult {
+    let text = fs::read_to_string(&cli.jobs_path)
+        .map_err(|e| format!("cannot read manifest '{}': {e}", cli.jobs_path))?;
+    let manifest = BatchManifest::parse(&text)?;
+    let jobs = manifest.jobs()?;
+    let out = Path::new(&cli.out_dir);
+    fs::create_dir_all(out)?;
+    let path = out.join("batch.jsonl");
+
+    let mut done: Vec<String> = Vec::new();
+    if cli.resume && path.exists() {
+        let existing = fs::read_to_string(&path)?;
+        // Only complete lines count; a kill mid-write may leave a
+        // partial trailing line, which is dropped and re-run.
+        let complete = existing.rfind('\n').map(|i| i + 1).unwrap_or(0);
+        done = existing[..complete].lines().filter_map(job_id_of).collect();
+        if complete != existing.len() {
+            fs::write(&path, &existing[..complete])?;
+        }
+    } else {
+        fs::write(&path, "")?;
+    }
+
+    let remaining: Vec<BatchJob> = jobs
+        .iter()
+        .filter(|j| !done.iter().any(|d| d == &j.id))
+        .cloned()
+        .collect();
+    let skipped = jobs.len() - remaining.len();
+
+    let mut file = fs::OpenOptions::new().append(true).open(&path)?;
+    let mut write_error: Option<std::io::Error> = None;
+    run_batch(
+        &remaining,
+        manifest.probe.as_ref(),
+        cli.workers,
+        |_, line| {
+            write_error = writeln!(file, "{line}").and_then(|()| file.flush()).err();
+            // A failed write (e.g. disk full) cancels the run instead
+            // of computing results that can no longer be recorded.
+            write_error.is_none()
+        },
+    );
+    if let Some(e) = write_error {
+        return Err(format!("writing {}: {e}", path.display()).into());
+    }
+    println!(
+        "batch: {} jobs ({} run, {} skipped via --resume) -> {}",
+        jobs.len(),
+        remaining.len(),
+        skipped,
+        path.display()
+    );
+    Ok(())
+}
+
 /// Fig. 9: routing-function bandwidth staircase and area-power Pareto
 /// front on the application's mesh.
 fn design_sweep(cli: &Cli, app: CoreGraph) -> CliResult {
@@ -254,6 +341,78 @@ mod tests {
             assert!(app.core_count() >= 6, "{name}");
         }
         assert!(load_app("/does/not/exist.app").is_err());
+        // Synthetic specs resolve anywhere an application name does.
+        assert_eq!(load_app("synth:seed=2,cores=9").unwrap().core_count(), 9);
+        assert!(load_app("synth:cores=0").is_err());
+    }
+
+    #[test]
+    fn batch_runs_resumes_and_streams_jsonl() {
+        let dir = std::env::temp_dir().join("sunmap_cli_test_batch");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let manifest = dir.join("grid.manifest");
+        fs::write(
+            &manifest,
+            "app dsp\napp synth:seed=1,cores=8\nobjective delay\ncapacity 1000\n",
+        )
+        .unwrap();
+        let out = dir.join("out");
+        let args = [
+            "batch",
+            "--jobs",
+            manifest.to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+            "--workers",
+            "2",
+        ];
+        run(&cli(&args)).unwrap();
+        let full = fs::read_to_string(out.join("batch.jsonl")).unwrap();
+        assert_eq!(full.lines().count(), 2);
+        assert!(full.ends_with('\n'));
+
+        // Kill-and-resume: keep only the first line (plus a partial
+        // trailing fragment), then resume — final bytes identical.
+        let first_line_end = full.find('\n').unwrap() + 1;
+        fs::write(
+            out.join("batch.jsonl"),
+            format!("{}{{\"schema\":\"sunmap-ba", &full[..first_line_end]),
+        )
+        .unwrap();
+        let mut resume_args = args.to_vec();
+        resume_args.push("--resume");
+        run(&cli(&resume_args)).unwrap();
+        assert_eq!(fs::read_to_string(out.join("batch.jsonl")).unwrap(), full);
+
+        // Resuming a complete file re-runs nothing and changes nothing.
+        run(&cli(&resume_args)).unwrap();
+        assert_eq!(fs::read_to_string(out.join("batch.jsonl")).unwrap(), full);
+
+        // A missing manifest is a clean error.
+        assert!(run(&cli(&["batch", "--jobs", "/no/such.manifest"])).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn job_id_extraction_honours_escapes() {
+        assert_eq!(
+            job_id_of("{\"schema\":\"x\",\"job\":\"dsp|500|min-delay|MP|strict\",\"a\":1}"),
+            Some("dsp|500|min-delay|MP|strict".to_string())
+        );
+        assert_eq!(
+            job_id_of("{\"job\":\"a\\\"b\\\\c\"}"),
+            Some("a\"b\\c".to_string())
+        );
+        // Control-character escapes decode to the character, not the
+        // escape letter, so ids with tabs/newlines round-trip.
+        assert_eq!(
+            job_id_of("{\"job\":\"a\\tb\\nc\\u0007d\"}"),
+            Some("a\tb\nc\u{7}d".to_string())
+        );
+        assert_eq!(job_id_of("{\"schema\":\"sunmap-ba"), None);
+        assert_eq!(job_id_of("{\"job\":\"unterminated"), None);
+        assert_eq!(job_id_of("{\"job\":\"bad\\u00"), None);
     }
 
     #[test]

@@ -318,6 +318,181 @@ fn simulate_emits_parsable_json() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+/// The committed 20-job sample manifest (4 seed benchmarks + 16
+/// synthetic workloads) the README documents and CI smoke-runs.
+fn sample_manifest() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/batch.manifest")
+}
+
+fn run_batch_to(dir: &std::path::Path, workers: &str, resume: bool) -> String {
+    let manifest = sample_manifest();
+    let mut args = vec![
+        "batch",
+        "--jobs",
+        manifest.to_str().unwrap(),
+        "--out",
+        dir.to_str().unwrap(),
+        "--workers",
+        workers,
+    ];
+    if resume {
+        args.push("--resume");
+    }
+    let out = sunmap(&args);
+    assert!(out.status.success(), "{out:?}");
+    fs::read_to_string(dir.join("batch.jsonl")).unwrap()
+}
+
+#[test]
+fn batch_is_worker_invariant_resumable_and_parsable() {
+    let dir = temp_dir("sunmap_it_batch");
+
+    // ≥ 20 jobs: the 4 seed apps + 16 synthetic workloads.
+    let baseline = run_batch_to(&dir, "1", false);
+    assert_eq!(baseline.lines().count(), 20);
+
+    // Every line is valid JSON with the batch schema and a winner or
+    // an explicit null.
+    for line in baseline.lines() {
+        let json = Parser::parse(line).expect("batch line parses");
+        assert_eq!(
+            json.get("schema").and_then(Json::as_str),
+            Some("sunmap-batch/1")
+        );
+        assert!(json.get("job").and_then(Json::as_str).is_some());
+        assert!(json.get("winner").is_some(), "{line}");
+        let topologies = json.get("topologies").and_then(Json::as_array).unwrap();
+        assert_eq!(topologies.len(), 5);
+    }
+    // The seed apps lead the manifest; VOPD under MinPower selects the
+    // butterfly (the paper's §6.1 headline).
+    assert!(
+        baseline
+            .lines()
+            .next()
+            .unwrap()
+            .contains("\"winner\":{\"topology\":\"Butterfly\""),
+        "first line: {}",
+        baseline.lines().next().unwrap()
+    );
+
+    // Byte-identical output at any worker count.
+    for workers in ["2", "8"] {
+        let rerun = run_batch_to(&dir, workers, false);
+        assert_eq!(rerun, baseline, "--workers {workers} diverged");
+    }
+
+    // Kill-and-resume: truncate to a 7-line prefix plus a partial
+    // trailing line, resume, and the bytes come back identical.
+    let prefix_end = baseline
+        .char_indices()
+        .filter(|(_, c)| *c == '\n')
+        .nth(6)
+        .map(|(i, _)| i + 1)
+        .unwrap();
+    fs::write(
+        dir.join("batch.jsonl"),
+        format!("{}{{\"schema\":\"sunm", &baseline[..prefix_end]),
+    )
+    .unwrap();
+    let resumed = run_batch_to(&dir, "4", true);
+    assert_eq!(resumed, baseline, "kill-and-resume diverged");
+
+    // A second resume over the complete file re-runs nothing.
+    let out = sunmap(&[
+        "batch",
+        "--jobs",
+        sample_manifest().to_str().unwrap(),
+        "--out",
+        dir.to_str().unwrap(),
+        "--resume",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("0 run, 20 skipped"), "{stdout}");
+    assert_eq!(
+        fs::read_to_string(dir.join("batch.jsonl")).unwrap(),
+        baseline
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn batch_without_manifest_fails_cleanly() {
+    let out = sunmap(&["batch"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("--jobs"));
+
+    let out = sunmap(&["batch", "--jobs", "/no/such.manifest"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("cannot read manifest"));
+}
+
+/// Checks brace/paren balance of an emitted C++-style source.
+fn assert_balanced(name: &str, content: &str) {
+    let mut braces = 0i64;
+    let mut parens = 0i64;
+    for c in content.chars() {
+        match c {
+            '{' => braces += 1,
+            '}' => braces -= 1,
+            '(' => parens += 1,
+            ')' => parens -= 1,
+            _ => {}
+        }
+        assert!(braces >= 0 && parens >= 0, "{name}: closes before opens");
+    }
+    assert_eq!(braces, 0, "{name}: unbalanced braces");
+    assert_eq!(parens, 0, "{name}: unbalanced parentheses");
+}
+
+#[test]
+fn generate_emits_nonempty_wellformed_systemc() {
+    let dir = temp_dir("sunmap_it_generate");
+    let out = sunmap(&[
+        "generate",
+        "dsp",
+        "--capacity",
+        "1000",
+        "--name",
+        "dspnoc",
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+
+    let mut sources = 0;
+    for entry in fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        let content = fs::read_to_string(&path).unwrap();
+        assert!(!content.trim().is_empty(), "{name} is empty");
+        if name.ends_with(".h") || name.ends_with(".cpp") {
+            sources += 1;
+            assert_balanced(&name, &content);
+            assert!(
+                content.contains("SC_MODULE") || content.contains("sc_main"),
+                "{name} lacks SystemC structure"
+            );
+            assert!(content.contains("#include <systemc.h>"), "{name}");
+        }
+    }
+    // At least a switch header, the network interface and the top level.
+    assert!(sources >= 3, "only {sources} SystemC sources emitted");
+
+    // The top level instantiates the network interface per mapped core
+    // (the DSP filter has 6 cores).
+    let top = fs::read_to_string(dir.join("top_dspnoc.cpp")).unwrap();
+    assert_eq!(top.matches("network_interface ").count(), 6, "{top}");
+
+    let dot = fs::read_to_string(dir.join("noc.dot")).unwrap();
+    assert!(dot.starts_with("digraph"), "{dot}");
+    assert_balanced("noc.dot", &dot);
+    let _ = fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn bad_invocations_fail_with_nonzero_exit() {
     let out = sunmap(&["frobnicate", "vopd"]);

@@ -1,0 +1,833 @@
+//! Batch exploration: many applications × configurations in one
+//! sharded invocation.
+//!
+//! A [`BatchManifest`] names the grid — applications (built-in
+//! benchmarks, `.app` files, or [`SyntheticSpec`] `synth:` specs),
+//! objectives, routing functions, link capacities and constraint
+//! regimes — and [`run_batch`] executes its cross product across
+//! `std::thread::scope` workers. Each worker keeps **one
+//! [`RouteTable`] per distinct topology** (reused across every job
+//! mapping onto that topology via [`Mapper::with_route_table`]) and,
+//! when the manifest requests a simulation probe, **one
+//! [`RoutePlan`] per topology** compiled from that same table (via the
+//! table's `prepare_sim_routes` path for indirect networks).
+//!
+//! Results stream as JSON-lines in job order — a positional reorder
+//! buffer delivers line *k* only after lines `0..k`, so the output is
+//! **byte-identical at any worker count** and a killed run leaves a
+//! clean prefix that a resumed run extends to the same bytes.
+//!
+//! # Examples
+//!
+//! ```
+//! use sunmap::batch::{run_batch, BatchManifest};
+//!
+//! let manifest = BatchManifest::parse(
+//!     "app dsp\napp synth:seed=1,cores=8\nobjective power\nrouting MP\ncapacity 1000\n",
+//! )?;
+//! let jobs = manifest.jobs()?;
+//! assert_eq!(jobs.len(), 2);
+//! let mut lines = Vec::new();
+//! run_batch(&jobs, None, 2, |_, line| {
+//!     lines.push(line.to_string());
+//!     true // keep going; false cancels the run
+//! });
+//! assert_eq!(lines.len(), 2);
+//! assert!(lines[0].starts_with("{\"schema\":\"sunmap-batch/1\""));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+
+use crate::flow::{rank_reports, SelectionPolicy};
+use sunmap_mapping::{
+    Constraints, CostReport, Mapper, MapperConfig, Objective, RouteTable, RoutingFunction,
+};
+use sunmap_sim::sweep::{json_number, json_string, stats_json_fields};
+use sunmap_sim::{NocSimulator, RoutePlan, SimConfig};
+use sunmap_topology::{builders, TopologyGraph};
+use sunmap_traffic::patterns::TrafficPattern;
+use sunmap_traffic::synthetic::SyntheticSpec;
+use sunmap_traffic::{benchmarks, io, CoreGraph};
+
+/// Resolves an application spec the way every CLI surface does: a
+/// built-in benchmark name (`vopd`, `mpeg4`, `dsp`, `netproc`), a
+/// seeded synthetic spec (`synth:seed=..,cores=..`), or a `.app` file
+/// path.
+///
+/// # Errors
+///
+/// Returns a human-readable message naming the spec and the failure.
+/// Empty applications (a `.app` file with no `core` lines) are
+/// rejected here, so every downstream consumer can rely on a
+/// non-empty graph.
+pub fn resolve_app(spec: &str) -> Result<CoreGraph, String> {
+    let app = match spec {
+        "vopd" => benchmarks::vopd(),
+        "mpeg4" => benchmarks::mpeg4(),
+        "dsp" => benchmarks::dsp_filter(),
+        "netproc" => benchmarks::network_processor(100.0),
+        s if SyntheticSpec::is_spec(s) => {
+            let spec: SyntheticSpec = s.parse().map_err(|e| format!("{s}: {e}"))?;
+            spec.generate()
+        }
+        path => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read application '{path}': {e}"))?;
+            io::parse_app(&text).map_err(|e| format!("{path}: {e}"))?
+        }
+    };
+    if app.core_count() == 0 {
+        return Err(format!("application '{spec}' declares no cores"));
+    }
+    Ok(app)
+}
+
+/// One constraint regime of the manifest grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintMode {
+    /// Bandwidth feasibility enforced ([`Constraints::default`]).
+    Strict,
+    /// Bandwidth feasibility relaxed
+    /// ([`Constraints::relaxed_bandwidth`], the paper's §6.2 mode).
+    Relaxed,
+}
+
+impl ConstraintMode {
+    /// The mapper constraints this mode selects.
+    pub fn constraints(self) -> Constraints {
+        match self {
+            ConstraintMode::Strict => Constraints::default(),
+            ConstraintMode::Relaxed => Constraints::relaxed_bandwidth(),
+        }
+    }
+
+    /// Manifest/JSONL spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            ConstraintMode::Strict => "strict",
+            ConstraintMode::Relaxed => "relaxed",
+        }
+    }
+}
+
+/// An optional per-job simulation probe: the winning topology is
+/// simulated under this synthetic pattern and injection rate, through
+/// the worker's shared per-topology [`RoutePlan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimProbe {
+    /// Destination pattern for the probe.
+    pub pattern: TrafficPattern,
+    /// Injection rate in flits/cycle/terminal.
+    pub rate: f64,
+}
+
+/// Errors from manifest parsing and job expansion.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ManifestError {
+    /// A line did not match any directive.
+    UnknownDirective {
+        /// 1-based line number.
+        line: usize,
+        /// The offending word.
+        word: String,
+    },
+    /// A directive carried a bad value.
+    BadValue {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The manifest declares no applications.
+    NoApps,
+    /// An application spec failed to resolve.
+    BadApp {
+        /// The application spec.
+        spec: String,
+        /// The resolver's message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ManifestError::UnknownDirective { line, word } => write!(
+                f,
+                "line {line}: unknown directive '{word}' (valid: app, objective, \
+                 routing, capacity, constraints, simulate)"
+            ),
+            ManifestError::BadValue { line, message } => write!(f, "line {line}: {message}"),
+            ManifestError::NoApps => write!(f, "manifest declares no applications"),
+            ManifestError::BadApp { spec, message } => {
+                write!(f, "application '{spec}': {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+/// A parsed job manifest: the axes of the exploration grid.
+///
+/// The text format is line based; `#` starts a comment. Each directive
+/// adds one value to its axis, and the job list is the cross product
+/// `apps × capacities × objectives × routings × constraints` in that
+/// nesting order. Axes left empty fall back to a single default
+/// (objective `delay`, routing `MP`, capacity `500`, constraints
+/// `strict`); repeated values within an axis are deduplicated (first
+/// occurrence wins), keeping job ids unique.
+///
+/// ```text
+/// # 2 apps x 2 objectives x 1 routing = 4 jobs
+/// app vopd
+/// app synth:seed=7,cores=16
+/// objective power
+/// objective delay
+/// routing MP
+/// capacity 500
+/// constraints strict
+/// simulate uniform 0.1      # optional: simulate each winner
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BatchManifest {
+    /// Application specs, in declaration order.
+    pub apps: Vec<String>,
+    /// Objective axis (empty = `[MinDelay]`).
+    pub objectives: Vec<Objective>,
+    /// Routing axis (empty = `[MinPath]`).
+    pub routings: Vec<RoutingFunction>,
+    /// Link-capacity axis in MB/s (empty = `[500.0]`).
+    pub capacities: Vec<f64>,
+    /// Constraint-regime axis (empty = `[Strict]`).
+    pub constraints: Vec<ConstraintMode>,
+    /// Winner simulation probe, if requested.
+    pub probe: Option<SimProbe>,
+}
+
+impl BatchManifest {
+    /// Parses the manifest text.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first offending line.
+    pub fn parse(text: &str) -> Result<BatchManifest, ManifestError> {
+        let mut m = BatchManifest::default();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            let bad = |message: String| ManifestError::BadValue { line, message };
+            let content = raw.split('#').next().unwrap_or("").trim();
+            if content.is_empty() {
+                continue;
+            }
+            let (word, rest) = match content.split_once(char::is_whitespace) {
+                Some((w, r)) => (w, r.trim()),
+                None => (content, ""),
+            };
+            if rest.is_empty() {
+                return Err(bad(format!("'{word}' needs a value")));
+            }
+            match word {
+                "app" => m.apps.push(rest.to_string()),
+                "objective" => m.objectives.push(parse_objective(rest).map_err(bad)?),
+                "routing" => m.routings.push(parse_routing(rest).map_err(bad)?),
+                "capacity" => {
+                    let cap: f64 = rest
+                        .parse()
+                        .map_err(|_| bad(format!("'{rest}' is not a capacity in MB/s")))?;
+                    if !(cap.is_finite() && cap > 0.0) {
+                        return Err(bad("capacity must be positive".to_string()));
+                    }
+                    m.capacities.push(cap);
+                }
+                "constraints" => m.constraints.push(match rest {
+                    "strict" => ConstraintMode::Strict,
+                    "relaxed" => ConstraintMode::Relaxed,
+                    other => {
+                        return Err(bad(format!(
+                            "unknown constraints '{other}' (valid: strict, relaxed)"
+                        )))
+                    }
+                }),
+                "simulate" => {
+                    let (pattern, rate) = rest
+                        .split_once(char::is_whitespace)
+                        .ok_or_else(|| bad("'simulate' needs a pattern and a rate".to_string()))?;
+                    let pattern = TrafficPattern::from_name(pattern.trim()).ok_or_else(|| {
+                        bad(format!(
+                            "unknown pattern '{}' (valid: {})",
+                            pattern.trim(),
+                            TrafficPattern::NAMES.join(", ")
+                        ))
+                    })?;
+                    let rate: f64 = rate
+                        .trim()
+                        .parse()
+                        .map_err(|_| bad(format!("'{}' is not a rate", rate.trim())))?;
+                    if !(rate.is_finite() && rate >= 0.0) {
+                        return Err(bad("rate must be non-negative".to_string()));
+                    }
+                    m.probe = Some(SimProbe { pattern, rate });
+                }
+                other => {
+                    return Err(ManifestError::UnknownDirective {
+                        line,
+                        word: other.to_string(),
+                    })
+                }
+            }
+        }
+        Ok(m)
+    }
+
+    /// Expands the grid into its job list, loading each application
+    /// once (shared by `Arc` across its jobs).
+    ///
+    /// # Errors
+    ///
+    /// [`ManifestError::NoApps`] for an app-less manifest,
+    /// [`ManifestError::BadApp`] for an unresolvable spec.
+    pub fn jobs(&self) -> Result<Vec<BatchJob>, ManifestError> {
+        if self.apps.is_empty() {
+            return Err(ManifestError::NoApps);
+        }
+        // Every axis is deduplicated (first occurrence wins): repeated
+        // directives would otherwise mint jobs with identical ids,
+        // which breaks the resume bookkeeping's one-line-per-id
+        // contract and with it the byte-identity guarantee.
+        let apps = dedup(&self.apps, |a, b| a == b);
+        let objectives = non_empty(&self.objectives, Objective::MinDelay);
+        let routings = non_empty(&self.routings, RoutingFunction::MinPath);
+        let capacities = non_empty(&self.capacities, 500.0);
+        let constraints = non_empty(&self.constraints, ConstraintMode::Strict);
+        let mut jobs = Vec::new();
+        for spec in &apps {
+            let app = Arc::new(resolve_app(spec).map_err(|message| ManifestError::BadApp {
+                spec: spec.clone(),
+                message,
+            })?);
+            for &capacity in &capacities {
+                for &objective in &objectives {
+                    for &routing in &routings {
+                        for &mode in &constraints {
+                            jobs.push(BatchJob {
+                                id: format!(
+                                    "{spec}|{capacity}|{objective}|{}|{}",
+                                    routing.abbrev(),
+                                    mode.name()
+                                ),
+                                app_spec: spec.clone(),
+                                app: app.clone(),
+                                capacity,
+                                objective,
+                                routing,
+                                mode,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(jobs)
+    }
+}
+
+fn non_empty<T: Copy + PartialEq>(axis: &[T], default: T) -> Vec<T> {
+    if axis.is_empty() {
+        vec![default]
+    } else {
+        dedup(axis, |a, b| a == b)
+    }
+}
+
+fn dedup<T: Clone>(values: &[T], eq: impl Fn(&T, &T) -> bool) -> Vec<T> {
+    let mut out: Vec<T> = Vec::with_capacity(values.len());
+    for v in values {
+        if !out.iter().any(|seen| eq(seen, v)) {
+            out.push(v.clone());
+        }
+    }
+    out
+}
+
+/// Parses an objective name (`delay`, `area`, `power`, `bandwidth`),
+/// case-insensitively — shared by the manifest parser and the CLI's
+/// `--objective` flag.
+///
+/// # Errors
+///
+/// The message lists the valid names.
+pub fn parse_objective(text: &str) -> Result<Objective, String> {
+    match text.to_ascii_lowercase().as_str() {
+        "delay" => Ok(Objective::MinDelay),
+        "area" => Ok(Objective::MinArea),
+        "power" => Ok(Objective::MinPower),
+        "bandwidth" => Ok(Objective::MinBandwidth),
+        other => Err(format!(
+            "unknown objective '{other}' (valid: delay, area, power, bandwidth)"
+        )),
+    }
+}
+
+/// Parses a routing-function abbreviation (`DO`, `MP`, `SM`, `SA`),
+/// case-insensitively — shared by the manifest parser and the CLI's
+/// `--routing` flag.
+///
+/// # Errors
+///
+/// The message lists the valid names.
+pub fn parse_routing(text: &str) -> Result<RoutingFunction, String> {
+    match text.to_ascii_uppercase().as_str() {
+        "DO" => Ok(RoutingFunction::DimensionOrdered),
+        "MP" => Ok(RoutingFunction::MinPath),
+        "SM" => Ok(RoutingFunction::SplitMinPaths),
+        "SA" => Ok(RoutingFunction::SplitAllPaths),
+        other => Err(format!("unknown routing '{other}' (valid: DO, MP, SM, SA)")),
+    }
+}
+
+/// One cell of the exploration grid, ready to run.
+#[derive(Debug, Clone)]
+pub struct BatchJob {
+    /// Stable identifier (`app|capacity|objective|routing|mode`) used
+    /// for resume bookkeeping and carried in the JSONL line.
+    pub id: String,
+    /// The application spec as written in the manifest.
+    pub app_spec: String,
+    /// The loaded application, shared across the spec's jobs.
+    pub app: Arc<CoreGraph>,
+    /// Link capacity in MB/s.
+    pub capacity: f64,
+    /// Mapping/selection objective.
+    pub objective: Objective,
+    /// Routing function.
+    pub routing: RoutingFunction,
+    /// Constraint regime.
+    pub mode: ConstraintMode,
+}
+
+/// Worker-local per-topology state: the graph, its route table (shared
+/// by every mapping job on this topology) and, lazily, the simulation
+/// route plan compiled from that same table.
+struct TopoCache {
+    graph: TopologyGraph,
+    table: RouteTable,
+    plan: Option<Arc<RoutePlan>>,
+}
+
+/// Worker-local library cache, keyed by the inputs that determine the
+/// standard library: core count and link capacity.
+struct LibraryCache {
+    entries: Vec<((usize, u64), Vec<TopoCache>)>,
+}
+
+impl LibraryCache {
+    fn new() -> Self {
+        LibraryCache {
+            entries: Vec::new(),
+        }
+    }
+
+    fn library(&mut self, cores: usize, capacity: f64) -> &mut Vec<TopoCache> {
+        let key = (cores, capacity.to_bits());
+        if let Some(i) = self.entries.iter().position(|(k, _)| *k == key) {
+            return &mut self.entries[i].1;
+        }
+        let topos = builders::standard_library(cores, capacity)
+            .expect("jobs carry non-empty applications")
+            .into_iter()
+            .map(|graph| TopoCache {
+                table: RouteTable::new(&graph),
+                graph,
+                plan: None,
+            })
+            .collect();
+        self.entries.push((key, topos));
+        &mut self.entries.last_mut().expect("just pushed").1
+    }
+}
+
+/// Runs one job against the worker's shared caches and renders its
+/// JSONL line.
+fn run_job(job: &BatchJob, cache: &mut LibraryCache, probe: Option<&SimProbe>) -> String {
+    let config = MapperConfig {
+        routing: job.routing,
+        objective: job.objective,
+        constraints: job.mode.constraints(),
+        max_swap_passes: 4,
+    };
+    let topos = cache.library(job.app.core_count(), job.capacity);
+    let outcomes: Vec<_> = topos
+        .iter_mut()
+        .map(|tc| {
+            Mapper::new(&tc.graph, &job.app, config)
+                .with_route_table(&mut tc.table)
+                .run()
+        })
+        .collect();
+    let reports: Vec<Option<&CostReport>> = outcomes
+        .iter()
+        .map(|o| o.as_ref().ok().map(|m| m.report()))
+        .collect();
+    let ranked = rank_reports(&reports, SelectionPolicy::Balanced, job.objective);
+    let winner = ranked.first().copied();
+
+    let mut line = format!(
+        "{{\"schema\":\"sunmap-batch/1\",\"job\":{},\"app\":{},\"cores\":{},\
+         \"capacity\":{},\"objective\":{},\"routing\":{},\"constraints\":{}",
+        json_string(&job.id),
+        json_string(&job.app_spec),
+        job.app.core_count(),
+        json_number(job.capacity),
+        json_string(&job.objective.to_string()),
+        json_string(job.routing.abbrev()),
+        json_string(job.mode.name()),
+    );
+    let feasible = reports.iter().filter(|r| r.is_some()).count();
+    let evaluated: usize = outcomes
+        .iter()
+        .filter_map(|o| o.as_ref().ok().map(|m| m.evaluated_candidates()))
+        .sum();
+    line.push_str(&format!(
+        ",\"candidates\":{},\"feasible\":{feasible},\"evaluated\":{evaluated}",
+        topos.len()
+    ));
+    line.push_str(",\"topologies\":[");
+    for (i, tc) in topos.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        match reports[i] {
+            Some(r) => line.push_str(&format!(
+                "{{\"topology\":{},\"feasible\":true,\"avg_hops\":{},\
+                 \"design_area\":{},\"power_mw\":{}}}",
+                json_string(tc.graph.kind().name()),
+                json_number(r.avg_hops),
+                json_number(r.design_area),
+                json_number(r.power_mw),
+            )),
+            None => line.push_str(&format!(
+                "{{\"topology\":{},\"feasible\":false}}",
+                json_string(tc.graph.kind().name())
+            )),
+        }
+    }
+    line.push(']');
+    match winner {
+        Some(w) => {
+            let r = reports[w].expect("ranked candidates are feasible");
+            line.push_str(&format!(
+                ",\"winner\":{{\"topology\":{},\"avg_hops\":{},\"design_area\":{},\
+                 \"floorplan_area\":{},\"power_mw\":{},\"max_link_load\":{},\
+                 \"evaluated\":{}}}",
+                json_string(topos[w].graph.kind().name()),
+                json_number(r.avg_hops),
+                json_number(r.design_area),
+                json_number(r.floorplan_area),
+                json_number(r.power_mw),
+                json_number(r.max_link_load),
+                outcomes[w]
+                    .as_ref()
+                    .map(|m| m.evaluated_candidates())
+                    .expect("winner is feasible"),
+            ));
+            if let Some(probe) = probe {
+                let tc = &mut topos[w];
+                let config = SimConfig::default();
+                // The probe plan comes from the same shared table the
+                // mapper used; compiled once per topology, reused by
+                // every later job that picks the same winner.
+                let plan = match &tc.plan {
+                    Some(plan) => plan.clone(),
+                    None => {
+                        let plan =
+                            Arc::new(RoutePlan::synthetic(&tc.graph, &mut tc.table, &config));
+                        tc.plan = Some(plan.clone());
+                        plan
+                    }
+                };
+                let mut sim = NocSimulator::with_plan(&tc.graph, config, plan);
+                let stats = sim.run_synthetic(&probe.pattern, probe.rate);
+                line.push_str(&format!(
+                    ",\"sim\":{{\"pattern\":{},\"rate\":{},{}}}",
+                    json_string(probe.pattern.name()),
+                    json_number(probe.rate),
+                    stats_json_fields(&stats),
+                ));
+            }
+        }
+        None => line.push_str(",\"winner\":null"),
+    }
+    line.push('}');
+    line
+}
+
+/// Executes `jobs` across at most `workers` scoped threads (`0` = one
+/// per available CPU) and delivers each job's JSONL line through
+/// `on_line(position, line)` **in job order** — line `k` is delivered
+/// only after lines `0..k`, whatever the sharding, so streaming the
+/// lines straight to a file yields byte-identical output at any worker
+/// count.
+///
+/// `on_line` returns whether to keep going: `false` (e.g. the sink
+/// hit a write error) cancels the run — in-flight jobs finish, queued
+/// ones are abandoned, and `on_line` is not called again.
+///
+/// Jobs are split into contiguous chunks (jobs of the same application
+/// and capacity sit next to each other in manifest order, so a chunk's
+/// worker reuses its per-topology route tables across them).
+pub fn run_batch(
+    jobs: &[BatchJob],
+    probe: Option<&SimProbe>,
+    workers: usize,
+    mut on_line: impl FnMut(usize, &str) -> bool,
+) {
+    let workers = effective_workers(workers, jobs.len());
+    if workers <= 1 {
+        let mut cache = LibraryCache::new();
+        for (i, job) in jobs.iter().enumerate() {
+            let line = run_job(job, &mut cache, probe);
+            if !on_line(i, &line) {
+                return;
+            }
+        }
+        return;
+    }
+    let chunk = jobs.len().div_ceil(workers);
+    let abort = AtomicBool::new(false);
+    let (tx, rx) = mpsc::channel::<(usize, String)>();
+    std::thread::scope(|s| {
+        for (c, chunk_jobs) in jobs.chunks(chunk).enumerate() {
+            let tx = tx.clone();
+            let abort = &abort;
+            s.spawn(move || {
+                let mut cache = LibraryCache::new();
+                for (i, job) in chunk_jobs.iter().enumerate() {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let line = run_job(job, &mut cache, probe);
+                    // A send fails only after a cancelled receiver has
+                    // hung up; the abort flag then ends the loop.
+                    let _ = tx.send((c * chunk + i, line));
+                }
+            });
+        }
+        drop(tx);
+        let mut pending: BTreeMap<usize, String> = BTreeMap::new();
+        let mut next = 0usize;
+        for (idx, line) in rx {
+            pending.insert(idx, line);
+            while let Some(line) = pending.remove(&next) {
+                if !on_line(next, &line) {
+                    abort.store(true, Ordering::Relaxed);
+                    return; // drops rx; workers drain via abort/send-fail
+                }
+                next += 1;
+            }
+        }
+        debug_assert_eq!(next, jobs.len(), "all jobs reduced in order");
+    });
+}
+
+fn effective_workers(requested: usize, jobs: usize) -> usize {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let w = if requested == 0 { cpus } else { requested };
+    w.min(jobs).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMALL_GRID: &str = "\
+# two apps x two objectives
+app dsp
+app synth:seed=3,cores=8
+objective power
+objective delay
+routing MP
+capacity 1000
+";
+
+    fn collect(jobs: &[BatchJob], probe: Option<&SimProbe>, workers: usize) -> Vec<String> {
+        let mut lines = Vec::new();
+        run_batch(jobs, probe, workers, |i, line| {
+            assert_eq!(i, lines.len(), "lines must arrive in job order");
+            lines.push(line.to_string());
+            true
+        });
+        lines
+    }
+
+    #[test]
+    fn manifest_cross_product_order_and_ids() {
+        let m = BatchManifest::parse(SMALL_GRID).unwrap();
+        let jobs = m.jobs().unwrap();
+        let ids: Vec<&str> = jobs.iter().map(|j| j.id.as_str()).collect();
+        assert_eq!(
+            ids,
+            [
+                "dsp|1000|min-power|MP|strict",
+                "dsp|1000|min-delay|MP|strict",
+                "synth:seed=3,cores=8|1000|min-power|MP|strict",
+                "synth:seed=3,cores=8|1000|min-delay|MP|strict",
+            ]
+        );
+        // The app graph is loaded once and shared across its jobs.
+        assert!(Arc::ptr_eq(&jobs[0].app, &jobs[1].app));
+        assert!(!Arc::ptr_eq(&jobs[1].app, &jobs[2].app));
+    }
+
+    #[test]
+    fn manifest_defaults_fill_empty_axes() {
+        let m = BatchManifest::parse("app dsp\n").unwrap();
+        let jobs = m.jobs().unwrap();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].objective, Objective::MinDelay);
+        assert_eq!(jobs[0].routing, RoutingFunction::MinPath);
+        assert_eq!(jobs[0].capacity, 500.0);
+        assert_eq!(jobs[0].mode, ConstraintMode::Strict);
+    }
+
+    #[test]
+    fn manifest_errors_name_the_line() {
+        let e = BatchManifest::parse("frob vopd\n").unwrap_err();
+        assert!(e.to_string().contains("line 1"), "{e}");
+        assert!(e.to_string().contains("unknown directive"), "{e}");
+        let e = BatchManifest::parse("app vopd\nobjective speed\n").unwrap_err();
+        assert!(e.to_string().contains("line 2"), "{e}");
+        let e = BatchManifest::parse("app vopd\nrouting XY\n").unwrap_err();
+        assert!(e.to_string().contains("unknown routing"), "{e}");
+        let e = BatchManifest::parse("capacity -5\n").unwrap_err();
+        assert!(e.to_string().contains("positive"), "{e}");
+        let e = BatchManifest::parse("simulate warp 0.1\n").unwrap_err();
+        assert!(e.to_string().contains("uniform"), "error lists names: {e}");
+        assert!(matches!(
+            BatchManifest::parse("").unwrap().jobs(),
+            Err(ManifestError::NoApps)
+        ));
+        let e = BatchManifest::parse("app nope.app\n")
+            .unwrap()
+            .jobs()
+            .unwrap_err();
+        assert!(matches!(e, ManifestError::BadApp { .. }));
+    }
+
+    #[test]
+    fn resolve_app_handles_all_spec_kinds() {
+        assert_eq!(resolve_app("vopd").unwrap().core_count(), 12);
+        assert_eq!(resolve_app("netproc").unwrap().core_count(), 16);
+        assert_eq!(
+            resolve_app("synth:seed=1,cores=10").unwrap().core_count(),
+            10
+        );
+        assert!(resolve_app("synth:cores=1")
+            .unwrap_err()
+            .contains("2..=4096"));
+        assert!(resolve_app("/no/such.app")
+            .unwrap_err()
+            .contains("cannot read"));
+    }
+
+    #[test]
+    fn repeated_axis_values_are_deduplicated() {
+        // Duplicate directives would mint identical job ids, breaking
+        // the resume bookkeeping's one-line-per-id contract.
+        let m = BatchManifest::parse(
+            "app dsp\napp dsp\nobjective power\nobjective power\ncapacity 1000\ncapacity 1000\n",
+        )
+        .unwrap();
+        let jobs = m.jobs().unwrap();
+        assert_eq!(jobs.len(), 1);
+        let ids: std::collections::BTreeSet<&str> = jobs.iter().map(|j| j.id.as_str()).collect();
+        assert_eq!(ids.len(), jobs.len(), "job ids must be unique");
+    }
+
+    #[test]
+    fn empty_applications_are_rejected_at_load_time() {
+        let dir = std::env::temp_dir().join("sunmap_batch_empty_app");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.app");
+        std::fs::write(&path, "# no cores declared\n").unwrap();
+        let err = resolve_app(path.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("declares no cores"), "{err}");
+        let m = BatchManifest::parse(&format!("app {}\n", path.display())).unwrap();
+        assert!(matches!(m.jobs(), Err(ManifestError::BadApp { .. })));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_false_sink_cancels_the_run() {
+        let m = BatchManifest::parse(
+            "app dsp\nobjective power\nobjective delay\nrouting MP\nrouting DO\ncapacity 1000\n",
+        )
+        .unwrap();
+        let jobs = m.jobs().unwrap();
+        assert_eq!(jobs.len(), 4);
+        for workers in [1, 2] {
+            let mut delivered = Vec::new();
+            run_batch(&jobs, None, workers, |i, line| {
+                delivered.push((i, line.to_string()));
+                delivered.len() < 2
+            });
+            assert_eq!(delivered.len(), 2, "{workers} workers: not cancelled");
+            assert_eq!(delivered[0].0, 0);
+            assert_eq!(delivered[1].0, 1);
+        }
+    }
+
+    #[test]
+    fn batch_output_is_worker_count_invariant() {
+        let jobs = BatchManifest::parse(SMALL_GRID).unwrap().jobs().unwrap();
+        let one = collect(&jobs, None, 1);
+        assert_eq!(one.len(), jobs.len());
+        for workers in [2, 4] {
+            assert_eq!(one, collect(&jobs, None, workers), "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn batch_lines_carry_the_result_schema() {
+        let m = BatchManifest::parse("app dsp\ncapacity 1000\nsimulate uniform 0.05\n").unwrap();
+        let jobs = m.jobs().unwrap();
+        let lines = collect(&jobs, m.probe.as_ref(), 1);
+        let line = &lines[0];
+        assert!(line.starts_with("{\"schema\":\"sunmap-batch/1\""), "{line}");
+        assert!(line.contains("\"job\":\"dsp|1000|min-delay|MP|strict\""));
+        assert!(line.contains("\"candidates\":5"));
+        assert!(line.contains("\"winner\":{\"topology\":"), "{line}");
+        assert!(line.contains("\"sim\":{\"pattern\":\"uniform\""), "{line}");
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn infeasible_jobs_report_a_null_winner() {
+        // 1 MB/s links cannot carry the DSP filter anywhere.
+        let m = BatchManifest::parse("app dsp\ncapacity 1\n").unwrap();
+        let lines = collect(&m.jobs().unwrap(), None, 1);
+        assert!(lines[0].contains("\"feasible\":0"), "{}", lines[0]);
+        assert!(lines[0].contains("\"winner\":null"), "{}", lines[0]);
+    }
+
+    #[test]
+    fn batch_winner_agrees_with_the_flow() {
+        // The batch engine's shared-table path must select exactly what
+        // Sunmap::explore selects (PR-1's seed assertion: VOPD ->
+        // Butterfly under MinPower).
+        let m = BatchManifest::parse("app vopd\nobjective power\n").unwrap();
+        let lines = collect(&m.jobs().unwrap(), None, 1);
+        assert!(
+            lines[0].contains("\"winner\":{\"topology\":\"Butterfly\""),
+            "{}",
+            lines[0]
+        );
+    }
+}

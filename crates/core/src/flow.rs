@@ -210,10 +210,23 @@ fn rank_feasible(
     policy: SelectionPolicy,
     objective: Objective,
 ) -> Vec<usize> {
-    let feasible: Vec<(usize, &sunmap_mapping::CostReport)> = candidates
+    let reports: Vec<Option<&sunmap_mapping::CostReport>> =
+        candidates.iter().map(|c| c.report()).collect();
+    rank_reports(&reports, policy, objective)
+}
+
+/// The ranking core shared with the batch engine: feasible report
+/// indices ordered best to worst under `policy` (ties keep input
+/// order). `None` entries are infeasible candidates.
+pub(crate) fn rank_reports(
+    reports: &[Option<&sunmap_mapping::CostReport>],
+    policy: SelectionPolicy,
+    objective: Objective,
+) -> Vec<usize> {
+    let feasible: Vec<(usize, &sunmap_mapping::CostReport)> = reports
         .iter()
         .enumerate()
-        .filter_map(|(i, c)| c.report().map(|r| (i, r)))
+        .filter_map(|(i, r)| r.map(|r| (i, r)))
         .collect();
     if feasible.is_empty() {
         return Vec::new();

@@ -37,8 +37,11 @@
 //!
 //! The subsystem crates are re-exported as modules: [`topology`],
 //! [`traffic`], [`floorplan`], [`power`], [`mapping`], [`sim`] and
-//! [`gen`].
+//! [`gen`]. The [`batch`] module turns the flow into a throughput
+//! engine: manifest-driven grids of applications × configurations,
+//! sharded across threads with shared per-topology route state.
 
+pub mod batch;
 mod flow;
 mod pareto;
 mod sweep;

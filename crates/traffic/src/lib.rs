@@ -12,7 +12,9 @@
 //!   the six-core DSP filter and the 16-node network processor;
 //! * synthetic traffic patterns in [`patterns`] for simulator-driven
 //!   experiments (uniform, transpose, bit-complement, bit-reversal,
-//!   tornado, hotspot).
+//!   tornado, hotspot);
+//! * a seeded synthetic core-graph generator in [`synthetic`], growing
+//!   the workload space beyond the four transcribed benchmarks.
 //!
 //! # Examples
 //!
@@ -31,5 +33,6 @@ pub mod benchmarks;
 mod core_graph;
 pub mod io;
 pub mod patterns;
+pub mod synthetic;
 
 pub use core_graph::{Commodity, Core, CoreGraph, CoreId, TrafficError};

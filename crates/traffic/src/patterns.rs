@@ -117,11 +117,23 @@ impl TrafficPattern {
         }
     }
 
+    /// The parameter-free pattern names [`TrafficPattern::from_name`]
+    /// accepts — callers embed this list in their parse errors.
+    pub const NAMES: [&'static str; 5] = [
+        "uniform",
+        "transpose",
+        "bit-complement",
+        "bit-reverse",
+        "tornado",
+    ];
+
     /// Parses a parameter-free pattern from its [`name`](Self::name)
-    /// (the CLI's `--pattern` values). `Hotspot` and `Permutation`
-    /// carry parameters and are not nameable; they return `None`.
+    /// (the CLI's `--pattern` values), case-insensitively. `Hotspot`
+    /// and `Permutation` carry parameters and are not nameable; they
+    /// return `None`. See [`TrafficPattern::NAMES`] for the accepted
+    /// spellings.
     pub fn from_name(name: &str) -> Option<TrafficPattern> {
-        match name {
+        match name.to_ascii_lowercase().as_str() {
             "uniform" => Some(TrafficPattern::UniformRandom),
             "transpose" => Some(TrafficPattern::Transpose),
             "bit-complement" => Some(TrafficPattern::BitComplement),
@@ -244,6 +256,27 @@ mod tests {
         }
         assert_eq!(TrafficPattern::from_name("hotspot"), None);
         assert_eq!(TrafficPattern::from_name("nope"), None);
+    }
+
+    #[test]
+    fn from_name_is_case_insensitive() {
+        for (text, expected) in [
+            ("Uniform", TrafficPattern::UniformRandom),
+            ("TORNADO", TrafficPattern::Tornado),
+            ("Bit-Complement", TrafficPattern::BitComplement),
+            ("BIT-reverse", TrafficPattern::BitReverse),
+            ("tRaNsPoSe", TrafficPattern::Transpose),
+        ] {
+            assert_eq!(TrafficPattern::from_name(text), Some(expected), "{text}");
+        }
+    }
+
+    #[test]
+    fn names_list_matches_from_name() {
+        for name in TrafficPattern::NAMES {
+            let p = TrafficPattern::from_name(name).expect(name);
+            assert_eq!(p.name(), name);
+        }
     }
 
     #[test]

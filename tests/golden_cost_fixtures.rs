@@ -1,0 +1,177 @@
+//! Golden regression fixtures for the analytical flow: the winning
+//! topology and its `CostReport` (power, floorplan area) plus the
+//! number of candidate mappings the search evaluated, pinned for every
+//! seed benchmark under the MinPower and MinDelay objectives.
+//!
+//! The whole engine is deterministic (index-ordered arrays, positional
+//! parallel reduction, no hash-map iteration), so these values must
+//! reproduce **bit for bit** — in debug and release builds alike. A
+//! mapper/floorplanner/power-model refactor that shifts any of them is
+//! a behavioral change and must update this table *consciously*, with
+//! the shift explained in the commit.
+//!
+//! Captured from the PR-4 tree; the per-app capacity/routing choices
+//! are the feasible configurations the `mapping_speed` bench also uses
+//! (MPEG4 needs split-traffic routing at 500 MB/s links, §6.1).
+
+use sunmap::traffic::benchmarks;
+use sunmap::{CoreGraph, Objective, RoutingFunction, Sunmap};
+
+struct Fixture {
+    app: &'static str,
+    objective: Objective,
+    winner: &'static str,
+    power_mw: f64,
+    floorplan_area: f64,
+    evaluated_candidates: usize,
+}
+
+const fn fx(
+    app: &'static str,
+    objective: Objective,
+    winner: &'static str,
+    power_mw: f64,
+    floorplan_area: f64,
+    evaluated_candidates: usize,
+) -> Fixture {
+    Fixture {
+        app,
+        objective,
+        winner,
+        power_mw,
+        floorplan_area,
+        evaluated_candidates,
+    }
+}
+
+/// The pinned table: `(app, objective) -> (winner, power, area, evals)`.
+const FIXTURES: &[Fixture] = &[
+    fx(
+        "vopd",
+        Objective::MinPower,
+        "Butterfly",
+        323.22820758493697,
+        108.06924717925845,
+        457,
+    ),
+    fx(
+        "vopd",
+        Objective::MinDelay,
+        "Butterfly",
+        331.0532711173108,
+        108.06924717925845,
+        343,
+    ),
+    fx(
+        "mpeg4",
+        Objective::MinPower,
+        "Mesh",
+        498.01477005170165,
+        93.98015344210236,
+        265,
+    ),
+    fx(
+        "mpeg4",
+        Objective::MinDelay,
+        "Mesh",
+        513.5475269329369,
+        98.21885477809809,
+        199,
+    ),
+    fx(
+        "dsp",
+        Objective::MinPower,
+        "Butterfly",
+        149.8352889503033,
+        44.05147458360993,
+        133,
+    ),
+    fx(
+        "dsp",
+        Objective::MinDelay,
+        "Butterfly",
+        161.19555402123052,
+        61.91828364285431,
+        34,
+    ),
+    fx(
+        "netproc",
+        Objective::MinPower,
+        "Butterfly",
+        442.748782863892,
+        70.77312335632536,
+        241,
+    ),
+    fx(
+        "netproc",
+        Objective::MinDelay,
+        "Butterfly",
+        450.121582863892,
+        70.77312335632536,
+        361,
+    ),
+];
+
+/// The feasible exploration configuration of each seed benchmark.
+fn app_config(name: &str) -> (CoreGraph, f64, RoutingFunction) {
+    match name {
+        "vopd" => (benchmarks::vopd(), 500.0, RoutingFunction::MinPath),
+        "mpeg4" => (benchmarks::mpeg4(), 500.0, RoutingFunction::SplitAllPaths),
+        "dsp" => (benchmarks::dsp_filter(), 1000.0, RoutingFunction::MinPath),
+        "netproc" => (
+            benchmarks::network_processor(100.0),
+            500.0,
+            RoutingFunction::SplitMinPaths,
+        ),
+        other => panic!("unknown fixture app {other}"),
+    }
+}
+
+#[test]
+fn seed_benchmark_explorations_match_the_pinned_goldens() {
+    for f in FIXTURES {
+        let (app, capacity, routing) = app_config(f.app);
+        let tool = Sunmap::builder(app)
+            .link_capacity(capacity)
+            .routing(routing)
+            .objective(f.objective)
+            .build();
+        let ex = tool.explore().expect("library builds for seed apps");
+        let ctx = format!("{} / {:?}", f.app, f.objective);
+        let best = ex
+            .best_candidate()
+            .unwrap_or_else(|| panic!("{ctx}: no feasible topology"));
+        assert_eq!(best.kind.name(), f.winner, "{ctx}: winner drifted");
+        let report = best.report().expect("winner is feasible");
+        // Bit-exact: the flow is deterministic, so any difference at
+        // all is a real behavioral change.
+        assert_eq!(report.power_mw, f.power_mw, "{ctx}: power drifted");
+        assert_eq!(
+            report.floorplan_area, f.floorplan_area,
+            "{ctx}: floorplan area drifted"
+        );
+        let mapping = best.outcome.as_ref().expect("winner is feasible");
+        assert_eq!(
+            mapping.evaluated_candidates(),
+            f.evaluated_candidates,
+            "{ctx}: candidate count drifted"
+        );
+    }
+}
+
+#[test]
+fn goldens_are_reproducible_within_one_process() {
+    // Double-checks the determinism assumption the table relies on:
+    // two explorations in the same process agree bit for bit.
+    let (app, capacity, routing) = app_config("vopd");
+    let tool = Sunmap::builder(app)
+        .link_capacity(capacity)
+        .routing(routing)
+        .objective(Objective::MinPower)
+        .build();
+    let a = tool.explore().unwrap();
+    let b = tool.explore().unwrap();
+    let ra = a.best_candidate().unwrap().report().unwrap();
+    let rb = b.best_candidate().unwrap().report().unwrap();
+    assert_eq!(ra, rb);
+}
