@@ -116,13 +116,16 @@ fn scaling_workloads() -> Vec<(&'static str, usize, CoreGraph, RoutingFunction)>
 
 /// One steepest-descent pass over all vertex pairs; bandwidth relaxed
 /// so every synthetic pattern maps (the metric is evaluation
-/// throughput, not feasibility).
+/// throughput, not feasibility). The sweep stays exhaustive so this
+/// group keeps measuring raw full-evaluation throughput — the
+/// `mapping_scale` bench covers the delta-pruned engine.
 fn scaling_config(routing: RoutingFunction) -> MapperConfig {
     MapperConfig {
         routing,
         objective: Objective::MinDelay,
         constraints: Constraints::relaxed_bandwidth(),
         max_swap_passes: 1,
+        swap_strategy: sunmap::mapping::SwapStrategy::Exhaustive,
     }
 }
 

@@ -6,7 +6,7 @@ use std::io::Write as _;
 use std::path::Path;
 
 use crate::args::{Cli, Command};
-use sunmap::batch::{resolve_app, run_batch, BatchJob, BatchManifest};
+use sunmap::batch::{plan_resume, resolve_app, run_batch, BatchManifest, ResumePlan};
 use sunmap::sim::sweep::{injection_sweep, stats_json_fields, sweep_csv, sweep_json, SweepRequest};
 use sunmap::sim::{adversarial_pattern, NocSimulator, SimConfig};
 use sunmap::topology::builders;
@@ -153,40 +153,13 @@ fn sweep(cli: &Cli, app: CoreGraph) -> CliResult {
     Ok(())
 }
 
-/// Extracts the `"job"` field of a generated batch JSONL line (the
-/// first string value after `"job":`), decoding exactly the escapes
-/// `sunmap::sim::sweep::json_string` emits so an id containing a
-/// quote, backslash or control character round-trips for the resume
-/// comparison.
-fn job_id_of(line: &str) -> Option<String> {
-    let rest = line.split_once("\"job\":\"")?.1;
-    let mut id = String::new();
-    let mut chars = rest.chars();
-    while let Some(c) = chars.next() {
-        match c {
-            '"' => return Some(id),
-            '\\' => id.push(match chars.next()? {
-                'n' => '\n',
-                'r' => '\r',
-                't' => '\t',
-                'u' => {
-                    let hex: String = chars.by_ref().take(4).collect();
-                    char::from_u32(u32::from_str_radix(&hex, 16).ok()?)?
-                }
-                other => other, // \" \\ \/
-            }),
-            c => id.push(c),
-        }
-    }
-    None
-}
-
 /// Batch exploration: runs the manifest's job grid across workers and
-/// streams JSONL to `<out>/batch.jsonl`. With `--resume`, jobs whose
-/// ids already appear in the output file are skipped and the remainder
-/// is appended — because lines are always written in job order, a
-/// killed run leaves a prefix and the resumed file is byte-identical
-/// to an uninterrupted one.
+/// streams JSONL to `<out>/batch.jsonl`. With `--resume`, the existing
+/// file's complete-line prefix is validated against the manifest (see
+/// `sunmap::batch::plan_resume`), a partial trailing line is dropped,
+/// and only the missing jobs run — because lines are always written in
+/// job order, the resumed file is byte-identical to an uninterrupted
+/// one.
 fn batch(cli: &Cli) -> CliResult {
     let text = fs::read_to_string(&cli.jobs_path)
         .map_err(|e| format!("cannot read manifest '{}': {e}", cli.jobs_path))?;
@@ -196,31 +169,29 @@ fn batch(cli: &Cli) -> CliResult {
     fs::create_dir_all(out)?;
     let path = out.join("batch.jsonl");
 
-    let mut done: Vec<String> = Vec::new();
-    if cli.resume && path.exists() {
+    let plan = if cli.resume && path.exists() {
         let existing = fs::read_to_string(&path)?;
-        // Only complete lines count; a kill mid-write may leave a
-        // partial trailing line, which is dropped and re-run.
-        let complete = existing.rfind('\n').map(|i| i + 1).unwrap_or(0);
-        done = existing[..complete].lines().filter_map(job_id_of).collect();
-        if complete != existing.len() {
-            fs::write(&path, &existing[..complete])?;
+        let plan = plan_resume(&jobs, &existing)
+            .map_err(|e| format!("--resume on {}: {e}", path.display()))?;
+        if plan.keep_bytes != existing.len() {
+            fs::write(&path, &existing[..plan.keep_bytes])?;
         }
+        plan
     } else {
         fs::write(&path, "")?;
-    }
+        ResumePlan {
+            keep_bytes: 0,
+            completed_jobs: 0,
+        }
+    };
 
-    let remaining: Vec<BatchJob> = jobs
-        .iter()
-        .filter(|j| !done.iter().any(|d| d == &j.id))
-        .cloned()
-        .collect();
-    let skipped = jobs.len() - remaining.len();
+    let remaining = &jobs[plan.completed_jobs..];
+    let skipped = plan.completed_jobs;
 
     let mut file = fs::OpenOptions::new().append(true).open(&path)?;
     let mut write_error: Option<std::io::Error> = None;
     run_batch(
-        &remaining,
+        remaining,
         manifest.probe.as_ref(),
         cli.workers,
         |_, line| {
@@ -389,31 +360,23 @@ mod tests {
         run(&cli(&resume_args)).unwrap();
         assert_eq!(fs::read_to_string(out.join("batch.jsonl")).unwrap(), full);
 
+        // An output that is not a prefix of this manifest is refused
+        // instead of silently extended out of order.
+        fs::write(
+            out.join("batch.jsonl"),
+            "{\"schema\":\"sunmap-batch/1\",\"job\":\"other|1|min-delay|MP|strict\"}\n",
+        )
+        .unwrap();
+        let err = run(&cli(&resume_args)).unwrap_err();
+        assert!(err.to_string().contains("not a prefix"), "{err}");
+
         // A missing manifest is a clean error.
         assert!(run(&cli(&["batch", "--jobs", "/no/such.manifest"])).is_err());
         let _ = fs::remove_dir_all(&dir);
     }
 
-    #[test]
-    fn job_id_extraction_honours_escapes() {
-        assert_eq!(
-            job_id_of("{\"schema\":\"x\",\"job\":\"dsp|500|min-delay|MP|strict\",\"a\":1}"),
-            Some("dsp|500|min-delay|MP|strict".to_string())
-        );
-        assert_eq!(
-            job_id_of("{\"job\":\"a\\\"b\\\\c\"}"),
-            Some("a\"b\\c".to_string())
-        );
-        // Control-character escapes decode to the character, not the
-        // escape letter, so ids with tabs/newlines round-trip.
-        assert_eq!(
-            job_id_of("{\"job\":\"a\\tb\\nc\\u0007d\"}"),
-            Some("a\tb\nc\u{7}d".to_string())
-        );
-        assert_eq!(job_id_of("{\"schema\":\"sunmap-ba"), None);
-        assert_eq!(job_id_of("{\"job\":\"unterminated"), None);
-        assert_eq!(job_id_of("{\"job\":\"bad\\u00"), None);
-    }
+    // Job-id escape decoding is covered by sunmap::batch's unit tests
+    // (the extractor moved there with the shared resume planner).
 
     #[test]
     fn explore_runs_on_builtin() {

@@ -455,11 +455,14 @@ impl LibraryCache {
 /// Runs one job against the worker's shared caches and renders its
 /// JSONL line.
 fn run_job(job: &BatchJob, cache: &mut LibraryCache, probe: Option<&SimProbe>) -> String {
+    // SwapStrategy::Auto (via ..default()) keeps the seed benchmarks on
+    // the exhaustive sweep (stable evaluation counts) while large
+    // synthetic grids get the incremental delta engine.
     let config = MapperConfig {
         routing: job.routing,
         objective: job.objective,
         constraints: job.mode.constraints(),
-        max_swap_passes: 4,
+        ..MapperConfig::default()
     };
     let topos = cache.library(job.app.core_count(), job.capacity);
     let outcomes: Vec<_> = topos
@@ -635,6 +638,95 @@ pub fn run_batch(
     });
 }
 
+/// Extracts the `"job"` field of a batch JSONL line (the first string
+/// value after `"job":`), decoding exactly the escapes
+/// [`json_string`] emits so an id containing a quote, backslash or
+/// control character round-trips for the resume comparison.
+pub fn job_id_of_line(line: &str) -> Option<String> {
+    let rest = line.split_once("\"job\":\"")?.1;
+    let mut id = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(id),
+            '\\' => id.push(match chars.next()? {
+                'n' => '\n',
+                'r' => '\r',
+                't' => '\t',
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    char::from_u32(u32::from_str_radix(&hex, 16).ok()?)?
+                }
+                other => other, // \" \\ \/
+            }),
+            c => id.push(c),
+        }
+    }
+    None
+}
+
+/// How a `--resume` run picks up from an interrupted output file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResumePlan {
+    /// Bytes of the existing file to keep: the complete-line prefix. A
+    /// kill mid-write may leave a trailing fragment with no newline —
+    /// even one whose bytes happen to parse as a full JSON object —
+    /// and it is always discarded and its job re-run, because only the
+    /// newline proves the writer finished the line.
+    pub keep_bytes: usize,
+    /// How many leading jobs of the manifest those lines cover; the
+    /// resumed run executes the remainder and appends.
+    pub completed_jobs: usize,
+}
+
+/// Validates an interrupted `batch.jsonl` against the manifest's job
+/// list and returns the [`ResumePlan`]. Because `run_batch` delivers
+/// lines strictly in job order, a killed run leaves a prefix of the
+/// uninterrupted output (possibly plus a partial trailing line);
+/// resuming from the plan therefore reproduces the uninterrupted bytes
+/// exactly.
+///
+/// # Errors
+///
+/// Refuses to resume when the existing complete lines are *not* the
+/// manifest's job prefix — a carried-over file from a different
+/// manifest would otherwise be silently extended with out-of-order
+/// lines, breaking the byte-identity contract.
+pub fn plan_resume(jobs: &[BatchJob], existing: &str) -> Result<ResumePlan, String> {
+    let keep_bytes = existing.rfind('\n').map(|i| i + 1).unwrap_or(0);
+    let mut completed = 0usize;
+    for line in existing[..keep_bytes].lines() {
+        let id = job_id_of_line(line).ok_or_else(|| {
+            format!(
+                "existing output line {} carries no job id; refusing to resume",
+                completed + 1
+            )
+        })?;
+        let Some(job) = jobs.get(completed) else {
+            return Err(format!(
+                "existing output has more complete lines than the manifest has jobs \
+                 ({}); refusing to resume",
+                jobs.len()
+            ));
+        };
+        if job.id != id {
+            return Err(format!(
+                "existing output line {} is job '{}' but the manifest's job {} is '{}'; \
+                 the output is not a prefix of this manifest — refusing to resume",
+                completed + 1,
+                id,
+                completed + 1,
+                job.id
+            ));
+        }
+        completed += 1;
+    }
+    Ok(ResumePlan {
+        keep_bytes,
+        completed_jobs: completed,
+    })
+}
+
 fn effective_workers(requested: usize, jobs: usize) -> usize {
     let cpus = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -782,6 +874,101 @@ capacity 1000
             assert_eq!(delivered[0].0, 0);
             assert_eq!(delivered[1].0, 1);
         }
+    }
+
+    /// Replays a kill-and-resume at byte offset `cut` of the
+    /// uninterrupted output and asserts the recovered run reproduces
+    /// the exact bytes.
+    fn assert_resume_reproduces(jobs: &[BatchJob], full: &str, cut: usize) {
+        let existing = &full[..cut];
+        let plan = plan_resume(jobs, existing).expect("prefix output resumes");
+        assert!(plan.keep_bytes <= existing.len());
+        let mut rebuilt = existing[..plan.keep_bytes].to_string();
+        run_batch(&jobs[plan.completed_jobs..], None, 1, |_, line| {
+            rebuilt.push_str(line);
+            rebuilt.push('\n');
+            true
+        });
+        assert_eq!(rebuilt, full, "cut at byte {cut} did not reproduce");
+    }
+
+    #[test]
+    fn resume_recovers_newline_boundary_and_midline_kills() {
+        let jobs = BatchManifest::parse(SMALL_GRID).unwrap().jobs().unwrap();
+        let mut full = String::new();
+        run_batch(&jobs, None, 1, |_, line| {
+            full.push_str(line);
+            full.push('\n');
+            true
+        });
+        let line_ends: Vec<usize> = full
+            .char_indices()
+            .filter(|(_, c)| *c == '\n')
+            .map(|(i, _)| i + 1)
+            .collect();
+        assert_eq!(line_ends.len(), jobs.len());
+
+        // Killed exactly at a newline boundary: every complete line
+        // survives, only the missing jobs re-run.
+        for &end in &line_ends {
+            assert_resume_reproduces(&jobs, &full, end);
+        }
+        // Killed mid-line: the partial trailing fragment is dropped and
+        // its job re-runs. The most treacherous cut is one byte short
+        // of the newline — the fragment is a complete JSON object whose
+        // prefix parses, but without the newline it must not count.
+        let mut prev = 0usize;
+        for &end in &line_ends {
+            assert_resume_reproduces(&jobs, &full, end - 1);
+            assert_resume_reproduces(&jobs, &full, prev + (end - prev) / 2);
+            prev = end;
+        }
+        // Empty file (a kill before the first write).
+        assert_resume_reproduces(&jobs, &full, 0);
+    }
+
+    #[test]
+    fn resume_refuses_foreign_or_oversized_output() {
+        let jobs = BatchManifest::parse(SMALL_GRID).unwrap().jobs().unwrap();
+        let mut full = String::new();
+        run_batch(&jobs, None, 1, |_, line| {
+            full.push_str(line);
+            full.push('\n');
+            true
+        });
+        // Output whose first line is some other manifest's job.
+        let foreign = "{\"schema\":\"sunmap-batch/1\",\"job\":\"other|500|min-delay|MP|strict\"}\n";
+        let err = plan_resume(&jobs, foreign).unwrap_err();
+        assert!(err.contains("not a prefix"), "{err}");
+        // A complete line with no job id at all.
+        let err = plan_resume(&jobs, "{\"schema\":\"sunmap-batch/1\"}\n").unwrap_err();
+        assert!(err.contains("no job id"), "{err}");
+        // More lines than the manifest has jobs.
+        let mut oversized = full.clone();
+        oversized.push_str(&full[..full.find('\n').unwrap() + 1]);
+        let err = plan_resume(&jobs, &oversized).unwrap_err();
+        assert!(err.contains("more complete lines"), "{err}");
+    }
+
+    #[test]
+    fn job_id_extraction_honours_escapes() {
+        assert_eq!(
+            job_id_of_line("{\"schema\":\"x\",\"job\":\"dsp|500|min-delay|MP|strict\",\"a\":1}"),
+            Some("dsp|500|min-delay|MP|strict".to_string())
+        );
+        assert_eq!(
+            job_id_of_line("{\"job\":\"a\\\"b\\\\c\"}"),
+            Some("a\"b\\c".to_string())
+        );
+        // Control-character escapes decode to the character, not the
+        // escape letter, so ids with tabs/newlines round-trip.
+        assert_eq!(
+            job_id_of_line("{\"job\":\"a\\tb\\nc\\u0007d\"}"),
+            Some("a\tb\nc\u{7}d".to_string())
+        );
+        assert_eq!(job_id_of_line("{\"schema\":\"sunmap-ba"), None);
+        assert_eq!(job_id_of_line("{\"job\":\"unterminated"), None);
+        assert_eq!(job_id_of_line("{\"job\":\"bad\\u00"), None);
     }
 
     #[test]

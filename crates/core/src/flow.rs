@@ -4,7 +4,7 @@
 use sunmap_gen::{build_netlist, emit_dot, emit_systemc, Netlist, SourceFile};
 use sunmap_mapping::{
     Constraints, Mapper, MapperConfig, Mapping, MappingError, Objective, RouteTable,
-    RoutingFunction,
+    RoutingFunction, SwapStrategy,
 };
 use sunmap_power::{AreaPowerLibrary, Technology};
 use sunmap_sim::{LatencyStats, NocSimulator, SimConfig};
@@ -268,6 +268,7 @@ pub struct SunmapBuilder {
     technology: Technology,
     max_swap_passes: usize,
     selection: SelectionPolicy,
+    swap_strategy: SwapStrategy,
 }
 
 impl SunmapBuilder {
@@ -308,6 +309,15 @@ impl SunmapBuilder {
         self
     }
 
+    /// How the swap phase scores candidates (default
+    /// [`SwapStrategy::Auto`]: exhaustive on small topologies, the
+    /// incremental delta-pruned engine on large ones — winners are
+    /// bit-identical either way).
+    pub fn swap_strategy(mut self, strategy: SwapStrategy) -> Self {
+        self.swap_strategy = strategy;
+        self
+    }
+
     /// How phase 2 selects the winner (default:
     /// [`SelectionPolicy::Balanced`]).
     pub fn selection(mut self, selection: SelectionPolicy) -> Self {
@@ -340,6 +350,7 @@ impl Sunmap {
             technology: Technology::um_0_10(),
             max_swap_passes: 4,
             selection: SelectionPolicy::default(),
+            swap_strategy: SwapStrategy::Auto,
         }
     }
 
@@ -355,6 +366,7 @@ impl Sunmap {
             objective: self.inner.objective,
             constraints: self.inner.constraints,
             max_swap_passes: self.inner.max_swap_passes,
+            swap_strategy: self.inner.swap_strategy,
         }
     }
 

@@ -3,7 +3,9 @@
 //! area-power Pareto exploration (Fig. 9b).
 
 use crate::{pareto_front, ParetoPoint};
-use sunmap_mapping::{Constraints, Mapper, MapperConfig, Objective, RouteTable, RoutingFunction};
+use sunmap_mapping::{
+    Constraints, Mapper, MapperConfig, Objective, RouteTable, RoutingFunction, SwapStrategy,
+};
 use sunmap_topology::TopologyGraph;
 use sunmap_traffic::CoreGraph;
 
@@ -52,6 +54,7 @@ pub fn routing_bandwidth_sweep(app: &CoreGraph, graph: &TopologyGraph) -> Vec<Ro
                 objective: Objective::MinBandwidth,
                 constraints: Constraints::relaxed_bandwidth(),
                 max_swap_passes: 4,
+                ..MapperConfig::default()
             };
             let min_bandwidth = Mapper::new(graph, app, config)
                 .with_route_table(&mut table)
@@ -92,11 +95,14 @@ pub fn pareto_exploration(
         Objective::MinBandwidth,
     ] {
         for routing in RoutingFunction::ALL {
+            // The Pareto study wants the *complete* candidate cloud, so
+            // the sweep stays exhaustive whatever the topology size.
             let config = MapperConfig {
                 routing,
                 objective,
                 constraints: Constraints::relaxed_bandwidth(),
                 max_swap_passes: 2,
+                swap_strategy: SwapStrategy::Exhaustive,
             };
             let label = format!("{objective}/{routing}");
             let _ = Mapper::new(graph, app, config)

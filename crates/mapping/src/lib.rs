@@ -55,7 +55,7 @@ mod placement;
 mod report;
 mod routing;
 
-pub use engine::{CachedPath, EvalEngine, EvalScratch, RouteTable};
+pub use engine::{CachedPath, EvalEngine, EvalScratch, RouteTable, SwapStrategy};
 pub use error::MappingError;
 pub use evaluate::{evaluate, Evaluation, RoutedCommodity};
 pub use layout::{layout_blocks, LayoutBlocks};

@@ -2,7 +2,7 @@
 
 use crate::{
     evaluate, Constraints, CostReport, EvalEngine, Evaluation, MappingError, Objective, Placement,
-    RouteTable, RoutingFunction,
+    RouteTable, RoutingFunction, SwapStrategy,
 };
 use sunmap_power::{AreaPowerLibrary, Technology};
 use sunmap_topology::{NodeId, TopologyGraph};
@@ -22,6 +22,13 @@ pub struct MapperConfig {
     /// sweep from the improved mapping until no swap helps. `0`
     /// disables phase 3 entirely (useful for ablation studies).
     pub max_swap_passes: usize,
+    /// How phase 3 scores its candidate swaps: exhaustively, or through
+    /// the incremental swap-delta engine with sound early-exit bounds
+    /// ([`SwapStrategy::Auto`] picks by topology size). Pass winners,
+    /// final placements and reports are bit-identical either way; only
+    /// the evaluation count (and thus the observed report sequence)
+    /// differs.
+    pub swap_strategy: SwapStrategy,
 }
 
 impl Default for MapperConfig {
@@ -31,6 +38,7 @@ impl Default for MapperConfig {
             objective: Objective::MinDelay,
             constraints: Constraints::default(),
             max_swap_passes: 4,
+            swap_strategy: SwapStrategy::Auto,
         }
     }
 }
@@ -166,6 +174,11 @@ impl<'a> Mapper<'a> {
     /// cost report of **every** candidate mapping the search evaluates
     /// (the greedy seed and each pair-wise swap). This is how the
     /// Fig. 9b Pareto study collects its cloud of design points.
+    ///
+    /// Under [`SwapStrategy::DeltaPruned`] (or [`SwapStrategy::Auto`]
+    /// on a large topology), candidates the incremental bounds prove
+    /// unable to win are never evaluated — the observer sees exactly
+    /// the candidates that were, still in pair order.
     pub fn run_observed(
         &mut self,
         mut observer: impl FnMut(&CostReport),
@@ -221,6 +234,7 @@ impl<'a> Mapper<'a> {
             &config.constraints,
         );
         let nodes = graph.mappable_nodes();
+        let strategy = config.swap_strategy.resolve(nodes.len());
         let mut pairs = Vec::with_capacity(nodes.len() * nodes.len().saturating_sub(1) / 2);
         for i in 0..nodes.len() {
             for j in i + 1..nodes.len() {
@@ -228,17 +242,33 @@ impl<'a> Mapper<'a> {
             }
         }
         for _pass in 0..config.max_swap_passes {
-            let reports = engine.sweep_reports(&best.placement, &pairs);
-            let mut best_swap: Option<(usize, CostReport)> = None;
-            for (k, report) in reports.into_iter().enumerate() {
-                let Some(report) = report else { continue };
-                observer(&report);
-                evaluated += 1;
-                let improves_on = best_swap.as_ref().map_or(&best.report, |(_, r)| r);
-                if report.better_than(improves_on, config.objective) {
-                    best_swap = Some((k, report));
+            let best_swap: Option<(usize, CostReport)> = match strategy {
+                SwapStrategy::DeltaPruned => {
+                    let (best_swap, pass_evaluated) = engine.sweep_search(
+                        &best.placement,
+                        &best.report,
+                        &pairs,
+                        config.objective,
+                        |r| observer(r),
+                    );
+                    evaluated += pass_evaluated;
+                    best_swap
                 }
-            }
+                _ => {
+                    let reports = engine.sweep_reports(&best.placement, &pairs);
+                    let mut best_swap: Option<(usize, CostReport)> = None;
+                    for (k, report) in reports.into_iter().enumerate() {
+                        let Some(report) = report else { continue };
+                        observer(&report);
+                        evaluated += 1;
+                        let improves_on = best_swap.as_ref().map_or(&best.report, |(_, r)| r);
+                        if report.better_than(improves_on, config.objective) {
+                            best_swap = Some((k, report));
+                        }
+                    }
+                    best_swap
+                }
+            };
             match best_swap {
                 Some((k, report)) => {
                     let (a, b) = pairs[k];

@@ -13,7 +13,7 @@
 use proptest::prelude::*;
 use sunmap_mapping::{
     evaluate, Constraints, CostReport, EvalEngine, Mapper, MapperConfig, MappingError, Objective,
-    Placement, RouteTable, RoutingFunction,
+    Placement, RouteTable, RoutingFunction, SwapStrategy,
 };
 use sunmap_power::{AreaPowerLibrary, Technology};
 use sunmap_topology::{builders, TopologyGraph};
@@ -236,6 +236,7 @@ proptest! {
             objective: objective(obj),
             constraints: constraints(relaxed == 1),
             max_swap_passes: passes,
+            swap_strategy: SwapStrategy::Exhaustive,
         };
 
         let mut fast_observed = Vec::new();
@@ -267,6 +268,55 @@ proptest! {
         }
     }
 
+    /// The incremental swap-delta search (pre-bounds, dimension-ordered
+    /// deltas, bounded evaluations with early exit) returns exactly
+    /// what the exhaustive sweep returns — same final placement, same
+    /// report, same error — across all topologies × routing functions ×
+    /// objectives × constraint regimes. Only the evaluation count may
+    /// shrink (pruned candidates are proven non-winners).
+    #[test]
+    fn delta_pruned_search_matches_exhaustive(
+        topo in 0usize..5,
+        rf in 0usize..4,
+        obj in 0usize..4,
+        cores in 2usize..=10,
+        edges in proptest::collection::vec((0usize..10, 0usize..10, 5.0f64..400.0), 1..14),
+        relaxed in 0usize..2,
+        passes in 1usize..=2,
+    ) {
+        let g = topology(topo);
+        let app = build_app(cores, &edges);
+        prop_assume!(app.edge_count() > 0);
+        let config = |strategy| MapperConfig {
+            routing: routing(rf),
+            objective: objective(obj),
+            constraints: constraints(relaxed == 1),
+            max_swap_passes: passes,
+            swap_strategy: strategy,
+        };
+
+        let exhaustive = Mapper::new(&g, &app, config(SwapStrategy::Exhaustive)).run();
+        let pruned = Mapper::new(&g, &app, config(SwapStrategy::DeltaPruned)).run();
+        match (exhaustive, pruned) {
+            (Ok(full), Ok(delta)) => {
+                prop_assert_eq!(full.placement().assignment(), delta.placement().assignment());
+                prop_assert_eq!(full.report(), delta.report());
+                prop_assert!(delta.evaluated_candidates() <= full.evaluated_candidates());
+            }
+            (Err(MappingError::NoFeasibleMapping(f)),
+             Err(MappingError::NoFeasibleMapping(d))) => {
+                prop_assert_eq!(*f, *d);
+            }
+            (Err(f), Err(d)) => prop_assert_eq!(f.to_string(), d.to_string()),
+            (f, d) => {
+                return Err(TestCaseError::fail(format!(
+                    "outcome mismatch: exhaustive ok={} vs delta-pruned ok={}",
+                    f.is_ok(), d.is_ok()
+                )));
+            }
+        }
+    }
+
     /// Reusing one route table across routing functions and repeated
     /// runs (the sweep/exploration pattern) changes nothing.
     #[test]
@@ -285,6 +335,7 @@ proptest! {
                 objective: Objective::MinDelay,
                 constraints: Constraints::relaxed_bandwidth(),
                 max_swap_passes: 1,
+                ..MapperConfig::default()
             };
             let shared = Mapper::new(&g, &app, config)
                 .with_route_table(&mut table)
@@ -304,5 +355,61 @@ proptest! {
                 }
             }
         }
+    }
+}
+
+/// The ISSUE-5 acceptance case: a 64-core seeded synthetic application
+/// on an 8×8 mesh. The delta-pruned sweep (what `SwapStrategy::Auto`
+/// selects at this size) must reproduce the exhaustive sweep's winner
+/// report and placement bit for bit, for both a load-dependent and a
+/// placement-independent routing function under both a delay and a
+/// power objective.
+#[test]
+fn delta_pruned_matches_exhaustive_on_64_core_synthetic_mesh() {
+    use sunmap_topology::builders;
+    use sunmap_traffic::synthetic::SyntheticSpec;
+
+    let spec: SyntheticSpec = "synth:seed=7,cores=64".parse().expect("valid spec");
+    let app = spec.generate();
+    let g = builders::mesh(8, 8, 500.0).expect("mesh builds");
+    for (routing, objective) in [
+        (RoutingFunction::MinPath, Objective::MinDelay),
+        (RoutingFunction::MinPath, Objective::MinPower),
+        (RoutingFunction::DimensionOrdered, Objective::MinDelay),
+        (RoutingFunction::DimensionOrdered, Objective::MinPower),
+    ] {
+        let config = |strategy| MapperConfig {
+            routing,
+            objective,
+            constraints: Constraints::relaxed_bandwidth(),
+            max_swap_passes: 1,
+            swap_strategy: strategy,
+        };
+        let full = Mapper::new(&g, &app, config(SwapStrategy::Exhaustive))
+            .run()
+            .expect("synthetic workload maps under relaxed bandwidth");
+        let delta = Mapper::new(&g, &app, config(SwapStrategy::DeltaPruned))
+            .run()
+            .expect("synthetic workload maps under relaxed bandwidth");
+        assert_eq!(
+            full.placement().assignment(),
+            delta.placement().assignment(),
+            "{routing} {objective}: placements diverged"
+        );
+        assert_eq!(
+            full.report(),
+            delta.report(),
+            "{routing} {objective}: winner reports diverged"
+        );
+        assert!(
+            delta.evaluated_candidates() < full.evaluated_candidates(),
+            "{routing} {objective}: pruning did not reduce evaluations"
+        );
+        // Auto resolves to the delta engine at this size.
+        let auto = Mapper::new(&g, &app, config(SwapStrategy::Auto))
+            .run()
+            .expect("synthetic workload maps under relaxed bandwidth");
+        assert_eq!(auto.evaluated_candidates(), delta.evaluated_candidates());
+        assert_eq!(auto.report(), delta.report());
     }
 }

@@ -90,6 +90,11 @@ pub enum ParseSpecError {
     BadItem(String),
     /// An unknown parameter key.
     UnknownKey(String),
+    /// A parameter key appeared more than once. Silently letting the
+    /// last occurrence win would make typos like
+    /// `synth:seed=1,seed=2` unreproducible surprises, so duplicates
+    /// are rejected like unknown keys are.
+    DuplicateKey(String),
     /// A value failed to parse as its parameter's type.
     BadValue {
         /// The parameter key.
@@ -117,8 +122,14 @@ impl std::fmt::Display for ParseSpecError {
             }
             ParseSpecError::UnknownKey(key) => write!(
                 f,
-                "unknown synthetic parameter '{key}' (valid: seed, cores, \
-                 locality, hotspot, degree, bwmin, bwmax)"
+                "unknown synthetic parameter '{key}' (valid: {})",
+                SyntheticSpec::KEYS.join(", ")
+            ),
+            ParseSpecError::DuplicateKey(key) => write!(
+                f,
+                "duplicate synthetic parameter '{key}' (each of {} may \
+                 appear at most once)",
+                SyntheticSpec::KEYS.join(", ")
             ),
             ParseSpecError::BadValue { key, text } => {
                 write!(f, "'{text}' is not a valid value for '{key}'")
@@ -133,6 +144,13 @@ impl std::fmt::Display for ParseSpecError {
 impl std::error::Error for ParseSpecError {}
 
 impl SyntheticSpec {
+    /// The valid `synth:` parameter keys, in canonical order — listed
+    /// in parse errors the way [`crate::patterns::TrafficPattern::NAMES`]
+    /// backs the pattern parser's messages.
+    pub const KEYS: [&'static str; 7] = [
+        "seed", "cores", "locality", "hotspot", "degree", "bwmin", "bwmax",
+    ];
+
     /// A spec with the default shape (16 cores, locality 0.5, no
     /// hotspot) under the given seed.
     pub fn new(seed: u64) -> Self {
@@ -298,11 +316,18 @@ impl FromStr for SyntheticSpec {
                 .ok_or(ParseSpecError::MissingPrefix)?
         };
         let mut spec = SyntheticSpec::default();
+        let mut seen = [false; SyntheticSpec::KEYS.len()];
         for item in body.split(',').filter(|s| !s.trim().is_empty()) {
             let (key, value) = item
                 .split_once('=')
                 .ok_or_else(|| ParseSpecError::BadItem(item.to_string()))?;
             let (key, value) = (key.trim(), value.trim());
+            if let Some(slot) = SyntheticSpec::KEYS.iter().position(|k| *k == key) {
+                if seen[slot] {
+                    return Err(ParseSpecError::DuplicateKey(key.to_string()));
+                }
+                seen[slot] = true;
+            }
             fn parse<T: FromStr>(key: &'static str, value: &str) -> Result<T, ParseSpecError> {
                 value.parse().map_err(|_| ParseSpecError::BadValue {
                     key,
@@ -493,5 +518,38 @@ mod tests {
         assert!(e.to_string().contains("unknown synthetic parameter"));
         let e = "synth:cores=1".parse::<SyntheticSpec>().unwrap_err();
         assert!(e.to_string().contains("2..=4096"));
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected_with_the_key_list() {
+        for spec in [
+            "synth:seed=1,seed=2",
+            "synth:cores=8,locality=0.5,cores=16",
+            "synth:bwmin=10, bwmin=20",
+        ] {
+            let err = spec.parse::<SyntheticSpec>().unwrap_err();
+            assert!(
+                matches!(&err, ParseSpecError::DuplicateKey(_)),
+                "{spec}: {err:?}"
+            );
+            let msg = err.to_string();
+            assert!(msg.contains("duplicate synthetic parameter"), "{msg}");
+            for key in SyntheticSpec::KEYS {
+                assert!(msg.contains(key), "message must list '{key}': {msg}");
+            }
+        }
+        // A duplicate *unknown* key still reports the unknown key.
+        assert!(matches!(
+            "synth:wat=1,wat=2".parse::<SyntheticSpec>(),
+            Err(ParseSpecError::UnknownKey(_))
+        ));
+        // Unknown-key errors list the valid keys too.
+        let msg = "synth:wat=1"
+            .parse::<SyntheticSpec>()
+            .unwrap_err()
+            .to_string();
+        for key in SyntheticSpec::KEYS {
+            assert!(msg.contains(key), "message must list '{key}': {msg}");
+        }
     }
 }
