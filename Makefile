@@ -10,7 +10,7 @@ CARGO ?= cargo
 BENCH_SMOKE_JSONL := target/bench-smoke.jsonl
 BENCH_RESULTS := target/BENCH_results.json
 
-.PHONY: all build test bench bench-run bench-smoke batch-smoke doc lint fmt ci clean
+.PHONY: all build test bench bench-run bench-smoke batch-smoke serve-smoke doc lint fmt ci clean
 
 all: build
 
@@ -56,6 +56,14 @@ batch-smoke:
 		|| { echo "batch-smoke: expected 20 JSONL lines"; exit 1; }
 	@echo "wrote target/batch-smoke/batch.jsonl (20 jobs)"
 
+## Smoke-run the `sunmap serve` daemon end-to-end through the release
+## binary: start it on a free port, answer three explore requests (one
+## synthetic), assert the stats counters record a warm-cache hit and
+## byte-identity with the one-shot CLI, drain gracefully, and replay
+## the request log.
+serve-smoke: build
+	sh scripts/serve_smoke.sh target/release/sunmap target/serve-smoke
+
 ## Build API docs for every workspace crate with rustdoc warnings as
 ## hard errors (broken intra-doc links rot fast otherwise).
 doc:
@@ -71,7 +79,7 @@ fmt:
 	$(CARGO) fmt --all
 
 ## Everything CI gates on, in CI's order.
-ci: lint build test doc bench bench-smoke batch-smoke
+ci: lint build test doc bench bench-smoke batch-smoke serve-smoke
 
 clean:
 	$(CARGO) clean

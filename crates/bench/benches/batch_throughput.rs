@@ -37,7 +37,7 @@ fn print_summary() {
     for (label, workers) in [("1 worker", 1usize), ("1/cpu", 0)] {
         let start = std::time::Instant::now();
         let mut lines = 0usize;
-        run_batch(&jobs, None, workers, |_, _| {
+        run_batch(&jobs, workers, |_, _| {
             lines += 1;
             true
         });
@@ -64,7 +64,7 @@ fn bench(c: &mut Criterion) {
         group.bench_function(label, |b| {
             b.iter(|| {
                 let mut lines = 0usize;
-                run_batch(black_box(&jobs), None, workers, |_, line| {
+                run_batch(black_box(&jobs), workers, |_, line| {
                     lines += line.len();
                     true
                 });

@@ -1,0 +1,103 @@
+//! Serve-path throughput: the same `ExploreRequest` answered cold (a
+//! fresh `RequestRunner`, so the candidate library and route tables
+//! are rebuilt every time — what a process-per-request CLI pays) and
+//! warm (one runner reused, route tables served from the LRU cache —
+//! what the `sunmap serve` daemon pays after the first request on a
+//! topology). The gap between the two groups is the measured value of
+//! keeping the cache hot; the summary prints it as requests/second.
+//!
+//! Before timing anything the bench asserts the daemon's two core
+//! invariants: a repeated topology is a cache hit, and warm and cold
+//! runs produce byte-identical report lines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sunmap::request::{ExploreRequest, RequestRunner};
+
+/// The request under test: the 6-core DSP filter at 1000 MB/s (the
+/// paper's Fig. 10 configuration), small enough that route-table
+/// construction is a visible share of the cold request.
+fn request() -> ExploreRequest {
+    let mut req = ExploreRequest::new("dsp".parse().expect("built-in benchmark"));
+    req.capacity = 1000.0;
+    req
+}
+
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+fn requests_per_sec(n: usize, mut run: impl FnMut()) -> f64 {
+    let start = std::time::Instant::now();
+    for _ in 0..n {
+        run();
+    }
+    n as f64 / start.elapsed().as_secs_f64()
+}
+
+fn print_summary() {
+    let req = request();
+    const N: usize = 10;
+    let cold = requests_per_sec(N, || {
+        RequestRunner::new(1).run(&req).expect("cold request runs");
+    });
+    let mut runner = RequestRunner::new(1);
+    runner.run(&req).expect("priming request runs");
+    let warm = requests_per_sec(N, || {
+        runner.run(&req).expect("warm request runs");
+    });
+    println!("== serve throughput: warm cache vs cold start ==");
+    println!("  cold (rebuild route tables) {cold:>8.1} requests/s");
+    println!("  warm (LRU-cached tables)    {warm:>8.1} requests/s");
+    println!("  warm/cold speedup           {:>8.2}x", warm / cold);
+}
+
+fn bench(c: &mut Criterion) {
+    let req = request();
+    // Correctness gates before any timing: the warm path must actually
+    // hit the cache, and caching must never change the report bytes.
+    let cold = RequestRunner::new(1).run(&req).expect("cold run");
+    assert!(!cold.cache_hit, "a fresh runner cannot hit its cache");
+    let mut warm_runner = RequestRunner::new(1);
+    warm_runner.run(&req).expect("priming run");
+    let warm = warm_runner.run(&req).expect("warm run");
+    assert!(warm.cache_hit, "a repeated topology must be served warm");
+    assert_eq!(
+        warm.line, cold.line,
+        "warm and cold reports must be byte-identical"
+    );
+
+    if !smoke_mode() {
+        print_summary();
+    }
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(10);
+    group.bench_function("explore/cold", |b| {
+        b.iter(|| {
+            RequestRunner::new(1)
+                .run(black_box(&req))
+                .expect("cold request runs")
+                .line
+                .len()
+        })
+    });
+    let mut runner = RequestRunner::new(1);
+    runner.run(&req).expect("priming request runs");
+    group.bench_function("explore/warm", |b| {
+        b.iter(|| {
+            runner
+                .run(black_box(&req))
+                .expect("warm request runs")
+                .line
+                .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,7 +1,8 @@
 //! Hand-rolled argument parsing for the `sunmap` binary (kept
 //! dependency-free; the option surface is small).
 
-use sunmap::{Objective, RoutingFunction};
+use sunmap::request::{parse_swap, SimProbe};
+use sunmap::{Objective, RoutingFunction, SwapStrategy};
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,6 +43,39 @@ pub struct Cli {
     pub jobs_path: String,
     /// Skip `batch` jobs already present in the output file.
     pub resume: bool,
+    /// Phase-3 swap strategy (`explore --json`, `client explore`,
+    /// `batch` manifests override per-job).
+    pub swap: SwapStrategy,
+    /// Winner simulation probe for `explore --json` / `client explore`
+    /// (`--probe <pattern> <rate>`).
+    pub probe: Option<SimProbe>,
+    /// Print the one-shot JSON report instead of the table (`explore`).
+    pub json: bool,
+    /// Bind address for `serve`.
+    pub listen: String,
+    /// Candidate libraries kept warm (`serve` / `replay`).
+    pub cache: usize,
+    /// Request-replay log path (`serve --log` writes it, `replay --log`
+    /// verifies it).
+    pub log_path: String,
+    /// Daemon address for `client` (positional).
+    pub addr: String,
+    /// Operation for `client` (positional).
+    pub client_op: ClientOp,
+}
+
+/// The operation a `client` invocation sends to the daemon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClientOp {
+    /// Submit an exploration request and print the raw report line.
+    Explore,
+    /// Fetch the live metrics snapshot.
+    Stats,
+    /// Liveness check.
+    #[default]
+    Ping,
+    /// Ask the daemon to drain and exit.
+    Shutdown,
 }
 
 /// The `sunmap` subcommands.
@@ -62,6 +96,12 @@ pub enum Command {
     /// Batch exploration: a manifest-driven grid of applications ×
     /// configurations, sharded across workers, streamed as JSONL.
     Batch,
+    /// Warm-cache mapping daemon answering length-prefixed JSON frames.
+    Serve,
+    /// One frame against a running daemon (explore/stats/ping/shutdown).
+    Client,
+    /// Re-run a serve request log and verify byte-identical reports.
+    Replay,
 }
 
 /// Parse errors with the usage line callers print.
@@ -88,6 +128,12 @@ commands:
   design-sweep  routing-function bandwidth staircase + area-power Pareto front
   batch         run a manifest's application x configuration grid, streamed
                 as JSONL (batch --jobs <manifest>; no <app> argument)
+  serve         warm-cache mapping daemon: length-prefixed JSON frames over
+                TCP (serve [--listen <addr>] [--log <file>]; no <app>)
+  client        send one frame to a daemon:
+                client <addr> explore <app> [options] | stats | ping | shutdown
+  replay        re-run a serve request log through the one-shot path and
+                verify byte-identical reports (replay --log <file>)
 
 <app> is a .app file (core/traffic lines), a built-in benchmark, or a
 seeded synthetic workload spec:
@@ -114,6 +160,20 @@ options:
   --jobs <manifest>     batch job manifest file (required for batch)
   --resume              batch: skip jobs already present in the output
                         file (<out>/batch.jsonl), append the rest
+  --swap <s>            auto|exhaustive|delta (default auto; explore --json
+                        and client explore)
+  --probe <pat> <rate>  simulate the winner under a synthetic pattern at
+                        <rate> flits/cycle/terminal (explore --json,
+                        client explore)
+  --json                explore: print the one-shot report line
+                        ({\"schema\":\"sunmap-report/1\",...}) instead of
+                        the table
+  --listen <addr>       serve bind address (default 127.0.0.1:7420;
+                        port 0 picks a free port)
+  --cache <n>           serve/replay: candidate libraries kept warm
+                        (default 8)
+  --log <file>          serve: append-only request-replay log;
+                        replay: the log to verify (required)
 ";
 
 impl Cli {
@@ -136,17 +196,53 @@ impl Cli {
             Some("design-sweep") => Command::DesignSweep,
             Some("simulate") => Command::Simulate,
             Some("batch") => Command::Batch,
+            Some("serve") => Command::Serve,
+            Some("client") => Command::Client,
+            Some("replay") => Command::Replay,
             Some(other) => return Err(ParseCliError(format!("unknown command '{other}'"))),
             None => return Err(ParseCliError("missing command".to_string())),
         };
-        // `batch` reads its applications from the manifest; every other
-        // command takes one application positionally.
-        let app = if command == Command::Batch {
-            String::new()
-        } else {
-            it.next()
+        // `batch`/`serve`/`replay` take no positional application;
+        // `client` takes an address and an operation first.
+        let mut addr = String::new();
+        let mut client_op = ClientOp::default();
+        let app = match command {
+            Command::Batch | Command::Serve | Command::Replay => String::new(),
+            Command::Client => {
+                addr = it
+                    .next()
+                    .ok_or_else(|| ParseCliError("client needs a daemon <addr>".to_string()))?
+                    .clone();
+                client_op = match it.next().map(String::as_str) {
+                    Some("explore") => ClientOp::Explore,
+                    Some("stats") => ClientOp::Stats,
+                    Some("ping") => ClientOp::Ping,
+                    Some("shutdown") => ClientOp::Shutdown,
+                    Some(other) => {
+                        return Err(ParseCliError(format!(
+                            "unknown client operation '{other}' \
+                             (valid: explore, stats, ping, shutdown)"
+                        )))
+                    }
+                    None => {
+                        return Err(ParseCliError(
+                            "client needs an operation: explore, stats, ping or shutdown"
+                                .to_string(),
+                        ))
+                    }
+                };
+                if client_op == ClientOp::Explore {
+                    it.next()
+                        .ok_or_else(|| ParseCliError("missing application".to_string()))?
+                        .clone()
+                } else {
+                    String::new()
+                }
+            }
+            _ => it
+                .next()
                 .ok_or_else(|| ParseCliError("missing application".to_string()))?
-                .clone()
+                .clone(),
         };
         let mut cli = Cli {
             command,
@@ -165,6 +261,14 @@ impl Cli {
             validate: false,
             jobs_path: String::new(),
             resume: false,
+            swap: SwapStrategy::Auto,
+            probe: None,
+            json: false,
+            listen: "127.0.0.1:7420".to_string(),
+            cache: 8,
+            log_path: String::new(),
+            addr,
+            client_op,
         };
         while let Some(flag) = it.next() {
             let mut value = |name: &str| {
@@ -222,6 +326,24 @@ impl Cli {
                 }
                 "--jobs" => cli.jobs_path = value("--jobs")?,
                 "--resume" => cli.resume = true,
+                "--swap" => {
+                    cli.swap = parse_swap(&value("--swap")?).map_err(ParseCliError)?;
+                }
+                "--probe" => {
+                    let pattern = value("--probe")?;
+                    let rate = value("--probe")?;
+                    cli.probe =
+                        Some(SimProbe::parse(&format!("{pattern} {rate}")).map_err(ParseCliError)?);
+                }
+                "--json" => cli.json = true,
+                "--listen" => cli.listen = value("--listen")?,
+                "--cache" => {
+                    let text = value("--cache")?;
+                    cli.cache = text
+                        .parse()
+                        .map_err(|_| ParseCliError(format!("'{text}' is not a cache size")))?;
+                }
+                "--log" => cli.log_path = value("--log")?,
                 other => return Err(ParseCliError(format!("unknown option '{other}'"))),
             }
         }
@@ -241,6 +363,11 @@ impl Cli {
         if cli.command == Command::Batch && cli.jobs_path.is_empty() {
             return Err(ParseCliError(
                 "batch needs a manifest: --jobs <file>".to_string(),
+            ));
+        }
+        if cli.command == Command::Replay && cli.log_path.is_empty() {
+            return Err(ParseCliError(
+                "replay needs a request log: --log <file>".to_string(),
             ));
         }
         Ok(cli)
@@ -415,6 +542,98 @@ mod tests {
             .unwrap_err()
             .0
             .contains("worker count"));
+    }
+
+    #[test]
+    fn serve_client_and_replay_parse() {
+        let cli = Cli::parse([
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--workers",
+            "3",
+            "--cache",
+            "4",
+            "--log",
+            "req.jsonl",
+        ])
+        .unwrap();
+        assert_eq!(cli.command, Command::Serve);
+        assert_eq!(cli.listen, "127.0.0.1:0");
+        assert_eq!(cli.workers, 3);
+        assert_eq!(cli.cache, 4);
+        assert_eq!(cli.log_path, "req.jsonl");
+        assert!(cli.app.is_empty(), "serve takes no positional app");
+
+        let cli = Cli::parse([
+            "client",
+            "127.0.0.1:7420",
+            "explore",
+            "vopd",
+            "--objective",
+            "power",
+            "--swap",
+            "delta",
+            "--probe",
+            "uniform",
+            "0.1",
+        ])
+        .unwrap();
+        assert_eq!(cli.command, Command::Client);
+        assert_eq!(cli.addr, "127.0.0.1:7420");
+        assert_eq!(cli.client_op, ClientOp::Explore);
+        assert_eq!(cli.app, "vopd");
+        assert_eq!(cli.objective, Objective::MinPower);
+        assert_eq!(cli.swap, SwapStrategy::DeltaPruned);
+        assert_eq!(cli.probe.as_ref().unwrap().rate, 0.1);
+
+        let cli = Cli::parse(["client", "127.0.0.1:7420", "shutdown"]).unwrap();
+        assert_eq!(cli.client_op, ClientOp::Shutdown);
+        assert!(cli.app.is_empty());
+
+        let cli = Cli::parse(["replay", "--log", "req.jsonl"]).unwrap();
+        assert_eq!(cli.command, Command::Replay);
+        assert_eq!(cli.log_path, "req.jsonl");
+
+        let cli = Cli::parse(["explore", "vopd", "--json"]).unwrap();
+        assert!(cli.json);
+    }
+
+    #[test]
+    fn serve_family_errors_are_descriptive() {
+        assert!(Cli::parse(["client"])
+            .unwrap_err()
+            .0
+            .contains("daemon <addr>"));
+        assert!(Cli::parse(["client", "127.0.0.1:7420"])
+            .unwrap_err()
+            .0
+            .contains("operation"));
+        assert!(Cli::parse(["client", "127.0.0.1:7420", "warp"])
+            .unwrap_err()
+            .0
+            .contains("unknown client operation"));
+        assert!(Cli::parse(["client", "127.0.0.1:7420", "explore"])
+            .unwrap_err()
+            .0
+            .contains("missing application"));
+        assert!(Cli::parse(["replay"]).unwrap_err().0.contains("--log"));
+        assert!(Cli::parse(["serve", "--cache", "lots"])
+            .unwrap_err()
+            .0
+            .contains("cache size"));
+        assert!(Cli::parse(["explore", "vopd", "--swap", "sideways"])
+            .unwrap_err()
+            .0
+            .contains("auto, exhaustive, delta"));
+        assert!(Cli::parse(["explore", "vopd", "--probe", "uniform"])
+            .unwrap_err()
+            .0
+            .contains("needs a value"));
+        assert!(Cli::parse(["explore", "vopd", "--probe", "warp", "0.1"])
+            .unwrap_err()
+            .0
+            .contains("unknown pattern"));
     }
 
     #[test]

@@ -3,41 +3,70 @@
 use std::error::Error;
 use std::fs;
 use std::io::Write as _;
-use std::path::Path;
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
 
-use crate::args::{Cli, Command};
-use sunmap::batch::{plan_resume, resolve_app, run_batch, BatchManifest, ResumePlan};
+use crate::args::{Cli, ClientOp, Command};
+use sunmap::batch::{plan_resume, run_batch, BatchManifest, ResumePlan};
+use sunmap::request::{ConstraintMode, ExploreRequest, RequestRunner};
+use sunmap::serve::{read_frame, report_slice, serve, verify_replay, write_frame, ServeConfig};
 use sunmap::sim::sweep::{injection_sweep, stats_json_fields, sweep_csv, sweep_json, SweepRequest};
 use sunmap::sim::{adversarial_pattern, NocSimulator, SimConfig};
 use sunmap::topology::builders;
 use sunmap::traffic::patterns::TrafficPattern;
 use sunmap::traffic::CoreGraph;
 use sunmap::{
-    pareto_exploration, routing_bandwidth_sweep, Constraints, Exploration, Sunmap, TopologyGraph,
+    pareto_exploration, routing_bandwidth_sweep, AppSource, Constraints, Exploration, Sunmap,
+    TopologyGraph,
 };
 
 type CliResult = Result<(), Box<dyn Error>>;
 
 /// Dispatches a parsed command line.
 pub fn run(cli: &Cli) -> CliResult {
-    if cli.command == Command::Batch {
-        return batch(cli);
+    match cli.command {
+        Command::Batch => return batch(cli),
+        Command::Serve => return serve_daemon(cli),
+        Command::Replay => return replay(cli),
+        Command::Client if cli.client_op != ClientOp::Explore => return client(cli, None),
+        Command::Client => return client(cli, Some(explore_request(cli)?)),
+        Command::Explore if cli.json => return explore_json(cli, &explore_request(cli)?),
+        _ => {}
     }
-    let app = load_app(&cli.app)?;
+    // Every remaining command takes one application, parsed through the
+    // same `AppSource` path as batch manifests and serve frames.
+    let app = AppSource::load(&cli.app)?;
     match cli.command {
         Command::Explore => explore(cli, app),
         Command::Generate => generate(cli, app),
         Command::Sweep => sweep(cli, app),
         Command::DesignSweep => design_sweep(cli, app),
         Command::Simulate => simulate(cli, app),
-        Command::Batch => unreachable!("dispatched above"),
+        Command::Batch | Command::Serve | Command::Client | Command::Replay => {
+            unreachable!("dispatched above")
+        }
     }
 }
 
-/// Loads an application from a built-in name, a `synth:` spec or a
-/// `.app` file — the shared resolver of `sunmap::batch`.
-pub fn load_app(source: &str) -> Result<CoreGraph, Box<dyn Error>> {
-    resolve_app(source).map_err(Into::into)
+/// The [`ExploreRequest`] a command line describes — the same type a
+/// batch manifest cell or a serve frame produces, so `explore --json`,
+/// `client explore` and the daemon agree on defaults and validation by
+/// construction.
+fn explore_request(cli: &Cli) -> Result<ExploreRequest, Box<dyn Error>> {
+    let app: AppSource = cli.app.parse()?;
+    let mut req = ExploreRequest::new(app);
+    req.objective = cli.objective;
+    req.routing = cli.routing;
+    req.capacity = cli.capacity;
+    req.constraints = if cli.relax_bandwidth {
+        ConstraintMode::Relaxed
+    } else {
+        ConstraintMode::Strict
+    };
+    req.swap = cli.swap;
+    req.probe = cli.probe.clone();
+    req.validate()?;
+    Ok(req)
 }
 
 fn tool(cli: &Cli, app: CoreGraph) -> Sunmap {
@@ -71,6 +100,83 @@ fn explore_with_library(
     let lib = library(cli, cores)?;
     let ex = tool.explore_library(lib);
     Ok((tool, ex))
+}
+
+/// `explore --json`: the one-shot report line, byte-identical to what
+/// the daemon returns for the same request.
+fn explore_json(cli: &Cli, req: &ExploreRequest) -> CliResult {
+    let outcome = RequestRunner::new(cli.cache)
+        .run(req)
+        .map_err(|e| -> Box<dyn Error> { e.into() })?;
+    println!("{}", outcome.line);
+    Ok(())
+}
+
+/// `serve`: runs the daemon until a `shutdown` frame or SIGTERM drains
+/// it, then dumps the final metrics snapshot.
+fn serve_daemon(cli: &Cli) -> CliResult {
+    let workers = if cli.workers == 0 {
+        std::thread::available_parallelism().map_or(2, usize::from)
+    } else {
+        cli.workers
+    };
+    let config = ServeConfig {
+        listen: cli.listen.clone(),
+        workers,
+        cache_entries: cli.cache,
+        log_path: (!cli.log_path.is_empty()).then(|| PathBuf::from(&cli.log_path)),
+    };
+    let summary = serve(&config, |addr| {
+        // Flushed before the first frame is accepted, so wrappers (and
+        // the smoke script) can poll stdout for the bound address.
+        println!("sunmap-serve listening on {addr}");
+        let _ = std::io::stdout().flush();
+    })?;
+    println!("{}", summary.metrics_json);
+    Ok(())
+}
+
+/// `client`: one frame against a running daemon. Explore responses
+/// print only the raw report line (the daemon envelope's trailing
+/// object), so piping to a file yields the same bytes as
+/// `explore --json`.
+fn client(cli: &Cli, request: Option<ExploreRequest>) -> CliResult {
+    let mut stream = TcpStream::connect(&cli.addr)
+        .map_err(|e| format!("cannot connect to {}: {e}", cli.addr))?;
+    let frame = match (cli.client_op, &request) {
+        (ClientOp::Explore, Some(req)) => {
+            format!("{{\"op\":\"explore\",\"request\":{}}}", req.to_json())
+        }
+        (ClientOp::Stats, _) => "{\"op\":\"stats\"}".to_string(),
+        (ClientOp::Ping, _) => "{\"op\":\"ping\"}".to_string(),
+        (ClientOp::Shutdown, _) => "{\"op\":\"shutdown\"}".to_string(),
+        (ClientOp::Explore, None) => unreachable!("run() builds the request for explore"),
+    };
+    write_frame(&mut stream, &frame)?;
+    let response = read_frame(&mut stream)?.ok_or("daemon closed the connection")?;
+    if !response.starts_with("{\"schema\":\"sunmap-serve/1\",\"ok\":true") {
+        return Err(format!("daemon refused the request: {response}").into());
+    }
+    match cli.client_op {
+        ClientOp::Explore => {
+            let report = report_slice(&response).ok_or("response carries no report")?;
+            println!("{report}");
+        }
+        _ => println!("{response}"),
+    }
+    Ok(())
+}
+
+/// `replay`: re-runs a serve request log through the one-shot path and
+/// fails (non-zero exit) unless every report reproduces byte-for-byte.
+fn replay(cli: &Cli) -> CliResult {
+    let summary = verify_replay(Path::new(&cli.log_path), cli.cache)
+        .map_err(|e| -> Box<dyn Error> { e.into() })?;
+    println!(
+        "replay ok: {} request(s) reproduced byte-identically from {}",
+        summary.replayed, cli.log_path
+    );
+    Ok(())
 }
 
 fn explore(cli: &Cli, app: CoreGraph) -> CliResult {
@@ -190,17 +296,12 @@ fn batch(cli: &Cli) -> CliResult {
 
     let mut file = fs::OpenOptions::new().append(true).open(&path)?;
     let mut write_error: Option<std::io::Error> = None;
-    run_batch(
-        remaining,
-        manifest.probe.as_ref(),
-        cli.workers,
-        |_, line| {
-            write_error = writeln!(file, "{line}").and_then(|()| file.flush()).err();
-            // A failed write (e.g. disk full) cancels the run instead
-            // of computing results that can no longer be recorded.
-            write_error.is_none()
-        },
-    );
+    run_batch(remaining, cli.workers, |_, line| {
+        write_error = writeln!(file, "{line}").and_then(|()| file.flush()).err();
+        // A failed write (e.g. disk full) cancels the run instead
+        // of computing results that can no longer be recorded.
+        write_error.is_none()
+    });
     if let Some(e) = write_error {
         return Err(format!("writing {}: {e}", path.display()).into());
     }
@@ -308,13 +409,18 @@ mod tests {
     #[test]
     fn builtin_apps_load() {
         for name in ["vopd", "mpeg4", "dsp", "netproc"] {
-            let app = load_app(name).unwrap();
+            let app = AppSource::load(name).unwrap();
             assert!(app.core_count() >= 6, "{name}");
         }
-        assert!(load_app("/does/not/exist.app").is_err());
+        assert!(AppSource::load("/does/not/exist.app").is_err());
         // Synthetic specs resolve anywhere an application name does.
-        assert_eq!(load_app("synth:seed=2,cores=9").unwrap().core_count(), 9);
-        assert!(load_app("synth:cores=0").is_err());
+        assert_eq!(
+            AppSource::load("synth:seed=2,cores=9")
+                .unwrap()
+                .core_count(),
+            9
+        );
+        assert!(AppSource::load("synth:cores=0").is_err());
     }
 
     #[test]

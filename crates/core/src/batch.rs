@@ -1,16 +1,17 @@
 //! Batch exploration: many applications × configurations in one
 //! sharded invocation.
 //!
-//! A [`BatchManifest`] names the grid — applications (built-in
-//! benchmarks, `.app` files, or [`SyntheticSpec`] `synth:` specs),
-//! objectives, routing functions, link capacities and constraint
-//! regimes — and [`run_batch`] executes its cross product across
-//! `std::thread::scope` workers. Each worker keeps **one
-//! [`RouteTable`] per distinct topology** (reused across every job
-//! mapping onto that topology via [`Mapper::with_route_table`]) and,
-//! when the manifest requests a simulation probe, **one
-//! [`RoutePlan`] per topology** compiled from that same table (via the
-//! table's `prepare_sim_routes` path for indirect networks).
+//! A [`BatchManifest`] names the grid — applications (any
+//! [`AppSource`] spelling: built-in benchmarks, `synth:` specs,
+//! `inline:` graphs or `.app` files), objectives, routing functions,
+//! link capacities and constraint regimes — and expands each cell into
+//! an [`ExploreRequest`] (see [`crate::request`]; the manifest parser
+//! is one of the surfaces that construct it). [`run_batch`] executes
+//! the requests across `std::thread::scope` workers. Each worker keeps
+//! a [`crate::request::LruLibraryCache`]: **one route table per
+//! distinct topology** (reused across every job mapping onto that
+//! topology) and, when the manifest requests a simulation probe, **one
+//! route plan per topology** compiled from that same table.
 //!
 //! Results stream as JSON-lines in job order — a positional reorder
 //! buffer delivers line *k* only after lines `0..k`, so the output is
@@ -28,7 +29,7 @@
 //! let jobs = manifest.jobs()?;
 //! assert_eq!(jobs.len(), 2);
 //! let mut lines = Vec::new();
-//! run_batch(&jobs, None, 2, |_, line| {
+//! run_batch(&jobs, 2, |_, line| {
 //!     lines.push(line.to_string());
 //!     true // keep going; false cancels the run
 //! });
@@ -42,87 +43,24 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 
-use crate::flow::{rank_reports, SelectionPolicy};
-use sunmap_mapping::{
-    Constraints, CostReport, Mapper, MapperConfig, Objective, RouteTable, RoutingFunction,
-};
-use sunmap_sim::sweep::{json_number, json_string, stats_json_fields};
-use sunmap_sim::{NocSimulator, RoutePlan, SimConfig};
-use sunmap_topology::{builders, TopologyGraph};
-use sunmap_traffic::patterns::TrafficPattern;
-use sunmap_traffic::synthetic::SyntheticSpec;
-use sunmap_traffic::{benchmarks, io, CoreGraph};
+use crate::request::{execute, ExploreRequest, LruLibraryCache};
+use sunmap_mapping::{Objective, RoutingFunction, SwapStrategy};
+use sunmap_sim::sweep::json_string;
+use sunmap_traffic::{AppSource, CoreGraph};
 
-/// Resolves an application spec the way every CLI surface does: a
-/// built-in benchmark name (`vopd`, `mpeg4`, `dsp`, `netproc`), a
-/// seeded synthetic spec (`synth:seed=..,cores=..`), or a `.app` file
-/// path.
+// The request vocabulary lived here before `crate::request` unified
+// the parse paths; re-exported so `sunmap::batch::{...}` stays valid.
+pub use crate::request::{parse_objective, parse_routing, ConstraintMode, SimProbe};
+
+/// Resolves an application spec: a built-in benchmark name, a seeded
+/// synthetic spec, an inline graph, or a `.app` file path.
 ///
 /// # Errors
 ///
 /// Returns a human-readable message naming the spec and the failure.
-/// Empty applications (a `.app` file with no `core` lines) are
-/// rejected here, so every downstream consumer can rely on a
-/// non-empty graph.
+#[deprecated(note = "parse an `sunmap::AppSource` and call `resolve()` instead")]
 pub fn resolve_app(spec: &str) -> Result<CoreGraph, String> {
-    let app = match spec {
-        "vopd" => benchmarks::vopd(),
-        "mpeg4" => benchmarks::mpeg4(),
-        "dsp" => benchmarks::dsp_filter(),
-        "netproc" => benchmarks::network_processor(100.0),
-        s if SyntheticSpec::is_spec(s) => {
-            let spec: SyntheticSpec = s.parse().map_err(|e| format!("{s}: {e}"))?;
-            spec.generate()
-        }
-        path => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read application '{path}': {e}"))?;
-            io::parse_app(&text).map_err(|e| format!("{path}: {e}"))?
-        }
-    };
-    if app.core_count() == 0 {
-        return Err(format!("application '{spec}' declares no cores"));
-    }
-    Ok(app)
-}
-
-/// One constraint regime of the manifest grid.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ConstraintMode {
-    /// Bandwidth feasibility enforced ([`Constraints::default`]).
-    Strict,
-    /// Bandwidth feasibility relaxed
-    /// ([`Constraints::relaxed_bandwidth`], the paper's §6.2 mode).
-    Relaxed,
-}
-
-impl ConstraintMode {
-    /// The mapper constraints this mode selects.
-    pub fn constraints(self) -> Constraints {
-        match self {
-            ConstraintMode::Strict => Constraints::default(),
-            ConstraintMode::Relaxed => Constraints::relaxed_bandwidth(),
-        }
-    }
-
-    /// Manifest/JSONL spelling.
-    pub fn name(self) -> &'static str {
-        match self {
-            ConstraintMode::Strict => "strict",
-            ConstraintMode::Relaxed => "relaxed",
-        }
-    }
-}
-
-/// An optional per-job simulation probe: the winning topology is
-/// simulated under this synthetic pattern and injection rate, through
-/// the worker's shared per-topology [`RoutePlan`].
-#[derive(Debug, Clone, PartialEq)]
-pub struct SimProbe {
-    /// Destination pattern for the probe.
-    pub pattern: TrafficPattern,
-    /// Injection rate in flits/cycle/terminal.
-    pub rate: f64,
+    AppSource::load(spec)
 }
 
 /// Errors from manifest parsing and job expansion.
@@ -160,7 +98,7 @@ impl std::fmt::Display for ManifestError {
             ManifestError::UnknownDirective { line, word } => write!(
                 f,
                 "line {line}: unknown directive '{word}' (valid: app, objective, \
-                 routing, capacity, constraints, simulate)"
+                 routing, capacity, constraints, swap, simulate)"
             ),
             ManifestError::BadValue { line, message } => write!(f, "line {line}: {message}"),
             ManifestError::NoApps => write!(f, "manifest declares no applications"),
@@ -206,6 +144,10 @@ pub struct BatchManifest {
     pub capacities: Vec<f64>,
     /// Constraint-regime axis (empty = `[Strict]`).
     pub constraints: Vec<ConstraintMode>,
+    /// Phase-3 swap strategy applied to every job (default `auto`; not
+    /// part of the job id — it never changes a job's winning bytes,
+    /// only how fast the sweep finds them).
+    pub swap: Option<SwapStrategy>,
     /// Winner simulation probe, if requested.
     pub probe: Option<SimProbe>,
 }
@@ -245,35 +187,11 @@ impl BatchManifest {
                     }
                     m.capacities.push(cap);
                 }
-                "constraints" => m.constraints.push(match rest {
-                    "strict" => ConstraintMode::Strict,
-                    "relaxed" => ConstraintMode::Relaxed,
-                    other => {
-                        return Err(bad(format!(
-                            "unknown constraints '{other}' (valid: strict, relaxed)"
-                        )))
-                    }
-                }),
-                "simulate" => {
-                    let (pattern, rate) = rest
-                        .split_once(char::is_whitespace)
-                        .ok_or_else(|| bad("'simulate' needs a pattern and a rate".to_string()))?;
-                    let pattern = TrafficPattern::from_name(pattern.trim()).ok_or_else(|| {
-                        bad(format!(
-                            "unknown pattern '{}' (valid: {})",
-                            pattern.trim(),
-                            TrafficPattern::NAMES.join(", ")
-                        ))
-                    })?;
-                    let rate: f64 = rate
-                        .trim()
-                        .parse()
-                        .map_err(|_| bad(format!("'{}' is not a rate", rate.trim())))?;
-                    if !(rate.is_finite() && rate >= 0.0) {
-                        return Err(bad("rate must be non-negative".to_string()));
-                    }
-                    m.probe = Some(SimProbe { pattern, rate });
-                }
+                "constraints" => m
+                    .constraints
+                    .push(ConstraintMode::parse(rest).map_err(bad)?),
+                "swap" => m.swap = Some(crate::request::parse_swap(rest).map_err(bad)?),
+                "simulate" => m.probe = Some(SimProbe::parse(rest).map_err(bad)?),
                 other => {
                     return Err(ManifestError::UnknownDirective {
                         line,
@@ -305,16 +223,26 @@ impl BatchManifest {
         let routings = non_empty(&self.routings, RoutingFunction::MinPath);
         let capacities = non_empty(&self.capacities, 500.0);
         let constraints = non_empty(&self.constraints, ConstraintMode::Strict);
+        let swap = self.swap.unwrap_or(SwapStrategy::Auto);
         let mut jobs = Vec::new();
         for spec in &apps {
-            let app = Arc::new(resolve_app(spec).map_err(|message| ManifestError::BadApp {
+            let bad_app = |message: String| ManifestError::BadApp {
                 spec: spec.clone(),
                 message,
-            })?);
+            };
+            let source: AppSource = spec.parse().map_err(|e| bad_app(format!("{e}")))?;
+            let app = Arc::new(source.resolve().map_err(bad_app)?);
             for &capacity in &capacities {
                 for &objective in &objectives {
                     for &routing in &routings {
                         for &mode in &constraints {
+                            let mut request = ExploreRequest::new(source.clone());
+                            request.objective = objective;
+                            request.routing = routing;
+                            request.capacity = capacity;
+                            request.constraints = mode;
+                            request.swap = swap;
+                            request.probe = self.probe.clone();
                             jobs.push(BatchJob {
                                 id: format!(
                                     "{spec}|{capacity}|{objective}|{}|{}",
@@ -323,10 +251,7 @@ impl BatchManifest {
                                 ),
                                 app_spec: spec.clone(),
                                 app: app.clone(),
-                                capacity,
-                                objective,
-                                routing,
-                                mode,
+                                request,
                             });
                         }
                     }
@@ -355,219 +280,34 @@ fn dedup<T: Clone>(values: &[T], eq: impl Fn(&T, &T) -> bool) -> Vec<T> {
     out
 }
 
-/// Parses an objective name (`delay`, `area`, `power`, `bandwidth`),
-/// case-insensitively — shared by the manifest parser and the CLI's
-/// `--objective` flag.
-///
-/// # Errors
-///
-/// The message lists the valid names.
-pub fn parse_objective(text: &str) -> Result<Objective, String> {
-    match text.to_ascii_lowercase().as_str() {
-        "delay" => Ok(Objective::MinDelay),
-        "area" => Ok(Objective::MinArea),
-        "power" => Ok(Objective::MinPower),
-        "bandwidth" => Ok(Objective::MinBandwidth),
-        other => Err(format!(
-            "unknown objective '{other}' (valid: delay, area, power, bandwidth)"
-        )),
-    }
-}
-
-/// Parses a routing-function abbreviation (`DO`, `MP`, `SM`, `SA`),
-/// case-insensitively — shared by the manifest parser and the CLI's
-/// `--routing` flag.
-///
-/// # Errors
-///
-/// The message lists the valid names.
-pub fn parse_routing(text: &str) -> Result<RoutingFunction, String> {
-    match text.to_ascii_uppercase().as_str() {
-        "DO" => Ok(RoutingFunction::DimensionOrdered),
-        "MP" => Ok(RoutingFunction::MinPath),
-        "SM" => Ok(RoutingFunction::SplitMinPaths),
-        "SA" => Ok(RoutingFunction::SplitAllPaths),
-        other => Err(format!("unknown routing '{other}' (valid: DO, MP, SM, SA)")),
-    }
-}
-
 /// One cell of the exploration grid, ready to run.
 #[derive(Debug, Clone)]
 pub struct BatchJob {
     /// Stable identifier (`app|capacity|objective|routing|mode`) used
     /// for resume bookkeeping and carried in the JSONL line.
     pub id: String,
-    /// The application spec as written in the manifest.
+    /// The application spec as written in the manifest — reported
+    /// verbatim (and used in the id) so resumed outputs from older
+    /// manifests keep their bytes even when the spec is a
+    /// non-canonical spelling of its [`AppSource`].
     pub app_spec: String,
     /// The loaded application, shared across the spec's jobs.
     pub app: Arc<CoreGraph>,
-    /// Link capacity in MB/s.
-    pub capacity: f64,
-    /// Mapping/selection objective.
-    pub objective: Objective,
-    /// Routing function.
-    pub routing: RoutingFunction,
-    /// Constraint regime.
-    pub mode: ConstraintMode,
+    /// The unified request this cell executes.
+    pub request: ExploreRequest,
 }
 
-/// Worker-local per-topology state: the graph, its route table (shared
-/// by every mapping job on this topology) and, lazily, the simulation
-/// route plan compiled from that same table.
-struct TopoCache {
-    graph: TopologyGraph,
-    table: RouteTable,
-    plan: Option<Arc<RoutePlan>>,
-}
-
-/// Worker-local library cache, keyed by the inputs that determine the
-/// standard library: core count and link capacity.
-struct LibraryCache {
-    entries: Vec<((usize, u64), Vec<TopoCache>)>,
-}
-
-impl LibraryCache {
-    fn new() -> Self {
-        LibraryCache {
-            entries: Vec::new(),
-        }
-    }
-
-    fn library(&mut self, cores: usize, capacity: f64) -> &mut Vec<TopoCache> {
-        let key = (cores, capacity.to_bits());
-        if let Some(i) = self.entries.iter().position(|(k, _)| *k == key) {
-            return &mut self.entries[i].1;
-        }
-        let topos = builders::standard_library(cores, capacity)
-            .expect("jobs carry non-empty applications")
-            .into_iter()
-            .map(|graph| TopoCache {
-                table: RouteTable::new(&graph),
-                graph,
-                plan: None,
-            })
-            .collect();
-        self.entries.push((key, topos));
-        &mut self.entries.last_mut().expect("just pushed").1
-    }
-}
-
-/// Runs one job against the worker's shared caches and renders its
-/// JSONL line.
-fn run_job(job: &BatchJob, cache: &mut LibraryCache, probe: Option<&SimProbe>) -> String {
-    // SwapStrategy::Auto (via ..default()) keeps the seed benchmarks on
-    // the exhaustive sweep (stable evaluation counts) while large
-    // synthetic grids get the incremental delta engine.
-    let config = MapperConfig {
-        routing: job.routing,
-        objective: job.objective,
-        constraints: job.mode.constraints(),
-        ..MapperConfig::default()
-    };
-    let topos = cache.library(job.app.core_count(), job.capacity);
-    let outcomes: Vec<_> = topos
-        .iter_mut()
-        .map(|tc| {
-            Mapper::new(&tc.graph, &job.app, config)
-                .with_route_table(&mut tc.table)
-                .run()
-        })
-        .collect();
-    let reports: Vec<Option<&CostReport>> = outcomes
-        .iter()
-        .map(|o| o.as_ref().ok().map(|m| m.report()))
-        .collect();
-    let ranked = rank_reports(&reports, SelectionPolicy::Balanced, job.objective);
-    let winner = ranked.first().copied();
-
-    let mut line = format!(
-        "{{\"schema\":\"sunmap-batch/1\",\"job\":{},\"app\":{},\"cores\":{},\
-         \"capacity\":{},\"objective\":{},\"routing\":{},\"constraints\":{}",
-        json_string(&job.id),
-        json_string(&job.app_spec),
-        job.app.core_count(),
-        json_number(job.capacity),
-        json_string(&job.objective.to_string()),
-        json_string(job.routing.abbrev()),
-        json_string(job.mode.name()),
-    );
-    let feasible = reports.iter().filter(|r| r.is_some()).count();
-    let evaluated: usize = outcomes
-        .iter()
-        .filter_map(|o| o.as_ref().ok().map(|m| m.evaluated_candidates()))
-        .sum();
-    line.push_str(&format!(
-        ",\"candidates\":{},\"feasible\":{feasible},\"evaluated\":{evaluated}",
-        topos.len()
-    ));
-    line.push_str(",\"topologies\":[");
-    for (i, tc) in topos.iter().enumerate() {
-        if i > 0 {
-            line.push(',');
-        }
-        match reports[i] {
-            Some(r) => line.push_str(&format!(
-                "{{\"topology\":{},\"feasible\":true,\"avg_hops\":{},\
-                 \"design_area\":{},\"power_mw\":{}}}",
-                json_string(tc.graph.kind().name()),
-                json_number(r.avg_hops),
-                json_number(r.design_area),
-                json_number(r.power_mw),
-            )),
-            None => line.push_str(&format!(
-                "{{\"topology\":{},\"feasible\":false}}",
-                json_string(tc.graph.kind().name())
-            )),
-        }
-    }
-    line.push(']');
-    match winner {
-        Some(w) => {
-            let r = reports[w].expect("ranked candidates are feasible");
-            line.push_str(&format!(
-                ",\"winner\":{{\"topology\":{},\"avg_hops\":{},\"design_area\":{},\
-                 \"floorplan_area\":{},\"power_mw\":{},\"max_link_load\":{},\
-                 \"evaluated\":{}}}",
-                json_string(topos[w].graph.kind().name()),
-                json_number(r.avg_hops),
-                json_number(r.design_area),
-                json_number(r.floorplan_area),
-                json_number(r.power_mw),
-                json_number(r.max_link_load),
-                outcomes[w]
-                    .as_ref()
-                    .map(|m| m.evaluated_candidates())
-                    .expect("winner is feasible"),
-            ));
-            if let Some(probe) = probe {
-                let tc = &mut topos[w];
-                let config = SimConfig::default();
-                // The probe plan comes from the same shared table the
-                // mapper used; compiled once per topology, reused by
-                // every later job that picks the same winner.
-                let plan = match &tc.plan {
-                    Some(plan) => plan.clone(),
-                    None => {
-                        let plan =
-                            Arc::new(RoutePlan::synthetic(&tc.graph, &mut tc.table, &config));
-                        tc.plan = Some(plan.clone());
-                        plan
-                    }
-                };
-                let mut sim = NocSimulator::with_plan(&tc.graph, config, plan);
-                let stats = sim.run_synthetic(&probe.pattern, probe.rate);
-                line.push_str(&format!(
-                    ",\"sim\":{{\"pattern\":{},\"rate\":{},{}}}",
-                    json_string(probe.pattern.name()),
-                    json_number(probe.rate),
-                    stats_json_fields(&stats),
-                ));
-            }
-        }
-        None => line.push_str(",\"winner\":null"),
-    }
-    line.push('}');
-    line
+/// Runs one job against the worker's shared cache and renders its
+/// JSONL line: the schema/job prefix plus the shared report body of
+/// [`crate::request::execute`].
+fn run_job(job: &BatchJob, cache: &mut LruLibraryCache) -> String {
+    let body = cache.with_library(job.app.core_count(), job.request.capacity, |topos| {
+        execute(&job.app_spec, &job.app, &job.request, topos).0
+    });
+    format!(
+        "{{\"schema\":\"sunmap-batch/1\",\"job\":{},{body}}}",
+        json_string(&job.id)
+    )
 }
 
 /// Executes `jobs` across at most `workers` scoped threads (`0` = one
@@ -584,17 +324,15 @@ fn run_job(job: &BatchJob, cache: &mut LibraryCache, probe: Option<&SimProbe>) -
 /// Jobs are split into contiguous chunks (jobs of the same application
 /// and capacity sit next to each other in manifest order, so a chunk's
 /// worker reuses its per-topology route tables across them).
-pub fn run_batch(
-    jobs: &[BatchJob],
-    probe: Option<&SimProbe>,
-    workers: usize,
-    mut on_line: impl FnMut(usize, &str) -> bool,
-) {
+pub fn run_batch(jobs: &[BatchJob], workers: usize, mut on_line: impl FnMut(usize, &str) -> bool) {
+    // Workers never evict: a batch's grid is finite and grouped by
+    // application/capacity, so the old unbounded per-worker cache
+    // behaviour is exactly an LRU that never reaches its limit.
     let workers = effective_workers(workers, jobs.len());
     if workers <= 1 {
-        let mut cache = LibraryCache::new();
+        let mut cache = LruLibraryCache::new(usize::MAX);
         for (i, job) in jobs.iter().enumerate() {
-            let line = run_job(job, &mut cache, probe);
+            let line = run_job(job, &mut cache);
             if !on_line(i, &line) {
                 return;
             }
@@ -609,12 +347,12 @@ pub fn run_batch(
             let tx = tx.clone();
             let abort = &abort;
             s.spawn(move || {
-                let mut cache = LibraryCache::new();
+                let mut cache = LruLibraryCache::new(usize::MAX);
                 for (i, job) in chunk_jobs.iter().enumerate() {
                     if abort.load(Ordering::Relaxed) {
                         break;
                     }
-                    let line = run_job(job, &mut cache, probe);
+                    let line = run_job(job, &mut cache);
                     // A send fails only after a cancelled receiver has
                     // hung up; the abort flag then ends the loop.
                     let _ = tx.send((c * chunk + i, line));
@@ -738,6 +476,7 @@ fn effective_workers(requested: usize, jobs: usize) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sunmap_traffic::patterns::TrafficPattern;
 
     const SMALL_GRID: &str = "\
 # two apps x two objectives
@@ -749,9 +488,9 @@ routing MP
 capacity 1000
 ";
 
-    fn collect(jobs: &[BatchJob], probe: Option<&SimProbe>, workers: usize) -> Vec<String> {
+    fn collect(jobs: &[BatchJob], workers: usize) -> Vec<String> {
         let mut lines = Vec::new();
-        run_batch(jobs, probe, workers, |i, line| {
+        run_batch(jobs, workers, |i, line| {
             assert_eq!(i, lines.len(), "lines must arrive in job order");
             lines.push(line.to_string());
             true
@@ -783,10 +522,32 @@ capacity 1000
         let m = BatchManifest::parse("app dsp\n").unwrap();
         let jobs = m.jobs().unwrap();
         assert_eq!(jobs.len(), 1);
-        assert_eq!(jobs[0].objective, Objective::MinDelay);
-        assert_eq!(jobs[0].routing, RoutingFunction::MinPath);
-        assert_eq!(jobs[0].capacity, 500.0);
-        assert_eq!(jobs[0].mode, ConstraintMode::Strict);
+        let req = &jobs[0].request;
+        assert_eq!(*req, ExploreRequest::new("dsp".parse().unwrap()));
+        assert_eq!(req.objective, Objective::MinDelay);
+        assert_eq!(req.routing, RoutingFunction::MinPath);
+        assert_eq!(req.capacity, 500.0);
+        assert_eq!(req.constraints, ConstraintMode::Strict);
+        assert_eq!(req.swap, SwapStrategy::Auto);
+        assert_eq!(req.probe, None);
+    }
+
+    #[test]
+    fn manifest_swap_and_probe_reach_every_request() {
+        let m = BatchManifest::parse("app dsp\napp vopd\nswap delta\nsimulate transpose 0.2\n")
+            .unwrap();
+        for job in m.jobs().unwrap() {
+            assert_eq!(job.request.swap, SwapStrategy::DeltaPruned);
+            assert_eq!(
+                job.request.probe,
+                Some(SimProbe {
+                    pattern: TrafficPattern::Transpose,
+                    rate: 0.2
+                })
+            );
+        }
+        let e = BatchManifest::parse("swap sometimes\n").unwrap_err();
+        assert!(e.to_string().contains("auto, exhaustive, delta"), "{e}");
     }
 
     #[test]
@@ -814,7 +575,8 @@ capacity 1000
     }
 
     #[test]
-    fn resolve_app_handles_all_spec_kinds() {
+    #[allow(deprecated)]
+    fn deprecated_resolve_app_still_loads_every_spec_kind() {
         assert_eq!(resolve_app("vopd").unwrap().core_count(), 12);
         assert_eq!(resolve_app("netproc").unwrap().core_count(), 16);
         assert_eq!(
@@ -849,7 +611,7 @@ capacity 1000
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("empty.app");
         std::fs::write(&path, "# no cores declared\n").unwrap();
-        let err = resolve_app(path.to_str().unwrap()).unwrap_err();
+        let err = AppSource::load(path.to_str().unwrap()).unwrap_err();
         assert!(err.contains("declares no cores"), "{err}");
         let m = BatchManifest::parse(&format!("app {}\n", path.display())).unwrap();
         assert!(matches!(m.jobs(), Err(ManifestError::BadApp { .. })));
@@ -866,7 +628,7 @@ capacity 1000
         assert_eq!(jobs.len(), 4);
         for workers in [1, 2] {
             let mut delivered = Vec::new();
-            run_batch(&jobs, None, workers, |i, line| {
+            run_batch(&jobs, workers, |i, line| {
                 delivered.push((i, line.to_string()));
                 delivered.len() < 2
             });
@@ -884,7 +646,7 @@ capacity 1000
         let plan = plan_resume(jobs, existing).expect("prefix output resumes");
         assert!(plan.keep_bytes <= existing.len());
         let mut rebuilt = existing[..plan.keep_bytes].to_string();
-        run_batch(&jobs[plan.completed_jobs..], None, 1, |_, line| {
+        run_batch(&jobs[plan.completed_jobs..], 1, |_, line| {
             rebuilt.push_str(line);
             rebuilt.push('\n');
             true
@@ -896,7 +658,7 @@ capacity 1000
     fn resume_recovers_newline_boundary_and_midline_kills() {
         let jobs = BatchManifest::parse(SMALL_GRID).unwrap().jobs().unwrap();
         let mut full = String::new();
-        run_batch(&jobs, None, 1, |_, line| {
+        run_batch(&jobs, 1, |_, line| {
             full.push_str(line);
             full.push('\n');
             true
@@ -931,7 +693,7 @@ capacity 1000
     fn resume_refuses_foreign_or_oversized_output() {
         let jobs = BatchManifest::parse(SMALL_GRID).unwrap().jobs().unwrap();
         let mut full = String::new();
-        run_batch(&jobs, None, 1, |_, line| {
+        run_batch(&jobs, 1, |_, line| {
             full.push_str(line);
             full.push('\n');
             true
@@ -974,10 +736,10 @@ capacity 1000
     #[test]
     fn batch_output_is_worker_count_invariant() {
         let jobs = BatchManifest::parse(SMALL_GRID).unwrap().jobs().unwrap();
-        let one = collect(&jobs, None, 1);
+        let one = collect(&jobs, 1);
         assert_eq!(one.len(), jobs.len());
         for workers in [2, 4] {
-            assert_eq!(one, collect(&jobs, None, workers), "{workers} workers");
+            assert_eq!(one, collect(&jobs, workers), "{workers} workers");
         }
     }
 
@@ -985,7 +747,7 @@ capacity 1000
     fn batch_lines_carry_the_result_schema() {
         let m = BatchManifest::parse("app dsp\ncapacity 1000\nsimulate uniform 0.05\n").unwrap();
         let jobs = m.jobs().unwrap();
-        let lines = collect(&jobs, m.probe.as_ref(), 1);
+        let lines = collect(&jobs, 1);
         let line = &lines[0];
         assert!(line.starts_with("{\"schema\":\"sunmap-batch/1\""), "{line}");
         assert!(line.contains("\"job\":\"dsp|1000|min-delay|MP|strict\""));
@@ -999,7 +761,7 @@ capacity 1000
     fn infeasible_jobs_report_a_null_winner() {
         // 1 MB/s links cannot carry the DSP filter anywhere.
         let m = BatchManifest::parse("app dsp\ncapacity 1\n").unwrap();
-        let lines = collect(&m.jobs().unwrap(), None, 1);
+        let lines = collect(&m.jobs().unwrap(), 1);
         assert!(lines[0].contains("\"feasible\":0"), "{}", lines[0]);
         assert!(lines[0].contains("\"winner\":null"), "{}", lines[0]);
     }
@@ -1010,7 +772,7 @@ capacity 1000
         // Sunmap::explore selects (PR-1's seed assertion: VOPD ->
         // Butterfly under MinPower).
         let m = BatchManifest::parse("app vopd\nobjective power\n").unwrap();
-        let lines = collect(&m.jobs().unwrap(), None, 1);
+        let lines = collect(&m.jobs().unwrap(), 1);
         assert!(
             lines[0].contains("\"winner\":{\"topology\":\"Butterfly\""),
             "{}",

@@ -39,11 +39,19 @@
 //! [`traffic`], [`floorplan`], [`power`], [`mapping`], [`sim`] and
 //! [`gen`]. The [`batch`] module turns the flow into a throughput
 //! engine: manifest-driven grids of applications × configurations,
-//! sharded across threads with shared per-topology route state.
+//! sharded across threads with shared per-topology route state. The
+//! [`request`] module is the unified entry point every surface builds
+//! on (one serializable [`ExploreRequest`], one validate path, one
+//! report renderer), and [`serve`] + [`metrics`] turn it into a
+//! long-running daemon with warm route caches and live counters.
 
 pub mod batch;
 mod flow;
+mod json;
+pub mod metrics;
 mod pareto;
+pub mod request;
+pub mod serve;
 mod sweep;
 
 pub use flow::{
@@ -68,10 +76,12 @@ pub use sunmap_topology as topology;
 /// Re-export of the traffic-model crate.
 pub use sunmap_traffic as traffic;
 
+pub use request::ExploreRequest;
+
 // The names a typical user needs, at the crate root.
 pub use sunmap_mapping::{
     Constraints, CostReport, Mapper, MapperConfig, Mapping, MappingError, Objective,
-    RoutingFunction,
+    RoutingFunction, SwapStrategy,
 };
 pub use sunmap_topology::{TopologyGraph, TopologyKind};
-pub use sunmap_traffic::CoreGraph;
+pub use sunmap_traffic::{AppSource, CoreGraph};

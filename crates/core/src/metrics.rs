@@ -1,0 +1,279 @@
+//! Live counters and latency histograms for the serve daemon.
+//!
+//! No dependencies, no locks on the hot path: counters are relaxed
+//! atomics and each histogram is a fixed array of power-of-two-µs
+//! buckets, so recording a sample is a couple of atomic adds. A
+//! [`Metrics`] is shared by `Arc` between the daemon's workers; the
+//! `stats` frame and the shutdown dump both render the same
+//! [`Metrics::to_json`] snapshot (schema `sunmap-serve-metrics/1`).
+//!
+//! Snapshots are taken field by field without a global lock, so a
+//! snapshot racing live traffic may be off by the requests in flight —
+//! monitoring semantics, deliberately cheaper than exactness.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use sunmap_sim::sweep::json_number;
+
+/// Number of histogram buckets: bucket `i` counts samples in
+/// `[2^i, 2^(i+1))` µs (bucket 0 includes sub-µs samples), so 32
+/// buckets span sub-microsecond to ~72 minutes.
+const BUCKETS: usize = 32;
+
+/// A fixed-bucket latency histogram over microseconds.
+///
+/// Buckets are powers of two, so `record` is a leading-zeros
+/// instruction plus two atomic adds — cheap enough for per-request and
+/// per-phase use.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    min_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            min_us: AtomicU64::new(u64::MAX),
+            max_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one duration given in nanoseconds.
+    pub fn record_nanos(&self, nanos: u64) {
+        let us = nanos / 1_000;
+        let bucket = (63 - u64::leading_zeros(us.max(1)) as usize).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.min_us.fetch_min(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// The upper bound (µs) of the bucket holding quantile `q` of the
+    /// recorded samples — an over-estimate by at most 2×, which is the
+    /// resolution monitoring needs.
+    fn quantile_us(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let target = ((count as f64) * q).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= target {
+                return 1u64 << (i + 1);
+            }
+        }
+        self.max_us.load(Ordering::Relaxed)
+    }
+
+    /// JSON object snapshot: count, min/mean/max and approximate
+    /// p50/p90/p99, all in microseconds.
+    pub fn to_json(&self) -> String {
+        let count = self.count();
+        let (min, mean) = if count == 0 {
+            (0, 0.0)
+        } else {
+            (
+                self.min_us.load(Ordering::Relaxed),
+                self.sum_us.load(Ordering::Relaxed) as f64 / count as f64,
+            )
+        };
+        format!(
+            "{{\"count\":{count},\"min_us\":{min},\"mean_us\":{},\"max_us\":{},\
+             \"p50_us\":{},\"p90_us\":{},\"p99_us\":{}}}",
+            json_number(mean),
+            self.max_us.load(Ordering::Relaxed),
+            self.quantile_us(0.50),
+            self.quantile_us(0.90),
+            self.quantile_us(0.99),
+        )
+    }
+}
+
+/// The daemon's counters and per-phase histograms.
+#[derive(Debug)]
+pub struct Metrics {
+    started: Instant,
+    /// `explore` frames answered successfully.
+    pub explore_requests: AtomicU64,
+    /// `stats` frames answered.
+    pub stats_requests: AtomicU64,
+    /// `ping` frames answered.
+    pub ping_requests: AtomicU64,
+    /// Frames rejected with an error response.
+    pub errors: AtomicU64,
+    /// Candidate-library (route table) cache hits.
+    pub cache_hits: AtomicU64,
+    /// Candidate-library cache misses (cold builds).
+    pub cache_misses: AtomicU64,
+    /// Mapping candidates evaluated, across all requests.
+    pub evaluations: AtomicU64,
+    /// Route-table construction latency (cache misses only).
+    pub route_table_build: Histogram,
+    /// Mapping/swap-search latency per request.
+    pub swap_search: Histogram,
+    /// Floorplanning latency, as drained from
+    /// `sunmap_mapping::timing` after each request (combined across
+    /// concurrent requests — process-level attribution).
+    pub floorplan: Histogram,
+    /// Simulation-probe latency (probe requests only).
+    pub probe: Histogram,
+    /// End-to-end explore latency (receipt to response rendered).
+    pub request: Histogram,
+}
+
+impl Metrics {
+    /// Fresh metrics; the uptime clock starts now.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Metrics {
+        Metrics {
+            started: Instant::now(),
+            explore_requests: AtomicU64::new(0),
+            stats_requests: AtomicU64::new(0),
+            ping_requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            evaluations: AtomicU64::new(0),
+            route_table_build: Histogram::default(),
+            swap_search: Histogram::default(),
+            floorplan: Histogram::default(),
+            probe: Histogram::default(),
+            request: Histogram::default(),
+        }
+    }
+
+    /// One-line JSON snapshot (schema `sunmap-serve-metrics/1`):
+    /// request/cache/evaluation counters, the evaluation rate over the
+    /// process uptime, and one histogram object per phase.
+    pub fn to_json(&self) -> String {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let uptime = self.started.elapsed().as_secs_f64();
+        let evals = get(&self.evaluations);
+        let evals_per_sec = if uptime > 0.0 {
+            evals as f64 / uptime
+        } else {
+            0.0
+        };
+        format!(
+            "{{\"schema\":\"sunmap-serve-metrics/1\",\"uptime_secs\":{},\
+             \"requests\":{{\"explore\":{},\"stats\":{},\"ping\":{},\"errors\":{}}},\
+             \"cache\":{{\"hits\":{},\"misses\":{}}},\
+             \"evaluations\":{evals},\"evals_per_sec\":{},\
+             \"latency_us\":{{\"route_table_build\":{},\"swap_search\":{},\
+             \"floorplan\":{},\"probe\":{},\"request\":{}}}}}",
+            json_number(uptime),
+            get(&self.explore_requests),
+            get(&self.stats_requests),
+            get(&self.ping_requests),
+            get(&self.errors),
+            get(&self.cache_hits),
+            get(&self.cache_misses),
+            json_number(evals_per_sec),
+            self.route_table_build.to_json(),
+            self.swap_search.to_json(),
+            self.floorplan.to_json(),
+            self.probe.to_json(),
+            self.request.to_json(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    #[test]
+    fn histogram_buckets_cover_the_range() {
+        let h = Histogram::default();
+        assert_eq!(h.to_json(), h.to_json(), "empty snapshot is stable");
+        h.record_nanos(500); // sub-µs lands in bucket 0
+        h.record_nanos(3_000); // 3 µs
+        h.record_nanos(1_000_000); // 1 ms
+        h.record_nanos(u64::MAX); // saturates the last bucket
+        assert_eq!(h.count(), 4);
+        let snap = Json::parse(&h.to_json()).unwrap();
+        assert_eq!(snap.get("count").and_then(Json::as_f64), Some(4.0));
+        assert_eq!(snap.get("min_us").and_then(Json::as_f64), Some(0.0));
+        assert!(snap.get("p50_us").and_then(Json::as_f64).unwrap() >= 1.0);
+        assert!(
+            snap.get("p99_us").and_then(Json::as_f64).unwrap()
+                >= snap.get("p50_us").and_then(Json::as_f64).unwrap()
+        );
+    }
+
+    #[test]
+    fn quantiles_track_the_distribution() {
+        let h = Histogram::default();
+        for _ in 0..90 {
+            h.record_nanos(10_000); // 10 µs -> bucket [8,16)
+        }
+        for _ in 0..10 {
+            h.record_nanos(10_000_000); // 10 ms
+        }
+        assert_eq!(h.quantile_us(0.5), 16, "p50 in the 10 µs bucket");
+        assert!(h.quantile_us(0.99) >= 8_192, "p99 in the 10 ms bucket");
+    }
+
+    #[test]
+    fn metrics_snapshot_is_valid_json_with_all_sections() {
+        let m = Metrics::new();
+        m.explore_requests.fetch_add(2, Ordering::Relaxed);
+        m.cache_hits.fetch_add(1, Ordering::Relaxed);
+        m.evaluations.fetch_add(1234, Ordering::Relaxed);
+        m.request.record_nanos(5_000_000);
+        let snap = Json::parse(&m.to_json()).unwrap();
+        assert_eq!(
+            snap.get("schema").and_then(Json::as_str),
+            Some("sunmap-serve-metrics/1")
+        );
+        assert_eq!(
+            snap.get("requests")
+                .and_then(|r| r.get("explore"))
+                .and_then(Json::as_f64),
+            Some(2.0)
+        );
+        assert_eq!(
+            snap.get("cache")
+                .and_then(|c| c.get("hits"))
+                .and_then(Json::as_f64),
+            Some(1.0)
+        );
+        assert_eq!(snap.get("evaluations").and_then(Json::as_f64), Some(1234.0));
+        let latency = snap.get("latency_us").unwrap();
+        for phase in [
+            "route_table_build",
+            "swap_search",
+            "floorplan",
+            "probe",
+            "request",
+        ] {
+            assert!(latency.get(phase).is_some(), "{phase} section missing");
+        }
+        assert_eq!(
+            latency
+                .get("request")
+                .and_then(|h| h.get("count"))
+                .and_then(Json::as_f64),
+            Some(1.0)
+        );
+    }
+}

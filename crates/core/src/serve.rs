@@ -1,0 +1,679 @@
+//! `sunmap serve`: a warm-cache mapping daemon.
+//!
+//! The daemon listens on TCP and answers length-prefixed JSON frames
+//! (schema `sunmap-serve/1`). Each frame is a 4-byte big-endian length
+//! followed by that many bytes of UTF-8 JSON:
+//!
+//! ```text
+//! -> {"op":"ping"}
+//! <- {"schema":"sunmap-serve/1","ok":true,"op":"ping"}
+//! -> {"op":"explore","request":{"app":"vopd","objective":"power"}}
+//! <- {"schema":"sunmap-serve/1","ok":true,"op":"explore",
+//!     "cache_hit":false,"report":{"schema":"sunmap-report/1",...}}
+//! -> {"op":"stats"}
+//! <- {"schema":"sunmap-serve/1","ok":true,"op":"stats",
+//!     "metrics":{"schema":"sunmap-serve-metrics/1",...}}
+//! -> {"op":"shutdown"}
+//! <- {"schema":"sunmap-serve/1","ok":true,"op":"shutdown","draining":true}
+//! ```
+//!
+//! The `report` (and `metrics`) object is always the envelope's *last*
+//! field, so clients can recover the raw report bytes with
+//! [`report_slice`] instead of re-serializing — which is how the serve
+//! integration test asserts byte-identity against the one-shot CLI.
+//!
+//! Explore frames parse into the same [`ExploreRequest`] as every
+//! other surface and execute through the same [`execute`] path, with
+//! route tables served from a shared [`LruLibraryCache`] — the warm
+//! cache is the point of running a daemon instead of a process per
+//! request. Counters and per-phase latency histograms live in a shared
+//! [`Metrics`], answered live by `stats` frames and returned (and
+//! dumped by the CLI) on shutdown.
+//!
+//! When configured with a log path the daemon appends one line per
+//! explore request (schema `sunmap-serve-log/1`); [`verify_replay`]
+//! re-runs every logged request through the one-shot
+//! [`RequestRunner`] and fails unless each reproduces its logged
+//! report byte-for-byte.
+//!
+//! Shutdown is graceful: a `shutdown` frame (or `SIGTERM` on Unix)
+//! stops the accept loop, in-flight requests run to completion and
+//! their responses are written, then the workers exit.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::{mpsc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+use crate::metrics::Metrics;
+use crate::request::{execute, ExploreRequest, LruLibraryCache, RequestRunner};
+use sunmap_mapping::timing;
+
+/// Frames above this size are rejected rather than allocated.
+pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+/// How long a worker blocks on the connection queue or a socket read
+/// before re-checking the drain flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// The process-wide drain flag: set by a `shutdown` frame or by
+/// `SIGTERM`. Static because a signal handler cannot capture state;
+/// one daemon per process is the supported shape.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Configuration for [`serve`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7420` (`:0` picks a free port).
+    pub listen: String,
+    /// Worker threads answering frames.
+    pub workers: usize,
+    /// Candidate libraries kept warm in the LRU cache.
+    pub cache_entries: usize,
+    /// Append-only request-replay log, if any.
+    pub log_path: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            listen: "127.0.0.1:0".to_string(),
+            workers: 2,
+            cache_entries: 8,
+            log_path: None,
+        }
+    }
+}
+
+/// What a finished daemon reports back to its caller.
+#[derive(Debug)]
+pub struct ServeSummary {
+    /// The final metrics snapshot (schema `sunmap-serve-metrics/1`).
+    pub metrics_json: String,
+    /// Explore requests answered successfully.
+    pub explore_requests: u64,
+}
+
+/// Writes one length-prefixed frame (client side and tests; the daemon
+/// uses it too).
+///
+/// # Errors
+///
+/// Propagates socket errors; frames over [`MAX_FRAME_BYTES`] are
+/// rejected with [`io::ErrorKind::InvalidInput`].
+pub fn write_frame<W: Write>(writer: &mut W, payload: &str) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame too large",
+        ));
+    }
+    let len = u32::try_from(payload.len()).expect("bounded above");
+    writer.write_all(&len.to_be_bytes())?;
+    writer.write_all(payload.as_bytes())?;
+    writer.flush()
+}
+
+/// Reads one length-prefixed frame from a *blocking* stream. Returns
+/// `Ok(None)` on a clean end-of-stream before the length prefix.
+///
+/// # Errors
+///
+/// Truncated frames, oversized lengths and non-UTF-8 payloads are
+/// [`io::ErrorKind::InvalidData`]; socket errors propagate.
+pub fn read_frame<R: Read>(reader: &mut R) -> io::Result<Option<String>> {
+    let mut prefix = [0u8; 4];
+    match reader.read(&mut prefix) {
+        Ok(0) => return Ok(None),
+        Ok(n) => reader.read_exact(&mut prefix[n..])?,
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame too large",
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload)?;
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))
+}
+
+/// The raw bytes of a serve envelope's trailing `report` object — the
+/// exact line the one-shot CLI would print for the same request.
+/// (Works on replay-log lines too; their `report` field is also last.)
+/// `None` if `envelope` has no `"report"` field or is an error
+/// response.
+pub fn report_slice(envelope: &str) -> Option<&str> {
+    // Safe as a byte search: the emitter escapes quotes inside JSON
+    // strings, so the unescaped `,"report":` sequence only ever
+    // appears as the field delimiter.
+    let start = envelope.find(",\"report\":")? + ",\"report\":".len();
+    let body = envelope.get(start..envelope.len() - 1)?;
+    body.starts_with('{').then_some(body)
+}
+
+/// Runs the daemon until a `shutdown` frame or `SIGTERM` drains it.
+/// `on_ready` fires once with the bound address (which matters when
+/// `listen` ends in `:0`), before any frame is accepted.
+///
+/// # Errors
+///
+/// Bind/accept failures and replay-log creation failures, as
+/// human-readable messages.
+pub fn serve<F>(config: &ServeConfig, on_ready: F) -> Result<ServeSummary, String>
+where
+    F: FnOnce(SocketAddr),
+{
+    let listener = TcpListener::bind(&config.listen)
+        .map_err(|e| format!("cannot listen on {}: {e}", config.listen))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("cannot read bound address: {e}"))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("cannot set non-blocking accept: {e}"))?;
+    let log = match &config.log_path {
+        Some(path) => {
+            let file = File::create(path)
+                .map_err(|e| format!("cannot create log {}: {e}", path.display()))?;
+            Some(Mutex::new(BufWriter::new(file)))
+        }
+        None => None,
+    };
+
+    SHUTDOWN.store(false, Ordering::SeqCst);
+    #[cfg(unix)]
+    install_sigterm_handler();
+    timing::set_floorplan_timing(true);
+    timing::take_floorplan_nanos(); // discard anything accumulated before
+
+    let metrics = Metrics::new();
+    let cache = Mutex::new(LruLibraryCache::new(config.cache_entries));
+    let log_seq = AtomicU64::new(0);
+    let server = Server {
+        metrics: &metrics,
+        cache: &cache,
+        log: log.as_ref(),
+        log_seq: &log_seq,
+    };
+
+    on_ready(addr);
+    let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = mpsc::channel();
+    let rx = Mutex::new(rx);
+    let mut accept_error = None;
+    thread::scope(|scope| {
+        for _ in 0..config.workers.max(1) {
+            scope.spawn(|| server.worker_loop(&rx));
+        }
+        while !SHUTDOWN.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    // Accept failures are fatal: flag the drain so the
+                    // workers exit, then report the failure.
+                    SHUTDOWN.store(true, Ordering::SeqCst);
+                    accept_error = Some(format!("accept failed: {e}"));
+                }
+            }
+        }
+        drop(tx); // workers drain queued connections, then exit
+    });
+    timing::set_floorplan_timing(false);
+    if let Some(error) = accept_error {
+        return Err(error);
+    }
+
+    if let Some(log) = &log {
+        let _ = log.lock().expect("log lock").flush();
+    }
+    Ok(ServeSummary {
+        metrics_json: metrics.to_json(),
+        explore_requests: metrics.explore_requests.load(Ordering::Relaxed),
+    })
+}
+
+/// Installs a `SIGTERM` handler that flags the drain, so `kill <pid>`
+/// gets the same graceful shutdown as a `shutdown` frame.
+#[cfg(unix)]
+fn install_sigterm_handler() {
+    use std::os::raw::c_int;
+    const SIGTERM: c_int = 15;
+    unsafe extern "C" fn on_sigterm(_signum: c_int) {
+        // Only async-signal-safe work here: one atomic store.
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        // `signal(2)` from the platform C library; avoids a libc crate
+        // dependency for one call.
+        fn signal(signum: c_int, handler: unsafe extern "C" fn(c_int)) -> usize;
+    }
+    unsafe {
+        signal(SIGTERM, on_sigterm);
+    }
+}
+
+/// The shared state a worker thread sees.
+struct Server<'a> {
+    metrics: &'a Metrics,
+    cache: &'a Mutex<LruLibraryCache>,
+    log: Option<&'a Mutex<BufWriter<File>>>,
+    log_seq: &'a AtomicU64,
+}
+
+impl Server<'_> {
+    fn worker_loop(&self, rx: &Mutex<Receiver<TcpStream>>) {
+        loop {
+            let next = rx
+                .lock()
+                .expect("connection queue lock")
+                .recv_timeout(POLL_INTERVAL);
+            match next {
+                Ok(stream) => self.handle_connection(stream),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        }
+    }
+
+    /// Serves one connection until the peer hangs up, a fatal frame
+    /// error occurs, or the drain flag is set between frames.
+    fn handle_connection(&self, mut stream: TcpStream) {
+        loop {
+            match read_frame_draining(&mut stream) {
+                Ok(Some(payload)) => {
+                    let (response, last) = self.process_frame(&payload);
+                    if write_frame(&mut stream, &response).is_err() || last {
+                        return;
+                    }
+                }
+                Ok(None) | Err(_) => return,
+            }
+        }
+    }
+
+    /// Answers one frame. Returns the response and whether this
+    /// connection should close afterwards (shutdown acknowledged).
+    fn process_frame(&self, payload: &str) -> (String, bool) {
+        let error = |message: String| {
+            self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            (
+                format!(
+                    "{{\"schema\":\"sunmap-serve/1\",\"ok\":false,\"error\":{}}}",
+                    sunmap_sim::sweep::json_string(&message)
+                ),
+                false,
+            )
+        };
+        let frame = match Json::parse(payload) {
+            Ok(frame) => frame,
+            Err(e) => return error(format!("bad frame: {e}")),
+        };
+        match frame.get("op").and_then(Json::as_str) {
+            Some("ping") => {
+                self.metrics.ping_requests.fetch_add(1, Ordering::Relaxed);
+                (
+                    "{\"schema\":\"sunmap-serve/1\",\"ok\":true,\"op\":\"ping\"}".to_string(),
+                    false,
+                )
+            }
+            Some("stats") => {
+                self.metrics.stats_requests.fetch_add(1, Ordering::Relaxed);
+                (
+                    format!(
+                        "{{\"schema\":\"sunmap-serve/1\",\"ok\":true,\"op\":\"stats\",\
+                         \"metrics\":{}}}",
+                        self.metrics.to_json()
+                    ),
+                    false,
+                )
+            }
+            Some("shutdown") => {
+                SHUTDOWN.store(true, Ordering::SeqCst);
+                (
+                    "{\"schema\":\"sunmap-serve/1\",\"ok\":true,\"op\":\"shutdown\",\
+                     \"draining\":true}"
+                        .to_string(),
+                    true,
+                )
+            }
+            Some("explore") => {
+                let request = match frame.get("request") {
+                    Some(value) => match ExploreRequest::from_json_value(value) {
+                        Ok(request) => request,
+                        Err(e) => return error(format!("bad request: {e}")),
+                    },
+                    None => return error("explore frame needs a 'request'".to_string()),
+                };
+                match self.run_explore(&request) {
+                    Ok((report, cache_hit)) => (
+                        format!(
+                            "{{\"schema\":\"sunmap-serve/1\",\"ok\":true,\"op\":\"explore\",\
+                             \"cache_hit\":{cache_hit},\"report\":{report}}}"
+                        ),
+                        false,
+                    ),
+                    Err(e) => error(e),
+                }
+            }
+            Some(other) => error(format!(
+                "unknown op '{other}' (valid: explore, stats, ping, shutdown)"
+            )),
+            None => error("frame needs a string 'op'".to_string()),
+        }
+    }
+
+    /// The daemon's explore path: the same checkout/[`execute`]/checkin
+    /// sequence as [`RequestRunner::run`], against the shared cache —
+    /// the lock is held only for the lookup, never for the mapping.
+    fn run_explore(&self, req: &ExploreRequest) -> Result<(String, bool), String> {
+        let started = Instant::now();
+        req.validate()?;
+        let app = req.app.resolve()?;
+        let spec = req.app.to_string();
+        let (mut library, cache_hit, build_nanos) = self
+            .cache
+            .lock()
+            .expect("cache lock")
+            .checkout(app.core_count(), req.capacity);
+        let (body, stats) = execute(&spec, &app, req, &mut library.topos);
+        self.cache.lock().expect("cache lock").checkin(library);
+        let line = format!("{{\"schema\":\"sunmap-report/1\",{body}}}");
+
+        let m = self.metrics;
+        m.explore_requests.fetch_add(1, Ordering::Relaxed);
+        m.evaluations
+            .fetch_add(stats.evaluated as u64, Ordering::Relaxed);
+        if cache_hit {
+            m.cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            m.cache_misses.fetch_add(1, Ordering::Relaxed);
+            m.route_table_build.record_nanos(build_nanos);
+        }
+        m.swap_search.record_nanos(stats.mapping_nanos);
+        // Process-level attribution: under concurrent requests the
+        // drained floorplan time includes other workers' share.
+        let floorplan_nanos = timing::take_floorplan_nanos();
+        if floorplan_nanos > 0 {
+            m.floorplan.record_nanos(floorplan_nanos);
+        }
+        if stats.probe_nanos > 0 {
+            m.probe.record_nanos(stats.probe_nanos);
+        }
+        m.request
+            .record_nanos(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+
+        if let Some(log) = self.log {
+            let seq = self.log_seq.fetch_add(1, Ordering::Relaxed);
+            let entry = format!(
+                "{{\"schema\":\"sunmap-serve-log/1\",\"seq\":{seq},\"request\":{},\
+                 \"report\":{line}}}",
+                req.to_json()
+            );
+            let mut log = log.lock().expect("log lock");
+            // Flush per line: the log must survive an abrupt kill.
+            let _ = writeln!(log, "{entry}").and_then(|()| log.flush());
+        }
+        Ok((line, cache_hit))
+    }
+}
+
+/// Like [`read_frame`] but for the daemon's timeout-armed sockets:
+/// retries reads that time out, and gives up cleanly (`Ok(None)`) when
+/// the drain flag is set while *between* frames — a frame whose length
+/// prefix has arrived is always read and answered, which is what makes
+/// the drain graceful.
+fn read_frame_draining(stream: &mut TcpStream) -> io::Result<Option<String>> {
+    let mut prefix = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match stream.read(&mut prefix[got..]) {
+            Ok(0) => {
+                return if got == 0 {
+                    Ok(None)
+                } else {
+                    Err(io::ErrorKind::UnexpectedEof.into())
+                };
+            }
+            Ok(n) => got += n,
+            Err(e) if is_timeout(&e) => {
+                if got == 0 && SHUTDOWN.load(Ordering::SeqCst) {
+                    return Ok(None);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame too large",
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    let mut got = 0;
+    let mut stalled_draining = 0u32;
+    while got < len {
+        match stream.read(&mut payload[got..]) {
+            Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+            Ok(n) => {
+                got += n;
+                stalled_draining = 0;
+            }
+            Err(e) if is_timeout(&e) => {
+                // A half-sent payload may never finish; don't let it
+                // hold the drain hostage forever.
+                if SHUTDOWN.load(Ordering::SeqCst) {
+                    stalled_draining += 1;
+                    if stalled_draining > 50 {
+                        return Ok(None);
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Re-runs every request in a replay log through the one-shot
+/// [`RequestRunner`] and checks each reproduces its logged report
+/// byte-for-byte.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ReplaySummary {
+    /// Log entries replayed and verified.
+    pub replayed: usize,
+}
+
+/// Verifies a request-replay log written by [`serve`].
+///
+/// # Errors
+///
+/// Unreadable or malformed logs, and — the interesting case — any
+/// entry whose replayed report differs from the logged bytes; the
+/// message names the line and its `seq`.
+pub fn verify_replay(path: &Path, cache_entries: usize) -> Result<ReplaySummary, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read log {}: {e}", path.display()))?;
+    let mut runner = RequestRunner::new(cache_entries);
+    let mut replayed = 0usize;
+    for (index, line) in text.lines().enumerate() {
+        let lineno = index + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let entry = Json::parse(line).map_err(|e| format!("log line {lineno} is not JSON: {e}"))?;
+        match entry.get("schema").and_then(Json::as_str) {
+            Some("sunmap-serve-log/1") => {}
+            other => {
+                return Err(format!(
+                    "log line {lineno} has schema {other:?}, expected sunmap-serve-log/1"
+                ));
+            }
+        }
+        let seq = entry
+            .get("seq")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("log line {lineno} has no seq"))?;
+        let request = entry
+            .get("request")
+            .ok_or_else(|| format!("log line {lineno} has no request"))
+            .and_then(|v| {
+                ExploreRequest::from_json_value(v)
+                    .map_err(|e| format!("log line {lineno}: bad request: {e}"))
+            })?;
+        let logged =
+            report_slice(line).ok_or_else(|| format!("log line {lineno} has no report object"))?;
+        let outcome = runner
+            .run(&request)
+            .map_err(|e| format!("log line {lineno}: replay failed: {e}"))?;
+        if outcome.line != logged {
+            return Err(format!(
+                "replay mismatch at log line {lineno} (seq {seq}): replayed report \
+                 differs from logged bytes"
+            ));
+        }
+        replayed += 1;
+    }
+    Ok(ReplaySummary { replayed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+
+    fn request_frame(request_json: &str) -> String {
+        format!("{{\"op\":\"explore\",\"request\":{request_json}}}")
+    }
+
+    fn roundtrip(stream: &mut TcpStream, frame: &str) -> String {
+        write_frame(stream, frame).expect("write frame");
+        read_frame(stream).expect("read frame").expect("a response")
+    }
+
+    #[test]
+    fn report_slice_extracts_the_trailing_object() {
+        let envelope = "{\"schema\":\"sunmap-serve/1\",\"ok\":true,\"op\":\"explore\",\
+                        \"cache_hit\":true,\"report\":{\"schema\":\"sunmap-report/1\",\"x\":1}}";
+        assert_eq!(
+            report_slice(envelope),
+            Some("{\"schema\":\"sunmap-report/1\",\"x\":1}")
+        );
+        assert_eq!(report_slice("{\"ok\":false,\"error\":\"nope\"}"), None);
+    }
+
+    #[test]
+    fn frames_round_trip_through_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"op\":\"ping\"}").unwrap();
+        write_frame(&mut buf, "second").unwrap();
+        let mut cursor = &buf[..];
+        assert_eq!(
+            read_frame(&mut cursor).unwrap().as_deref(),
+            Some("{\"op\":\"ping\"}")
+        );
+        assert_eq!(read_frame(&mut cursor).unwrap().as_deref(), Some("second"));
+        assert_eq!(read_frame(&mut cursor).unwrap(), None, "clean EOF");
+    }
+
+    /// End-to-end in-process: ping, two explores (second is warm),
+    /// stats, shutdown — and the log replays byte-identically.
+    #[test]
+    fn daemon_serves_warm_reports_and_a_replayable_log() {
+        let log_path =
+            std::env::temp_dir().join(format!("sunmap-serve-unit-{}.jsonl", std::process::id()));
+        let config = ServeConfig {
+            log_path: Some(log_path.clone()),
+            ..ServeConfig::default()
+        };
+        let (addr_tx, addr_rx) = channel();
+        let server =
+            thread::spawn(move || serve(&config, |addr| addr_tx.send(addr).expect("report addr")));
+        let addr = addr_rx.recv().expect("server comes up");
+        let mut stream = TcpStream::connect(addr).expect("connect");
+
+        let pong = roundtrip(&mut stream, "{\"op\":\"ping\"}");
+        assert!(pong.contains("\"op\":\"ping\""), "{pong}");
+
+        let req = ExploreRequest::new("dsp".parse().unwrap());
+        let first = roundtrip(&mut stream, &request_frame(&req.to_json()));
+        assert!(first.contains("\"cache_hit\":false"), "{first}");
+        let second = roundtrip(&mut stream, &request_frame(&req.to_json()));
+        assert!(second.contains("\"cache_hit\":true"), "{second}");
+        assert_eq!(report_slice(&first), report_slice(&second));
+
+        // The daemon's bytes match the one-shot runner's bytes.
+        let oneshot = RequestRunner::new(1).run(&req).unwrap();
+        assert_eq!(report_slice(&first), Some(oneshot.line.as_str()));
+
+        // Bad frames are errors, not disconnects.
+        let err = roundtrip(&mut stream, "{\"op\":\"warp\"}");
+        assert!(err.contains("\"ok\":false"), "{err}");
+
+        let stats = roundtrip(&mut stream, "{\"op\":\"stats\"}");
+        assert!(
+            stats.contains("\"schema\":\"sunmap-serve-metrics/1\""),
+            "{stats}"
+        );
+        assert!(stats.contains("\"hits\":1"), "{stats}");
+
+        let bye = roundtrip(&mut stream, "{\"op\":\"shutdown\"}");
+        assert!(bye.contains("\"draining\":true"), "{bye}");
+        let summary = server.join().expect("no panic").expect("clean shutdown");
+        assert_eq!(summary.explore_requests, 2);
+        assert!(
+            summary.metrics_json.contains("\"explore\":2"),
+            "{}",
+            summary.metrics_json
+        );
+
+        let replay = verify_replay(&log_path, 2).expect("log replays");
+        assert_eq!(replay, ReplaySummary { replayed: 2 });
+
+        // Tampering with a logged entry must fail the replay. The
+        // first "capacity" on each line is the request's: bump it and
+        // the replayed report no longer matches the logged bytes.
+        let tampered = std::fs::read_to_string(&log_path).unwrap().replacen(
+            "\"capacity\":500",
+            "\"capacity\":501",
+            1,
+        );
+        std::fs::write(&log_path, tampered).unwrap();
+        assert!(
+            verify_replay(&log_path, 2).is_err(),
+            "tampered log must not verify"
+        );
+        let _ = std::fs::remove_file(&log_path);
+    }
+}

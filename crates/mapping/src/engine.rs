@@ -374,6 +374,14 @@ impl RouteTable {
         &self.sim_paths[self.pair(a, b)]
     }
 
+    /// The FNV-1a fingerprint of the edge list this table was built
+    /// for — the cache key long-running services (the serve daemon's
+    /// warm route cache) index hot tables by, without keeping the graph
+    /// around.
+    pub fn fingerprint(&self) -> u64 {
+        self.edge_fingerprint
+    }
+
     /// Whether this table was built for `g`: same kind, shape, and
     /// edge list (endpoints and capacities, order-sensitive).
     pub fn matches(&self, g: &TopologyGraph) -> bool {
@@ -737,7 +745,9 @@ impl<'a> EvalEngine<'a> {
         }
 
         let layout = layout_blocks(self.g, self.app, placement, &self.switch_areas);
+        let fp_timer = crate::timing::floorplan_start();
         let floorplan = layout.placement.floorplan()?;
+        crate::timing::floorplan_finish(fp_timer);
         Ok(self.assemble_report(placement, scratch, &layout, &floorplan, totals))
     }
 
@@ -1325,7 +1335,9 @@ impl<'a> EvalEngine<'a> {
     ) -> Option<CostReport> {
         let g = self.g;
         let layout = layout_blocks(g, self.app, placement, &self.switch_areas);
+        let fp_timer = crate::timing::floorplan_start();
         let floorplan = layout.placement.floorplan().ok()?;
+        crate::timing::floorplan_finish(fp_timer);
         let chip_aspect = floorplan.chip_aspect();
         if inc.feasible && !self.area_feasible(chip_aspect) {
             // Certainly infeasible against a feasible incumbent.

@@ -160,7 +160,9 @@ pub fn evaluate(
         switch_area += area;
     }
     let layout = layout_blocks(g, app, &placement, &switch_areas);
+    let fp_timer = crate::timing::floorplan_start();
     let floorplan = layout.placement.floorplan()?;
+    crate::timing::floorplan_finish(fp_timer);
     let design_area = (switch_area + app.total_core_area()) / constraints.utilization;
 
     let mut switch_power_mw = 0.0;

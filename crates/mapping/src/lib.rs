@@ -54,6 +54,7 @@ mod mapper;
 mod placement;
 mod report;
 mod routing;
+pub mod timing;
 
 pub use engine::{CachedPath, EvalEngine, EvalScratch, RouteTable, SwapStrategy};
 pub use error::MappingError;

@@ -405,6 +405,14 @@ impl RoutePlan {
         &self.route_ids[lo..hi]
     }
 
+    /// The FNV-1a fingerprint of the edge list this plan was compiled
+    /// for — the same value as the mapper `RouteTable::fingerprint` of
+    /// the same graph, so warm caches can key tables and plans
+    /// together.
+    pub fn fingerprint(&self) -> u64 {
+        self.edge_fingerprint
+    }
+
     /// Whether this plan was compiled for `g` under `config`: same
     /// topology kind, shape, directed edge list (endpoints and
     /// capacities, order-sensitive) and timing-relevant parameters.

@@ -14,7 +14,10 @@
 //!   experiments (uniform, transpose, bit-complement, bit-reversal,
 //!   tornado, hotspot);
 //! * a seeded synthetic core-graph generator in [`synthetic`], growing
-//!   the workload space beyond the four transcribed benchmarks.
+//!   the workload space beyond the four transcribed benchmarks;
+//! * the [`AppSource`] enum in [`source`]: the one typed way to name an
+//!   application (built-in, `synth:` spec, inline graph, or `.app`
+//!   file) across CLI positionals, batch manifests and serve frames.
 //!
 //! # Examples
 //!
@@ -33,6 +36,8 @@ pub mod benchmarks;
 mod core_graph;
 pub mod io;
 pub mod patterns;
+pub mod source;
 pub mod synthetic;
 
 pub use core_graph::{Commodity, Core, CoreGraph, CoreId, TrafficError};
+pub use source::AppSource;

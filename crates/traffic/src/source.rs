@@ -1,0 +1,282 @@
+//! Application sources: the one way every SUNMAP surface names an
+//! application.
+//!
+//! Historically each surface (CLI positional, batch manifest, library
+//! callers) resolved application specs through its own stringly
+//! `load_app(&str)`-style helper. [`AppSource`] replaces them: a typed
+//! enum covering every way an application can be named — a built-in
+//! benchmark, a seeded [`SyntheticSpec`], an inline core graph carried
+//! in the spec itself, or an `.app` file on disk — with a [`FromStr`]
+//! / [`Display`](std::fmt::Display) pair that round-trips, so a source
+//! can travel through manifests, command lines and serve frames
+//! unchanged.
+//!
+//! Parsing is pure (no filesystem access); [`AppSource::resolve`] does
+//! the I/O and graph construction, and is the only place an
+//! application can fail to load.
+//!
+//! # Examples
+//!
+//! ```
+//! use sunmap_traffic::AppSource;
+//!
+//! let src: AppSource = "synth:seed=7,cores=24".parse()?;
+//! assert_eq!(src.resolve()?.core_count(), 24);
+//! // Display round-trips through FromStr.
+//! let again: AppSource = src.to_string().parse()?;
+//! assert_eq!(again, src);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::str::FromStr;
+
+use crate::synthetic::SyntheticSpec;
+use crate::{benchmarks, io, CoreGraph};
+
+/// Prefix introducing an inline application (the remainder is `.app`
+/// text, see [`io::parse_app`]).
+const INLINE_PREFIX: &str = "inline:";
+
+/// A typed application source.
+///
+/// The text form (via [`FromStr`] and [`Display`](std::fmt::Display))
+/// round-trips: `parse(display(s)) == s` for every source, including
+/// inline graphs (serialised through [`io::write_app`], which is
+/// exact).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AppSource {
+    /// A built-in benchmark of the paper's evaluation; the name is one
+    /// of [`AppSource::BUILTINS`].
+    Named(String),
+    /// A seeded synthetic workload (`synth:seed=..,cores=..`).
+    Synth(SyntheticSpec),
+    /// A core graph carried inline in the source text
+    /// (`inline:core a 2.0\n...`), e.g. uploaded over a serve frame.
+    Inline(CoreGraph),
+    /// An `.app` file path, read at [`AppSource::resolve`] time.
+    File(String),
+}
+
+/// Errors from [`AppSource`] parsing.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ParseSourceError {
+    /// A `synth:` spec failed to parse.
+    Synth(crate::synthetic::ParseSpecError),
+    /// An `inline:` application failed to parse.
+    Inline(String),
+    /// An `inline:` application parsed but declares no cores.
+    EmptyInline,
+}
+
+impl std::fmt::Display for ParseSourceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseSourceError::Synth(e) => write!(f, "{e}"),
+            ParseSourceError::Inline(e) => write!(f, "inline application: {e}"),
+            ParseSourceError::EmptyInline => {
+                write!(f, "inline application declares no cores")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseSourceError {}
+
+impl AppSource {
+    /// The built-in benchmark names, in canonical order — listed in
+    /// resolution errors the way [`SyntheticSpec::KEYS`] and
+    /// [`crate::patterns::TrafficPattern::NAMES`] back their parsers'
+    /// messages.
+    pub const BUILTINS: [&'static str; 4] = ["vopd", "mpeg4", "dsp", "netproc"];
+
+    /// One-line description of every accepted spelling, appended to
+    /// resolution errors so a typo'd name explains itself.
+    fn valid_forms() -> String {
+        format!(
+            "valid sources: a built-in ({}), a synthetic spec \
+             (synth:key=value,... with keys {}), an inline application \
+             (inline:<.app text>), or a readable .app file path",
+            AppSource::BUILTINS.join(", "),
+            SyntheticSpec::KEYS.join(", "),
+        )
+    }
+
+    /// Loads the application this source names.
+    ///
+    /// This is the single resolution path behind every surface (CLI
+    /// positionals, batch manifests, serve frames). Empty applications
+    /// are rejected here, so every downstream consumer can rely on a
+    /// non-empty graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the source and the
+    /// failure; unreadable files additionally list the valid source
+    /// forms (the most common failure is a typo'd built-in name
+    /// falling through to the file path case).
+    pub fn resolve(&self) -> Result<CoreGraph, String> {
+        let app = match self {
+            AppSource::Named(name) => match name.as_str() {
+                "vopd" => benchmarks::vopd(),
+                "mpeg4" => benchmarks::mpeg4(),
+                "dsp" => benchmarks::dsp_filter(),
+                "netproc" => benchmarks::network_processor(100.0),
+                other => unreachable!("Named sources are validated at parse time: {other}"),
+            },
+            AppSource::Synth(spec) => spec.generate(),
+            AppSource::Inline(graph) => graph.clone(),
+            AppSource::File(path) => {
+                let text = std::fs::read_to_string(path).map_err(|e| {
+                    format!(
+                        "cannot read application '{path}': {e} ({})",
+                        AppSource::valid_forms()
+                    )
+                })?;
+                io::parse_app(&text).map_err(|e| format!("{path}: {e}"))?
+            }
+        };
+        if app.core_count() == 0 {
+            return Err(format!("application '{self}' declares no cores"));
+        }
+        Ok(app)
+    }
+
+    /// Parses and resolves in one step — the drop-in body for the old
+    /// stringly helpers.
+    ///
+    /// # Errors
+    ///
+    /// Parse errors and resolution errors, both as human-readable
+    /// messages naming the spec.
+    pub fn load(spec: &str) -> Result<CoreGraph, String> {
+        let source: AppSource = spec.parse().map_err(|e| format!("{spec}: {e}"))?;
+        source.resolve()
+    }
+}
+
+impl std::fmt::Display for AppSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AppSource::Named(name) => f.write_str(name),
+            AppSource::Synth(spec) => write!(f, "{spec}"),
+            AppSource::Inline(graph) => write!(f, "{INLINE_PREFIX}{}", io::write_app(graph)),
+            AppSource::File(path) => f.write_str(path),
+        }
+    }
+}
+
+impl FromStr for AppSource {
+    type Err = ParseSourceError;
+
+    /// Parses a source spec: a built-in name, a `synth:` spec, an
+    /// `inline:` application, or (for any other text) a file path.
+    ///
+    /// Parsing never touches the filesystem; a path's existence is
+    /// checked by [`AppSource::resolve`].
+    fn from_str(text: &str) -> Result<Self, ParseSourceError> {
+        if AppSource::BUILTINS.contains(&text) {
+            return Ok(AppSource::Named(text.to_string()));
+        }
+        if SyntheticSpec::is_spec(text) {
+            return text
+                .parse()
+                .map(AppSource::Synth)
+                .map_err(ParseSourceError::Synth);
+        }
+        if let Some(body) = text.strip_prefix(INLINE_PREFIX) {
+            let graph = io::parse_app(body).map_err(|e| ParseSourceError::Inline(e.to_string()))?;
+            if graph.core_count() == 0 {
+                return Err(ParseSourceError::EmptyInline);
+            }
+            return Ok(AppSource::Inline(graph));
+        }
+        Ok(AppSource::File(text.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_parse_and_resolve() {
+        for name in AppSource::BUILTINS {
+            let src: AppSource = name.parse().unwrap();
+            assert_eq!(src, AppSource::Named(name.to_string()));
+            assert!(src.resolve().unwrap().core_count() >= 6, "{name}");
+            assert_eq!(src.to_string(), name);
+        }
+    }
+
+    #[test]
+    fn synth_specs_parse_and_round_trip() {
+        let src: AppSource = "synth:seed=3,cores=10".parse().unwrap();
+        assert!(matches!(&src, AppSource::Synth(s) if s.cores == 10));
+        assert_eq!(src.resolve().unwrap().core_count(), 10);
+        let again: AppSource = src.to_string().parse().unwrap();
+        assert_eq!(again, src);
+        // Bad specs carry the synthetic parser's message.
+        let err = "synth:cores=1".parse::<AppSource>().unwrap_err();
+        assert!(err.to_string().contains("2..=4096"), "{err}");
+    }
+
+    #[test]
+    fn inline_applications_round_trip() {
+        let text = "inline:core a 2.0\ncore b 3.0\ntraffic a b 120.5\n";
+        let src: AppSource = text.parse().unwrap();
+        let app = src.resolve().unwrap();
+        assert_eq!(app.core_count(), 2);
+        // Display serialises the graph back out; the round trip parses
+        // to an equal source (write_app is exact).
+        let again: AppSource = src.to_string().parse().unwrap();
+        assert_eq!(again, src);
+    }
+
+    #[test]
+    fn inline_errors_are_descriptive() {
+        let err = "inline:frob a b\n".parse::<AppSource>().unwrap_err();
+        assert!(err.to_string().contains("inline application"), "{err}");
+        assert_eq!(
+            "inline:# empty\n".parse::<AppSource>().unwrap_err(),
+            ParseSourceError::EmptyInline
+        );
+    }
+
+    #[test]
+    fn anything_else_is_a_file_resolved_lazily() {
+        let src: AppSource = "/no/such.app".parse().unwrap();
+        assert_eq!(src, AppSource::File("/no/such.app".to_string()));
+        let err = src.resolve().unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
+        // The error teaches the valid forms: built-in names and the
+        // synthetic keys (a typo'd built-in lands here).
+        for name in AppSource::BUILTINS {
+            assert!(err.contains(name), "'{name}' missing from: {err}");
+        }
+        for key in SyntheticSpec::KEYS {
+            assert!(err.contains(key), "'{key}' missing from: {err}");
+        }
+    }
+
+    #[test]
+    fn file_sources_resolve_and_reject_empty_apps() {
+        let dir = std::env::temp_dir().join("sunmap_source_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.app");
+        std::fs::write(&path, "core a 2.0\ncore b 2.0\ntraffic a b 10\n").unwrap();
+        let src: AppSource = path.to_str().unwrap().parse().unwrap();
+        assert_eq!(src.resolve().unwrap().core_count(), 2);
+        let empty = dir.join("empty.app");
+        std::fs::write(&empty, "# no cores\n").unwrap();
+        let err = AppSource::load(empty.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("declares no cores"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_is_parse_then_resolve() {
+        assert_eq!(AppSource::load("vopd").unwrap().core_count(), 12);
+        assert!(AppSource::load("synth:wat=1").unwrap_err().contains("wat"));
+    }
+}

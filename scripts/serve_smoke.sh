@@ -1,0 +1,78 @@
+#!/bin/sh
+# Smoke-test the `sunmap serve` daemon end-to-end through the release
+# binary: start it on a free port, answer three explore requests (one
+# of them synthetic), check the stats counters prove a warm-cache hit,
+# verify byte-identity against the one-shot CLI, drain gracefully, and
+# replay the request log.
+#
+# Usage: scripts/serve_smoke.sh <path-to-sunmap-binary> <scratch-dir>
+set -eu
+
+SUNMAP=${1:?usage: serve_smoke.sh <sunmap-binary> <scratch-dir>}
+DIR=${2:?usage: serve_smoke.sh <sunmap-binary> <scratch-dir>}
+
+rm -rf "$DIR"
+mkdir -p "$DIR"
+LOG="$DIR/requests.jsonl"
+STDOUT="$DIR/serve.stdout"
+
+fail() {
+    echo "serve-smoke: $1" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+}
+
+"$SUNMAP" serve --listen 127.0.0.1:0 --workers 2 --cache 4 --log "$LOG" \
+    > "$STDOUT" &
+SERVE_PID=$!
+
+# The daemon prints a flushed "sunmap-serve listening on <addr>" line
+# before accepting its first frame; poll for it.
+ADDR=
+tries=0
+while [ -z "$ADDR" ]; do
+    tries=$((tries + 1))
+    [ "$tries" -le 100 ] || fail "daemon never announced its address"
+    kill -0 "$SERVE_PID" 2>/dev/null || fail "daemon exited prematurely"
+    ADDR=$(sed -n 's/^sunmap-serve listening on //p' "$STDOUT")
+    [ -n "$ADDR" ] || sleep 0.1
+done
+echo "serve-smoke: daemon is up on $ADDR"
+
+# Three explore requests: dsp twice (the repeat must be a cache hit)
+# and one synthetic workload.
+"$SUNMAP" client "$ADDR" explore dsp --capacity 1000 > "$DIR/served.json"
+"$SUNMAP" client "$ADDR" explore dsp --capacity 1000 > "$DIR/served2.json"
+"$SUNMAP" client "$ADDR" explore synth:seed=5,cores=12 > "$DIR/synth.json"
+
+# Byte-identity: the daemon's report equals the one-shot CLI's.
+"$SUNMAP" explore dsp --capacity 1000 --json > "$DIR/oneshot.json"
+cmp "$DIR/served.json" "$DIR/oneshot.json" \
+    || fail "served report differs from one-shot report"
+cmp "$DIR/served.json" "$DIR/served2.json" \
+    || fail "warm report differs from cold report"
+grep -q '"app":"synth:seed=5,cores=12"' "$DIR/synth.json" \
+    || fail "synthetic report missing its app spec"
+
+# The stats counters must prove the warm cache worked.
+"$SUNMAP" client "$ADDR" stats > "$DIR/stats.json"
+grep -q '"schema":"sunmap-serve-metrics/1"' "$DIR/stats.json" \
+    || fail "stats frame carries no metrics snapshot"
+grep -q '"explore":3' "$DIR/stats.json" \
+    || fail "stats should count 3 explore requests"
+grep -q '"hits":1,"misses":2' "$DIR/stats.json" \
+    || fail "stats should record 1 cache hit and 2 misses"
+
+# Graceful drain: the shutdown frame is acknowledged, the process
+# exits 0 and dumps a final metrics snapshot.
+"$SUNMAP" client "$ADDR" shutdown | grep -q '"draining":true' \
+    || fail "shutdown frame not acknowledged"
+wait "$SERVE_PID" || fail "daemon exited non-zero"
+grep -q '"schema":"sunmap-serve-metrics/1"' "$STDOUT" \
+    || fail "daemon did not dump metrics on shutdown"
+
+# The request log replays byte-identically through the one-shot path.
+"$SUNMAP" replay --log "$LOG" | grep -q 'replay ok: 3 request' \
+    || { echo "serve-smoke: replay failed" >&2; exit 1; }
+
+echo "serve-smoke: ok (3 requests, 1 warm hit, drained, log replayed)"
