@@ -10,7 +10,7 @@ CARGO ?= cargo
 BENCH_SMOKE_JSONL := target/bench-smoke.jsonl
 BENCH_RESULTS := target/BENCH_results.json
 
-.PHONY: all build test bench bench-run bench-smoke batch-smoke serve-smoke doc lint fmt ci clean
+.PHONY: all build test bench bench-run bench-smoke batch-smoke serve-smoke shard-smoke doc lint fmt ci clean
 
 all: build
 
@@ -64,6 +64,13 @@ batch-smoke:
 serve-smoke: build
 	sh scripts/serve_smoke.sh target/release/sunmap target/serve-smoke
 
+## Smoke-run the distributed batch pipeline through the release
+## binary: a coordinator and two workers run the sample manifest, one
+## worker is kill -9'd mid-run, and the assembled JSONL must be
+## byte-identical to a single-process `batch` run.
+shard-smoke: build
+	sh scripts/shard_smoke.sh target/release/sunmap target/shard-smoke
+
 ## Build API docs for every workspace crate with rustdoc warnings as
 ## hard errors (broken intra-doc links rot fast otherwise).
 doc:
@@ -79,7 +86,7 @@ fmt:
 	$(CARGO) fmt --all
 
 ## Everything CI gates on, in CI's order.
-ci: lint build test doc bench bench-smoke batch-smoke serve-smoke
+ci: lint build test doc bench bench-smoke batch-smoke serve-smoke shard-smoke
 
 clean:
 	$(CARGO) clean

@@ -1,0 +1,138 @@
+//! Distributed-batch throughput: the same job grid assembled by a
+//! `shard` coordinator over real TCP with one worker process-alike and
+//! with two, reported as explorations per second. The gap between the
+//! two groups is what a second machine buys after the frame protocol,
+//! lease accounting and in-order reassembly take their cut (on the
+//! 1-CPU CI container the two numbers converge; the comparison is
+//! meaningful on wider machines).
+//!
+//! Before timing anything the bench asserts the subsystem's core
+//! invariant: the coordinator's assembled lines are byte-identical to
+//! a single-process `run_batch` over the same manifest.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sunmap::batch::{manifest_fingerprint, run_batch, BatchJob, BatchManifest};
+use sunmap::shard::{run_coordinator, run_worker, CoordConfig};
+
+/// A 6-job grid: three applications under two objectives, small enough
+/// that protocol overhead is a visible share of each lease.
+const GRID: &str = "\
+app dsp
+app synth:seed=1,cores=8
+app synth:seed=2,cores=12,locality=0.7
+objective power
+objective delay
+routing MP
+capacity 1000
+";
+
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Runs the full coordinator + `workers` worker threads cycle over
+/// TCP and returns the assembled lines.
+fn distributed_run(jobs: &[BatchJob], workers: usize) -> Vec<String> {
+    let fingerprint = manifest_fingerprint(jobs);
+    let config = CoordConfig {
+        total_jobs: jobs.len(),
+        grain: 1,
+        fingerprint: fingerprint.clone(),
+        ..CoordConfig::default()
+    };
+    let (addr_tx, addr_rx) = std::sync::mpsc::channel();
+    let mut lines = Vec::new();
+    std::thread::scope(|scope| {
+        let coordinator = scope.spawn(|| {
+            run_coordinator(
+                config,
+                "127.0.0.1:0",
+                move |addr| {
+                    let _ = addr_tx.send(addr);
+                },
+                |_, line| {
+                    lines.push(line.to_string());
+                    true
+                },
+            )
+            .expect("coordinator completes")
+        });
+        let addr = addr_rx.recv().expect("coordinator announces").to_string();
+        let handles: Vec<_> = (0..workers)
+            .map(|i| {
+                let addr = addr.clone();
+                let fingerprint = fingerprint.clone();
+                scope.spawn(move || {
+                    run_worker(jobs, &fingerprint, &format!("bench-w{i}"), &addr, 5_000)
+                        .expect("worker completes")
+                })
+            })
+            .collect();
+        let summary = coordinator.join().expect("coordinator thread");
+        assert_eq!(summary.jobs_delivered, jobs.len());
+        for handle in handles {
+            handle.join().expect("worker thread");
+        }
+    });
+    lines
+}
+
+fn oracle(jobs: &[BatchJob]) -> Vec<String> {
+    let mut lines = Vec::new();
+    run_batch(jobs, 1, |_, line| {
+        lines.push(line.to_string());
+        true
+    });
+    lines
+}
+
+fn print_summary(jobs: &[BatchJob]) {
+    println!("== distributed batch throughput ({} jobs) ==", jobs.len());
+    for workers in [1usize, 2] {
+        let start = std::time::Instant::now();
+        let lines = distributed_run(jobs, workers);
+        let elapsed = start.elapsed();
+        println!(
+            "  {} worker(s) {:>2} explorations in {:>7.1} ms = {:>6.1} explorations/s",
+            workers,
+            lines.len(),
+            elapsed.as_secs_f64() * 1e3,
+            lines.len() as f64 / elapsed.as_secs_f64()
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let manifest = BatchManifest::parse(GRID).expect("bench grid parses");
+    let jobs = manifest.jobs().expect("bench grid loads");
+
+    // Correctness gate before any timing: distribution must not change
+    // a single byte of the output.
+    let baseline = oracle(&jobs);
+    assert_eq!(
+        distributed_run(&jobs, 2),
+        baseline,
+        "distributed assembly must be byte-identical to a local run"
+    );
+
+    if !smoke_mode() {
+        print_summary(&jobs);
+    }
+    let mut group = c.benchmark_group("shard_throughput");
+    group.sample_size(10);
+    for workers in [1usize, 2] {
+        let label = format!("jobs6/workers{workers}");
+        group.bench_function(&label, |b| {
+            b.iter(|| distributed_run(black_box(&jobs), workers).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

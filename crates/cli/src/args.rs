@@ -39,10 +39,16 @@ pub struct Cli {
     pub workers: usize,
     /// Run the phase-4 simulation validation after `explore`.
     pub validate: bool,
-    /// Manifest path for `batch`.
+    /// Manifest path for `batch` / `batch-coordinator` / `batch-worker`.
     pub jobs_path: String,
     /// Skip `batch` jobs already present in the output file.
     pub resume: bool,
+    /// Run only the `k`-th of `n` contiguous manifest slices
+    /// (`--shard k/n`, 1-based; concatenating the n outputs in order
+    /// reproduces the unsharded file byte-for-byte).
+    pub shard: Option<(usize, usize)>,
+    /// Jobs per lease for `batch-coordinator`.
+    pub grain: usize,
     /// Phase-3 swap strategy (`explore --json`, `client explore`,
     /// `batch` manifests override per-job).
     pub swap: SwapStrategy,
@@ -96,6 +102,11 @@ pub enum Command {
     /// Batch exploration: a manifest-driven grid of applications ×
     /// configurations, sharded across workers, streamed as JSONL.
     Batch,
+    /// Distributed batch: lease job ranges to `batch-worker` processes
+    /// and assemble the byte-identical JSONL.
+    BatchCoordinator,
+    /// Distributed batch: compute leased ranges for a coordinator.
+    BatchWorker,
     /// Warm-cache mapping daemon answering length-prefixed JSON frames.
     Serve,
     /// One frame against a running daemon (explore/stats/ping/shutdown).
@@ -128,6 +139,15 @@ commands:
   design-sweep  routing-function bandwidth staircase + area-power Pareto front
   batch         run a manifest's application x configuration grid, streamed
                 as JSONL (batch --jobs <manifest>; no <app> argument)
+  batch-coordinator
+                distributed batch: lease job ranges of the manifest to
+                batch-worker processes over TCP, retry failed ranges, and
+                assemble <out>/batch.jsonl byte-identically to a local run
+                (batch-coordinator --jobs <manifest> [--listen <addr>]
+                [--grain <n>] [--resume]; no <app>)
+  batch-worker  distributed batch: connect to a coordinator, compute leased
+                ranges of the SAME manifest, stream results back
+                (batch-worker <addr> --jobs <manifest> [--name <s>])
   serve         warm-cache mapping daemon: length-prefixed JSON frames over
                 TCP (serve [--listen <addr>] [--log <file>]; no <app>)
   client        send one frame to a daemon:
@@ -148,7 +168,8 @@ options:
   --extended            add octagon and star to the library
   --out <dir>           output directory     (generate/simulate/sweep;
                         default sunmap-out)
-  --name <name>         design name          (generate; default 'design')
+  --name <name>         design name (generate) or worker name shown in
+                        coordinator logs (batch-worker); default 'design'
   --intensity <f>       injection intensity  (simulate/explore --validate;
                         default 0.45)
   --validate            simulate winner + runner-up after explore (phase 4)
@@ -158,8 +179,13 @@ options:
   --workers <n>         sweep/batch threads, 0 = one per CPU (default 0;
                         results identical at any setting)
   --jobs <manifest>     batch job manifest file (required for batch)
-  --resume              batch: skip jobs already present in the output
-                        file (<out>/batch.jsonl), append the rest
+  --resume              batch/batch-coordinator: skip jobs already present
+                        in the output file (<out>/batch.jsonl), append the
+                        rest
+  --shard <k>/<n>       batch: run only the k-th of n contiguous manifest
+                        slices (1-based); concatenating the n shard outputs
+                        in order reproduces the unsharded file exactly
+  --grain <n>           batch-coordinator: jobs per lease (default 2)
   --swap <s>            auto|exhaustive|delta (default auto; explore --json
                         and client explore)
   --probe <pat> <rate>  simulate the winner under a synthetic pattern at
@@ -196,6 +222,8 @@ impl Cli {
             Some("design-sweep") => Command::DesignSweep,
             Some("simulate") => Command::Simulate,
             Some("batch") => Command::Batch,
+            Some("batch-coordinator") => Command::BatchCoordinator,
+            Some("batch-worker") => Command::BatchWorker,
             Some("serve") => Command::Serve,
             Some("client") => Command::Client,
             Some("replay") => Command::Replay,
@@ -207,7 +235,18 @@ impl Cli {
         let mut addr = String::new();
         let mut client_op = ClientOp::default();
         let app = match command {
-            Command::Batch | Command::Serve | Command::Replay => String::new(),
+            Command::Batch | Command::BatchCoordinator | Command::Serve | Command::Replay => {
+                String::new()
+            }
+            Command::BatchWorker => {
+                addr = it
+                    .next()
+                    .ok_or_else(|| {
+                        ParseCliError("batch-worker needs a coordinator <addr>".to_string())
+                    })?
+                    .clone();
+                String::new()
+            }
             Command::Client => {
                 addr = it
                     .next()
@@ -261,6 +300,8 @@ impl Cli {
             validate: false,
             jobs_path: String::new(),
             resume: false,
+            shard: None,
+            grain: 2,
             swap: SwapStrategy::Auto,
             probe: None,
             json: false,
@@ -326,6 +367,29 @@ impl Cli {
                 }
                 "--jobs" => cli.jobs_path = value("--jobs")?,
                 "--resume" => cli.resume = true,
+                "--shard" => {
+                    let text = value("--shard")?;
+                    let parse_part = |part: Option<&str>| {
+                        part.and_then(|p| p.trim().parse::<usize>().ok())
+                            .filter(|&v| v > 0)
+                    };
+                    let mut parts = text.split('/');
+                    let (k, n, extra) = (parts.next(), parts.next(), parts.next());
+                    cli.shard = match (parse_part(k), parse_part(n), extra) {
+                        (Some(k), Some(n), None) if k <= n => Some((k, n)),
+                        _ => {
+                            return Err(ParseCliError(format!(
+                                "'{text}' is not a shard: --shard <k>/<n> with 1 <= k <= n"
+                            )))
+                        }
+                    };
+                }
+                "--grain" => {
+                    let text = value("--grain")?;
+                    cli.grain = text.parse().ok().filter(|&g| g > 0).ok_or_else(|| {
+                        ParseCliError(format!("'{text}' is not a lease grain (need >= 1)"))
+                    })?;
+                }
                 "--swap" => {
                     cli.swap = parse_swap(&value("--swap")?).map_err(ParseCliError)?;
                 }
@@ -360,9 +424,13 @@ impl Cli {
                 "--intensity must be a non-negative number".to_string(),
             ));
         }
-        if cli.command == Command::Batch && cli.jobs_path.is_empty() {
+        if matches!(
+            cli.command,
+            Command::Batch | Command::BatchCoordinator | Command::BatchWorker
+        ) && cli.jobs_path.is_empty()
+        {
             return Err(ParseCliError(
-                "batch needs a manifest: --jobs <file>".to_string(),
+                "this command needs a manifest: --jobs <file>".to_string(),
             ));
         }
         if cli.command == Command::Replay && cli.log_path.is_empty() {
@@ -502,6 +570,67 @@ mod tests {
         assert!(cli.resume);
         assert_eq!(cli.out_dir, "target/batch");
         assert!(cli.app.is_empty(), "batch takes no positional app");
+    }
+
+    #[test]
+    fn shard_and_distributed_batch_parse() {
+        let cli = Cli::parse(["batch", "--jobs", "g.manifest", "--shard", "2/3"]).unwrap();
+        assert_eq!(cli.shard, Some((2, 3)));
+
+        let cli = Cli::parse([
+            "batch-coordinator",
+            "--jobs",
+            "g.manifest",
+            "--listen",
+            "127.0.0.1:0",
+            "--grain",
+            "4",
+            "--resume",
+        ])
+        .unwrap();
+        assert_eq!(cli.command, Command::BatchCoordinator);
+        assert_eq!(cli.grain, 4);
+        assert!(cli.resume);
+        assert!(cli.app.is_empty(), "batch-coordinator takes no app");
+
+        let cli = Cli::parse([
+            "batch-worker",
+            "127.0.0.1:7421",
+            "--jobs",
+            "g.manifest",
+            "--name",
+            "w1",
+        ])
+        .unwrap();
+        assert_eq!(cli.command, Command::BatchWorker);
+        assert_eq!(cli.addr, "127.0.0.1:7421");
+        assert_eq!(cli.design_name, "w1");
+    }
+
+    #[test]
+    fn shard_and_distributed_batch_errors() {
+        for bad in ["0/3", "4/3", "2", "a/b", "1/2/3", "/"] {
+            let err = Cli::parse(["batch", "--jobs", "g", "--shard", bad]).unwrap_err();
+            assert!(err.0.contains("shard"), "{bad}: {}", err.0);
+        }
+        assert!(Cli::parse(["batch-coordinator"])
+            .unwrap_err()
+            .0
+            .contains("--jobs"));
+        assert!(Cli::parse(["batch-worker", "127.0.0.1:7421"])
+            .unwrap_err()
+            .0
+            .contains("--jobs"));
+        assert!(Cli::parse(["batch-worker"])
+            .unwrap_err()
+            .0
+            .contains("coordinator <addr>"));
+        assert!(
+            Cli::parse(["batch-coordinator", "--jobs", "g", "--grain", "0"])
+                .unwrap_err()
+                .0
+                .contains("lease grain")
+        );
     }
 
     #[test]

@@ -7,9 +7,12 @@ use std::net::TcpStream;
 use std::path::{Path, PathBuf};
 
 use crate::args::{Cli, ClientOp, Command};
-use sunmap::batch::{plan_resume, run_batch, BatchManifest, ResumePlan};
+use sunmap::batch::{
+    manifest_fingerprint, plan_resume, run_batch, shard_range, BatchJob, BatchManifest, ResumePlan,
+};
 use sunmap::request::{ConstraintMode, ExploreRequest, RequestRunner};
 use sunmap::serve::{read_frame, report_slice, serve, verify_replay, write_frame, ServeConfig};
+use sunmap::shard::{run_coordinator, run_worker, CoordConfig};
 use sunmap::sim::sweep::{injection_sweep, stats_json_fields, sweep_csv, sweep_json, SweepRequest};
 use sunmap::sim::{adversarial_pattern, NocSimulator, SimConfig};
 use sunmap::topology::builders;
@@ -26,6 +29,8 @@ type CliResult = Result<(), Box<dyn Error>>;
 pub fn run(cli: &Cli) -> CliResult {
     match cli.command {
         Command::Batch => return batch(cli),
+        Command::BatchCoordinator => return batch_coordinator(cli),
+        Command::BatchWorker => return batch_worker(cli),
         Command::Serve => return serve_daemon(cli),
         Command::Replay => return replay(cli),
         Command::Client if cli.client_op != ClientOp::Explore => return client(cli, None),
@@ -42,7 +47,12 @@ pub fn run(cli: &Cli) -> CliResult {
         Command::Sweep => sweep(cli, app),
         Command::DesignSweep => design_sweep(cli, app),
         Command::Simulate => simulate(cli, app),
-        Command::Batch | Command::Serve | Command::Client | Command::Replay => {
+        Command::Batch
+        | Command::BatchCoordinator
+        | Command::BatchWorker
+        | Command::Serve
+        | Command::Client
+        | Command::Replay => {
             unreachable!("dispatched above")
         }
     }
@@ -267,29 +277,12 @@ fn sweep(cli: &Cli, app: CoreGraph) -> CliResult {
 /// job order, the resumed file is byte-identical to an uninterrupted
 /// one.
 fn batch(cli: &Cli) -> CliResult {
-    let text = fs::read_to_string(&cli.jobs_path)
-        .map_err(|e| format!("cannot read manifest '{}': {e}", cli.jobs_path))?;
-    let manifest = BatchManifest::parse(&text)?;
-    let jobs = manifest.jobs()?;
-    let out = Path::new(&cli.out_dir);
-    fs::create_dir_all(out)?;
-    let path = out.join("batch.jsonl");
-
-    let plan = if cli.resume && path.exists() {
-        let existing = fs::read_to_string(&path)?;
-        let plan = plan_resume(&jobs, &existing)
-            .map_err(|e| format!("--resume on {}: {e}", path.display()))?;
-        if plan.keep_bytes != existing.len() {
-            fs::write(&path, &existing[..plan.keep_bytes])?;
-        }
-        plan
-    } else {
-        fs::write(&path, "")?;
-        ResumePlan {
-            keep_bytes: 0,
-            completed_jobs: 0,
-        }
-    };
+    let mut jobs = load_manifest_jobs(cli)?;
+    if let Some((k, n)) = cli.shard {
+        let range = shard_range(jobs.len(), k, n)?;
+        jobs = jobs[range].to_vec();
+    }
+    let (path, plan) = open_batch_output(cli, &jobs)?;
 
     let remaining = &jobs[plan.completed_jobs..];
     let skipped = plan.completed_jobs;
@@ -305,8 +298,12 @@ fn batch(cli: &Cli) -> CliResult {
     if let Some(e) = write_error {
         return Err(format!("writing {}: {e}", path.display()).into());
     }
+    let shard = match cli.shard {
+        Some((k, n)) => format!(" [shard {k}/{n}]"),
+        None => String::new(),
+    };
     println!(
-        "batch: {} jobs ({} run, {} skipped via --resume) -> {}",
+        "batch{shard}: {} jobs ({} run, {} skipped via --resume) -> {}",
         jobs.len(),
         remaining.len(),
         skipped,
@@ -314,6 +311,115 @@ fn batch(cli: &Cli) -> CliResult {
     );
     Ok(())
 }
+
+fn load_manifest_jobs(cli: &Cli) -> Result<Vec<BatchJob>, Box<dyn Error>> {
+    let text = fs::read_to_string(&cli.jobs_path)
+        .map_err(|e| format!("cannot read manifest '{}': {e}", cli.jobs_path))?;
+    let manifest = BatchManifest::parse(&text)?;
+    Ok(manifest.jobs()?)
+}
+
+/// Prepares `<out>/batch.jsonl` for appending: honors `--resume` by
+/// keeping the validated complete-line prefix, truncates otherwise.
+fn open_batch_output(
+    cli: &Cli,
+    jobs: &[BatchJob],
+) -> Result<(PathBuf, ResumePlan), Box<dyn Error>> {
+    let out = Path::new(&cli.out_dir);
+    fs::create_dir_all(out)?;
+    let path = out.join("batch.jsonl");
+    let plan = if cli.resume && path.exists() {
+        let existing = fs::read_to_string(&path)?;
+        let plan = plan_resume(jobs, &existing)
+            .map_err(|e| format!("--resume on {}: {e}", path.display()))?;
+        if plan.keep_bytes != existing.len() {
+            fs::write(&path, &existing[..plan.keep_bytes])?;
+        }
+        plan
+    } else {
+        fs::write(&path, "")?;
+        ResumePlan {
+            keep_bytes: 0,
+            completed_jobs: 0,
+        }
+    };
+    Ok((path, plan))
+}
+
+/// `batch-coordinator`: leases the manifest's job ranges to connected
+/// `batch-worker` processes and appends their results to
+/// `<out>/batch.jsonl` strictly in job order, so the file is
+/// byte-identical to a single-process `batch` run. A `SIGTERM` drain
+/// leaves a clean prefix that `--resume` completes identically.
+fn batch_coordinator(cli: &Cli) -> CliResult {
+    let jobs = load_manifest_jobs(cli)?;
+    let fingerprint = manifest_fingerprint(&jobs);
+    let (path, plan) = open_batch_output(cli, &jobs)?;
+    let config = CoordConfig {
+        first_job: plan.completed_jobs,
+        total_jobs: jobs.len(),
+        grain: cli.grain,
+        fingerprint,
+        ..CoordConfig::default()
+    };
+    let mut file = fs::OpenOptions::new().append(true).open(&path)?;
+    let mut write_error: Option<std::io::Error> = None;
+    let outcome = run_coordinator(
+        config,
+        &cli.listen,
+        |addr| {
+            // Flushed before the first worker is accepted, so wrappers
+            // (and the smoke script) can poll stdout for the address.
+            println!("sunmap-coordinator listening on {addr}");
+            let _ = std::io::stdout().flush();
+        },
+        |_, line| {
+            write_error = writeln!(file, "{line}").and_then(|()| file.flush()).err();
+            write_error.is_none()
+        },
+    );
+    if let Some(e) = write_error {
+        return Err(format!("writing {}: {e}", path.display()).into());
+    }
+    let summary = outcome?;
+    let status = if summary.drained {
+        " (drained; rerun with --resume to finish)"
+    } else {
+        ""
+    };
+    println!(
+        "coordinator: {} of {} job(s) delivered this run, {} resumed{status} -> {}",
+        summary.jobs_delivered,
+        jobs.len() - plan.completed_jobs,
+        plan.completed_jobs,
+        path.display()
+    );
+    println!("{}", summary.counters.to_json());
+    Ok(())
+}
+
+/// `batch-worker`: computes leased ranges of the same manifest for a
+/// running coordinator until drained.
+fn batch_worker(cli: &Cli) -> CliResult {
+    let jobs = load_manifest_jobs(cli)?;
+    let fingerprint = manifest_fingerprint(&jobs);
+    let summary = run_worker(
+        &jobs,
+        &fingerprint,
+        &cli.design_name,
+        &cli.addr,
+        WORKER_HEARTBEAT_INTERVAL_MS,
+    )?;
+    println!(
+        "worker '{}': {} job(s) computed",
+        cli.design_name, summary.jobs_computed
+    );
+    Ok(())
+}
+
+/// Heartbeat cadence for `batch-worker` — comfortably inside the
+/// coordinator's default 30 s silence threshold.
+const WORKER_HEARTBEAT_INTERVAL_MS: u64 = 5_000;
 
 /// Fig. 9: routing-function bandwidth staircase and area-power Pareto
 /// front on the application's mesh.

@@ -191,6 +191,150 @@ fn batch_is_worker_invariant_resumable_and_parsable() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+/// A small manifest (4 jobs) for the shard/distributed tests, written
+/// into `dir`.
+fn small_manifest(dir: &std::path::Path) -> PathBuf {
+    fs::create_dir_all(dir).unwrap();
+    let path = dir.join("small.manifest");
+    fs::write(
+        &path,
+        "app dsp\napp synth:seed=3,cores=8\nobjective delay\nobjective power\ncapacity 1000\n",
+    )
+    .unwrap();
+    path
+}
+
+#[test]
+fn shard_outputs_concatenate_to_the_unsharded_file() {
+    let dir = temp_dir("sunmap_it_shard");
+    let manifest = small_manifest(&dir);
+
+    let whole = dir.join("whole");
+    let out = sunmap(&[
+        "batch",
+        "--jobs",
+        manifest.to_str().unwrap(),
+        "--out",
+        whole.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let baseline = fs::read_to_string(whole.join("batch.jsonl")).unwrap();
+    assert_eq!(baseline.lines().count(), 4);
+
+    // 3 shards over 4 jobs: sizes 2, 1, 1 — every job exactly once,
+    // and the in-order concatenation is byte-identical.
+    let mut concatenated = String::new();
+    for k in 1..=3 {
+        let shard_out = dir.join(format!("shard{k}"));
+        let shard = format!("{k}/3");
+        let out = sunmap(&[
+            "batch",
+            "--jobs",
+            manifest.to_str().unwrap(),
+            "--out",
+            shard_out.to_str().unwrap(),
+            "--shard",
+            &shard,
+        ]);
+        assert!(out.status.success(), "shard {k}: {out:?}");
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        assert!(stdout.contains(&format!("[shard {k}/3]")), "{stdout}");
+        concatenated.push_str(&fs::read_to_string(shard_out.join("batch.jsonl")).unwrap());
+    }
+    assert_eq!(
+        concatenated, baseline,
+        "concatenated shards must reproduce the unsharded bytes"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn distributed_batch_reproduces_the_single_process_bytes() {
+    use std::io::BufRead as _;
+    use std::process::{Command, Stdio};
+
+    let dir = temp_dir("sunmap_it_dist_batch");
+    let manifest = small_manifest(&dir);
+
+    let whole = dir.join("whole");
+    let out = sunmap(&[
+        "batch",
+        "--jobs",
+        manifest.to_str().unwrap(),
+        "--out",
+        whole.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let baseline = fs::read_to_string(whole.join("batch.jsonl")).unwrap();
+
+    let dist = dir.join("dist");
+    let mut coordinator = Command::new(env!("CARGO_BIN_EXE_sunmap"))
+        .args([
+            "batch-coordinator",
+            "--jobs",
+            manifest.to_str().unwrap(),
+            "--out",
+            dist.to_str().unwrap(),
+            "--listen",
+            "127.0.0.1:0",
+            "--grain",
+            "1",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("coordinator spawns");
+    let mut stdout = std::io::BufReader::new(coordinator.stdout.take().unwrap());
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("coordinator announces");
+    let addr = line
+        .trim()
+        .strip_prefix("sunmap-coordinator listening on ")
+        .unwrap_or_else(|| panic!("unexpected first line: {line:?}"))
+        .to_string();
+
+    let workers: Vec<_> = (0..2)
+        .map(|i| {
+            Command::new(env!("CARGO_BIN_EXE_sunmap"))
+                .args([
+                    "batch-worker",
+                    &addr,
+                    "--jobs",
+                    manifest.to_str().unwrap(),
+                    "--name",
+                    &format!("w{i}"),
+                ])
+                .stdout(Stdio::piped())
+                .stderr(Stdio::piped())
+                .spawn()
+                .expect("worker spawns")
+        })
+        .collect();
+
+    let status = coordinator.wait().expect("coordinator runs");
+    assert!(status.success(), "coordinator failed");
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut stdout, &mut rest).unwrap();
+    assert!(
+        rest.contains("\"schema\":\"sunmap-shard-metrics/1\""),
+        "missing counters dump: {rest}"
+    );
+    for worker in workers {
+        let out = worker.wait_with_output().expect("worker runs");
+        assert!(
+            out.status.success(),
+            "worker failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    assert_eq!(
+        fs::read_to_string(dist.join("batch.jsonl")).unwrap(),
+        baseline,
+        "distributed assembly must be byte-identical to a local run"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn batch_without_manifest_fails_cleanly() {
     let out = sunmap(&["batch"]);

@@ -52,17 +52,6 @@ use sunmap_traffic::{AppSource, CoreGraph};
 // the parse paths; re-exported so `sunmap::batch::{...}` stays valid.
 pub use crate::request::{parse_objective, parse_routing, ConstraintMode, SimProbe};
 
-/// Resolves an application spec: a built-in benchmark name, a seeded
-/// synthetic spec, an inline graph, or a `.app` file path.
-///
-/// # Errors
-///
-/// Returns a human-readable message naming the spec and the failure.
-#[deprecated(note = "parse an `sunmap::AppSource` and call `resolve()` instead")]
-pub fn resolve_app(spec: &str) -> Result<CoreGraph, String> {
-    AppSource::load(spec)
-}
-
 /// Errors from manifest parsing and job expansion.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -299,8 +288,10 @@ pub struct BatchJob {
 
 /// Runs one job against the worker's shared cache and renders its
 /// JSONL line: the schema/job prefix plus the shared report body of
-/// [`crate::request::execute`].
-fn run_job(job: &BatchJob, cache: &mut LruLibraryCache) -> String {
+/// [`crate::request::execute`]. Fully deterministic: the same job
+/// renders the same bytes in any process, which is what lets the shard
+/// coordinator byte-compare duplicate results (see [`crate::shard`]).
+pub(crate) fn run_job(job: &BatchJob, cache: &mut LruLibraryCache) -> String {
     let body = cache.with_library(job.app.core_count(), job.request.capacity, |topos| {
         execute(&job.app_spec, &job.app, &job.request, topos).0
     });
@@ -465,6 +456,47 @@ pub fn plan_resume(jobs: &[BatchJob], existing: &str) -> Result<ResumePlan, Stri
     })
 }
 
+/// The contiguous job range shard `k` of `n` owns (1-based `k`,
+/// matching the CLI's `--shard k/n` spelling): jobs are split as
+/// evenly as possible, earlier shards taking the remainder, so
+/// concatenating every shard's output in `k` order reproduces the
+/// unsharded bytes. The same math sizes the coordinator's lease grain
+/// windows, so static shards and coordinated leases agree on
+/// boundaries.
+///
+/// # Errors
+///
+/// Rejects `k` outside `1..=n` and `n == 0` with a human-readable
+/// message.
+pub fn shard_range(jobs: usize, k: usize, n: usize) -> Result<std::ops::Range<usize>, String> {
+    if n == 0 {
+        return Err("--shard needs at least one shard (k/n with n >= 1)".to_string());
+    }
+    if k == 0 || k > n {
+        return Err(format!("shard index {k} is outside 1..={n}"));
+    }
+    let base = jobs / n;
+    let extra = jobs % n;
+    // Shards 1..=extra carry base+1 jobs, the rest carry base.
+    let start = (k - 1) * base + (k - 1).min(extra);
+    let len = base + usize::from(k <= extra);
+    Ok(start..start + len)
+}
+
+/// A stable fingerprint of a manifest's expanded job list (FNV-1a over
+/// the job ids), used by the shard protocol to reject a worker that
+/// loaded a different manifest before any job is leased to it.
+pub fn manifest_fingerprint(jobs: &[BatchJob]) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for job in jobs {
+        for byte in job.id.as_bytes().iter().chain(b"\n") {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    format!("{:016x}-{}", hash, jobs.len())
+}
+
 fn effective_workers(requested: usize, jobs: usize) -> usize {
     let cpus = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -572,23 +604,6 @@ capacity 1000
             .jobs()
             .unwrap_err();
         assert!(matches!(e, ManifestError::BadApp { .. }));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_resolve_app_still_loads_every_spec_kind() {
-        assert_eq!(resolve_app("vopd").unwrap().core_count(), 12);
-        assert_eq!(resolve_app("netproc").unwrap().core_count(), 16);
-        assert_eq!(
-            resolve_app("synth:seed=1,cores=10").unwrap().core_count(),
-            10
-        );
-        assert!(resolve_app("synth:cores=1")
-            .unwrap_err()
-            .contains("2..=4096"));
-        assert!(resolve_app("/no/such.app")
-            .unwrap_err()
-            .contains("cannot read"));
     }
 
     #[test]
@@ -731,6 +746,41 @@ capacity 1000
         assert_eq!(job_id_of_line("{\"schema\":\"sunmap-ba"), None);
         assert_eq!(job_id_of_line("{\"job\":\"unterminated"), None);
         assert_eq!(job_id_of_line("{\"job\":\"bad\\u00"), None);
+    }
+
+    #[test]
+    fn shard_ranges_partition_every_job_exactly_once() {
+        for jobs in [0usize, 1, 4, 7, 16, 33] {
+            for n in [1usize, 2, 3, 5, 8] {
+                let mut covered = Vec::new();
+                for k in 1..=n {
+                    let range = shard_range(jobs, k, n).unwrap();
+                    covered.extend(range.clone());
+                    if k > 1 {
+                        let prev = shard_range(jobs, k - 1, n).unwrap();
+                        assert_eq!(prev.end, range.start, "shards must be contiguous");
+                        assert!(
+                            prev.len() >= range.len(),
+                            "earlier shards take the remainder"
+                        );
+                    }
+                }
+                assert_eq!(covered, (0..jobs).collect::<Vec<_>>(), "{jobs} jobs / {n}");
+            }
+        }
+        assert!(shard_range(4, 0, 2).is_err(), "k is 1-based");
+        assert!(shard_range(4, 3, 2).is_err(), "k must not exceed n");
+        assert!(shard_range(4, 1, 0).is_err(), "n must be positive");
+    }
+
+    #[test]
+    fn manifest_fingerprint_tracks_the_job_list() {
+        let jobs = BatchManifest::parse(SMALL_GRID).unwrap().jobs().unwrap();
+        let again = BatchManifest::parse(SMALL_GRID).unwrap().jobs().unwrap();
+        assert_eq!(manifest_fingerprint(&jobs), manifest_fingerprint(&again));
+        let other = BatchManifest::parse("app dsp\n").unwrap().jobs().unwrap();
+        assert_ne!(manifest_fingerprint(&jobs), manifest_fingerprint(&other));
+        assert!(manifest_fingerprint(&jobs).ends_with("-4"), "carries count");
     }
 
     #[test]

@@ -43,15 +43,22 @@
 //! [`request`] module is the unified entry point every surface builds
 //! on (one serializable [`ExploreRequest`], one validate path, one
 //! report renderer), and [`serve`] + [`metrics`] turn it into a
-//! long-running daemon with warm route caches and live counters.
+//! long-running daemon with warm route caches and live counters. The
+//! [`frame`] module is the shared length-prefixed wire codec, and
+//! [`shard`] scales a batch across fault-tolerant worker *processes*:
+//! an IO-free coordinator/worker state-machine pair whose chaos
+//! harness lives in [`shard_sim`].
 
 pub mod batch;
 mod flow;
+pub mod frame;
 mod json;
 pub mod metrics;
 mod pareto;
 pub mod request;
 pub mod serve;
+pub mod shard;
+pub mod shard_sim;
 mod sweep;
 
 pub use flow::{

@@ -119,6 +119,9 @@ pub struct Metrics {
     pub ping_requests: AtomicU64,
     /// Frames rejected with an error response.
     pub errors: AtomicU64,
+    /// Connections dropped because the peer stalled mid-payload past
+    /// the drain's patience (see `frame::read_frame_draining`).
+    pub write_timeouts: AtomicU64,
     /// Candidate-library (route table) cache hits.
     pub cache_hits: AtomicU64,
     /// Candidate-library cache misses (cold builds).
@@ -149,6 +152,7 @@ impl Metrics {
             stats_requests: AtomicU64::new(0),
             ping_requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            write_timeouts: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             evaluations: AtomicU64::new(0),
@@ -174,7 +178,8 @@ impl Metrics {
         };
         format!(
             "{{\"schema\":\"sunmap-serve-metrics/1\",\"uptime_secs\":{},\
-             \"requests\":{{\"explore\":{},\"stats\":{},\"ping\":{},\"errors\":{}}},\
+             \"requests\":{{\"explore\":{},\"stats\":{},\"ping\":{},\"errors\":{},\
+             \"write_timeouts\":{}}},\
              \"cache\":{{\"hits\":{},\"misses\":{}}},\
              \"evaluations\":{evals},\"evals_per_sec\":{},\
              \"latency_us\":{{\"route_table_build\":{},\"swap_search\":{},\
@@ -184,6 +189,7 @@ impl Metrics {
             get(&self.stats_requests),
             get(&self.ping_requests),
             get(&self.errors),
+            get(&self.write_timeouts),
             get(&self.cache_hits),
             get(&self.cache_misses),
             json_number(evals_per_sec),
@@ -192,6 +198,45 @@ impl Metrics {
             self.floorplan.to_json(),
             self.probe.to_json(),
             self.request.to_json(),
+        )
+    }
+}
+
+/// Robustness counters kept by the shard coordinator's state machine.
+///
+/// Plain integers, not atomics: the machine is single-threaded and
+/// IO-free (see [`crate::shard`]), so its counters are part of the
+/// deterministic state the simtest replays — the same seed produces
+/// the same counter values, not just the same bytes.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ShardCounters {
+    /// Jobs whose result line was accepted (first delivery only).
+    pub jobs_completed: u64,
+    /// Leases granted, including re-issues.
+    pub leases_granted: u64,
+    /// Leases that timed out and were retried with backoff.
+    pub lease_retries: u64,
+    /// Ranges requeued because their worker died or disconnected.
+    pub ranges_requeued: u64,
+    /// Workers declared dead (disconnect or missed heartbeats).
+    pub worker_deaths: u64,
+    /// Duplicate results received, byte-compared and deduped.
+    pub duplicate_results: u64,
+}
+
+impl ShardCounters {
+    /// One-line JSON snapshot (schema `sunmap-shard-metrics/1`).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"schema\":\"sunmap-shard-metrics/1\",\"jobs_completed\":{},\
+             \"leases_granted\":{},\"lease_retries\":{},\"ranges_requeued\":{},\
+             \"worker_deaths\":{},\"duplicate_results\":{}}}",
+            self.jobs_completed,
+            self.leases_granted,
+            self.lease_retries,
+            self.ranges_requeued,
+            self.worker_deaths,
+            self.duplicate_results,
         )
     }
 }
@@ -231,6 +276,32 @@ mod tests {
         }
         assert_eq!(h.quantile_us(0.5), 16, "p50 in the 10 µs bucket");
         assert!(h.quantile_us(0.99) >= 8_192, "p99 in the 10 ms bucket");
+    }
+
+    #[test]
+    fn shard_counters_snapshot_is_valid_json() {
+        let counters = ShardCounters {
+            jobs_completed: 12,
+            leases_granted: 7,
+            lease_retries: 2,
+            ranges_requeued: 3,
+            worker_deaths: 1,
+            duplicate_results: 4,
+        };
+        let snap = Json::parse(&counters.to_json()).unwrap();
+        assert_eq!(
+            snap.get("schema").and_then(Json::as_str),
+            Some("sunmap-shard-metrics/1")
+        );
+        assert_eq!(
+            snap.get("jobs_completed").and_then(Json::as_f64),
+            Some(12.0)
+        );
+        assert_eq!(snap.get("worker_deaths").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(
+            snap.get("duplicate_results").and_then(Json::as_f64),
+            Some(4.0)
+        );
     }
 
     #[test]

@@ -41,7 +41,7 @@
 //! their responses are written, then the workers exit.
 
 use std::fs::File;
-use std::io::{self, BufWriter, Read, Write};
+use std::io::{self, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -50,22 +50,40 @@ use std::sync::{mpsc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
+use crate::frame::read_frame_draining;
 use crate::json::Json;
 use crate::metrics::Metrics;
 use crate::request::{execute, ExploreRequest, LruLibraryCache, RequestRunner};
 use sunmap_mapping::timing;
 
-/// Frames above this size are rejected rather than allocated.
-pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+pub use crate::frame::{read_frame, write_frame, MAX_FRAME_BYTES};
 
 /// How long a worker blocks on the connection queue or a socket read
 /// before re-checking the drain flag.
-const POLL_INTERVAL: Duration = Duration::from_millis(100);
+pub(crate) const POLL_INTERVAL: Duration = Duration::from_millis(100);
 
 /// The process-wide drain flag: set by a `shutdown` frame or by
 /// `SIGTERM`. Static because a signal handler cannot capture state;
-/// one daemon per process is the supported shape.
-static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+/// one daemon per process is the supported shape — enforced by
+/// [`DAEMON_GUARD`], which [`serve`] and the shard coordinator/worker
+/// shims hold for their whole run so concurrent tests cannot trip each
+/// other's drain.
+pub(crate) static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Serializes daemons within one process (see [`SHUTDOWN`]).
+pub(crate) static DAEMON_GUARD: Mutex<()> = Mutex::new(());
+
+/// Takes the daemon slot for this process: resets the drain flag and
+/// returns the guard that keeps other daemons out until dropped.
+pub(crate) fn claim_daemon_slot() -> std::sync::MutexGuard<'static, ()> {
+    // A test that panicked while holding the slot poisons the lock;
+    // the slot itself is still perfectly usable.
+    let guard = DAEMON_GUARD
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    SHUTDOWN.store(false, Ordering::SeqCst);
+    guard
+}
 
 /// Configuration for [`serve`].
 #[derive(Debug, Clone)]
@@ -98,54 +116,6 @@ pub struct ServeSummary {
     pub metrics_json: String,
     /// Explore requests answered successfully.
     pub explore_requests: u64,
-}
-
-/// Writes one length-prefixed frame (client side and tests; the daemon
-/// uses it too).
-///
-/// # Errors
-///
-/// Propagates socket errors; frames over [`MAX_FRAME_BYTES`] are
-/// rejected with [`io::ErrorKind::InvalidInput`].
-pub fn write_frame<W: Write>(writer: &mut W, payload: &str) -> io::Result<()> {
-    if payload.len() > MAX_FRAME_BYTES {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidInput,
-            "frame too large",
-        ));
-    }
-    let len = u32::try_from(payload.len()).expect("bounded above");
-    writer.write_all(&len.to_be_bytes())?;
-    writer.write_all(payload.as_bytes())?;
-    writer.flush()
-}
-
-/// Reads one length-prefixed frame from a *blocking* stream. Returns
-/// `Ok(None)` on a clean end-of-stream before the length prefix.
-///
-/// # Errors
-///
-/// Truncated frames, oversized lengths and non-UTF-8 payloads are
-/// [`io::ErrorKind::InvalidData`]; socket errors propagate.
-pub fn read_frame<R: Read>(reader: &mut R) -> io::Result<Option<String>> {
-    let mut prefix = [0u8; 4];
-    match reader.read(&mut prefix) {
-        Ok(0) => return Ok(None),
-        Ok(n) => reader.read_exact(&mut prefix[n..])?,
-        Err(e) => return Err(e),
-    }
-    let len = u32::from_be_bytes(prefix) as usize;
-    if len > MAX_FRAME_BYTES {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "frame too large",
-        ));
-    }
-    let mut payload = vec![0u8; len];
-    reader.read_exact(&mut payload)?;
-    String::from_utf8(payload)
-        .map(Some)
-        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))
 }
 
 /// The raw bytes of a serve envelope's trailing `report` object — the
@@ -191,7 +161,7 @@ where
         None => None,
     };
 
-    SHUTDOWN.store(false, Ordering::SeqCst);
+    let _daemon_slot = claim_daemon_slot();
     #[cfg(unix)]
     install_sigterm_handler();
     timing::set_floorplan_timing(true);
@@ -254,7 +224,7 @@ where
 /// Installs a `SIGTERM` handler that flags the drain, so `kill <pid>`
 /// gets the same graceful shutdown as a `shutdown` frame.
 #[cfg(unix)]
-fn install_sigterm_handler() {
+pub(crate) fn install_sigterm_handler() {
     use std::os::raw::c_int;
     const SIGTERM: c_int = 15;
     unsafe extern "C" fn on_sigterm(_signum: c_int) {
@@ -295,10 +265,12 @@ impl Server<'_> {
     }
 
     /// Serves one connection until the peer hangs up, a fatal frame
-    /// error occurs, or the drain flag is set between frames.
+    /// error occurs, or the drain flag is set between frames. A peer
+    /// that stalls mid-payload past the drain's patience is counted in
+    /// `write_timeouts` rather than dropped silently.
     fn handle_connection(&self, mut stream: TcpStream) {
         loop {
-            match read_frame_draining(&mut stream) {
+            match read_frame_draining(&mut stream, &SHUTDOWN, Some(&self.metrics.write_timeouts)) {
                 Ok(Some(payload)) => {
                     let (response, last) = self.process_frame(&payload);
                     if write_frame(&mut stream, &response).is_err() || last {
@@ -436,76 +408,6 @@ impl Server<'_> {
     }
 }
 
-/// Like [`read_frame`] but for the daemon's timeout-armed sockets:
-/// retries reads that time out, and gives up cleanly (`Ok(None)`) when
-/// the drain flag is set while *between* frames — a frame whose length
-/// prefix has arrived is always read and answered, which is what makes
-/// the drain graceful.
-fn read_frame_draining(stream: &mut TcpStream) -> io::Result<Option<String>> {
-    let mut prefix = [0u8; 4];
-    let mut got = 0;
-    while got < 4 {
-        match stream.read(&mut prefix[got..]) {
-            Ok(0) => {
-                return if got == 0 {
-                    Ok(None)
-                } else {
-                    Err(io::ErrorKind::UnexpectedEof.into())
-                };
-            }
-            Ok(n) => got += n,
-            Err(e) if is_timeout(&e) => {
-                if got == 0 && SHUTDOWN.load(Ordering::SeqCst) {
-                    return Ok(None);
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
-        }
-    }
-    let len = u32::from_be_bytes(prefix) as usize;
-    if len > MAX_FRAME_BYTES {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "frame too large",
-        ));
-    }
-    let mut payload = vec![0u8; len];
-    let mut got = 0;
-    let mut stalled_draining = 0u32;
-    while got < len {
-        match stream.read(&mut payload[got..]) {
-            Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
-            Ok(n) => {
-                got += n;
-                stalled_draining = 0;
-            }
-            Err(e) if is_timeout(&e) => {
-                // A half-sent payload may never finish; don't let it
-                // hold the drain hostage forever.
-                if SHUTDOWN.load(Ordering::SeqCst) {
-                    stalled_draining += 1;
-                    if stalled_draining > 50 {
-                        return Ok(None);
-                    }
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
-        }
-    }
-    String::from_utf8(payload)
-        .map(Some)
-        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))
-}
-
-fn is_timeout(e: &io::Error) -> bool {
-    matches!(
-        e.kind(),
-        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-    )
-}
-
 /// Re-runs every request in a replay log through the one-shot
 /// [`RequestRunner`] and checks each reproduces its logged report
 /// byte-for-byte.
@@ -593,18 +495,36 @@ mod tests {
         assert_eq!(report_slice("{\"ok\":false,\"error\":\"nope\"}"), None);
     }
 
+    /// A peer that sends a length prefix but stalls mid-payload during
+    /// a drain is abandoned after the stall cap — and the drop surfaces
+    /// in the `write_timeouts` counter instead of vanishing silently.
     #[test]
-    fn frames_round_trip_through_a_buffer() {
-        let mut buf = Vec::new();
-        write_frame(&mut buf, "{\"op\":\"ping\"}").unwrap();
-        write_frame(&mut buf, "second").unwrap();
-        let mut cursor = &buf[..];
-        assert_eq!(
-            read_frame(&mut cursor).unwrap().as_deref(),
-            Some("{\"op\":\"ping\"}")
+    fn stalled_half_sent_payload_bumps_write_timeouts() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let mut peer = TcpStream::connect(addr).expect("connect");
+        let (mut stream, _) = listener.accept().expect("accept");
+        // A short timeout keeps the 50-stall cap fast in a unit test.
+        stream
+            .set_read_timeout(Some(Duration::from_millis(2)))
+            .expect("read timeout");
+
+        // Length prefix promises 8 bytes; only 3 ever arrive.
+        peer.write_all(&8u32.to_be_bytes()).unwrap();
+        peer.write_all(b"abc").unwrap();
+        peer.flush().unwrap();
+
+        let drain = AtomicBool::new(true);
+        let metrics = Metrics::new();
+        let got = read_frame_draining(&mut stream, &drain, Some(&metrics.write_timeouts))
+            .expect("stall is not an IO error");
+        assert_eq!(got, None, "the stalled frame is abandoned");
+        assert_eq!(metrics.write_timeouts.load(Ordering::Relaxed), 1);
+        assert!(
+            metrics.to_json().contains("\"write_timeouts\":1"),
+            "{}",
+            metrics.to_json()
         );
-        assert_eq!(read_frame(&mut cursor).unwrap().as_deref(), Some("second"));
-        assert_eq!(read_frame(&mut cursor).unwrap(), None, "clean EOF");
     }
 
     /// End-to-end in-process: ping, two explores (second is warm),

@@ -1,0 +1,531 @@
+//! Deterministic chaos simulation for the shard protocol.
+//!
+//! The coordinator and worker in [`crate::shard`] are IO-free state
+//! machines, so the whole distributed system can run inside one
+//! function with *virtual* sockets: per-link `VecDeque` message
+//! queues, a virtual clock that only advances when the harness says
+//! so, and a seeded RNG choosing what happens next. Each step the
+//! harness either delivers a frame (possibly delayed, reordered,
+//! duplicated or dropped), finishes a worker's in-progress compute,
+//! kills a worker (crash or silent freeze), respawns one, or lets
+//! time pass — and because every choice flows from the seed, a
+//! failing seed replays exactly.
+//!
+//! The invariant under test is the tool's core guarantee: whatever
+//! faults fire, the assembled output equals [`oracle_lines`] — the
+//! bytes a single process would produce — and the run terminates.
+//! `SHARD_SIMTEST_SEEDS=N` widens the pinned-seed corpus in
+//! `tests/shard_simtest.rs` for local sweeps.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::metrics::ShardCounters;
+use crate::shard::{
+    CoordAction, CoordConfig, CoordEvent, Coordinator, ShardWorker, WorkerAction, WorkerEvent,
+    WorkerId,
+};
+
+/// Per-step fault probabilities, each in `[0, 1]`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Chance a step is forced to pass time instead of delivering
+    /// anything (messages sit in their queues — delay).
+    pub delay: f64,
+    /// Chance a delivery picks a random queue position instead of the
+    /// head (reordering).
+    pub reorder: f64,
+    /// Chance a delivered frame is also left in the queue (duplicate
+    /// delivery).
+    pub duplicate: f64,
+    /// Chance a selected frame is discarded instead of delivered.
+    pub drop: f64,
+    /// Chance a step kills a random live worker (half crash — the
+    /// coordinator sees the disconnect — half silent freeze, which
+    /// only the heartbeat timeout can catch).
+    pub kill: f64,
+}
+
+impl FaultPlan {
+    /// Every fault class at once, at rates the retry budget absorbs.
+    pub fn chaos() -> FaultPlan {
+        FaultPlan {
+            delay: 0.10,
+            reorder: 0.20,
+            duplicate: 0.10,
+            drop: 0.08,
+            kill: 0.004,
+        }
+    }
+}
+
+/// One simulation scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimSpec {
+    /// RNG seed; equal specs replay identically.
+    pub seed: u64,
+    /// Jobs in the virtual manifest.
+    pub jobs: usize,
+    /// Target live worker count (killed workers respawn toward it).
+    pub workers: usize,
+    /// Jobs per lease.
+    pub grain: usize,
+    /// Fault probabilities.
+    pub faults: FaultPlan,
+    /// Step budget before the run is declared non-terminating.
+    pub max_steps: u64,
+}
+
+impl SimSpec {
+    /// A medium-sized scenario for `seed` with [`FaultPlan::chaos`].
+    pub fn chaos(seed: u64) -> SimSpec {
+        SimSpec {
+            seed,
+            jobs: 23,
+            workers: 3,
+            grain: 2,
+            faults: FaultPlan::chaos(),
+            max_steps: 400_000,
+        }
+    }
+}
+
+/// What a completed simulation reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimOutcome {
+    /// The delivered lines, in delivery order.
+    pub lines: Vec<String>,
+    /// The coordinator's final robustness counters.
+    pub counters: ShardCounters,
+    /// Steps the run took.
+    pub steps: u64,
+    /// Workers killed by the kill fault.
+    pub kills: u64,
+}
+
+/// The deterministic line the virtual executor renders for `job` — the
+/// simtest's stand-in for [`crate::batch`]'s `run_job`, sharing its
+/// one property that matters here: same job, same bytes, any process.
+pub fn sim_job_line(job: usize) -> String {
+    format!(
+        "{{\"schema\":\"sunmap-batch/1\",\"job\":\"sim-{job}\",\"value\":{}}}",
+        (job * 31) % 97
+    )
+}
+
+/// The single-process oracle: what `jobs` jobs produce with no
+/// distribution at all.
+pub fn oracle_lines(jobs: usize) -> Vec<String> {
+    (0..jobs).map(sim_job_line).collect()
+}
+
+const TICK_MS: u64 = 10;
+const RESPAWN_DELAY_MS: u64 = 50;
+const WORKER_HEARTBEAT_MS: u64 = 40;
+
+struct SimWorker {
+    machine: ShardWorker,
+    /// Job handed to the virtual executor, not yet finished.
+    computing: Option<usize>,
+    /// False once killed (either flavor) or exited.
+    alive: bool,
+    /// A silently frozen worker: link intact, machine never steps.
+    frozen: bool,
+}
+
+/// The virtual transport and scheduler around one [`Coordinator`] and
+/// its workers.
+struct Sim {
+    rng: SmallRng,
+    spec: SimSpec,
+    now_ms: u64,
+    coordinator: Coordinator,
+    workers: BTreeMap<WorkerId, SimWorker>,
+    /// coordinator → worker frames in flight.
+    c2w: BTreeMap<WorkerId, VecDeque<String>>,
+    /// worker → coordinator frames in flight.
+    w2c: BTreeMap<WorkerId, VecDeque<String>>,
+    next_worker: WorkerId,
+    respawn_at: Vec<u64>,
+    delivered: Vec<(usize, String)>,
+    finished: bool,
+    fatal: Option<String>,
+    kills: u64,
+}
+
+/// What the scheduler can do this step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Choice {
+    Tick,
+    DeliverToWorker(WorkerId),
+    DeliverToCoordinator(WorkerId),
+    Compute(WorkerId),
+    Respawn(usize),
+}
+
+impl Sim {
+    fn new(spec: SimSpec) -> Sim {
+        let coordinator = Coordinator::new(CoordConfig {
+            first_job: 0,
+            total_jobs: spec.jobs,
+            grain: spec.grain,
+            lease_timeout_ms: 150,
+            heartbeat_timeout_ms: 200,
+            max_attempts: 50,
+            fingerprint: "sim".to_string(),
+        });
+        let mut sim = Sim {
+            rng: SmallRng::seed_from_u64(spec.seed),
+            spec,
+            now_ms: 0,
+            coordinator,
+            workers: BTreeMap::new(),
+            c2w: BTreeMap::new(),
+            w2c: BTreeMap::new(),
+            next_worker: 0,
+            respawn_at: Vec::new(),
+            delivered: Vec::new(),
+            finished: false,
+            fatal: None,
+            kills: 0,
+        };
+        for _ in 0..sim.spec.workers.max(1) {
+            sim.spawn_worker();
+        }
+        sim
+    }
+
+    fn spawn_worker(&mut self) {
+        let id = self.next_worker;
+        self.next_worker += 1;
+        let mut machine = ShardWorker::new(&format!("w{id}"), "sim", WORKER_HEARTBEAT_MS);
+        self.c2w.insert(id, VecDeque::new());
+        self.w2c.insert(id, VecDeque::new());
+        let actions = self.coordinator.step(CoordEvent::Connected { worker: id });
+        self.apply_coord_actions(actions);
+        let actions = machine.step(WorkerEvent::Start);
+        self.workers.insert(
+            id,
+            SimWorker {
+                machine,
+                computing: None,
+                alive: true,
+                frozen: false,
+            },
+        );
+        self.apply_worker_actions(id, actions);
+    }
+
+    fn apply_coord_actions(&mut self, actions: Vec<CoordAction>) {
+        for action in actions {
+            match action {
+                CoordAction::Send { worker, payload } => {
+                    if let Some(queue) = self.c2w.get_mut(&worker) {
+                        queue.push_back(payload);
+                    }
+                }
+                CoordAction::Deliver { job, line } => self.delivered.push((job, line)),
+                CoordAction::Close { worker } => {
+                    // The socket dies in both directions.
+                    self.c2w.remove(&worker);
+                    self.w2c.remove(&worker);
+                    let closed = match self.workers.get_mut(&worker) {
+                        Some(w) if w.alive && !w.frozen => {
+                            w.alive = false;
+                            Some(w.machine.step(WorkerEvent::ConnectionClosed))
+                        }
+                        _ => None,
+                    };
+                    if let Some(actions) = closed {
+                        self.apply_worker_actions(worker, actions);
+                    }
+                    if !self.finished {
+                        self.respawn_at.push(self.now_ms + RESPAWN_DELAY_MS);
+                    }
+                }
+                CoordAction::Finished => self.finished = true,
+                CoordAction::Fatal { message } => self.fatal = Some(message),
+            }
+        }
+    }
+
+    fn apply_worker_actions(&mut self, id: WorkerId, actions: Vec<WorkerAction>) {
+        for action in actions {
+            match action {
+                WorkerAction::Send { payload } => {
+                    if let Some(queue) = self.w2c.get_mut(&id) {
+                        queue.push_back(payload);
+                    }
+                }
+                WorkerAction::Compute { job } => {
+                    let worker = self.workers.get_mut(&id).expect("stepped worker exists");
+                    debug_assert!(worker.computing.is_none(), "one compute at a time");
+                    worker.computing = Some(job);
+                }
+                WorkerAction::Exit { .. } => {
+                    // Worker process ends; its socket closes under it.
+                    if let Some(worker) = self.workers.get_mut(&id) {
+                        worker.alive = false;
+                        worker.computing = None;
+                    }
+                    self.c2w.remove(&id);
+                    self.w2c.remove(&id);
+                    let actions = self
+                        .coordinator
+                        .step(CoordEvent::Disconnected { worker: id });
+                    self.apply_coord_actions(actions);
+                }
+            }
+        }
+    }
+
+    /// Pops a frame from `queue` under the reorder fault.
+    fn pop_frame(rng: &mut SmallRng, faults: &FaultPlan, queue: &mut VecDeque<String>) -> String {
+        let index = if queue.len() > 1 && rng.gen_bool(faults.reorder) {
+            rng.gen_range(0..queue.len())
+        } else {
+            0
+        };
+        queue.remove(index).expect("chosen from a non-empty queue")
+    }
+
+    fn kill_someone(&mut self) {
+        let victims: Vec<WorkerId> = self
+            .workers
+            .iter()
+            .filter(|(_, w)| w.alive && !w.frozen)
+            .map(|(&id, _)| id)
+            .collect();
+        if victims.is_empty() {
+            return;
+        }
+        let id = victims[self.rng.gen_range(0..victims.len())];
+        self.kills += 1;
+        let crash = self.rng.gen_bool(0.5);
+        let worker = self.workers.get_mut(&id).expect("chosen above");
+        if crash {
+            // kill -9: the socket resets, unread frames are lost.
+            worker.alive = false;
+            worker.computing = None;
+            self.c2w.remove(&id);
+            self.w2c.remove(&id);
+            let actions = self
+                .coordinator
+                .step(CoordEvent::Disconnected { worker: id });
+            self.apply_coord_actions(actions);
+        } else {
+            // Silent freeze: the link stays up, already-sent frames
+            // still arrive, but the process never speaks again. Only
+            // the heartbeat timeout can catch this.
+            worker.alive = false;
+            worker.frozen = true;
+            worker.computing = None;
+        }
+        self.respawn_at.push(self.now_ms + RESPAWN_DELAY_MS);
+    }
+
+    fn choices(&self) -> Vec<Choice> {
+        let mut choices = vec![Choice::Tick];
+        for (&id, queue) in &self.c2w {
+            let processes = self.workers.get(&id).is_some_and(|w| w.alive && !w.frozen);
+            if processes && !queue.is_empty() {
+                choices.push(Choice::DeliverToWorker(id));
+            }
+        }
+        for (&id, queue) in &self.w2c {
+            // Frames a since-frozen worker already sent still arrive.
+            if !queue.is_empty() {
+                choices.push(Choice::DeliverToCoordinator(id));
+            }
+        }
+        for (&id, worker) in &self.workers {
+            if worker.alive && !worker.frozen && worker.computing.is_some() {
+                choices.push(Choice::Compute(id));
+            }
+        }
+        for (index, &at) in self.respawn_at.iter().enumerate() {
+            if at <= self.now_ms {
+                choices.push(Choice::Respawn(index));
+                break; // one respawn choice per step is plenty
+            }
+        }
+        choices
+    }
+
+    fn step(&mut self) {
+        if self.rng.gen_bool(self.spec.faults.kill) {
+            self.kill_someone();
+            if self.finished || self.fatal.is_some() {
+                return;
+            }
+        }
+        let choices = self.choices();
+        let choice = if self.rng.gen_bool(self.spec.faults.delay) {
+            Choice::Tick
+        } else {
+            choices[self.rng.gen_range(0..choices.len())]
+        };
+        match choice {
+            Choice::Tick => {
+                self.now_ms += TICK_MS;
+                let now_ms = self.now_ms;
+                let actions = self.coordinator.step(CoordEvent::Tick { now_ms });
+                self.apply_coord_actions(actions);
+                let live: Vec<WorkerId> = self
+                    .workers
+                    .iter()
+                    .filter(|(_, w)| w.alive && !w.frozen)
+                    .map(|(&id, _)| id)
+                    .collect();
+                for id in live {
+                    let actions = match self.workers.get_mut(&id) {
+                        Some(w) if w.alive && !w.frozen => {
+                            w.machine.step(WorkerEvent::Tick { now_ms })
+                        }
+                        _ => continue, // a coordinator action above closed it
+                    };
+                    self.apply_worker_actions(id, actions);
+                }
+            }
+            Choice::DeliverToWorker(id) => {
+                let Some(queue) = self.c2w.get_mut(&id) else {
+                    return;
+                };
+                let frame = Self::pop_frame(&mut self.rng, &self.spec.faults, queue);
+                if self.rng.gen_bool(self.spec.faults.drop) {
+                    return;
+                }
+                if self.rng.gen_bool(self.spec.faults.duplicate) {
+                    queue.push_front(frame.clone());
+                }
+                let actions = match self.workers.get_mut(&id) {
+                    Some(w) if w.alive && !w.frozen => {
+                        w.machine.step(WorkerEvent::Frame { payload: frame })
+                    }
+                    _ => return,
+                };
+                self.apply_worker_actions(id, actions);
+            }
+            Choice::DeliverToCoordinator(id) => {
+                let Some(queue) = self.w2c.get_mut(&id) else {
+                    return;
+                };
+                let frame = Self::pop_frame(&mut self.rng, &self.spec.faults, queue);
+                if self.rng.gen_bool(self.spec.faults.drop) {
+                    return;
+                }
+                if self.rng.gen_bool(self.spec.faults.duplicate) {
+                    queue.push_front(frame.clone());
+                }
+                let actions = self.coordinator.step(CoordEvent::Frame {
+                    worker: id,
+                    payload: frame,
+                });
+                self.apply_coord_actions(actions);
+            }
+            Choice::Compute(id) => {
+                let job = match self.workers.get_mut(&id) {
+                    Some(w) => w.computing.take().expect("chosen with a compute"),
+                    None => return,
+                };
+                let line = sim_job_line(job);
+                let actions = match self.workers.get_mut(&id) {
+                    Some(w) if w.alive && !w.frozen => {
+                        w.machine.step(WorkerEvent::Computed { job, line })
+                    }
+                    _ => return,
+                };
+                self.apply_worker_actions(id, actions);
+            }
+            Choice::Respawn(index) => {
+                self.respawn_at.swap_remove(index);
+                // Respawn toward the target population, never past it:
+                // deaths the coordinator *suspects* (heartbeat timeouts
+                // on congested links) also queue respawn entries, and
+                // honoring every one would breed workers whose own
+                // heartbeat traffic congests the links further.
+                let live = self.workers.values().filter(|w| w.alive).count();
+                if !self.finished && live < self.spec.workers.max(1) {
+                    self.spawn_worker();
+                }
+            }
+        }
+    }
+}
+
+/// Runs one scenario to completion.
+///
+/// # Errors
+///
+/// A coordinator fatal (divergent duplicate, range out of retries), an
+/// out-of-order delivery (the byte-identity machinery is broken), or a
+/// run that exceeds `max_steps` without finishing.
+pub fn run_shard_sim(spec: &SimSpec) -> Result<SimOutcome, String> {
+    let mut sim = Sim::new(spec.clone());
+    let mut steps = 0u64;
+    while !sim.finished {
+        if let Some(message) = &sim.fatal {
+            return Err(format!("seed {}: coordinator fatal: {message}", spec.seed));
+        }
+        if steps >= spec.max_steps {
+            return Err(format!(
+                "seed {}: no termination within {} steps ({} of {} jobs delivered)",
+                spec.seed,
+                spec.max_steps,
+                sim.delivered.len(),
+                spec.jobs
+            ));
+        }
+        sim.step();
+        steps += 1;
+    }
+    for (position, (job, _)) in sim.delivered.iter().enumerate() {
+        if *job != position {
+            return Err(format!(
+                "seed {}: delivery {position} was job {job} — out of order",
+                spec.seed
+            ));
+        }
+    }
+    Ok(SimOutcome {
+        lines: sim.delivered.into_iter().map(|(_, line)| line).collect(),
+        counters: sim.coordinator.counters().clone(),
+        steps,
+        kills: sim.kills,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faultless_sim_delivers_the_oracle() {
+        let spec = SimSpec {
+            seed: 1,
+            jobs: 9,
+            workers: 2,
+            grain: 2,
+            faults: FaultPlan::default(),
+            max_steps: 100_000,
+        };
+        let outcome = run_shard_sim(&spec).expect("clean run");
+        assert_eq!(outcome.lines, oracle_lines(9));
+        assert_eq!(outcome.counters.jobs_completed, 9);
+        assert_eq!(outcome.counters.worker_deaths, 0);
+        assert_eq!(outcome.counters.duplicate_results, 0);
+        assert_eq!(outcome.kills, 0);
+    }
+
+    #[test]
+    fn same_seed_same_outcome() {
+        let spec = SimSpec::chaos(42);
+        let a = run_shard_sim(&spec).expect("chaos run terminates");
+        let b = run_shard_sim(&spec).expect("chaos run terminates");
+        assert_eq!(a, b, "the simulation must be fully deterministic");
+        assert_eq!(a.lines, oracle_lines(spec.jobs));
+    }
+}
