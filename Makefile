@@ -10,7 +10,7 @@ CARGO ?= cargo
 BENCH_SMOKE_JSONL := target/bench-smoke.jsonl
 BENCH_RESULTS := target/BENCH_results.json
 
-.PHONY: all build test bench bench-run bench-smoke batch-smoke serve-smoke shard-smoke doc lint fmt ci clean
+.PHONY: all build test bench bench-run bench-smoke batch-smoke serve-smoke shard-smoke sim-equiv doc lint fmt ci clean
 
 all: build
 
@@ -70,6 +70,15 @@ serve-smoke: build
 ## byte-identical to a single-process `batch` run.
 shard-smoke: build
 	sh scripts/shard_smoke.sh target/release/sunmap target/shard-smoke
+
+## Deep-run the three-way engine equivalence suite (reference == flat
+## == event-driven, bit for bit). SIM_EQUIV_CASES=N adds N extra
+## injection rates per scenario on top of the committed ones; raise it
+## for a longer soak (CI runs the default via `make test`).
+SIM_EQUIV_CASES ?= 4
+sim-equiv:
+	SIM_EQUIV_CASES=$(SIM_EQUIV_CASES) $(CARGO) test --locked -p sunmap-sim \
+		--test flat_equivalence -- --nocapture
 
 ## Build API docs for every workspace crate with rustdoc warnings as
 ## hard errors (broken intra-doc links rot fast otherwise).

@@ -7,7 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use sunmap::sim::{NocSimulator, SimConfig};
+use sunmap::sim::{SimConfig, SimSession};
 use sunmap::traffic::benchmarks;
 use sunmap::{Objective, RoutingFunction};
 use sunmap_bench::explore;
@@ -31,7 +31,9 @@ fn print_figure() {
     for c in &ex.candidates {
         match &c.outcome {
             Ok(mapping) => {
-                let mut sim = NocSimulator::new(&c.graph, SimConfig::default());
+                let mut sim = SimSession::builder(&c.graph)
+                    .config(SimConfig::default())
+                    .build();
                 let stats = sim.run_trace(mapping.evaluation(), &app, INTENSITY);
                 println!(
                     "{:<11} {:>10.1} {:>10} {:>8.0}%",
@@ -61,7 +63,9 @@ fn bench(c: &mut Criterion) {
     let mapping = best.outcome.as_ref().expect("best is feasible");
     c.bench_function("fig10c/dsp_trace_simulation", |b| {
         b.iter(|| {
-            let mut sim = NocSimulator::new(black_box(&best.graph), SimConfig::fast());
+            let mut sim = SimSession::builder(black_box(&best.graph))
+                .config(SimConfig::fast())
+                .build();
             sim.run_trace(mapping.evaluation(), &app, INTENSITY)
         })
     });

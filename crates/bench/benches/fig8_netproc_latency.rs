@@ -10,7 +10,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use sunmap::sim::{adversarial_pattern, latency_sweep, NocSimulator, SimConfig};
+use sunmap::sim::{adversarial_pattern, latency_sweep, SimConfig, SimSession};
 use sunmap::topology::builders;
 use sunmap::traffic::patterns::TrafficPattern;
 
@@ -43,7 +43,9 @@ fn bench(c: &mut Criterion) {
     let clos = builders::clos(4, 4, 4, 500.0).unwrap();
     c.bench_function("fig8b/clos_sim_0.2", |b| {
         b.iter(|| {
-            let mut sim = NocSimulator::new(black_box(&clos), SimConfig::fast());
+            let mut sim = SimSession::builder(black_box(&clos))
+                .config(SimConfig::fast())
+                .build();
             sim.run_synthetic(&TrafficPattern::Transpose, 0.2)
         })
     });

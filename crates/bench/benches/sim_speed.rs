@@ -1,12 +1,15 @@
-//! `sim_speed`: throughput of the flat simulation engine in simulated
-//! cycles per second and delivered flits per second, benchmarked
-//! against the pre-rebuild reference engine (`sunmap::sim::reference`).
+//! `sim_speed`: throughput of the indexed simulation engines in
+//! simulated cycles per second and delivered flits per second,
+//! benchmarked against the pre-rebuild reference engine
+//! (`sunmap::sim::reference`).
 //!
 //! The headline configuration is the acceptance one — a 4×4 mesh under
-//! uniform traffic at 0.05 flits/cycle/terminal — plus a loaded torus
-//! and a trace-driven VOPD replay. Both engines produce bit-identical
-//! `LatencyStats` (enforced by `crates/sim/tests/flat_equivalence.rs`),
-//! so every pair of rows here times the production of the same result.
+//! uniform traffic at 0.05 flits/cycle/terminal — plus a loaded torus,
+//! a trace-driven VOPD replay and a low-load tier comparing the flat
+//! and event-driven engines on a 4×4 and a 16×16 mesh. All engines
+//! produce bit-identical `LatencyStats` (enforced by
+//! `crates/sim/tests/flat_equivalence.rs`), so every row here times the
+//! production of the same result.
 //!
 //! Two throughput metrics are reported, because they answer different
 //! questions:
@@ -24,16 +27,24 @@
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sunmap::sim::{reference, NocSimulator, SimConfig};
+use sunmap::sim::{SimConfig, SimEngine, SimSession};
 use sunmap::topology::builders;
+use sunmap::topology::TopologyGraph;
 use sunmap::traffic::benchmarks;
 use sunmap::traffic::patterns::TrafficPattern;
 use sunmap::{Mapper, MapperConfig};
 
 /// Nominal cycles per run (warmup + measure + drain) for the default
-/// configuration both engines simulate.
+/// configuration every engine simulates.
 fn nominal_cycles(config: &SimConfig) -> u64 {
     config.warmup_cycles + config.measure_cycles + config.drain_cycles
+}
+
+/// A fresh session over `graph` pinned to `engine`.
+fn session<'a>(graph: &'a TopologyGraph, config: SimConfig, engine: SimEngine) -> SimSession<'a> {
+    SimSession::builder(graph)
+        .config(SimConfig { engine, ..config })
+        .build()
 }
 
 /// Median wall-clock of `runs` invocations of `f`.
@@ -57,20 +68,20 @@ fn bench_synthetic(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim_speed");
     group.sample_size(10);
 
-    let mut flat_mesh = NocSimulator::new(&mesh, config);
+    let mut flat_mesh = session(&mesh, config, SimEngine::Flat);
     group.bench_function("flat/mesh4x4_uniform_0.05", |b| {
         b.iter(|| flat_mesh.run_synthetic(&TrafficPattern::UniformRandom, 0.05))
     });
-    let mut ref_mesh = reference::NocSimulator::new(&mesh, config);
+    let mut ref_mesh = session(&mesh, config, SimEngine::Reference);
     group.bench_function("reference/mesh4x4_uniform_0.05", |b| {
         b.iter(|| ref_mesh.run_synthetic(&TrafficPattern::UniformRandom, 0.05))
     });
 
-    let mut flat_torus = NocSimulator::new(&torus, config);
+    let mut flat_torus = session(&torus, config, SimEngine::Flat);
     group.bench_function("flat/torus4x4_tornado_0.30", |b| {
         b.iter(|| flat_torus.run_synthetic(&TrafficPattern::Tornado, 0.30))
     });
-    let mut ref_torus = reference::NocSimulator::new(&torus, config);
+    let mut ref_torus = session(&torus, config, SimEngine::Reference);
     group.bench_function("reference/torus4x4_tornado_0.30", |b| {
         b.iter(|| ref_torus.run_synthetic(&TrafficPattern::Tornado, 0.30))
     });
@@ -91,8 +102,8 @@ fn bench_synthetic(c: &mut Criterion) {
         ..config
     };
     let pc_cycles = nominal_cycles(&pc_config) as f64;
-    let mut flat_pc = NocSimulator::new(&mesh, pc_config);
-    let mut ref_pc = reference::NocSimulator::new(&mesh, pc_config);
+    let mut flat_pc = session(&mesh, pc_config, SimEngine::Flat);
+    let mut ref_pc = session(&mesh, pc_config, SimEngine::Reference);
     let stats = flat_pc.run_synthetic(&TrafficPattern::UniformRandom, 0.05);
     let flits = (stats.packets_delivered * pc_config.packet_flits) as f64;
     ref_pc.run_synthetic(&TrafficPattern::UniformRandom, 0.05);
@@ -122,6 +133,56 @@ fn bench_synthetic(c: &mut Criterion) {
     );
 }
 
+/// Low-load tier: the regime the event-driven engine exists for. At
+/// 0.01–0.05 flits/cycle/terminal most routers idle most cycles, so
+/// the active-set walk beats the flat engine's full edge scan — and
+/// the gap should widen with network size (4×4 → 16×16). Reported as
+/// ratios, not asserted: absolute wall-clock is machine-dependent.
+fn bench_low_load(c: &mut Criterion) {
+    let config = SimConfig::default();
+    let small = builders::mesh(4, 4, 500.0).unwrap();
+    let large = builders::mesh(16, 16, 500.0).unwrap();
+    let grids: [(&str, &TopologyGraph); 2] = [("mesh4x4", &small), ("mesh16x16", &large)];
+    let rates = [0.01, 0.05];
+
+    let mut group = c.benchmark_group("sim_speed_low_load");
+    group.sample_size(10);
+    for (name, g) in grids {
+        for rate in rates {
+            for engine in [SimEngine::Flat, SimEngine::EventDriven] {
+                let mut s = session(g, config, engine);
+                let id = format!("{}/{name}_uniform_{rate:.2}", engine.name());
+                group.bench_function(&id, |b| {
+                    b.iter(|| s.run_synthetic(&TrafficPattern::UniformRandom, rate))
+                });
+            }
+        }
+    }
+    group.finish();
+
+    let cycles = nominal_cycles(&config) as f64;
+    println!("sim_speed low-load summary (uniform, same-simulation cycles/s):");
+    for (name, g) in grids {
+        for rate in rates {
+            let time = |engine: SimEngine| {
+                let mut s = session(g, config, engine);
+                s.run_synthetic(&TrafficPattern::UniformRandom, rate);
+                median_secs(3, || {
+                    s.run_synthetic(&TrafficPattern::UniformRandom, rate);
+                })
+            };
+            let flat_s = time(SimEngine::Flat);
+            let event_s = time(SimEngine::EventDriven);
+            println!(
+                "  {name:<10} rate {rate:.2}: flat {:>12.0}  event {:>12.0}  event/flat {:>6.2}x",
+                cycles / flat_s,
+                cycles / event_s,
+                flat_s / event_s,
+            );
+        }
+    }
+}
+
 fn bench_trace(c: &mut Criterion) {
     let config = SimConfig::default();
     let g = builders::mesh(3, 4, 500.0).unwrap();
@@ -132,16 +193,16 @@ fn bench_trace(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("sim_speed");
     group.sample_size(10);
-    let mut flat = NocSimulator::new(&g, config);
+    let mut flat = session(&g, config, SimEngine::Flat);
     group.bench_function("flat/trace_vopd_mesh3x4_0.35", |b| {
         b.iter(|| flat.run_trace(mapping.evaluation(), &app, 0.35))
     });
-    let mut old = reference::NocSimulator::new(&g, config);
+    let mut old = session(&g, config, SimEngine::Reference);
     group.bench_function("reference/trace_vopd_mesh3x4_0.35", |b| {
         b.iter(|| old.run_trace(mapping.evaluation(), &app, 0.35))
     });
     group.finish();
 }
 
-criterion_group!(sim_speed, bench_synthetic, bench_trace);
+criterion_group!(sim_speed, bench_synthetic, bench_low_load, bench_trace);
 criterion_main!(sim_speed);

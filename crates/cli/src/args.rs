@@ -1,7 +1,8 @@
 //! Hand-rolled argument parsing for the `sunmap` binary (kept
 //! dependency-free; the option surface is small).
 
-use sunmap::request::{parse_swap, SimProbe};
+use sunmap::request::{parse_engine, parse_swap, SimProbe};
+use sunmap::sim::SimEngine;
 use sunmap::{Objective, RoutingFunction, SwapStrategy};
 
 /// Parsed command line.
@@ -52,8 +53,11 @@ pub struct Cli {
     /// Phase-3 swap strategy (`explore --json`, `client explore`,
     /// `batch` manifests override per-job).
     pub swap: SwapStrategy,
+    /// Simulation engine for `simulate`, `sweep`, `explore --validate`
+    /// and probes (`--engine auto|flat|event|reference`).
+    pub engine: SimEngine,
     /// Winner simulation probe for `explore --json` / `client explore`
-    /// (`--probe <pattern> <rate>`).
+    /// (`--probe <pattern> <rate> [top_k]`).
     pub probe: Option<SimProbe>,
     /// Print the one-shot JSON report instead of the table (`explore`).
     pub json: bool,
@@ -188,8 +192,15 @@ options:
   --grain <n>           batch-coordinator: jobs per lease (default 2)
   --swap <s>            auto|exhaustive|delta (default auto; explore --json
                         and client explore)
-  --probe <pat> <rate>  simulate the winner under a synthetic pattern at
-                        <rate> flits/cycle/terminal (explore --json,
+  --engine <e>          simulation engine: auto|flat|event|reference
+                        (default auto: event-driven below load 0.15, flat
+                        above; all engines are bit-identical — this is a
+                        speed knob for simulate/sweep/explore --validate
+                        and probes)
+  --probe <pat> <rate> [k]
+                        simulate the k best candidates (default 1: winner
+                        only) under a synthetic pattern at <rate>
+                        flits/cycle/terminal (explore --json,
                         client explore)
   --json                explore: print the one-shot report line
                         ({\"schema\":\"sunmap-report/1\",...}) instead of
@@ -303,6 +314,7 @@ impl Cli {
             shard: None,
             grain: 2,
             swap: SwapStrategy::Auto,
+            engine: SimEngine::Auto,
             probe: None,
             json: false,
             listen: "127.0.0.1:7420".to_string(),
@@ -393,11 +405,24 @@ impl Cli {
                 "--swap" => {
                     cli.swap = parse_swap(&value("--swap")?).map_err(ParseCliError)?;
                 }
+                "--engine" => {
+                    cli.engine = parse_engine(&value("--engine")?).map_err(ParseCliError)?;
+                }
                 "--probe" => {
                     let pattern = value("--probe")?;
                     let rate = value("--probe")?;
-                    cli.probe =
-                        Some(SimProbe::parse(&format!("{pattern} {rate}")).map_err(ParseCliError)?);
+                    let mut spec = format!("{pattern} {rate}");
+                    // A bare-integer third token is the optional top-k
+                    // count; anything else belongs to the next flag.
+                    let peeked = it
+                        .clone()
+                        .next()
+                        .filter(|t| !t.is_empty() && t.chars().all(|c| c.is_ascii_digit()));
+                    if peeked.is_some() {
+                        spec.push(' ');
+                        spec.push_str(it.next().expect("peeked token present"));
+                    }
+                    cli.probe = Some(SimProbe::parse(&spec).map_err(ParseCliError)?);
                 }
                 "--json" => cli.json = true,
                 "--listen" => cli.listen = value("--listen")?,
@@ -763,6 +788,44 @@ mod tests {
             .unwrap_err()
             .0
             .contains("unknown pattern"));
+    }
+
+    #[test]
+    fn engine_flag_parses_and_defaults_to_auto() {
+        assert_eq!(
+            Cli::parse(["simulate", "vopd"]).unwrap().engine,
+            SimEngine::Auto
+        );
+        for (text, expected) in [
+            ("auto", SimEngine::Auto),
+            ("flat", SimEngine::Flat),
+            ("event", SimEngine::EventDriven),
+            ("Reference", SimEngine::Reference),
+        ] {
+            let cli = Cli::parse(["simulate", "vopd", "--engine", text]).unwrap();
+            assert_eq!(cli.engine, expected, "{text}");
+        }
+        let err = Cli::parse(["sweep", "vopd", "--engine", "warp"]).unwrap_err();
+        assert!(err.0.contains("auto, flat, event, reference"), "{}", err.0);
+    }
+
+    #[test]
+    fn probe_takes_an_optional_top_k() {
+        let cli = Cli::parse(["explore", "vopd", "--probe", "uniform", "0.1"]).unwrap();
+        assert_eq!(cli.probe.as_ref().unwrap().top_k, 1);
+        // The third token is consumed only when it is a bare integer...
+        let cli = Cli::parse([
+            "explore", "vopd", "--probe", "uniform", "0.1", "3", "--json",
+        ])
+        .unwrap();
+        assert_eq!(cli.probe.as_ref().unwrap().top_k, 3);
+        assert!(cli.json);
+        // ...so a following flag still parses as itself.
+        let cli = Cli::parse(["explore", "vopd", "--probe", "uniform", "0.1", "--json"]).unwrap();
+        assert_eq!(cli.probe.as_ref().unwrap().top_k, 1);
+        assert!(cli.json);
+        let err = Cli::parse(["explore", "vopd", "--probe", "uniform", "0.1", "0"]).unwrap_err();
+        assert!(err.0.contains("at least 1"), "{}", err.0);
     }
 
     #[test]

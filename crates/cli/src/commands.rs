@@ -14,7 +14,7 @@ use sunmap::request::{ConstraintMode, ExploreRequest, RequestRunner};
 use sunmap::serve::{read_frame, report_slice, serve, verify_replay, write_frame, ServeConfig};
 use sunmap::shard::{run_coordinator, run_worker, CoordConfig};
 use sunmap::sim::sweep::{injection_sweep, stats_json_fields, sweep_csv, sweep_json, SweepRequest};
-use sunmap::sim::{adversarial_pattern, NocSimulator, SimConfig};
+use sunmap::sim::{adversarial_pattern, SimConfig, SimSession};
 use sunmap::topology::builders;
 use sunmap::traffic::patterns::TrafficPattern;
 use sunmap::traffic::CoreGraph;
@@ -74,9 +74,18 @@ fn explore_request(cli: &Cli) -> Result<ExploreRequest, Box<dyn Error>> {
         ConstraintMode::Strict
     };
     req.swap = cli.swap;
+    req.engine = cli.engine;
     req.probe = cli.probe.clone();
     req.validate()?;
     Ok(req)
+}
+
+/// Default simulator configuration with the CLI-selected engine applied.
+fn sim_config(cli: &Cli) -> SimConfig {
+    SimConfig {
+        engine: cli.engine,
+        ..SimConfig::default()
+    }
 }
 
 fn tool(cli: &Cli, app: CoreGraph) -> Sunmap {
@@ -192,7 +201,7 @@ fn replay(cli: &Cli) -> CliResult {
 fn explore(cli: &Cli, app: CoreGraph) -> CliResult {
     let (tool, mut ex) = explore_with_library(cli, app)?;
     if cli.validate {
-        tool.validate(&mut ex, SimConfig::default(), cli.intensity);
+        tool.validate(&mut ex, sim_config(cli), cli.intensity);
     }
     print!("{}", ex.table());
     match ex.best_candidate() {
@@ -242,7 +251,7 @@ fn sweep(cli: &Cli, app: CoreGraph) -> CliResult {
                 .unwrap_or_else(|| adversarial_pattern(g.kind())),
         })
         .collect();
-    let points = injection_sweep(&requests, &cli.rates, SimConfig::default(), cli.workers);
+    let points = injection_sweep(&requests, &cli.rates, sim_config(cli), cli.workers);
     let out = Path::new(&cli.out_dir);
     fs::create_dir_all(out)?;
     fs::write(out.join("sweep.csv"), sweep_csv(&points))?;
@@ -471,7 +480,9 @@ fn simulate(cli: &Cli, app: CoreGraph) -> CliResult {
         }
         match &c.outcome {
             Ok(mapping) => {
-                let mut sim = NocSimulator::new(&c.graph, SimConfig::default());
+                let mut sim = SimSession::builder(&c.graph)
+                    .config(sim_config(cli))
+                    .build();
                 let stats = sim.run_trace(mapping.evaluation(), &app, cli.intensity);
                 println!(
                     "{:<12} {:>10.1} {:>10} {:>8.0}%",
@@ -654,6 +665,31 @@ mod tests {
         assert!(json.starts_with("{\"schema\":\"sunmap-simulate/1\""));
         assert!(json.contains("\"feasible\":true"));
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn simulate_report_is_identical_across_engines() {
+        let mut reports = Vec::new();
+        for engine in ["flat", "event", "reference", "auto"] {
+            let dir = std::env::temp_dir().join(format!("sunmap_cli_test_engine_{engine}"));
+            let _ = fs::remove_dir_all(&dir);
+            run(&cli(&[
+                "simulate",
+                "dsp",
+                "--capacity",
+                "1000",
+                "--engine",
+                engine,
+                "--out",
+                dir.to_str().unwrap(),
+            ]))
+            .unwrap();
+            reports.push(fs::read_to_string(dir.join("simulate.json")).unwrap());
+            let _ = fs::remove_dir_all(&dir);
+        }
+        for other in &reports[1..] {
+            assert_eq!(&reports[0], other, "engines must report identical bytes");
+        }
     }
 
     #[test]

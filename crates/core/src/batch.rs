@@ -43,9 +43,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 
-use crate::request::{execute, ExploreRequest, LruLibraryCache};
+use crate::request::{execute, parse_engine, ExploreRequest, LruLibraryCache};
 use sunmap_mapping::{Objective, RoutingFunction, SwapStrategy};
 use sunmap_sim::sweep::json_string;
+use sunmap_sim::SimEngine;
 use sunmap_traffic::{AppSource, CoreGraph};
 
 // The request vocabulary lived here before `crate::request` unified
@@ -87,7 +88,7 @@ impl std::fmt::Display for ManifestError {
             ManifestError::UnknownDirective { line, word } => write!(
                 f,
                 "line {line}: unknown directive '{word}' (valid: app, objective, \
-                 routing, capacity, constraints, swap, simulate)"
+                 routing, capacity, constraints, swap, engine, simulate)"
             ),
             ManifestError::BadValue { line, message } => write!(f, "line {line}: {message}"),
             ManifestError::NoApps => write!(f, "manifest declares no applications"),
@@ -119,7 +120,8 @@ impl std::error::Error for ManifestError {}
 /// routing MP
 /// capacity 500
 /// constraints strict
-/// simulate uniform 0.1      # optional: simulate each winner
+/// engine event              # optional: probe simulation engine
+/// simulate uniform 0.1 3    # optional: simulate each job's 3 best
 /// ```
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct BatchManifest {
@@ -137,6 +139,11 @@ pub struct BatchManifest {
     /// part of the job id — it never changes a job's winning bytes,
     /// only how fast the sweep finds them).
     pub swap: Option<SwapStrategy>,
+    /// Simulation engine applied to every job's probe (default `auto`;
+    /// not part of the job id — all engines are bit-identical, so it
+    /// never changes a job's measured numbers, only how fast the probe
+    /// runs).
+    pub engine: Option<SimEngine>,
     /// Winner simulation probe, if requested.
     pub probe: Option<SimProbe>,
 }
@@ -180,6 +187,7 @@ impl BatchManifest {
                     .constraints
                     .push(ConstraintMode::parse(rest).map_err(bad)?),
                 "swap" => m.swap = Some(crate::request::parse_swap(rest).map_err(bad)?),
+                "engine" => m.engine = Some(parse_engine(rest).map_err(bad)?),
                 "simulate" => m.probe = Some(SimProbe::parse(rest).map_err(bad)?),
                 other => {
                     return Err(ManifestError::UnknownDirective {
@@ -231,6 +239,7 @@ impl BatchManifest {
                             request.capacity = capacity;
                             request.constraints = mode;
                             request.swap = swap;
+                            request.engine = self.engine.unwrap_or(SimEngine::Auto);
                             request.probe = self.probe.clone();
                             jobs.push(BatchJob {
                                 id: format!(
@@ -565,21 +574,30 @@ capacity 1000
     }
 
     #[test]
-    fn manifest_swap_and_probe_reach_every_request() {
-        let m = BatchManifest::parse("app dsp\napp vopd\nswap delta\nsimulate transpose 0.2\n")
-            .unwrap();
+    fn manifest_swap_engine_and_probe_reach_every_request() {
+        let m = BatchManifest::parse(
+            "app dsp\napp vopd\nswap delta\nengine event\nsimulate transpose 0.2 3\n",
+        )
+        .unwrap();
         for job in m.jobs().unwrap() {
             assert_eq!(job.request.swap, SwapStrategy::DeltaPruned);
+            assert_eq!(job.request.engine, SimEngine::EventDriven);
             assert_eq!(
                 job.request.probe,
                 Some(SimProbe {
                     pattern: TrafficPattern::Transpose,
-                    rate: 0.2
+                    rate: 0.2,
+                    top_k: 3,
                 })
             );
         }
         let e = BatchManifest::parse("swap sometimes\n").unwrap_err();
         assert!(e.to_string().contains("auto, exhaustive, delta"), "{e}");
+        let e = BatchManifest::parse("engine warp\n").unwrap_err();
+        assert!(
+            e.to_string().contains("auto, flat, event, reference"),
+            "{e}"
+        );
     }
 
     #[test]
@@ -805,6 +823,39 @@ capacity 1000
         assert!(line.contains("\"winner\":{\"topology\":"), "{line}");
         assert!(line.contains("\"sim\":{\"pattern\":\"uniform\""), "{line}");
         assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn top_k_probes_report_drift_per_candidate() {
+        let m =
+            BatchManifest::parse("app dsp\ncapacity 1000\nengine flat\nsimulate uniform 0.05 3\n")
+                .unwrap();
+        let lines = collect(&m.jobs().unwrap(), 1);
+        let line = &lines[0];
+        assert!(line.contains("\"sim\":{\"pattern\":\"uniform\""), "{line}");
+        assert!(line.contains("\"probes\":[{\"rank\":1,"), "{line}");
+        assert!(line.contains("\"rank\":3"), "{line}");
+        assert!(line.contains("\"engine\":\"flat\""), "{line}");
+        assert!(line.contains("\"analytical_latency_cycles\":"), "{line}");
+        assert!(line.contains("\"latency_drift\":"), "{line}");
+    }
+
+    #[test]
+    fn engines_produce_identical_winner_bytes() {
+        // The three-way equivalence contract surfaces here as whole
+        // batch lines: a winner-only probe renders the same bytes on
+        // every engine.
+        let run = |engine: &str| {
+            let m = BatchManifest::parse(&format!(
+                "app dsp\ncapacity 1000\nengine {engine}\nsimulate uniform 0.05\n"
+            ))
+            .unwrap();
+            collect(&m.jobs().unwrap(), 1)
+        };
+        let flat = run("flat");
+        assert_eq!(flat, run("event"));
+        assert_eq!(flat, run("reference"));
+        assert_eq!(flat, run("auto"));
     }
 
     #[test]

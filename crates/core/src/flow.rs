@@ -7,7 +7,7 @@ use sunmap_mapping::{
     RoutingFunction, SwapStrategy,
 };
 use sunmap_power::{AreaPowerLibrary, Technology};
-use sunmap_sim::{LatencyStats, NocSimulator, SimConfig};
+use sunmap_sim::{LatencyStats, SimConfig, SimSession};
 use sunmap_topology::{builders, TopologyError, TopologyGraph, TopologyKind};
 use sunmap_traffic::CoreGraph;
 
@@ -436,7 +436,7 @@ impl Sunmap {
             .map(|i| {
                 let c = &exploration.candidates[i];
                 let mapping = c.outcome.as_ref().expect("ranked candidates are feasible");
-                let mut sim = NocSimulator::new(&c.graph, config);
+                let mut sim = SimSession::builder(&c.graph).config(config).build();
                 ValidationEntry {
                     candidate: i,
                     kind: c.kind,

@@ -58,7 +58,7 @@ use sunmap_mapping::{
     SwapStrategy,
 };
 use sunmap_sim::sweep::{json_number, json_string, stats_json_fields};
-use sunmap_sim::{NocSimulator, RoutePlan, SimConfig};
+use sunmap_sim::{LatencyStats, RoutePlan, SimConfig, SimEngine, SimSession};
 use sunmap_topology::{builders, TopologyGraph};
 use sunmap_traffic::patterns::TrafficPattern;
 use sunmap_traffic::{AppSource, CoreGraph};
@@ -107,44 +107,73 @@ impl ConstraintMode {
     }
 }
 
-/// An optional simulation probe: the winning topology is simulated
-/// under this synthetic pattern and injection rate, through the
-/// request's shared per-topology [`RoutePlan`].
+/// An optional simulation probe: the `top_k` best-ranked topologies
+/// are simulated under this synthetic pattern and injection rate,
+/// through the request's shared per-topology [`RoutePlan`]s, on the
+/// engine the request selects ([`ExploreRequest::engine`]).
+///
+/// With `top_k == 1` (the default) only the winner is probed and the
+/// report keeps its historical `"sim"` object byte for byte; above 1
+/// the report grows a `"probes"` array with one entry per candidate,
+/// each carrying the analytical-latency drift.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimProbe {
     /// Destination pattern for the probe.
     pub pattern: TrafficPattern,
     /// Injection rate in flits/cycle/terminal.
     pub rate: f64,
+    /// How many ranked candidates to simulate (min 1).
+    pub top_k: usize,
 }
 
 impl SimProbe {
-    /// Parses `<pattern> <rate>` (the manifest's `simulate` directive
-    /// and the CLI's `--probe` value share this).
+    /// Parses `<pattern> <rate> [top_k]` (the manifest's `simulate`
+    /// directive and the CLI's `--probe` value share this). `top_k`
+    /// defaults to 1 — winner only.
     ///
     /// # Errors
     ///
-    /// Messages list the valid pattern names or name the bad rate.
+    /// Messages list the valid pattern names or name the bad value.
     pub fn parse(text: &str) -> Result<SimProbe, String> {
-        let (pattern, rate) = text
-            .trim()
-            .split_once(char::is_whitespace)
+        let mut parts = text.split_whitespace();
+        let pattern = parts
+            .next()
             .ok_or_else(|| "probe needs a pattern and a rate".to_string())?;
-        let pattern = TrafficPattern::from_name(pattern.trim()).ok_or_else(|| {
+        let pattern = TrafficPattern::from_name(pattern).ok_or_else(|| {
             format!(
-                "unknown pattern '{}' (valid: {})",
-                pattern.trim(),
+                "unknown pattern '{pattern}' (valid: {})",
                 TrafficPattern::NAMES.join(", ")
             )
         })?;
+        let rate = parts
+            .next()
+            .ok_or_else(|| "probe needs a pattern and a rate".to_string())?;
         let rate: f64 = rate
-            .trim()
             .parse()
-            .map_err(|_| format!("'{}' is not a rate", rate.trim()))?;
+            .map_err(|_| format!("'{rate}' is not a rate"))?;
         if !(rate.is_finite() && rate >= 0.0) {
             return Err("rate must be non-negative".to_string());
         }
-        Ok(SimProbe { pattern, rate })
+        let top_k = match parts.next() {
+            None => 1,
+            Some(k) => {
+                let k: usize = k
+                    .parse()
+                    .map_err(|_| format!("'{k}' is not a top-k count"))?;
+                if k == 0 {
+                    return Err("top-k must be at least 1".to_string());
+                }
+                k
+            }
+        };
+        if let Some(extra) = parts.next() {
+            return Err(format!("unexpected probe token '{extra}'"));
+        }
+        Ok(SimProbe {
+            pattern,
+            rate,
+            top_k,
+        })
     }
 }
 
@@ -222,6 +251,18 @@ pub fn swap_name(swap: SwapStrategy) -> &'static str {
     }
 }
 
+/// Parses a simulation-engine name (`auto`, `flat`, `event`,
+/// `reference`), case-insensitively — shared by the manifest parser,
+/// the CLI's `--engine` flag and the request JSON reader.
+///
+/// # Errors
+///
+/// The message lists the valid names.
+pub fn parse_engine(text: &str) -> Result<SimEngine, String> {
+    SimEngine::parse(&text.to_ascii_lowercase())
+        .ok_or_else(|| format!("unknown engine '{text}' (valid: auto, flat, event, reference)"))
+}
+
 /// One exploration request: everything the flow needs to map an
 /// application across the standard topology library and report the
 /// winner.
@@ -243,6 +284,10 @@ pub struct ExploreRequest {
     pub constraints: ConstraintMode,
     /// Phase-3 swap strategy (default `auto`).
     pub swap: SwapStrategy,
+    /// Simulation engine for probes and validation runs (default
+    /// `auto`: event-driven below [`SimEngine::AUTO_EVENT_MAX_LOAD`],
+    /// flat otherwise).
+    pub engine: SimEngine,
     /// Winner simulation probe, if any.
     pub probe: Option<SimProbe>,
 }
@@ -250,8 +295,8 @@ pub struct ExploreRequest {
 impl ExploreRequest {
     /// A request for `app` under the default configuration (the same
     /// defaults every surface documents: objective `delay`, routing
-    /// `MP`, capacity `500`, constraints `strict`, swap `auto`, no
-    /// probe).
+    /// `MP`, capacity `500`, constraints `strict`, swap `auto`, engine
+    /// `auto`, no probe).
     pub fn new(app: AppSource) -> ExploreRequest {
         ExploreRequest {
             app,
@@ -260,6 +305,7 @@ impl ExploreRequest {
             capacity: 500.0,
             constraints: ConstraintMode::Strict,
             swap: SwapStrategy::Auto,
+            engine: SimEngine::Auto,
             probe: None,
         }
     }
@@ -279,6 +325,9 @@ impl ExploreRequest {
             if !(p.rate.is_finite() && p.rate >= 0.0) {
                 return Err("rate must be non-negative".to_string());
             }
+            if p.top_k == 0 {
+                return Err("top-k must be at least 1".to_string());
+            }
         }
         Ok(())
     }
@@ -287,7 +336,7 @@ impl ExploreRequest {
     ///
     /// ```json
     /// {"app":"vopd","objective":"delay","routing":"MP","capacity":500,
-    ///  "constraints":"strict","swap":"auto","probe":null}
+    ///  "constraints":"strict","swap":"auto","engine":"auto","probe":null}
     /// ```
     ///
     /// Round-trips through [`ExploreRequest::from_json`]. Note the app
@@ -296,21 +345,23 @@ impl ExploreRequest {
     pub fn to_json(&self) -> String {
         let probe = match &self.probe {
             Some(p) => format!(
-                "{{\"pattern\":{},\"rate\":{}}}",
+                "{{\"pattern\":{},\"rate\":{},\"top_k\":{}}}",
                 json_string(p.pattern.name()),
-                json_number(p.rate)
+                json_number(p.rate),
+                p.top_k,
             ),
             None => "null".to_string(),
         };
         format!(
             "{{\"app\":{},\"objective\":{},\"routing\":{},\"capacity\":{},\
-             \"constraints\":{},\"swap\":{},\"probe\":{probe}}}",
+             \"constraints\":{},\"swap\":{},\"engine\":{},\"probe\":{probe}}}",
             json_string(&self.app.to_string()),
             json_string(objective_name(self.objective)),
             json_string(self.routing.abbrev()),
             json_number(self.capacity),
             json_string(self.constraints.name()),
             json_string(swap_name(self.swap)),
+            json_string(self.engine.name()),
         )
     }
 
@@ -333,7 +384,14 @@ impl ExploreRequest {
         for key in fields.keys() {
             if !matches!(
                 key.as_str(),
-                "app" | "objective" | "routing" | "capacity" | "constraints" | "swap" | "probe"
+                "app"
+                    | "objective"
+                    | "routing"
+                    | "capacity"
+                    | "constraints"
+                    | "swap"
+                    | "engine"
+                    | "probe"
             ) {
                 return Err(format!("unknown request field '{key}'"));
             }
@@ -369,6 +427,9 @@ impl ExploreRequest {
         if let Some(text) = str_field("swap")? {
             req.swap = parse_swap(text)?;
         }
+        if let Some(text) = str_field("engine")? {
+            req.engine = parse_engine(text)?;
+        }
         match fields.get("probe") {
             None | Some(Json::Null) => {}
             Some(probe) => {
@@ -380,7 +441,19 @@ impl ExploreRequest {
                     .get("rate")
                     .and_then(Json::as_f64)
                     .ok_or_else(|| "'probe' needs a numeric 'rate'".to_string())?;
-                req.probe = Some(SimProbe::parse(&format!("{pattern} {rate}"))?);
+                let top_k = match probe.get("top_k") {
+                    None => 1,
+                    Some(v) => {
+                        let k = v
+                            .as_f64()
+                            .filter(|k| k.fract() == 0.0 && *k >= 1.0)
+                            .ok_or_else(|| "'top_k' must be a positive integer".to_string())?;
+                        k as usize
+                    }
+                };
+                let mut parsed = SimProbe::parse(&format!("{pattern} {rate}"))?;
+                parsed.top_k = top_k;
+                req.probe = Some(parsed);
             }
         }
         req.validate()?;
@@ -631,28 +704,78 @@ pub fn execute(
             ));
             if let Some(probe) = &req.probe {
                 let probe_start = Instant::now();
-                let tc = &mut topos[w];
-                let config = SimConfig::default();
-                // The probe plan comes from the same shared table the
-                // mapper used; compiled once per topology, reused by
-                // every later request that picks the same winner.
-                let plan = match &tc.plan {
-                    Some(plan) => plan.clone(),
-                    None => {
-                        let plan =
-                            Arc::new(RoutePlan::synthetic(&tc.graph, &mut tc.table, &config));
-                        tc.plan = Some(plan.clone());
-                        plan
-                    }
+                let config = SimConfig {
+                    engine: req.engine,
+                    ..SimConfig::default()
                 };
-                let mut sim = NocSimulator::with_plan(&tc.graph, config, plan);
-                let stats = sim.run_synthetic(&probe.pattern, probe.rate);
+                let k = probe.top_k.min(ranked.len());
+                let probed: Vec<(usize, LatencyStats)> = ranked
+                    .iter()
+                    .take(k)
+                    .map(|&cand| {
+                        let tc = &mut topos[cand];
+                        let mut builder = SimSession::builder(&tc.graph).config(config);
+                        if req.engine != SimEngine::Reference {
+                            // The probe plan comes from the same shared
+                            // table the mapper used; compiled once per
+                            // topology, reused by every later request
+                            // that probes the same candidate. All
+                            // indexed engines share one plan class.
+                            let plan = match &tc.plan {
+                                Some(plan) => plan.clone(),
+                                None => {
+                                    let plan = Arc::new(RoutePlan::synthetic(
+                                        &tc.graph,
+                                        &mut tc.table,
+                                        &config,
+                                    ));
+                                    tc.plan = Some(plan.clone());
+                                    plan
+                                }
+                            };
+                            builder = builder.plan(plan);
+                        }
+                        let stats = builder.build().run_synthetic(&probe.pattern, probe.rate);
+                        (cand, stats)
+                    })
+                    .collect();
+                let (_, winner_stats) = &probed[0];
                 body.push_str(&format!(
                     ",\"sim\":{{\"pattern\":{},\"rate\":{},{}}}",
                     json_string(probe.pattern.name()),
                     json_number(probe.rate),
-                    stats_json_fields(&stats),
+                    stats_json_fields(winner_stats),
                 ));
+                if probe.top_k > 1 {
+                    // Per-candidate analytical-vs-measured drift: the
+                    // zero-load latency model is avg_hops switch
+                    // traversals plus serialization of the body flits.
+                    body.push_str(",\"probes\":[");
+                    for (i, (cand, stats)) in probed.iter().enumerate() {
+                        if i > 0 {
+                            body.push(',');
+                        }
+                        let r = reports[*cand].expect("ranked candidates are feasible");
+                        let analytical = r.avg_hops * (1.0 + config.switch_pipeline as f64)
+                            + (config.packet_flits as f64 - 1.0);
+                        let drift = if analytical > 0.0 {
+                            (stats.avg_latency - analytical) / analytical
+                        } else {
+                            0.0
+                        };
+                        body.push_str(&format!(
+                            "{{\"rank\":{},\"topology\":{},\"engine\":{},{},\
+                             \"analytical_latency_cycles\":{},\"latency_drift\":{}}}",
+                            i + 1,
+                            json_string(topos[*cand].graph.kind().name()),
+                            json_string(req.engine.resolve(probe.rate).name()),
+                            stats_json_fields(stats),
+                            json_number(analytical),
+                            json_number(drift),
+                        ));
+                    }
+                    body.push(']');
+                }
                 probe_nanos = u64::try_from(probe_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
             }
         }
@@ -744,9 +867,11 @@ mod tests {
         req.capacity = 750.0;
         req.constraints = ConstraintMode::Relaxed;
         req.swap = SwapStrategy::DeltaPruned;
+        req.engine = SimEngine::EventDriven;
         req.probe = Some(SimProbe {
             pattern: TrafficPattern::Transpose,
             rate: 0.125,
+            top_k: 3,
         });
         let json = req.to_json();
         assert_eq!(ExploreRequest::from_json(&json).unwrap(), req);
@@ -779,6 +904,25 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.contains("uniform"), "error lists patterns: {err}");
+        let err = ExploreRequest::from_json("{\"app\":\"vopd\",\"engine\":\"warp\"}").unwrap_err();
+        assert!(err.contains("auto, flat, event, reference"), "{err}");
+        let err = ExploreRequest::from_json(
+            "{\"app\":\"vopd\",\"probe\":{\"pattern\":\"uniform\",\"rate\":0.1,\"top_k\":0}}",
+        )
+        .unwrap_err();
+        assert!(err.contains("top_k"), "{err}");
+    }
+
+    #[test]
+    fn probe_parse_accepts_an_optional_top_k() {
+        assert_eq!(SimProbe::parse("uniform 0.05").unwrap().top_k, 1);
+        assert_eq!(SimProbe::parse("uniform 0.05 4").unwrap().top_k, 4);
+        let err = SimProbe::parse("uniform 0.05 zero").unwrap_err();
+        assert!(err.contains("top-k"), "{err}");
+        let err = SimProbe::parse("uniform 0.05 0").unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        let err = SimProbe::parse("uniform 0.05 2 extra").unwrap_err();
+        assert!(err.contains("unexpected"), "{err}");
     }
 
     #[test]
@@ -790,6 +934,13 @@ mod tests {
         req.probe = Some(SimProbe {
             pattern: TrafficPattern::UniformRandom,
             rate: f64::NAN,
+            top_k: 1,
+        });
+        assert!(req.validate().is_err());
+        req.probe = Some(SimProbe {
+            pattern: TrafficPattern::UniformRandom,
+            rate: 0.05,
+            top_k: 0,
         });
         assert!(req.validate().is_err());
     }
@@ -853,6 +1004,34 @@ mod tests {
             "{}",
             outcome.line
         );
+        assert!(
+            !outcome.line.contains("\"probes\":"),
+            "winner-only probes keep the historical report shape: {}",
+            outcome.line
+        );
         assert!(outcome.stats.probe_nanos > 0);
+    }
+
+    #[test]
+    fn top_k_probes_append_per_candidate_drift() {
+        let mut req = dsp_request();
+        req.engine = SimEngine::EventDriven;
+        // 99 candidates requested, clamped to the feasible count.
+        req.probe = Some(SimProbe::parse("uniform 0.05 99").unwrap());
+        let mut runner = RequestRunner::new(2);
+        let outcome = runner.run(&req).unwrap();
+        let line = &outcome.line;
+        assert!(line.contains("\"probes\":[{\"rank\":1,"), "{line}");
+        assert!(line.contains("\"engine\":\"event\""), "{line}");
+        assert!(line.contains("\"analytical_latency_cycles\":"), "{line}");
+        assert!(line.contains("\"latency_drift\":"), "{line}");
+        let ranks = line.matches("\"rank\":").count();
+        assert!(
+            (2..=5).contains(&ranks),
+            "drift entries clamp to the feasible candidates: {line}"
+        );
+        // The winner's "sim" object stays, bytes shared with the k=1
+        // form (probes[0] is the same run).
+        assert!(line.contains(",\"sim\":{\"pattern\":\"uniform\""), "{line}");
     }
 }

@@ -40,6 +40,103 @@ use sunmap_traffic::CoreGraph;
 /// indirect topologies (the adaptive-routing fan-out of paper §6.2).
 pub const SIM_PATH_CAP: usize = 8;
 
+/// Which cycle engine a [`SimSession`](crate::SimSession) drives.
+///
+/// Every engine produces **bit-identical** [`LatencyStats`] for the
+/// same seed — `tests/flat_equivalence.rs` proves the three-way
+/// equivalence (reference == flat == event-driven) across topologies,
+/// patterns, rates and trace mode — so the choice is purely about
+/// speed:
+///
+/// * [`Flat`](SimEngine::Flat) scans every edge's dense state each
+///   cycle; fastest at medium-to-high load, but per-cycle cost grows
+///   with topology size even when the network is nearly idle.
+/// * [`EventDriven`](SimEngine::EventDriven) maintains active sets of
+///   edges with queued head flits plus an event wheel for in-flight
+///   hop completions, so a cycle with `k` active elements costs
+///   `O(k)` instead of `O(V + E)` — the low-load / large-network
+///   engine.
+/// * [`Reference`](SimEngine::Reference) is the original pre-rebuild
+///   implementation ([`crate::reference`]), kept as the behavioral
+///   oracle. Slow; useful for differential debugging only.
+/// * [`Auto`](SimEngine::Auto) (the default) picks per run: the
+///   event-driven engine below
+///   [`AUTO_EVENT_MAX_LOAD`](SimEngine::AUTO_EVENT_MAX_LOAD) offered
+///   flits/cycle/terminal, the flat engine at or above it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum SimEngine {
+    /// Pick per run by offered load (see the type-level docs).
+    #[default]
+    Auto,
+    /// The flat dense-scan engine ([`NocSimulator`]).
+    Flat,
+    /// The active-set + event-wheel engine.
+    EventDriven,
+    /// The pre-rebuild oracle ([`crate::reference`]).
+    Reference,
+}
+
+impl SimEngine {
+    /// Offered load (flits/cycle/terminal) below which [`Auto`]
+    /// resolves to the event-driven engine. At 0.15 and above, enough
+    /// edges hold flits each cycle that the flat engine's dense scan
+    /// wins back its simplicity.
+    ///
+    /// [`Auto`]: SimEngine::Auto
+    pub const AUTO_EVENT_MAX_LOAD: f64 = 0.15;
+
+    /// Resolves `Auto` against an offered load (the injection rate in
+    /// synthetic mode, the trace intensity in trace mode); the three
+    /// concrete engines return themselves.
+    pub fn resolve(self, load: f64) -> SimEngine {
+        match self {
+            SimEngine::Auto => {
+                if load < Self::AUTO_EVENT_MAX_LOAD {
+                    SimEngine::EventDriven
+                } else {
+                    SimEngine::Flat
+                }
+            }
+            other => other,
+        }
+    }
+
+    /// Parses a CLI / manifest / request spelling.
+    pub fn parse(s: &str) -> Option<SimEngine> {
+        match s {
+            "auto" => Some(SimEngine::Auto),
+            "flat" => Some(SimEngine::Flat),
+            "event" => Some(SimEngine::EventDriven),
+            "reference" => Some(SimEngine::Reference),
+            _ => None,
+        }
+    }
+
+    /// The canonical spelling accepted by [`SimEngine::parse`].
+    pub fn name(self) -> &'static str {
+        match self {
+            SimEngine::Auto => "auto",
+            SimEngine::Flat => "flat",
+            SimEngine::EventDriven => "event",
+            SimEngine::Reference => "reference",
+        }
+    }
+
+    /// Route-plan layout class: the flat and event-driven engines (and
+    /// `Auto`, which only ever resolves to one of them) share the
+    /// compiled [`RoutePlan`] arena byte for byte, so they form one
+    /// class; the reference engine resolves routes live and never
+    /// consumes a plan, so a plan compiled under it must not be
+    /// silently reused by the indexed engines (see
+    /// [`RoutePlan::compatible`]).
+    pub(crate) fn plan_class(self) -> u8 {
+        match self {
+            SimEngine::Auto | SimEngine::Flat | SimEngine::EventDriven => 0,
+            SimEngine::Reference => 1,
+        }
+    }
+}
+
 /// Simulator parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimConfig {
@@ -60,6 +157,9 @@ pub struct SimConfig {
     pub drain_cycles: u64,
     /// RNG seed (simulations are deterministic per seed).
     pub seed: u64,
+    /// Which cycle engine runs the simulation. Purely a speed knob:
+    /// every engine is bit-identical for the same seed.
+    pub engine: SimEngine,
 }
 
 impl Default for SimConfig {
@@ -72,6 +172,7 @@ impl Default for SimConfig {
             measure_cycles: 5_000,
             drain_cycles: 5_000,
             seed: 42,
+            engine: SimEngine::Auto,
         }
     }
 }
@@ -88,15 +189,15 @@ impl SimConfig {
     }
 }
 
-const F_HEAD: u8 = 1;
-const F_TAIL: u8 = 2;
-const F_MEASURED: u8 = 4;
+pub(crate) const F_HEAD: u8 = 1;
+pub(crate) const F_TAIL: u8 = 2;
+pub(crate) const F_MEASURED: u8 = 4;
 
 /// "No packet owns this output" sentinel for the wormhole allocator.
-const NO_OWNER: u32 = u32::MAX;
+pub(crate) const NO_OWNER: u32 = u32::MAX;
 
 /// "This flit is at its final node" sentinel for [`Flit::next_edge`].
-const NO_EDGE: u32 = u32::MAX;
+pub(crate) const NO_EDGE: u32 = u32::MAX;
 
 /// One flit in flight: 40 bytes, `Copy`, no indirection. The path is a
 /// route id into the [`RoutePlan`]; `hop` indexes the route's steps.
@@ -104,23 +205,23 @@ const NO_EDGE: u32 = u32::MAX;
 /// needs are denormalised into the record when it is (re)queued, so the
 /// arbitration scan compares plain fields without touching the plan.
 #[derive(Debug, Clone, Copy)]
-struct Flit {
-    ready_at: u64,
-    inject_cycle: u64,
-    route: u32,
-    packet: u32,
+pub(crate) struct Flit {
+    pub(crate) ready_at: u64,
+    pub(crate) inject_cycle: u64,
+    pub(crate) route: u32,
+    pub(crate) packet: u32,
     /// The edge this flit's next step crosses (`NO_EDGE` at the final
     /// node).
-    next_edge: u32,
+    pub(crate) next_edge: u32,
     /// Downstream slots its transfer requires (1 for body flits, the
     /// step's bubble-rule space for head flits).
-    required: u32,
-    hop: u16,
-    flags: u8,
+    pub(crate) required: u32,
+    pub(crate) hop: u16,
+    pub(crate) flags: u8,
 }
 
 impl Flit {
-    const EMPTY: Flit = Flit {
+    pub(crate) const EMPTY: Flit = Flit {
         ready_at: 0,
         inject_cycle: 0,
         route: 0,
@@ -135,35 +236,35 @@ impl Flit {
 /// One precompiled hop of a route: everything the transfer loop needs,
 /// resolved at plan-build time.
 #[derive(Debug, Clone, Copy)]
-struct HopStep {
+pub(crate) struct HopStep {
     /// The directed edge this step crosses.
-    edge: u32,
+    pub(crate) edge: u32,
     /// Cycles added to `ready_at` on arrival (link + downstream switch
     /// pipeline; attach links are NI wires folded into the switch).
-    ready_add: u64,
+    pub(crate) ready_add: u64,
     /// Free downstream space a *head* flit needs: one packet, or two
     /// when entering a new ring (injection or axis turn — the bubble
     /// condition keeping torus rings deadlock-free).
-    head_space: u32,
+    pub(crate) head_space: u32,
     /// Whether a flit finishing this step leaves the network at a core
     /// port (indirect-topology egress) instead of entering the buffer.
-    eject_at_dst: bool,
+    pub(crate) eject_at_dst: bool,
 }
 
 /// A route in the plan: a span of [`HopStep`]s.
 #[derive(Debug, Clone, Copy)]
-struct RouteSpan {
-    first_step: u32,
-    step_count: u16,
+pub(crate) struct RouteSpan {
+    pub(crate) first_step: u32,
+    pub(crate) step_count: u16,
     /// The source vertex is a switch (injection pays its pipeline).
-    start_at_switch: bool,
+    pub(crate) start_at_switch: bool,
 }
 
 /// Flat arena of compiled routes.
 #[derive(Debug, Default)]
-struct RouteArena {
-    steps: Vec<HopStep>,
-    routes: Vec<RouteSpan>,
+pub(crate) struct RouteArena {
+    pub(crate) steps: Vec<HopStep>,
+    pub(crate) routes: Vec<RouteSpan>,
 }
 
 /// Hot per-node simulator state (see the `nodes` field docs).
@@ -279,7 +380,7 @@ impl RouteArena {
 /// topology and hands clones of the `Arc` to every rate worker.
 #[derive(Debug)]
 pub struct RoutePlan {
-    arena: RouteArena,
+    pub(crate) arena: RouteArena,
     /// Terminal-pair table: `pair_offsets[t*n+d]..pair_offsets[t*n+d+1]`
     /// indexes `route_ids`.
     pair_offsets: Vec<u32>,
@@ -294,9 +395,12 @@ pub struct RoutePlan {
     edge_count: usize,
     /// Direct topologies take the single dimension-ordered route; on
     /// indirect ones the simulator picks uniformly among the set.
-    direct: bool,
+    pub(crate) direct: bool,
     packet_flits: usize,
     switch_pipeline: u64,
+    /// Layout class of the engine this plan was compiled under (see
+    /// [`SimEngine::plan_class`]).
+    engine_class: u8,
 }
 
 impl RoutePlan {
@@ -350,12 +454,17 @@ impl RoutePlan {
             direct,
             packet_flits: config.packet_flits,
             switch_pipeline: config.switch_pipeline,
+            engine_class: config.engine.plan_class(),
         }
     }
 
     /// Compiles a trace plan from a mapping evaluation's chosen paths
     /// (no pair table; routes are addressed by id).
-    fn trace(g: &TopologyGraph, config: &SimConfig, eval: &Evaluation) -> (RoutePlan, Vec<Trace>) {
+    pub(crate) fn trace(
+        g: &TopologyGraph,
+        config: &SimConfig,
+        eval: &Evaluation,
+    ) -> (RoutePlan, Vec<Trace>) {
         let adj = g.adjacency_matrix();
         let mut arena = RouteArena::default();
         let mut traces = Vec::with_capacity(eval.routes.len());
@@ -393,12 +502,13 @@ impl RoutePlan {
             direct: g.kind().is_direct(),
             packet_flits: config.packet_flits,
             switch_pipeline: config.switch_pipeline,
+            engine_class: config.engine.plan_class(),
         };
         (plan, traces)
     }
 
     #[inline]
-    fn routes_for(&self, src_terminal: usize, dst_terminal: usize) -> &[u32] {
+    pub(crate) fn routes_for(&self, src_terminal: usize, dst_terminal: usize) -> &[u32] {
         let p = src_terminal * self.terminal_count + dst_terminal;
         let lo = self.pair_offsets[p] as usize;
         let hi = self.pair_offsets[p + 1] as usize;
@@ -406,16 +516,24 @@ impl RoutePlan {
     }
 
     /// The FNV-1a fingerprint of the edge list this plan was compiled
-    /// for — the same value as the mapper `RouteTable::fingerprint` of
-    /// the same graph, so warm caches can key tables and plans
-    /// together.
+    /// for, folded with the engine layout class where the class affects
+    /// plan layout. For every plan the indexed engines (`Auto`, `Flat`,
+    /// `EventDriven`) compile, the class term is zero and the value
+    /// equals the mapper `RouteTable::fingerprint` of the same graph,
+    /// so warm caches can key tables and plans together; a plan
+    /// compiled under the reference engine hashes differently and can
+    /// never collide into an indexed-engine cache slot.
     pub fn fingerprint(&self) -> u64 {
-        self.edge_fingerprint
+        self.edge_fingerprint ^ (u64::from(self.engine_class) * 0x9E37_79B9_7F4A_7C15)
     }
 
     /// Whether this plan was compiled for `g` under `config`: same
     /// topology kind, shape, directed edge list (endpoints and
-    /// capacities, order-sensitive) and timing-relevant parameters.
+    /// capacities, order-sensitive), timing-relevant parameters and
+    /// engine layout class — a plan compiled under one engine class is
+    /// never silently reused by another (the indexed engines `Auto`,
+    /// `Flat` and `EventDriven` share one class and one arena layout;
+    /// the reference engine is its own class).
     pub fn compatible(&self, g: &TopologyGraph, config: &SimConfig) -> bool {
         self.kind == g.kind()
             && self.terminal_count == g.mappable_nodes().len()
@@ -423,17 +541,18 @@ impl RoutePlan {
             && self.edge_fingerprint == edge_fingerprint(g)
             && self.packet_flits == config.packet_flits
             && self.switch_pipeline == config.switch_pipeline
+            && self.engine_class == config.engine.plan_class()
     }
 }
 
 /// One trace-driven commodity: injection probability plus its weighted
 /// compiled routes.
 #[derive(Debug)]
-struct Trace {
-    terminal: usize,
-    packet_prob: f64,
-    bandwidth: f64,
-    routes: Vec<(u32, f64)>,
+pub(crate) struct Trace {
+    pub(crate) terminal: usize,
+    pub(crate) packet_prob: f64,
+    pub(crate) bandwidth: f64,
+    pub(crate) routes: Vec<(u32, f64)>,
 }
 
 /// The flit-level simulator. Create one per run; it borrows the
@@ -526,19 +645,35 @@ pub struct NocSimulator<'a> {
 
 impl<'a> NocSimulator<'a> {
     /// Creates a simulator over `graph` with terminals at its mappable
-    /// nodes. The synthetic route plan is compiled on first use; to
-    /// share one plan across simulators (the sweep driver does), use
-    /// [`NocSimulator::with_plan`].
+    /// nodes. The synthetic route plan is compiled on first use.
+    ///
+    /// Deprecated: build a [`SimSession`](crate::SimSession) instead —
+    /// it sets engine selection, plan reuse and trace mode in one
+    /// place. This constructor always runs the flat engine, ignoring
+    /// [`SimConfig::engine`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a `SimSession` (`SimSession::builder(graph).config(config).build()`); \
+                this constructor always runs the flat engine, ignoring `SimConfig::engine`"
+    )]
     pub fn new(graph: &'a TopologyGraph, config: SimConfig) -> Self {
         Self::build(graph, config, None)
     }
 
     /// Creates a simulator reusing a precompiled route `plan`.
     ///
+    /// Deprecated: build a [`SimSession`](crate::SimSession) with
+    /// [`plan`](crate::SimSessionBuilder::plan) instead.
+    ///
     /// # Panics
     ///
     /// Panics if `plan` is not [`compatible`](RoutePlan::compatible)
     /// with `graph` and `config`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a `SimSession` (`SimSession::builder(graph).config(config).plan(plan).build()`); \
+                this constructor always runs the flat engine, ignoring `SimConfig::engine`"
+    )]
     pub fn with_plan(graph: &'a TopologyGraph, config: SimConfig, plan: Arc<RoutePlan>) -> Self {
         assert!(
             plan.compatible(graph, &config),
@@ -547,7 +682,11 @@ impl<'a> NocSimulator<'a> {
         Self::build(graph, config, Some(plan))
     }
 
-    fn build(graph: &'a TopologyGraph, config: SimConfig, plan: Option<Arc<RoutePlan>>) -> Self {
+    pub(crate) fn build(
+        graph: &'a TopologyGraph,
+        config: SimConfig,
+        plan: Option<Arc<RoutePlan>>,
+    ) -> Self {
         let terminals = graph.mappable_nodes().to_vec();
         let terms = terminals.len();
         let edge_count = graph.edge_count();
@@ -1094,6 +1233,11 @@ impl<'a> NocSimulator<'a> {
 
 #[cfg(test)]
 mod tests {
+    // These unit tests pin the flat engine through its direct
+    // constructors on purpose; engine selection is covered by
+    // `session::tests` and the three-way equivalence suite.
+    #![allow(deprecated)]
+
     use super::*;
     use sunmap_mapping::{Mapper, MapperConfig};
     use sunmap_topology::builders;

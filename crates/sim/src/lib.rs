@@ -25,38 +25,47 @@
 //! window, reproducing the latency-versus-injection-rate methodology of
 //! paper Fig. 8(b) and the per-topology latency bars of Fig. 10(c).
 //!
-//! The implementation is the flat-array engine of [`engine`]: `Copy`
-//! flits in dense per-edge ring buffers, with per-pair routes compiled
-//! once — through the mapper's [`RouteTable`](sunmap_mapping::RouteTable)
-//! — into a shareable [`RoutePlan`]. Simulations are deterministic per
-//! seed (everything is index-ordered; no hash-map iteration anywhere),
-//! and [`sweep`] fans rate×topology grids out across scoped threads
-//! with bit-identical results at any worker count. The pre-rebuild
-//! engine survives as [`reference`](mod@reference), the behavioral
-//! oracle the equivalence tests and the `sim_speed` bench compare
-//! against.
+//! Three interchangeable engines share the model, selected through
+//! [`SimEngine`] on [`SimConfig`] and driven through a [`SimSession`]:
+//! the flat-array engine of [`engine`] (`Copy` flits in dense per-edge
+//! ring buffers, per-pair routes compiled once — through the mapper's
+//! [`RouteTable`](sunmap_mapping::RouteTable) — into a shareable
+//! [`RoutePlan`]), the event-driven active-set engine (`O(k)` per
+//! cycle in the number of active elements — the low-load /
+//! large-network engine), and the pre-rebuild [`reference`](mod@reference)
+//! engine, the behavioral oracle the three-way equivalence tests and
+//! the `sim_speed` bench compare against. All three are bit-identical
+//! per seed; simulations are deterministic (everything is
+//! index-ordered; no hash-map iteration anywhere), and [`sweep`] fans
+//! rate×topology grids out across scoped threads with bit-identical
+//! results at any worker count.
 //!
 //! # Examples
 //!
 //! ```
-//! use sunmap_sim::{NocSimulator, SimConfig};
+//! use sunmap_sim::{SimConfig, SimSession};
 //! use sunmap_topology::builders;
 //! use sunmap_traffic::patterns::TrafficPattern;
 //!
 //! let mesh = builders::mesh(4, 4, 500.0)?;
-//! let mut sim = NocSimulator::new(&mesh, SimConfig::fast());
-//! let stats = sim.run_synthetic(&TrafficPattern::UniformRandom, 0.05);
+//! // SimConfig::default() selects SimEngine::Auto: event-driven at
+//! // this low load, flat once the offered load crosses the threshold.
+//! let mut session = SimSession::builder(&mesh).config(SimConfig::fast()).build();
+//! let stats = session.run_synthetic(&TrafficPattern::UniformRandom, 0.05);
 //! assert!(stats.packets_delivered > 0);
 //! assert!(stats.avg_latency >= 4.0); // at least serialization + a hop
 //! # Ok::<(), sunmap_topology::TopologyError>(())
 //! ```
 
 pub mod engine;
+mod event;
 pub mod reference;
+mod session;
 mod stats;
 pub mod sweep;
 
-pub use engine::{NocSimulator, RoutePlan, SimConfig, SIM_PATH_CAP};
+pub use engine::{NocSimulator, RoutePlan, SimConfig, SimEngine, SIM_PATH_CAP};
+pub use session::{SimSession, SimSessionBuilder};
 pub use stats::LatencyStats;
 pub use sweep::{adversarial_sweep, injection_sweep, SweepPoint, SweepRequest};
 
@@ -103,11 +112,11 @@ pub fn latency_sweep(
     pattern: &TrafficPattern,
     rates: &[f64],
 ) -> Vec<(f64, f64)> {
-    let mut sim = NocSimulator::new(graph, config);
+    let mut session = SimSession::builder(graph).config(config).build();
     rates
         .iter()
         .map(|&rate| {
-            let stats = sim.run_synthetic(pattern, rate);
+            let stats = session.run_synthetic(pattern, rate);
             (rate, stats.avg_latency)
         })
         .collect()

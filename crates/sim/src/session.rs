@@ -1,0 +1,290 @@
+//! One-stop simulation sessions: engine selection, plan reuse and
+//! trace mode configured in a single builder.
+
+use std::sync::Arc;
+
+use crate::engine::{NocSimulator, RoutePlan, SimConfig, SimEngine};
+use crate::event::EventSimulator;
+use crate::{reference, LatencyStats};
+use sunmap_mapping::{Evaluation, RouteTable};
+use sunmap_topology::TopologyGraph;
+use sunmap_traffic::patterns::TrafficPattern;
+use sunmap_traffic::CoreGraph;
+
+/// Builder for a [`SimSession`]: `graph → config → optional plan →
+/// build()`. Obtained from [`SimSession::builder`].
+#[derive(Debug)]
+pub struct SimSessionBuilder<'a> {
+    graph: &'a TopologyGraph,
+    config: SimConfig,
+    plan: Option<Arc<RoutePlan>>,
+}
+
+impl<'a> SimSessionBuilder<'a> {
+    /// Sets the simulator parameters, including the engine choice
+    /// ([`SimConfig::engine`]). Defaults to [`SimConfig::default`].
+    pub fn config(mut self, config: SimConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Reuses a precompiled synthetic route [`RoutePlan`] (the sweep
+    /// and probe drivers compile one per topology and share it across
+    /// runs). Ignored by the reference engine, which resolves routes
+    /// live.
+    pub fn plan(mut self, plan: Arc<RoutePlan>) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// Builds the session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a supplied plan is not
+    /// [`compatible`](RoutePlan::compatible) with the graph and
+    /// config — including a plan compiled under a different engine
+    /// layout class, which must never be silently reused.
+    pub fn build(self) -> SimSession<'a> {
+        if let Some(plan) = &self.plan {
+            assert!(
+                plan.compatible(self.graph, &self.config),
+                "route plan compiled for a different graph, engine or configuration"
+            );
+        }
+        SimSession {
+            graph: self.graph,
+            config: self.config,
+            plan: self.plan,
+            flat: None,
+            event: None,
+            reference: None,
+        }
+    }
+}
+
+/// A simulation session over one topology: owns the (lazily created)
+/// engines, shares one compiled route plan across them, and dispatches
+/// each run to the engine [`SimConfig::engine`] selects — resolving
+/// [`SimEngine::Auto`] per run from the offered load.
+///
+/// Every engine produces bit-identical [`LatencyStats`] for the same
+/// seed (see [`SimEngine`]), so re-running with a different engine is
+/// purely a speed decision.
+///
+/// # Examples
+///
+/// ```
+/// use sunmap_sim::{SimConfig, SimEngine, SimSession};
+/// use sunmap_topology::builders;
+/// use sunmap_traffic::patterns::TrafficPattern;
+///
+/// let mesh = builders::mesh(4, 4, 500.0)?;
+/// let config = SimConfig {
+///     engine: SimEngine::EventDriven,
+///     ..SimConfig::fast()
+/// };
+/// let mut session = SimSession::builder(&mesh).config(config).build();
+/// let stats = session.run_synthetic(&TrafficPattern::UniformRandom, 0.05);
+/// assert!(stats.packets_delivered > 0);
+/// # Ok::<(), sunmap_topology::TopologyError>(())
+/// ```
+#[derive(Debug)]
+pub struct SimSession<'a> {
+    graph: &'a TopologyGraph,
+    config: SimConfig,
+    plan: Option<Arc<RoutePlan>>,
+    flat: Option<NocSimulator<'a>>,
+    event: Option<EventSimulator<'a>>,
+    reference: Option<reference::NocSimulator<'a>>,
+}
+
+impl<'a> SimSession<'a> {
+    /// Starts building a session over `graph`.
+    pub fn builder(graph: &'a TopologyGraph) -> SimSessionBuilder<'a> {
+        SimSessionBuilder {
+            graph,
+            config: SimConfig::default(),
+            plan: None,
+        }
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> SimConfig {
+        self.config
+    }
+
+    /// Number of terminals (injection points).
+    pub fn terminal_count(&self) -> usize {
+        self.graph.mappable_nodes().len()
+    }
+
+    /// The concrete engine a run at `load` flits/cycle/terminal would
+    /// use (resolves [`SimEngine::Auto`]; never returns it).
+    pub fn engine_for(&self, load: f64) -> SimEngine {
+        self.config.engine.resolve(load)
+    }
+
+    /// The session's synthetic route plan, compiling it on first use
+    /// and sharing it across the indexed engines. The reference engine
+    /// never consumes it, so a reference-engine session does not
+    /// compile one.
+    fn synthetic_plan(&mut self) -> Arc<RoutePlan> {
+        if self.plan.is_none() {
+            let mut table = RouteTable::new(self.graph);
+            self.plan = Some(Arc::new(RoutePlan::synthetic(
+                self.graph,
+                &mut table,
+                &self.config,
+            )));
+        }
+        self.plan.as_ref().expect("plan just built").clone()
+    }
+
+    /// Runs a synthetic-traffic simulation on the engine resolved for
+    /// `injection_rate` (see [`NocSimulator::run_synthetic`] for the
+    /// traffic model; all engines share it bit for bit).
+    pub fn run_synthetic(&mut self, pattern: &TrafficPattern, injection_rate: f64) -> LatencyStats {
+        match self.config.engine.resolve(injection_rate) {
+            SimEngine::Flat | SimEngine::Auto => {
+                let plan = self.synthetic_plan();
+                let (graph, config) = (self.graph, self.config);
+                self.flat
+                    .get_or_insert_with(|| NocSimulator::build(graph, config, Some(plan)))
+                    .run_synthetic(pattern, injection_rate)
+            }
+            SimEngine::EventDriven => {
+                let plan = self.synthetic_plan();
+                let (graph, config) = (self.graph, self.config);
+                self.event
+                    .get_or_insert_with(|| EventSimulator::build(graph, config, Some(plan)))
+                    .run_synthetic(pattern, injection_rate)
+            }
+            SimEngine::Reference => {
+                let (graph, config) = (self.graph, self.config);
+                self.reference
+                    .get_or_insert_with(|| reference::NocSimulator::new(graph, config))
+                    .run_synthetic(pattern, injection_rate)
+            }
+        }
+    }
+
+    /// Runs a trace-driven simulation of a mapped application on the
+    /// engine resolved for `intensity` (see
+    /// [`NocSimulator::run_trace`] for the traffic model).
+    pub fn run_trace(
+        &mut self,
+        eval: &Evaluation,
+        app: &CoreGraph,
+        intensity: f64,
+    ) -> LatencyStats {
+        match self.config.engine.resolve(intensity) {
+            SimEngine::Flat | SimEngine::Auto => {
+                let (graph, config) = (self.graph, self.config);
+                self.flat
+                    .get_or_insert_with(|| NocSimulator::build(graph, config, None))
+                    .run_trace(eval, app, intensity)
+            }
+            SimEngine::EventDriven => {
+                let (graph, config) = (self.graph, self.config);
+                self.event
+                    .get_or_insert_with(|| EventSimulator::build(graph, config, None))
+                    .run_trace(eval, app, intensity)
+            }
+            SimEngine::Reference => {
+                let (graph, config) = (self.graph, self.config);
+                self.reference
+                    .get_or_insert_with(|| reference::NocSimulator::new(graph, config))
+                    .run_trace(eval, app, intensity)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sunmap_topology::builders;
+
+    #[test]
+    fn auto_resolves_by_load_threshold() {
+        let g = builders::mesh(3, 3, 500.0).unwrap();
+        let session = SimSession::builder(&g).build();
+        assert_eq!(session.engine_for(0.01), SimEngine::EventDriven);
+        assert_eq!(session.engine_for(0.5), SimEngine::Flat);
+        let flat = SimSession::builder(&g)
+            .config(SimConfig {
+                engine: SimEngine::Flat,
+                ..SimConfig::fast()
+            })
+            .build();
+        assert_eq!(flat.engine_for(0.01), SimEngine::Flat);
+    }
+
+    #[test]
+    fn engines_agree_through_the_session() {
+        let g = builders::torus(3, 3, 500.0).unwrap();
+        let run = |engine: SimEngine, rate: f64| {
+            let config = SimConfig {
+                engine,
+                ..SimConfig::fast()
+            };
+            SimSession::builder(&g)
+                .config(config)
+                .build()
+                .run_synthetic(&TrafficPattern::Tornado, rate)
+        };
+        for rate in [0.05, 0.3] {
+            let flat = run(SimEngine::Flat, rate);
+            assert_eq!(flat, run(SimEngine::EventDriven, rate));
+            assert_eq!(flat, run(SimEngine::Reference, rate));
+            assert_eq!(flat, run(SimEngine::Auto, rate));
+        }
+    }
+
+    #[test]
+    fn auto_switches_engines_within_one_session() {
+        // One session crossing the Auto threshold exercises both lazily
+        // created engines against each other.
+        let g = builders::mesh(3, 3, 500.0).unwrap();
+        let mut auto = SimSession::builder(&g).config(SimConfig::fast()).build();
+        let low = auto.run_synthetic(&TrafficPattern::UniformRandom, 0.05);
+        let high = auto.run_synthetic(&TrafficPattern::UniformRandom, 0.3);
+        let mut flat = SimSession::builder(&g)
+            .config(SimConfig {
+                engine: SimEngine::Flat,
+                ..SimConfig::fast()
+            })
+            .build();
+        assert_eq!(
+            low,
+            flat.run_synthetic(&TrafficPattern::UniformRandom, 0.05)
+        );
+        assert_eq!(
+            high,
+            flat.run_synthetic(&TrafficPattern::UniformRandom, 0.3)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "different graph, engine or configuration")]
+    fn cross_engine_plan_reuse_is_rejected() {
+        use sunmap_mapping::RouteTable;
+        let g = builders::mesh(3, 3, 500.0).unwrap();
+        let ref_config = SimConfig {
+            engine: SimEngine::Reference,
+            ..SimConfig::fast()
+        };
+        let mut table = RouteTable::new(&g);
+        let plan = Arc::new(RoutePlan::synthetic(&g, &mut table, &ref_config));
+        // A plan compiled under the reference engine's layout class
+        // must not be silently consumed by the indexed engines.
+        let _ = SimSession::builder(&g)
+            .config(SimConfig {
+                engine: SimEngine::Flat,
+                ..SimConfig::fast()
+            })
+            .plan(plan)
+            .build();
+    }
+}

@@ -1,7 +1,7 @@
 //! Behavioural tests of the NoC simulator: queueing effects, parameter
 //! sensitivity and conservation properties.
 
-use sunmap_sim::{adversarial_pattern, NocSimulator, SimConfig};
+use sunmap_sim::{adversarial_pattern, SimConfig, SimSession};
 use sunmap_topology::builders;
 use sunmap_traffic::patterns::TrafficPattern;
 
@@ -21,13 +21,13 @@ fn deeper_buffers_do_not_reduce_throughput() {
     let shallow = {
         let mut c = cfg();
         c.buffer_depth = 1;
-        let mut sim = NocSimulator::new(&g, c);
+        let mut sim = SimSession::builder(&g).config(c).build();
         sim.run_synthetic(&TrafficPattern::UniformRandom, rate)
     };
     let deep = {
         let mut c = cfg();
         c.buffer_depth = 8;
-        let mut sim = NocSimulator::new(&g, c);
+        let mut sim = SimSession::builder(&g).config(c).build();
         sim.run_synthetic(&TrafficPattern::UniformRandom, rate)
     };
     assert!(
@@ -44,13 +44,13 @@ fn longer_packets_increase_latency() {
     let short = {
         let mut c = cfg();
         c.packet_flits = 2;
-        let mut sim = NocSimulator::new(&g, c);
+        let mut sim = SimSession::builder(&g).config(c).build();
         sim.run_synthetic(&TrafficPattern::UniformRandom, 0.1)
     };
     let long = {
         let mut c = cfg();
         c.packet_flits = 8;
-        let mut sim = NocSimulator::new(&g, c);
+        let mut sim = SimSession::builder(&g).config(c).build();
         sim.run_synthetic(&TrafficPattern::UniformRandom, 0.1)
     };
     assert!(
@@ -68,7 +68,7 @@ fn deeper_pipelines_increase_latency_linearly_ish() {
     for pipe in [0u64, 2, 4] {
         let mut c = cfg();
         c.switch_pipeline = pipe;
-        let mut sim = NocSimulator::new(&g, c);
+        let mut sim = SimSession::builder(&g).config(c).build();
         let s = sim.run_synthetic(&TrafficPattern::UniformRandom, 0.05);
         assert!(
             s.avg_latency > prev,
@@ -82,7 +82,7 @@ fn deeper_pipelines_increase_latency_linearly_ish() {
 #[test]
 fn delivered_never_exceeds_offered() {
     for g in builders::standard_library(16, 500.0).unwrap() {
-        let mut sim = NocSimulator::new(&g, cfg());
+        let mut sim = SimSession::builder(&g).config(cfg()).build();
         for rate in [0.1, 0.5, 0.9] {
             let s = sim.run_synthetic(&adversarial_pattern(g.kind()), rate);
             assert!(
@@ -101,9 +101,9 @@ fn clos_beats_butterfly_under_tornado_at_high_load() {
     let clos = builders::clos(4, 4, 4, 500.0).unwrap();
     let bfly = builders::butterfly(4, 2, 500.0).unwrap();
     let rate = 0.4;
-    let mut sim = NocSimulator::new(&clos, cfg());
+    let mut sim = SimSession::builder(&clos).config(cfg()).build();
     let c = sim.run_synthetic(&TrafficPattern::Tornado, rate);
-    let mut sim = NocSimulator::new(&bfly, cfg());
+    let mut sim = SimSession::builder(&bfly).config(cfg()).build();
     let b = sim.run_synthetic(&TrafficPattern::Tornado, rate);
     assert!(
         c.avg_latency < b.avg_latency / 2.0,
@@ -116,7 +116,7 @@ fn uniform_traffic_is_fair_across_terminals() {
     // With symmetric topology and pattern, delivery stays near 100%
     // below saturation — no terminal starves.
     let g = builders::torus(4, 4, 500.0).unwrap();
-    let mut sim = NocSimulator::new(&g, cfg());
+    let mut sim = SimSession::builder(&g).config(cfg()).build();
     let s = sim.run_synthetic(&TrafficPattern::UniformRandom, 0.2);
     assert!(s.delivery_ratio() > 0.98, "{s}");
 }
@@ -127,11 +127,11 @@ fn drain_period_lets_in_flight_packets_finish() {
     let no_drain = {
         let mut c = cfg();
         c.drain_cycles = 0;
-        let mut sim = NocSimulator::new(&g, c);
+        let mut sim = SimSession::builder(&g).config(c).build();
         sim.run_synthetic(&TrafficPattern::UniformRandom, 0.1)
     };
     let with_drain = {
-        let mut sim = NocSimulator::new(&g, cfg());
+        let mut sim = SimSession::builder(&g).config(cfg()).build();
         sim.run_synthetic(&TrafficPattern::UniformRandom, 0.1)
     };
     assert!(with_drain.delivery_ratio() >= no_drain.delivery_ratio());
@@ -141,7 +141,7 @@ fn drain_period_lets_in_flight_packets_finish() {
 #[test]
 fn terminal_count_matches_mappable_nodes() {
     for g in builders::standard_library(12, 500.0).unwrap() {
-        let sim = NocSimulator::new(&g, cfg());
+        let sim = SimSession::builder(&g).config(cfg()).build();
         assert_eq!(sim.terminal_count(), g.mappable_nodes().len());
     }
 }
@@ -149,9 +149,9 @@ fn terminal_count_matches_mappable_nodes() {
 #[test]
 fn utilization_tracks_injection_rate() {
     let g = builders::mesh(4, 4, 500.0).unwrap();
-    let mut sim = NocSimulator::new(&g, cfg());
+    let mut sim = SimSession::builder(&g).config(cfg()).build();
     let low = sim.run_synthetic(&TrafficPattern::UniformRandom, 0.05);
-    let mut sim = NocSimulator::new(&g, cfg());
+    let mut sim = SimSession::builder(&g).config(cfg()).build();
     let high = sim.run_synthetic(&TrafficPattern::UniformRandom, 0.25);
     assert!(low.max_link_utilization <= 1.0 + 1e-9);
     assert!(high.mean_link_utilization > low.mean_link_utilization);
@@ -163,9 +163,9 @@ fn adversarial_patterns_show_higher_imbalance_than_uniform() {
     // Tornado funnels whole ingress groups onto single butterfly stage
     // links; uniform spreads. The imbalance ratio exposes this.
     let g = builders::butterfly(4, 2, 500.0).unwrap();
-    let mut sim = NocSimulator::new(&g, cfg());
+    let mut sim = SimSession::builder(&g).config(cfg()).build();
     let uniform = sim.run_synthetic(&TrafficPattern::UniformRandom, 0.15);
-    let mut sim = NocSimulator::new(&g, cfg());
+    let mut sim = SimSession::builder(&g).config(cfg()).build();
     let tornado = sim.run_synthetic(&TrafficPattern::Tornado, 0.15);
     assert!(
         tornado.load_imbalance() > uniform.load_imbalance(),
@@ -180,9 +180,9 @@ fn clos_balances_better_than_mesh_under_its_adversary() {
     // The §6.2 mechanism made visible: per-channel load spread.
     let clos = builders::clos(4, 4, 4, 500.0).unwrap();
     let mesh = builders::mesh(4, 4, 500.0).unwrap();
-    let mut sim = NocSimulator::new(&clos, cfg());
+    let mut sim = SimSession::builder(&clos).config(cfg()).build();
     let c = sim.run_synthetic(&adversarial_pattern(clos.kind()), 0.3);
-    let mut sim = NocSimulator::new(&mesh, cfg());
+    let mut sim = SimSession::builder(&mesh).config(cfg()).build();
     let m = sim.run_synthetic(&adversarial_pattern(mesh.kind()), 0.3);
     assert!(
         c.max_link_utilization < m.max_link_utilization,

@@ -1,15 +1,36 @@
-//! The flat engine's contract: for any seed, topology, pattern, rate
-//! and configuration, its [`LatencyStats`] are bit-identical to the
-//! pre-rebuild engine's (kept as [`sunmap_sim::reference`]). The two
-//! implementations share nothing but the `SimConfig` type, so agreement
-//! here pins the RNG consumption order, the arbitration order, the
-//! bubble-rule spacing and the timing model all at once.
+//! The engine equivalence contract: for any seed, topology, pattern,
+//! rate and configuration, the flat and event-driven engines produce
+//! [`LatencyStats`] bit-identical to the pre-rebuild engine's (kept as
+//! [`sunmap_sim::reference`]). The implementations share nothing but
+//! the `SimConfig` type, so agreement here pins the RNG consumption
+//! order, the arbitration order, the bubble-rule spacing and the
+//! timing model all at once — three ways.
+//!
+//! Set `SIM_EQUIV_CASES=<n>` to sweep `n` extra injection rates per
+//! case on top of the defaults (`make sim-equiv` wires this up).
 
-use sunmap_mapping::{Mapper, MapperConfig};
-use sunmap_sim::{adversarial_pattern, reference, NocSimulator, SimConfig};
+use sunmap_mapping::{Evaluation, Mapper, MapperConfig};
+use sunmap_sim::{adversarial_pattern, SimConfig, SimEngine, SimSession};
 use sunmap_topology::builders;
 use sunmap_traffic::benchmarks;
 use sunmap_traffic::patterns::TrafficPattern;
+use sunmap_traffic::CoreGraph;
+
+const ENGINES: [SimEngine; 3] = [
+    SimEngine::Reference,
+    SimEngine::Flat,
+    SimEngine::EventDriven,
+];
+
+/// Extra rates requested through the `SIM_EQUIV_CASES` env knob:
+/// `n` evenly spaced rates in (0, 0.5], deterministic, no RNG.
+fn extra_rates() -> Vec<f64> {
+    let n: usize = std::env::var("SIM_EQUIV_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    (1..=n).map(|i| 0.5 * i as f64 / n as f64).collect()
+}
 
 fn assert_synthetic_equivalent(
     g: &sunmap_topology::TopologyGraph,
@@ -17,25 +38,56 @@ fn assert_synthetic_equivalent(
     pattern: &TrafficPattern,
     rate: f64,
 ) {
-    let mut old = reference::NocSimulator::new(g, config);
-    let mut new = NocSimulator::new(g, config);
-    let a = old.run_synthetic(pattern, rate);
-    let b = new.run_synthetic(pattern, rate);
-    assert_eq!(
-        a,
-        b,
-        "{} {} rate {rate}: reference and flat engines diverged",
-        g.kind(),
-        pattern.name()
-    );
+    let run = |engine: SimEngine| {
+        SimSession::builder(g)
+            .config(SimConfig { engine, ..config })
+            .build()
+            .run_synthetic(pattern, rate)
+    };
+    let reference = run(SimEngine::Reference);
+    for engine in [SimEngine::Flat, SimEngine::EventDriven] {
+        assert_eq!(
+            reference,
+            run(engine),
+            "{} {} rate {rate}: reference and {} engines diverged",
+            g.kind(),
+            pattern.name(),
+            engine.name()
+        );
+    }
+}
+
+fn assert_trace_equivalent(
+    g: &sunmap_topology::TopologyGraph,
+    config: SimConfig,
+    eval: &Evaluation,
+    app: &CoreGraph,
+    intensity: f64,
+) {
+    let run = |engine: SimEngine| {
+        SimSession::builder(g)
+            .config(SimConfig { engine, ..config })
+            .build()
+            .run_trace(eval, app, intensity)
+    };
+    let reference = run(SimEngine::Reference);
+    for engine in [SimEngine::Flat, SimEngine::EventDriven] {
+        assert_eq!(
+            reference,
+            run(engine),
+            "trace intensity {intensity}: reference and {} engines diverged",
+            engine.name()
+        );
+    }
 }
 
 #[test]
 fn standard_library_adversarial_rates() {
+    let extra = extra_rates();
     for g in builders::standard_library(16, 500.0).unwrap() {
         let pattern = adversarial_pattern(g.kind());
-        for rate in [0.05, 0.2, 0.45] {
-            assert_synthetic_equivalent(&g, SimConfig::fast(), &pattern, rate);
+        for rate in [0.05, 0.2, 0.45].iter().chain(extra.iter()) {
+            assert_synthetic_equivalent(&g, SimConfig::fast(), &pattern, *rate);
         }
     }
 }
@@ -44,8 +96,8 @@ fn standard_library_adversarial_rates() {
 fn uniform_random_consumes_rng_identically() {
     // UniformRandom draws from the RNG for every destination, and the
     // indirect topologies draw again per path pick — the strictest
-    // check that the flat engine consumes randomness in the reference
-    // order.
+    // check that the indexed engines consume randomness in the
+    // reference order.
     for g in builders::standard_library(12, 500.0).unwrap() {
         assert_synthetic_equivalent(&g, SimConfig::fast(), &TrafficPattern::UniformRandom, 0.15);
     }
@@ -121,18 +173,31 @@ fn saturated_network_agrees() {
 }
 
 #[test]
+fn low_load_regime_agrees() {
+    // The regime the event engine's Auto threshold targets: almost
+    // every edge idle, so most cycles touch a handful of active sets.
+    let g = builders::mesh(4, 4, 500.0).unwrap();
+    for rate in [0.01, 0.05] {
+        assert_synthetic_equivalent(&g, SimConfig::fast(), &TrafficPattern::UniformRandom, rate);
+    }
+}
+
+#[test]
 fn trace_mode_agrees_on_mapped_benchmarks() {
+    let extra = extra_rates();
     for (app, rows, cols) in [(benchmarks::vopd(), 3, 4), (benchmarks::dsp_filter(), 2, 3)] {
         let g = builders::mesh(rows, cols, 1000.0).unwrap();
         let mapping = Mapper::new(&g, &app, MapperConfig::default())
             .run()
             .unwrap();
-        for intensity in [0.1, 0.45] {
-            let mut old = reference::NocSimulator::new(&g, SimConfig::fast());
-            let mut new = NocSimulator::new(&g, SimConfig::fast());
-            let a = old.run_trace(mapping.evaluation(), &app, intensity);
-            let b = new.run_trace(mapping.evaluation(), &app, intensity);
-            assert_eq!(a, b, "trace intensity {intensity} diverged");
+        for intensity in [0.1, 0.45].iter().chain(extra.iter()) {
+            assert_trace_equivalent(
+                &g,
+                SimConfig::fast(),
+                mapping.evaluation(),
+                &app,
+                *intensity,
+            );
         }
     }
 }
@@ -149,10 +214,26 @@ fn trace_mode_agrees_with_split_routing() {
         ..MapperConfig::default()
     };
     let mapping = Mapper::new(&g, &app, config).run().unwrap();
-    let mut old = reference::NocSimulator::new(&g, SimConfig::fast());
-    let mut new = NocSimulator::new(&g, SimConfig::fast());
-    assert_eq!(
-        old.run_trace(mapping.evaluation(), &app, 0.4),
-        new.run_trace(mapping.evaluation(), &app, 0.4),
-    );
+    assert_trace_equivalent(&g, SimConfig::fast(), mapping.evaluation(), &app, 0.4);
+}
+
+#[test]
+fn zero_rate_is_empty_on_every_engine() {
+    // Degenerate rate 0 (no packets at all) — offered/delivered
+    // bookkeeping included.
+    let g = builders::mesh(3, 3, 500.0).unwrap();
+    let run = |engine: SimEngine| {
+        SimSession::builder(&g)
+            .config(SimConfig {
+                engine,
+                ..SimConfig::fast()
+            })
+            .build()
+            .run_synthetic(&TrafficPattern::Tornado, 0.0)
+    };
+    let reference = run(ENGINES[0]);
+    assert_eq!(reference.packets_delivered, 0);
+    for engine in &ENGINES[1..] {
+        assert_eq!(reference, run(*engine));
+    }
 }

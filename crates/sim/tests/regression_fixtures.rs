@@ -1,16 +1,26 @@
 //! Old-path regression fixtures: `LatencyStats` values captured from
 //! the pre-rebuild engine (the `Rc`-path implementation this PR
-//! replaced), hardcoded here. The flat engine must reproduce every
-//! field bit for bit — this guards the rebuild against behavioral
-//! drift even if `reference` itself is ever touched.
+//! replaced), hardcoded here. The flat AND event-driven engines must
+//! reproduce every field bit for bit — this guards both rebuilds
+//! against behavioral drift even if `reference` itself is ever touched.
 //!
 //! All fixtures use `SimConfig::fast()` (seed 42) unless noted.
 
 use sunmap_mapping::{Mapper, MapperConfig};
-use sunmap_sim::{adversarial_pattern, LatencyStats, NocSimulator, SimConfig};
+use sunmap_sim::{adversarial_pattern, LatencyStats, SimConfig, SimEngine, SimSession};
 use sunmap_topology::builders;
 use sunmap_traffic::benchmarks;
 use sunmap_traffic::patterns::TrafficPattern;
+use sunmap_traffic::CoreGraph;
+
+/// The engines the fixtures pin. `Reference` is the source the values
+/// were captured from; it is re-checked too, so a fixture mismatch
+/// distinguishes "reference drifted" from "rebuild drifted".
+const ENGINES: [SimEngine; 3] = [
+    SimEngine::Reference,
+    SimEngine::Flat,
+    SimEngine::EventDriven,
+];
 
 #[allow(clippy::too_many_arguments)]
 fn stats(
@@ -31,6 +41,28 @@ fn stats(
         measured_cycles: 1000,
         max_link_utilization,
         mean_link_utilization,
+    }
+}
+
+fn assert_synthetic_fixture(
+    g: &sunmap_topology::TopologyGraph,
+    config: SimConfig,
+    pattern: &TrafficPattern,
+    rate: f64,
+    fixture: &LatencyStats,
+) {
+    for engine in ENGINES {
+        let got = SimSession::builder(g)
+            .config(SimConfig { engine, ..config })
+            .build()
+            .run_synthetic(pattern, rate);
+        assert_eq!(
+            &got,
+            fixture,
+            "{} at rate {rate} drifted on the {} engine",
+            g.kind(),
+            engine.name()
+        );
     }
 }
 
@@ -137,27 +169,32 @@ fn synthetic_adversarial_fixtures() {
     let library = builders::standard_library(16, 500.0).unwrap();
     for (idx, rate, fixture) in expected {
         let g = &library[*idx];
-        let mut sim = NocSimulator::new(g, SimConfig::fast());
-        let got = sim.run_synthetic(&adversarial_pattern(g.kind()), *rate);
-        assert_eq!(&got, fixture, "{} at rate {rate} drifted", g.kind());
+        assert_synthetic_fixture(
+            g,
+            SimConfig::fast(),
+            &adversarial_pattern(g.kind()),
+            *rate,
+            fixture,
+        );
     }
 }
 
 #[test]
 fn synthetic_uniform_fixture() {
     let g = builders::mesh(4, 4, 500.0).unwrap();
-    let mut sim = NocSimulator::new(&g, SimConfig::fast());
-    let got = sim.run_synthetic(&TrafficPattern::UniformRandom, 0.05);
-    assert_eq!(
-        got,
-        stats(
+    assert_synthetic_fixture(
+        &g,
+        SimConfig::fast(),
+        &TrafficPattern::UniformRandom,
+        0.05,
+        &stats(
             17.269035532994923,
             33,
             197,
             197,
             0.04925,
             0.08,
-            0.044937500000000026
+            0.044937500000000026,
         ),
     );
 }
@@ -169,20 +206,30 @@ fn trace_vopd_fixture() {
     let mapping = Mapper::new(&g, &app, MapperConfig::default())
         .run()
         .unwrap();
-    let mut sim = NocSimulator::new(&g, SimConfig::fast());
-    let got = sim.run_trace(mapping.evaluation(), &app, 0.35);
-    assert_eq!(
-        got,
-        stats(
-            11.49512987012987,
-            21,
-            616,
-            616,
-            0.20533333333333334,
-            0.354,
-            0.08841176470588238
-        ),
+    let fixture = stats(
+        11.49512987012987,
+        21,
+        616,
+        616,
+        0.20533333333333334,
+        0.354,
+        0.08841176470588238,
     );
+    for engine in ENGINES {
+        let got = SimSession::builder(&g)
+            .config(SimConfig {
+                engine,
+                ..SimConfig::fast()
+            })
+            .build()
+            .run_trace(mapping.evaluation(), &app, 0.35);
+        assert_eq!(
+            got,
+            fixture,
+            "vopd trace drifted on the {} engine",
+            engine.name()
+        );
+    }
 }
 
 #[test]
@@ -195,18 +242,105 @@ fn non_default_config_fixture() {
         seed: 7,
         ..SimConfig::fast()
     };
-    let mut sim = NocSimulator::new(&g, config);
-    let got = sim.run_synthetic(&TrafficPattern::Transpose, 0.15);
-    assert_eq!(
-        got,
-        stats(
+    assert_synthetic_fixture(
+        &g,
+        config,
+        &TrafficPattern::Transpose,
+        0.15,
+        &stats(
             14.33228840125392,
             41,
             319,
             319,
             0.119625,
             0.418,
-            0.077921875
+            0.077921875,
         ),
     );
+}
+
+/// Event-engine trace fixtures for the four seed applications, captured
+/// from the event engine itself (and cross-checked against reference ==
+/// flat by `flat_equivalence.rs`). These pin the event engine's output
+/// directly, so a wheel/active-set regression cannot hide behind an
+/// equally wrong oracle comparison.
+#[test]
+fn event_engine_seed_app_fixtures() {
+    let apps: [(&str, CoreGraph, usize, usize, LatencyStats); 4] = [
+        (
+            "vopd",
+            benchmarks::vopd(),
+            3,
+            4,
+            stats(
+                11.204322200392927,
+                18,
+                509,
+                509,
+                0.16966666666666666,
+                0.324,
+                0.07211764705882352,
+            ),
+        ),
+        (
+            "mpeg4",
+            benchmarks::mpeg4(),
+            3,
+            4,
+            stats(
+                10.685294117647059,
+                19,
+                340,
+                340,
+                0.11333333333333333,
+                0.324,
+                0.04241176470588235,
+            ),
+        ),
+        (
+            "dsp",
+            benchmarks::dsp_filter(),
+            2,
+            3,
+            stats(
+                10.873684210526315,
+                19,
+                285,
+                285,
+                0.19,
+                0.323,
+                0.08985714285714286,
+            ),
+        ),
+        // 16 cores: the only seed app that fills a 4x4 grid, and at
+        // intensity 0.3 the only fixture exercising the event engine
+        // deep into the wheel (heavy contention, avg latency ~119).
+        (
+            "netproc",
+            benchmarks::network_processor(100.0),
+            4,
+            4,
+            stats(
+                118.62517521726942,
+                433,
+                3567,
+                3567,
+                0.89175,
+                0.821,
+                0.49518750000000017,
+            ),
+        ),
+    ];
+    for (name, app, rows, cols, fixture) in &apps {
+        let g = builders::mesh(*rows, *cols, 1000.0).unwrap();
+        let mapping = Mapper::new(&g, app, MapperConfig::default()).run().unwrap();
+        let got = SimSession::builder(&g)
+            .config(SimConfig {
+                engine: SimEngine::EventDriven,
+                ..SimConfig::fast()
+            })
+            .build()
+            .run_trace(mapping.evaluation(), app, 0.3);
+        assert_eq!(&got, fixture, "{name} event-engine trace fixture drifted");
+    }
 }

@@ -12,7 +12,7 @@
 use std::fs;
 use std::path::Path;
 
-use sunmap::sim::{NocSimulator, SimConfig};
+use sunmap::sim::{SimConfig, SimSession};
 use sunmap::traffic::benchmarks;
 use sunmap::{Objective, RoutingFunction, Sunmap};
 
@@ -35,7 +35,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("{:<10} infeasible", c.kind.name());
             continue;
         };
-        let mut sim = NocSimulator::new(&c.graph, SimConfig::default());
+        let mut sim = SimSession::builder(&c.graph)
+            .config(SimConfig::default())
+            .build();
         let stats = sim.run_trace(mapping.evaluation(), &app, 0.45);
         println!(
             "{:<10} {:>6.1} cycles  ({} packets, delivery {:.0}%)",

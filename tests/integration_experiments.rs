@@ -3,7 +3,7 @@
 //! fall. These are the claims EXPERIMENTS.md records; if one of these
 //! fails, a model change broke the reproduction.
 
-use sunmap::sim::{adversarial_pattern, NocSimulator, SimConfig};
+use sunmap::sim::{adversarial_pattern, SimConfig, SimSession};
 use sunmap::topology::builders;
 use sunmap::traffic::benchmarks;
 use sunmap::{routing_bandwidth_sweep, Constraints, Objective, RoutingFunction, Sunmap};
@@ -109,7 +109,7 @@ fn fig8b_clos_outlasts_other_topologies_under_adversarial_load() {
     let rate = 0.40;
     let mut ratios = Vec::new();
     for g in builders::standard_library(16, 500.0).unwrap() {
-        let mut sim = NocSimulator::new(&g, cfg);
+        let mut sim = SimSession::builder(&g).config(cfg).build();
         let stats = sim.run_synthetic(&adversarial_pattern(g.kind()), rate);
         ratios.push((g.kind().name(), stats.delivery_ratio(), stats.avg_latency));
     }
@@ -188,7 +188,7 @@ fn fig10c_butterfly_has_minimum_simulated_latency_for_dsp() {
             .outcome
             .as_ref()
             .unwrap_or_else(|e| panic!("{} should be feasible at 1 GB/s links: {e}", c.kind));
-        let mut sim = NocSimulator::new(&c.graph, cfg);
+        let mut sim = SimSession::builder(&c.graph).config(cfg).build();
         let stats = sim.run_trace(mapping.evaluation(), &app, 0.45);
         latencies.push((c.kind.name(), stats.avg_latency));
     }

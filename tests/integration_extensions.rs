@@ -2,7 +2,7 @@
 //! exercising the paper's §1 claim that "other topologies ... can be
 //! easily added to the topology library".
 
-use sunmap::sim::{NocSimulator, SimConfig};
+use sunmap::sim::{SimConfig, SimSession};
 use sunmap::topology::builders;
 use sunmap::traffic::benchmarks;
 use sunmap::{Mapper, MapperConfig, Objective, RoutingFunction, Sunmap};
@@ -82,7 +82,7 @@ fn octagon_full_flow_generates_components() {
 #[test]
 fn extension_topologies_simulate() {
     let oct = builders::octagon(500.0).unwrap();
-    let mut sim = NocSimulator::new(&oct, SimConfig::fast());
+    let mut sim = SimSession::builder(&oct).config(SimConfig::fast()).build();
     let stats = sim.run_synthetic(
         &sunmap::traffic::patterns::TrafficPattern::UniformRandom,
         0.1,
@@ -91,7 +91,7 @@ fn extension_topologies_simulate() {
     assert!(stats.delivery_ratio() > 0.95);
 
     let star = builders::star(8, 500.0).unwrap();
-    let mut sim = NocSimulator::new(&star, SimConfig::fast());
+    let mut sim = SimSession::builder(&star).config(SimConfig::fast()).build();
     let stats = sim.run_synthetic(
         &sunmap::traffic::patterns::TrafficPattern::UniformRandom,
         0.1,
@@ -156,7 +156,9 @@ fn custom_heterogeneous_topology_flows_end_to_end() {
     assert_eq!(design.netlist.switch_count(), 4);
     assert_eq!(design.netlist.ni_count(), 6);
     let mapping = best.outcome.as_ref().unwrap();
-    let mut sim = NocSimulator::new(&best.graph, SimConfig::fast());
+    let mut sim = SimSession::builder(&best.graph)
+        .config(SimConfig::fast())
+        .build();
     let stats = sim.run_trace(mapping.evaluation(), &app, 0.3);
     assert!(stats.packets_delivered > 0);
     assert!(stats.delivery_ratio() > 0.9, "{stats}");

@@ -3,7 +3,7 @@
 //! selection -> generation -> simulation.
 
 use sunmap::gen::LinkKind;
-use sunmap::sim::{NocSimulator, SimConfig};
+use sunmap::sim::{SimConfig, SimSession};
 use sunmap::traffic::{benchmarks, CoreGraph};
 use sunmap::{Constraints, Objective, RoutingFunction, Sunmap, SunmapError};
 
@@ -28,7 +28,9 @@ fn end_to_end_vopd_flow() {
 
     // The generated network simulates and delivers traffic.
     let mapping = best.outcome.as_ref().unwrap();
-    let mut sim = NocSimulator::new(&best.graph, SimConfig::fast());
+    let mut sim = SimSession::builder(&best.graph)
+        .config(SimConfig::fast())
+        .build();
     let stats = sim.run_trace(mapping.evaluation(), tool.application(), 0.2);
     assert!(stats.packets_delivered > 0);
     assert!(stats.avg_latency > 0.0);
