@@ -10,7 +10,7 @@ CARGO ?= cargo
 BENCH_SMOKE_JSONL := target/bench-smoke.jsonl
 BENCH_RESULTS := target/BENCH_results.json
 
-.PHONY: all build test bench bench-run bench-smoke batch-smoke serve-smoke shard-smoke sim-equiv doc lint fmt ci clean
+.PHONY: all build test bench bench-run bench-smoke batch-smoke serve-smoke shard-smoke scale-smoke sim-equiv table-equiv doc lint fmt ci clean
 
 all: build
 
@@ -71,6 +71,14 @@ serve-smoke: build
 shard-smoke: build
 	sh scripts/shard_smoke.sh target/release/sunmap target/shard-smoke
 
+## Smoke-run the large-topology mapping path through the release
+## binary: a 64-core full-library explore byte-compared across every
+## route-table preparation strategy, the pinned 256/1024-core scale
+## goldens, and the 4096-core mesh wall-clock smoke (release only —
+## the debug tier-1 suite skips the 4096 run).
+scale-smoke: build
+	sh scripts/scale_smoke.sh target/release/sunmap target/scale-smoke
+
 ## Deep-run the three-way engine equivalence suite (reference == flat
 ## == event-driven, bit for bit). SIM_EQUIV_CASES=N adds N extra
 ## injection rates per scenario on top of the committed ones; raise it
@@ -79,6 +87,15 @@ SIM_EQUIV_CASES ?= 4
 sim-equiv:
 	SIM_EQUIV_CASES=$(SIM_EQUIV_CASES) $(CARGO) test --locked -p sunmap-sim \
 		--test flat_equivalence -- --nocapture
+
+## Deep-run the route-table preparation equivalence suite (lazy ==
+## closed-form == eager, bit for bit). TABLE_EQUIV_CASES=N soaks N
+## extra synthetic seeds per scale tier on top of the committed ones
+## (CI runs the default via `make test`).
+TABLE_EQUIV_CASES ?= 4
+table-equiv:
+	TABLE_EQUIV_CASES=$(TABLE_EQUIV_CASES) $(CARGO) test --locked -p sunmap-mapping \
+		--test table_prep_equivalence -- --nocapture
 
 ## Build API docs for every workspace crate with rustdoc warnings as
 ## hard errors (broken intra-doc links rot fast otherwise).
@@ -95,7 +112,7 @@ fmt:
 	$(CARGO) fmt --all
 
 ## Everything CI gates on, in CI's order.
-ci: lint build test doc bench bench-smoke batch-smoke serve-smoke shard-smoke
+ci: lint build test doc bench bench-smoke batch-smoke serve-smoke shard-smoke scale-smoke
 
 clean:
 	$(CARGO) clean

@@ -126,6 +126,7 @@ fn scaling_config(routing: RoutingFunction) -> MapperConfig {
         constraints: Constraints::relaxed_bandwidth(),
         max_swap_passes: 1,
         swap_strategy: sunmap::mapping::SwapStrategy::Exhaustive,
+        ..MapperConfig::default()
     }
 }
 

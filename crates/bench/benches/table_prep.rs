@@ -1,0 +1,89 @@
+//! Route-table preparation cost across strategies and scale tiers
+//! (ISSUE 9): eager dense enumeration vs lazy BFS-only vs closed-form
+//! coordinate arithmetic, building a ready-to-map table for a
+//! `synth:seed=7` mesh workload at 64, 256 and 1024 cores.
+//!
+//! "Build" here is what a cold `Mapper::run` pays before the first
+//! evaluation: `RouteTable::with_prep` (adjacency + hop distances)
+//! plus `prepare` for dimension-ordered routing. The eager row
+//! enumerates all `m²` pairs up front — the wall the lazy and
+//! closed-form strategies remove (the equivalence suite proves the
+//! answers bit-identical) — so it is benched only up to 256 cores;
+//! the non-smoke summary prints a one-shot eager timing at 1024 next
+//! to the lazy/closed-form rows instead of sampling a ~20 s body.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use sunmap::mapping::RouteTable;
+use sunmap::topology::builders;
+use sunmap::{RoutingFunction, TablePrep, TopologyGraph};
+
+const TIERS: [(usize, usize); 3] = [(64, 8), (256, 16), (1024, 32)];
+
+const PREPS: [TablePrep; 3] = [TablePrep::Eager, TablePrep::Lazy, TablePrep::ClosedForm];
+
+/// Eager enumeration is only sampled up to this tier; above it one
+/// timing in the summary documents the wall without dominating the
+/// bench run.
+const EAGER_SAMPLED_MAX: usize = 256;
+
+fn mesh(side: usize) -> TopologyGraph {
+    builders::mesh(side, side, 500.0).expect("mesh builds")
+}
+
+fn build(g: &TopologyGraph, prep: TablePrep) -> RouteTable {
+    let mut table = RouteTable::with_prep(g, prep);
+    table.prepare(g, RoutingFunction::DimensionOrdered);
+    table
+}
+
+fn print_summary() {
+    println!("== table_prep: route-table build cost by strategy ==");
+    for (cores, side) in TIERS {
+        let g = mesh(side);
+        for prep in PREPS {
+            let start = std::time::Instant::now();
+            let table = build(&g, prep);
+            let secs = start.elapsed().as_secs_f64();
+            println!(
+                "  {cores:>4}c {:<11} {:>10.2} ms (resolved {}, {} pairs materialised)",
+                prep.name(),
+                secs * 1e3,
+                table.prep().name(),
+                table.materialized_pairs(RoutingFunction::DimensionOrdered),
+            );
+        }
+    }
+}
+
+/// Criterion smoke/`--test` mode skips the summary (it already runs
+/// each bench body once).
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+fn bench_table_prep(c: &mut Criterion) {
+    if !smoke_mode() {
+        print_summary();
+    }
+    let mut group = c.benchmark_group("table_prep");
+    group.sample_size(10);
+    for (cores, side) in TIERS {
+        let g = mesh(side);
+        for prep in PREPS {
+            if prep == TablePrep::Eager && cores > EAGER_SAMPLED_MAX {
+                continue;
+            }
+            let id = BenchmarkId::new(prep.name(), cores);
+            group.bench_with_input(id, &g, |b, g| b.iter(|| build(black_box(g), prep)));
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table_prep
+}
+criterion_main!(benches);

@@ -1,9 +1,9 @@
 //! Hand-rolled argument parsing for the `sunmap` binary (kept
 //! dependency-free; the option surface is small).
 
-use sunmap::request::{parse_engine, parse_swap, SimProbe};
+use sunmap::request::{parse_engine, parse_swap, parse_table_prep, SimProbe};
 use sunmap::sim::SimEngine;
-use sunmap::{Objective, RoutingFunction, SwapStrategy};
+use sunmap::{Objective, RoutingFunction, SwapStrategy, TablePrep};
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,6 +56,9 @@ pub struct Cli {
     /// Simulation engine for `simulate`, `sweep`, `explore --validate`
     /// and probes (`--engine auto|flat|event|reference`).
     pub engine: SimEngine,
+    /// Route-table preparation policy
+    /// (`--table-prep auto|eager|lazy|closed-form`).
+    pub table_prep: TablePrep,
     /// Winner simulation probe for `explore --json` / `client explore`
     /// (`--probe <pattern> <rate> [top_k]`).
     pub probe: Option<SimProbe>,
@@ -197,6 +200,11 @@ options:
                         above; all engines are bit-identical — this is a
                         speed knob for simulate/sweep/explore --validate
                         and probes)
+  --table-prep <p>      route-table preparation: auto|eager|lazy|closed-form
+                        (default auto: eager up to 64 mappable vertices,
+                        closed-form/lazy above; all variants answer
+                        bit-identically — this is a speed/memory knob
+                        for large topologies)
   --probe <pat> <rate> [k]
                         simulate the k best candidates (default 1: winner
                         only) under a synthetic pattern at <rate>
@@ -315,6 +323,7 @@ impl Cli {
             grain: 2,
             swap: SwapStrategy::Auto,
             engine: SimEngine::Auto,
+            table_prep: TablePrep::Auto,
             probe: None,
             json: false,
             listen: "127.0.0.1:7420".to_string(),
@@ -407,6 +416,10 @@ impl Cli {
                 }
                 "--engine" => {
                     cli.engine = parse_engine(&value("--engine")?).map_err(ParseCliError)?;
+                }
+                "--table-prep" => {
+                    cli.table_prep =
+                        parse_table_prep(&value("--table-prep")?).map_err(ParseCliError)?;
                 }
                 "--probe" => {
                     let pattern = value("--probe")?;
@@ -807,6 +820,29 @@ mod tests {
         }
         let err = Cli::parse(["sweep", "vopd", "--engine", "warp"]).unwrap_err();
         assert!(err.0.contains("auto, flat, event, reference"), "{}", err.0);
+    }
+
+    #[test]
+    fn table_prep_flag_parses_and_defaults_to_auto() {
+        assert_eq!(
+            Cli::parse(["explore", "vopd"]).unwrap().table_prep,
+            TablePrep::Auto
+        );
+        for (text, expected) in [
+            ("auto", TablePrep::Auto),
+            ("eager", TablePrep::Eager),
+            ("lazy", TablePrep::Lazy),
+            ("Closed-Form", TablePrep::ClosedForm),
+        ] {
+            let cli = Cli::parse(["explore", "vopd", "--table-prep", text]).unwrap();
+            assert_eq!(cli.table_prep, expected, "{text}");
+        }
+        let err = Cli::parse(["explore", "vopd", "--table-prep", "dense"]).unwrap_err();
+        assert!(
+            err.0.contains("auto, eager, lazy, closed-form"),
+            "{}",
+            err.0
+        );
     }
 
     #[test]

@@ -75,6 +75,7 @@ fn explore_request(cli: &Cli) -> Result<ExploreRequest, Box<dyn Error>> {
     };
     req.swap = cli.swap;
     req.engine = cli.engine;
+    req.table_prep = cli.table_prep;
     req.probe = cli.probe.clone();
     req.validate()?;
     Ok(req)
@@ -92,7 +93,8 @@ fn tool(cli: &Cli, app: CoreGraph) -> Sunmap {
     let mut builder = Sunmap::builder(app)
         .link_capacity(cli.capacity)
         .routing(cli.routing)
-        .objective(cli.objective);
+        .objective(cli.objective)
+        .table_prep(cli.table_prep);
     if cli.relax_bandwidth {
         builder = builder.constraints(Constraints::relaxed_bandwidth());
     }

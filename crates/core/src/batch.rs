@@ -43,8 +43,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 
-use crate::request::{execute, parse_engine, ExploreRequest, LruLibraryCache};
-use sunmap_mapping::{Objective, RoutingFunction, SwapStrategy};
+use crate::request::{execute, parse_engine, parse_table_prep, ExploreRequest, LruLibraryCache};
+use sunmap_mapping::{Objective, RoutingFunction, SwapStrategy, TablePrep};
 use sunmap_sim::sweep::json_string;
 use sunmap_sim::SimEngine;
 use sunmap_traffic::{AppSource, CoreGraph};
@@ -88,7 +88,7 @@ impl std::fmt::Display for ManifestError {
             ManifestError::UnknownDirective { line, word } => write!(
                 f,
                 "line {line}: unknown directive '{word}' (valid: app, objective, \
-                 routing, capacity, constraints, swap, engine, simulate)"
+                 routing, capacity, constraints, swap, engine, table-prep, simulate)"
             ),
             ManifestError::BadValue { line, message } => write!(f, "line {line}: {message}"),
             ManifestError::NoApps => write!(f, "manifest declares no applications"),
@@ -121,6 +121,7 @@ impl std::error::Error for ManifestError {}
 /// capacity 500
 /// constraints strict
 /// engine event              # optional: probe simulation engine
+/// table-prep lazy           # optional: route-table preparation
 /// simulate uniform 0.1 3    # optional: simulate each job's 3 best
 /// ```
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -144,6 +145,11 @@ pub struct BatchManifest {
     /// never changes a job's measured numbers, only how fast the probe
     /// runs).
     pub engine: Option<SimEngine>,
+    /// Route-table preparation applied to every job (default `auto`;
+    /// not part of the job id — every variant answers queries
+    /// bit-identically, so it never changes a job's bytes, only how
+    /// fast the tables come up).
+    pub table_prep: Option<TablePrep>,
     /// Winner simulation probe, if requested.
     pub probe: Option<SimProbe>,
 }
@@ -188,6 +194,7 @@ impl BatchManifest {
                     .push(ConstraintMode::parse(rest).map_err(bad)?),
                 "swap" => m.swap = Some(crate::request::parse_swap(rest).map_err(bad)?),
                 "engine" => m.engine = Some(parse_engine(rest).map_err(bad)?),
+                "table-prep" => m.table_prep = Some(parse_table_prep(rest).map_err(bad)?),
                 "simulate" => m.probe = Some(SimProbe::parse(rest).map_err(bad)?),
                 other => {
                     return Err(ManifestError::UnknownDirective {
@@ -240,6 +247,7 @@ impl BatchManifest {
                             request.constraints = mode;
                             request.swap = swap;
                             request.engine = self.engine.unwrap_or(SimEngine::Auto);
+                            request.table_prep = self.table_prep.unwrap_or(TablePrep::Auto);
                             request.probe = self.probe.clone();
                             jobs.push(BatchJob {
                                 id: format!(
@@ -301,9 +309,12 @@ pub struct BatchJob {
 /// renders the same bytes in any process, which is what lets the shard
 /// coordinator byte-compare duplicate results (see [`crate::shard`]).
 pub(crate) fn run_job(job: &BatchJob, cache: &mut LruLibraryCache) -> String {
-    let body = cache.with_library(job.app.core_count(), job.request.capacity, |topos| {
-        execute(&job.app_spec, &job.app, &job.request, topos).0
-    });
+    let body = cache.with_library(
+        job.app.core_count(),
+        job.request.capacity,
+        job.request.table_prep,
+        |topos| execute(&job.app_spec, &job.app, &job.request, topos).0,
+    );
     format!(
         "{{\"schema\":\"sunmap-batch/1\",\"job\":{},{body}}}",
         json_string(&job.id)

@@ -4,7 +4,7 @@
 use sunmap_gen::{build_netlist, emit_dot, emit_systemc, Netlist, SourceFile};
 use sunmap_mapping::{
     Constraints, Mapper, MapperConfig, Mapping, MappingError, Objective, RouteTable,
-    RoutingFunction, SwapStrategy,
+    RoutingFunction, SwapStrategy, TablePrep,
 };
 use sunmap_power::{AreaPowerLibrary, Technology};
 use sunmap_sim::{LatencyStats, SimConfig, SimSession};
@@ -269,6 +269,7 @@ pub struct SunmapBuilder {
     max_swap_passes: usize,
     selection: SelectionPolicy,
     swap_strategy: SwapStrategy,
+    table_prep: TablePrep,
 }
 
 impl SunmapBuilder {
@@ -318,6 +319,15 @@ impl SunmapBuilder {
         self
     }
 
+    /// How each candidate's route table prepares its pair-wise
+    /// structures (default [`TablePrep::Auto`]: eager on small
+    /// topologies, lazy/closed-form at scale — query answers are
+    /// bit-identical either way).
+    pub fn table_prep(mut self, prep: TablePrep) -> Self {
+        self.table_prep = prep;
+        self
+    }
+
     /// How phase 2 selects the winner (default:
     /// [`SelectionPolicy::Balanced`]).
     pub fn selection(mut self, selection: SelectionPolicy) -> Self {
@@ -351,6 +361,7 @@ impl Sunmap {
             max_swap_passes: 4,
             selection: SelectionPolicy::default(),
             swap_strategy: SwapStrategy::Auto,
+            table_prep: TablePrep::Auto,
         }
     }
 
@@ -367,6 +378,7 @@ impl Sunmap {
             constraints: self.inner.constraints,
             max_swap_passes: self.inner.max_swap_passes,
             swap_strategy: self.inner.swap_strategy,
+            table_prep: self.inner.table_prep,
         }
     }
 
@@ -397,7 +409,7 @@ impl Sunmap {
                 // swap search shares its caches across every pass, and
                 // callers re-exploring the same graphs can keep their
                 // own tables via Mapper::with_route_table.
-                let mut table = RouteTable::new(&graph);
+                let mut table = RouteTable::with_prep(&graph, config.table_prep);
                 let outcome = Mapper::with_library(&graph, &self.inner.app, config, lib)
                     .with_route_table(&mut table)
                     .run();

@@ -88,7 +88,7 @@ pub use request::ExploreRequest;
 // The names a typical user needs, at the crate root.
 pub use sunmap_mapping::{
     Constraints, CostReport, Mapper, MapperConfig, Mapping, MappingError, Objective,
-    RoutingFunction, SwapStrategy,
+    RoutingFunction, SwapStrategy, TablePrep,
 };
 pub use sunmap_topology::{TopologyGraph, TopologyKind};
 pub use sunmap_traffic::{AppSource, CoreGraph};

@@ -55,7 +55,7 @@ use crate::flow::{rank_reports, SelectionPolicy};
 use crate::json::Json;
 use sunmap_mapping::{
     Constraints, CostReport, Mapper, MapperConfig, Objective, RouteTable, RoutingFunction,
-    SwapStrategy,
+    SwapStrategy, TablePrep,
 };
 use sunmap_sim::sweep::{json_number, json_string, stats_json_fields};
 use sunmap_sim::{LatencyStats, RoutePlan, SimConfig, SimEngine, SimSession};
@@ -263,6 +263,19 @@ pub fn parse_engine(text: &str) -> Result<SimEngine, String> {
         .ok_or_else(|| format!("unknown engine '{text}' (valid: auto, flat, event, reference)"))
 }
 
+/// Parses a table-preparation name (`auto`, `eager`, `lazy`,
+/// `closed-form`), case-insensitively — shared by the manifest parser,
+/// the CLI's `--table-prep` flag and the request JSON reader.
+///
+/// # Errors
+///
+/// The message lists the valid names.
+pub fn parse_table_prep(text: &str) -> Result<TablePrep, String> {
+    TablePrep::parse(&text.to_ascii_lowercase()).ok_or_else(|| {
+        format!("unknown table prep '{text}' (valid: auto, eager, lazy, closed-form)")
+    })
+}
+
 /// One exploration request: everything the flow needs to map an
 /// application across the standard topology library and report the
 /// winner.
@@ -288,6 +301,10 @@ pub struct ExploreRequest {
     /// `auto`: event-driven below [`SimEngine::AUTO_EVENT_MAX_LOAD`],
     /// flat otherwise).
     pub engine: SimEngine,
+    /// Route-table preparation policy (default `auto`: eager on small
+    /// topologies, lazy/closed-form at scale — reports are
+    /// bit-identical either way).
+    pub table_prep: TablePrep,
     /// Winner simulation probe, if any.
     pub probe: Option<SimProbe>,
 }
@@ -296,7 +313,7 @@ impl ExploreRequest {
     /// A request for `app` under the default configuration (the same
     /// defaults every surface documents: objective `delay`, routing
     /// `MP`, capacity `500`, constraints `strict`, swap `auto`, engine
-    /// `auto`, no probe).
+    /// `auto`, table prep `auto`, no probe).
     pub fn new(app: AppSource) -> ExploreRequest {
         ExploreRequest {
             app,
@@ -306,6 +323,7 @@ impl ExploreRequest {
             constraints: ConstraintMode::Strict,
             swap: SwapStrategy::Auto,
             engine: SimEngine::Auto,
+            table_prep: TablePrep::Auto,
             probe: None,
         }
     }
@@ -336,7 +354,8 @@ impl ExploreRequest {
     ///
     /// ```json
     /// {"app":"vopd","objective":"delay","routing":"MP","capacity":500,
-    ///  "constraints":"strict","swap":"auto","engine":"auto","probe":null}
+    ///  "constraints":"strict","swap":"auto","engine":"auto",
+    ///  "table_prep":"auto","probe":null}
     /// ```
     ///
     /// Round-trips through [`ExploreRequest::from_json`]. Note the app
@@ -354,7 +373,8 @@ impl ExploreRequest {
         };
         format!(
             "{{\"app\":{},\"objective\":{},\"routing\":{},\"capacity\":{},\
-             \"constraints\":{},\"swap\":{},\"engine\":{},\"probe\":{probe}}}",
+             \"constraints\":{},\"swap\":{},\"engine\":{},\"table_prep\":{},\
+             \"probe\":{probe}}}",
             json_string(&self.app.to_string()),
             json_string(objective_name(self.objective)),
             json_string(self.routing.abbrev()),
@@ -362,6 +382,7 @@ impl ExploreRequest {
             json_string(self.constraints.name()),
             json_string(swap_name(self.swap)),
             json_string(self.engine.name()),
+            json_string(self.table_prep.name()),
         )
     }
 
@@ -391,6 +412,7 @@ impl ExploreRequest {
                     | "constraints"
                     | "swap"
                     | "engine"
+                    | "table_prep"
                     | "probe"
             ) {
                 return Err(format!("unknown request field '{key}'"));
@@ -429,6 +451,9 @@ impl ExploreRequest {
         }
         if let Some(text) = str_field("engine")? {
             req.engine = parse_engine(text)?;
+        }
+        if let Some(text) = str_field("table_prep")? {
+            req.table_prep = parse_table_prep(text)?;
         }
         match fields.get("probe") {
             None | Some(Json::Null) => {}
@@ -486,13 +511,14 @@ pub struct CandidateLibrary {
 
 impl CandidateLibrary {
     /// Builds the cold library for `cores` mappable cores at
-    /// `capacity` MB/s links (route tables constructed, no plans).
-    pub fn build(cores: usize, capacity: f64) -> CandidateLibrary {
+    /// `capacity` MB/s links (route tables constructed under `prep`,
+    /// no plans).
+    pub fn build(cores: usize, capacity: f64, prep: TablePrep) -> CandidateLibrary {
         let topos = builders::standard_library(cores, capacity)
             .expect("requests carry non-empty applications")
             .into_iter()
             .map(|graph| TopoState {
-                table: RouteTable::new(&graph),
+                table: RouteTable::with_prep(&graph, prep),
                 graph,
                 plan: None,
             })
@@ -501,6 +527,19 @@ impl CandidateLibrary {
             key: (cores, capacity.to_bits()),
             topos,
         }
+    }
+
+    /// Whether this library's route tables were prepared exactly as a
+    /// request asking for `prep` would prepare them. `Auto` and an
+    /// explicit variant share cache entries whenever they resolve to
+    /// the same concrete preparation per topology (e.g. `auto` and
+    /// `eager` on a small library), while distinct resolved variants
+    /// never reuse each other's tables — a library advertising eager
+    /// dense state must actually hold it.
+    fn serves_prep(&self, prep: TablePrep) -> bool {
+        self.topos.iter().all(|tc| {
+            tc.table.prep() == prep.resolve(tc.graph.kind(), tc.graph.mappable_nodes().len())
+        })
     }
 }
 
@@ -546,43 +585,67 @@ impl LruLibraryCache {
     }
 
     /// Takes the library for `(cores, capacity)` out of the cache,
-    /// building it if absent. Returns the library, whether it was a
-    /// hit, and the build time in nanoseconds (0 on a hit).
-    pub fn checkout(&mut self, cores: usize, capacity: f64) -> (CandidateLibrary, bool, u64) {
+    /// building it under `prep` if no compatible entry is resident —
+    /// compatible meaning every resident route table already carries
+    /// the preparation `prep` *resolves to* on its topology, so
+    /// spellings that resolve alike (`auto`/`eager` at seed sizes)
+    /// share one entry while distinct resolved variants coexist.
+    /// Returns the library, whether it was a hit, and the build time
+    /// in nanoseconds (0 on a hit).
+    pub fn checkout(
+        &mut self,
+        cores: usize,
+        capacity: f64,
+        prep: TablePrep,
+    ) -> (CandidateLibrary, bool, u64) {
         let key = (cores, capacity.to_bits());
-        if let Some(i) = self.entries.iter().position(|e| e.key == key) {
+        if let Some(i) = self
+            .entries
+            .iter()
+            .position(|e| e.key == key && e.serves_prep(prep))
+        {
             self.hits += 1;
             (self.entries.remove(i), true, 0)
         } else {
             self.misses += 1;
             let start = Instant::now();
-            let library = CandidateLibrary::build(cores, capacity);
+            let library = CandidateLibrary::build(cores, capacity, prep);
             let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
             (library, false, nanos)
         }
     }
 
     /// Returns a checked-out library to the front of the LRU order,
-    /// evicting from the back beyond capacity. If the key was re-built
-    /// by a concurrent checkout and already checked back in, the
-    /// returned copy is dropped (the resident one is equally warm).
+    /// evicting from the back beyond capacity. If an identically
+    /// prepared library for the key was re-built by a concurrent
+    /// checkout and already checked back in, the returned copy is
+    /// dropped (the resident one is equally warm). Libraries for the
+    /// same key under *different* resolved preparations coexist.
     pub fn checkin(&mut self, library: CandidateLibrary) {
-        if self.entries.iter().any(|e| e.key == library.key) {
+        if self.entries.iter().any(|e| {
+            e.key == library.key
+                && e.topos.len() == library.topos.len()
+                && e.topos
+                    .iter()
+                    .zip(&library.topos)
+                    .all(|(a, b)| a.table.prep() == b.table.prep())
+        }) {
             return;
         }
         self.entries.insert(0, library);
         self.entries.truncate(self.max_entries);
     }
 
-    /// Runs `f` on the library for `(cores, capacity)` — the
-    /// single-threaded convenience over checkout/checkin.
+    /// Runs `f` on the library for `(cores, capacity)` prepared under
+    /// `prep` — the single-threaded convenience over checkout/checkin.
     pub fn with_library<R>(
         &mut self,
         cores: usize,
         capacity: f64,
+        prep: TablePrep,
         f: impl FnOnce(&mut [TopoState]) -> R,
     ) -> R {
-        let (mut library, _, _) = self.checkout(cores, capacity);
+        let (mut library, _, _) = self.checkout(cores, capacity, prep);
         let result = f(&mut library.topos);
         self.checkin(library);
         result
@@ -624,6 +687,7 @@ pub fn execute(
         objective: req.objective,
         constraints: req.constraints.constraints(),
         swap_strategy: req.swap,
+        table_prep: req.table_prep,
         ..MapperConfig::default()
     };
     let mapping_start = Instant::now();
@@ -837,7 +901,8 @@ impl RequestRunner {
         let app = req.app.resolve()?;
         let spec = req.app.to_string();
         let (mut library, cache_hit, route_table_nanos) =
-            self.cache.checkout(app.core_count(), req.capacity);
+            self.cache
+                .checkout(app.core_count(), req.capacity, req.table_prep);
         let (body, stats) = execute(&spec, &app, req, &mut library.topos);
         self.cache.checkin(library);
         Ok(RequestOutcome {
@@ -868,6 +933,7 @@ mod tests {
         req.constraints = ConstraintMode::Relaxed;
         req.swap = SwapStrategy::DeltaPruned;
         req.engine = SimEngine::EventDriven;
+        req.table_prep = TablePrep::ClosedForm;
         req.probe = Some(SimProbe {
             pattern: TrafficPattern::Transpose,
             rate: 0.125,
@@ -906,6 +972,9 @@ mod tests {
         assert!(err.contains("uniform"), "error lists patterns: {err}");
         let err = ExploreRequest::from_json("{\"app\":\"vopd\",\"engine\":\"warp\"}").unwrap_err();
         assert!(err.contains("auto, flat, event, reference"), "{err}");
+        let err =
+            ExploreRequest::from_json("{\"app\":\"vopd\",\"table_prep\":\"dense\"}").unwrap_err();
+        assert!(err.contains("auto, eager, lazy, closed-form"), "{err}");
         let err = ExploreRequest::from_json(
             "{\"app\":\"vopd\",\"probe\":{\"pattern\":\"uniform\",\"rate\":0.1,\"top_k\":0}}",
         )
@@ -966,16 +1035,16 @@ mod tests {
     #[test]
     fn lru_evicts_beyond_capacity() {
         let mut cache = LruLibraryCache::new(1);
-        cache.with_library(6, 500.0, |_| ());
-        cache.with_library(6, 1000.0, |_| ()); // evicts the 500.0 entry
-        cache.with_library(6, 500.0, |_| ());
+        cache.with_library(6, 500.0, TablePrep::Auto, |_| ());
+        cache.with_library(6, 1000.0, TablePrep::Auto, |_| ()); // evicts the 500.0 entry
+        cache.with_library(6, 500.0, TablePrep::Auto, |_| ());
         assert_eq!(cache.hits(), 0);
         assert_eq!(cache.misses(), 3);
         // With room for both, the second pass is all hits.
         let mut cache = LruLibraryCache::new(2);
         for _ in 0..2 {
-            cache.with_library(6, 500.0, |_| ());
-            cache.with_library(6, 1000.0, |_| ());
+            cache.with_library(6, 500.0, TablePrep::Auto, |_| ());
+            cache.with_library(6, 1000.0, TablePrep::Auto, |_| ());
         }
         assert_eq!(cache.hits(), 2);
         assert_eq!(cache.misses(), 2);
@@ -984,13 +1053,36 @@ mod tests {
     #[test]
     fn checkin_drops_duplicates_from_concurrent_rebuilds() {
         let mut cache = LruLibraryCache::new(4);
-        let (a, _, _) = cache.checkout(6, 500.0);
-        let (b, hit, _) = cache.checkout(6, 500.0);
+        let (a, _, _) = cache.checkout(6, 500.0, TablePrep::Auto);
+        let (b, hit, _) = cache.checkout(6, 500.0, TablePrep::Auto);
         assert!(!hit, "checked-out key rebuilds cold");
         cache.checkin(a);
         cache.checkin(b);
-        let (_, hit, _) = cache.checkout(6, 500.0);
+        let (_, hit, _) = cache.checkout(6, 500.0, TablePrep::Auto);
         assert!(hit, "exactly one copy survives");
+    }
+
+    #[test]
+    fn cache_distinguishes_table_preps_only_when_resolved_differently() {
+        let mut cache = LruLibraryCache::new(4);
+        // 6 cores is far below the eager threshold: `auto` resolves to
+        // `eager`, so the two spellings share one entry.
+        cache.with_library(6, 500.0, TablePrep::Auto, |_| ());
+        cache.with_library(6, 500.0, TablePrep::Eager, |_| ());
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        // An explicit lazy request must not reuse the eager tables...
+        cache.with_library(6, 500.0, TablePrep::Lazy, |topos| {
+            for tc in topos {
+                assert_eq!(tc.table.prep(), TablePrep::Lazy);
+            }
+        });
+        assert_eq!(cache.misses(), 2);
+        // ...and both resolved variants stay resident side by side.
+        cache.with_library(6, 500.0, TablePrep::Eager, |_| ());
+        cache.with_library(6, 500.0, TablePrep::Lazy, |_| ());
+        assert_eq!(cache.hits(), 3);
+        assert_eq!(cache.misses(), 2);
     }
 
     #[test]

@@ -365,7 +365,7 @@ impl Server<'_> {
             .cache
             .lock()
             .expect("cache lock")
-            .checkout(app.core_count(), req.capacity);
+            .checkout(app.core_count(), req.capacity, req.table_prep);
         let (body, stats) = execute(&spec, &app, req, &mut library.topos);
         self.cache.lock().expect("cache lock").checkin(library);
         let line = format!("{{\"schema\":\"sunmap-report/1\",{body}}}");

@@ -103,6 +103,7 @@ pub fn pareto_exploration(
                 constraints: Constraints::relaxed_bandwidth(),
                 max_swap_passes: 2,
                 swap_strategy: SwapStrategy::Exhaustive,
+                ..MapperConfig::default()
             };
             let label = format!("{objective}/{routing}");
             let _ = Mapper::new(graph, app, config)

@@ -76,10 +76,13 @@ use sunmap_floorplan::Floorplan;
 use sunmap_power::{switch_power_from_energy, AreaPowerLibrary, SwitchConfig};
 use sunmap_topology::paths::{AllowedSet, DijkstraScratch};
 use sunmap_topology::{
-    dimension_order, paths, quadrant, AdjacencyMatrix, EdgeId, NodeId, NodeKind, TopologyGraph,
-    TopologyKind,
+    closed_form, dimension_order, paths, quadrant, AdjacencyMatrix, EdgeId, NodeId, NodeKind,
+    TopologyGraph, TopologyKind,
 };
 use sunmap_traffic::{Commodity, CoreGraph};
+
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// Sentinel for "unreachable" in the hop-distance matrix, chosen so the
 /// greedy placement cost matches the reference's
@@ -150,6 +153,82 @@ impl SwapStrategy {
     }
 }
 
+/// How a [`RouteTable`] materialises its per-pair routing state
+/// (quadrant sets, enumerated path sets, hop distances).
+///
+/// Every variant is proven bit-identical to [`TablePrep::Eager`] by the
+/// `table_prep_equivalence` suite; they differ only in *when* (and
+/// whether) each pair's state is computed. Mirrors [`SwapStrategy`] /
+/// the simulator's engine knob: `Auto` resolves per topology through
+/// [`TablePrep::resolve`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TablePrep {
+    /// [`TablePrep::Eager`] up to [`TablePrep::EAGER_THRESHOLD`]
+    /// mappable vertices (the regime where dense enumeration is cheap
+    /// and the whole table is touched anyway); above it,
+    /// [`TablePrep::ClosedForm`] when the topology has closed-form
+    /// distances, [`TablePrep::Lazy`] otherwise.
+    #[default]
+    Auto,
+    /// Enumerate every pair's state up front — the original dense
+    /// preparation, kept as the oracle the other variants are checked
+    /// against.
+    Eager,
+    /// Hop distances by one BFS per source up front; per-pair quadrant
+    /// and path sets materialised on first use and memoised (only
+    /// commodities that exist — plus pairs touched by swap deltas —
+    /// ever pay for enumeration).
+    Lazy,
+    /// Like [`TablePrep::Lazy`], but hop distances come from coordinate
+    /// arithmetic (`sunmap_topology::closed_form`) — no BFS and no
+    /// dense `m × n` hop matrix. Falls back to `Lazy` on topologies
+    /// without a closed form (octagon, star, custom).
+    ClosedForm,
+}
+
+impl TablePrep {
+    /// Mappable-vertex count up to which [`TablePrep::Auto`] stays on
+    /// the eager dense preparation. All seed benchmarks (≤ 16 cores)
+    /// and the 64-core bench tier keep their original tables.
+    pub const EAGER_THRESHOLD: usize = 64;
+
+    /// The concrete preparation (never `Auto`) for a topology of `kind`
+    /// with `mappable` vertices. An explicit `ClosedForm` request on a
+    /// topology without closed-form distances degrades to `Lazy`.
+    pub fn resolve(self, kind: TopologyKind, mappable: usize) -> TablePrep {
+        match self {
+            TablePrep::Auto if mappable <= Self::EAGER_THRESHOLD => TablePrep::Eager,
+            TablePrep::Auto | TablePrep::ClosedForm if closed_form::supported(kind) => {
+                TablePrep::ClosedForm
+            }
+            TablePrep::Auto | TablePrep::ClosedForm => TablePrep::Lazy,
+            other => other,
+        }
+    }
+
+    /// Parses the CLI/manifest spelling (`auto`, `eager`, `lazy`,
+    /// `closed-form`).
+    pub fn parse(s: &str) -> Option<TablePrep> {
+        match s {
+            "auto" => Some(TablePrep::Auto),
+            "eager" => Some(TablePrep::Eager),
+            "lazy" => Some(TablePrep::Lazy),
+            "closed-form" => Some(TablePrep::ClosedForm),
+            _ => None,
+        }
+    }
+
+    /// The canonical spelling [`TablePrep::parse`] accepts.
+    pub fn name(self) -> &'static str {
+        match self {
+            TablePrep::Auto => "auto",
+            TablePrep::Eager => "eager",
+            TablePrep::Lazy => "lazy",
+            TablePrep::ClosedForm => "closed-form",
+        }
+    }
+}
+
 /// FNV-1a hash of a graph's directed edge list, capacities included.
 fn edge_fingerprint(g: &TopologyGraph) -> u64 {
     let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
@@ -174,7 +253,9 @@ fn edge_fingerprint(g: &TopologyGraph) -> u64 {
 ///
 /// The simulator replays these routes flit by flit (see the
 /// `sunmap-sim` crate), which is why the edge sequence is public.
-#[derive(Debug, Clone)]
+/// `PartialEq` compares the full precomputed state — what the table
+/// equivalence suite asserts across preparation strategies.
+#[derive(Debug, Clone, PartialEq)]
 pub struct CachedPath {
     edges: Vec<EdgeId>,
     net_edges: Vec<usize>,
@@ -218,6 +299,98 @@ impl CachedPath {
     }
 }
 
+/// Shard count of [`LazyPairs`]. Pair indices stripe across shards so
+/// concurrent sweep workers touching different pairs rarely contend.
+const LAZY_SHARDS: usize = 64;
+
+/// One [`LazyPairs`] shard: pair index → shared memoised value.
+type LazyShard<T> = RwLock<HashMap<usize, Arc<T>>>;
+
+/// Concurrent memo table for lazily materialised per-pair state: pair
+/// index → shared value, sharded under reader-writer locks. Values are
+/// pure functions of the pair, so a race at most computes the same
+/// value twice and keeps whichever copy was inserted first.
+#[derive(Debug)]
+struct LazyPairs<T> {
+    shards: Box<[LazyShard<T>]>,
+}
+
+impl<T> LazyPairs<T> {
+    fn new() -> Self {
+        LazyPairs {
+            shards: (0..LAZY_SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn get_or_insert_with(&self, pair: usize, make: impl FnOnce() -> T) -> Arc<T> {
+        let shard = &self.shards[pair % LAZY_SHARDS];
+        if let Some(hit) = shard.read().unwrap().get(&pair) {
+            return hit.clone();
+        }
+        // Compute outside the write lock: enumeration can be expensive
+        // and must not serialise unrelated pairs of the same shard.
+        let value = Arc::new(make());
+        shard.write().unwrap().entry(pair).or_insert(value).clone()
+    }
+
+    /// Pairs materialised so far (diagnostics and tests).
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().unwrap().len()).sum()
+    }
+}
+
+/// One per-pair cache of a [`RouteTable`]: dense and fully enumerated
+/// (eager), or memoised on first use (lazy).
+#[derive(Debug)]
+enum PairStore<T> {
+    /// Not prepared for the owning routing function yet.
+    Absent,
+    Eager(Vec<T>),
+    Lazy(LazyPairs<T>),
+}
+
+impl<T> PairStore<T> {
+    fn ready(&self) -> bool {
+        !matches!(self, PairStore::Absent)
+    }
+}
+
+/// A handle to one pair's cached state: borrowed straight out of the
+/// eager dense store, or a shared handle into the lazy memo table.
+/// Dereferences to the cached value either way.
+#[derive(Debug)]
+pub struct PairRef<'a, T>(PairRefInner<'a, T>);
+
+#[derive(Debug)]
+enum PairRefInner<'a, T> {
+    Borrowed(&'a T),
+    Shared(Arc<T>),
+}
+
+impl<T> std::ops::Deref for PairRef<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        match &self.0 {
+            PairRefInner::Borrowed(t) => t,
+            PairRefInner::Shared(t) => t,
+        }
+    }
+}
+
+/// All-pairs hop distances of a [`RouteTable`]: a dense BFS matrix, or
+/// coordinate arithmetic for topologies with closed-form distances.
+#[derive(Debug)]
+enum HopStore {
+    /// Full-graph BFS hop distances, `m × node_count`, row per
+    /// mappable source.
+    Dense(Vec<u32>),
+    /// No stored state: distances come from
+    /// [`closed_form::distance`] on demand.
+    Closed,
+}
+
 /// Placement-independent routing state of one topology, computed once
 /// per [`crate::Mapper::run`] and reusable across runs on the same
 /// graph (the Fig. 9 sweeps re-map one graph under four routing
@@ -227,13 +400,14 @@ impl CachedPath {
 /// Contents:
 ///
 /// * all-pairs hop distances — one BFS per *source* instead of one per
-///   pair;
+///   pair, or closed-form coordinate arithmetic (see [`TablePrep`]);
 /// * a dense `NodeId × NodeId → Option<EdgeId>` adjacency matrix
 ///   replacing linear `find_edge` scans;
 /// * memoized quadrant sets per mappable pair;
 /// * enumerated minimum-path / simple-path sets and dimension-ordered
-///   routes per pair, filled on demand per routing function by
-///   [`RouteTable::prepare`].
+///   routes per pair, filled per routing function by
+///   [`RouteTable::prepare`] — all pairs up front under
+///   [`TablePrep::Eager`], per pair on first use otherwise.
 #[derive(Debug)]
 pub struct RouteTable {
     kind: TopologyKind,
@@ -243,68 +417,134 @@ pub struct RouteTable {
     /// [`RouteTable::matches`] rejects a graph that merely shares its
     /// kind and counts with the table's graph.
     edge_fingerprint: u64,
+    /// Owned copy of the topology, so lazily materialised pairs can be
+    /// computed at query time without threading the graph through
+    /// every accessor.
+    graph: TopologyGraph,
+    /// The resolved preparation strategy (never [`TablePrep::Auto`]).
+    prep: TablePrep,
     mappable: Vec<NodeId>,
     /// Node index → dense mappable index (`u32::MAX` = not mappable).
     midx: Vec<u32>,
     adj: AdjacencyMatrix,
-    /// Full-graph BFS hop distances, `m × node_count`, row per
-    /// mappable source.
-    hop: Vec<u32>,
-    quadrants: Vec<Vec<NodeId>>,
-    quadrants_ready: bool,
-    do_paths: Vec<Option<CachedPath>>,
-    do_ready: bool,
-    sm_paths: Vec<Vec<CachedPath>>,
-    sm_ready: bool,
-    sa_paths: Vec<Vec<CachedPath>>,
-    sa_ready: bool,
+    hop: HopStore,
+    quadrants: PairStore<Vec<NodeId>>,
+    do_paths: PairStore<Option<CachedPath>>,
+    sm_paths: PairStore<Vec<CachedPath>>,
+    sa_paths: PairStore<Vec<CachedPath>>,
     /// Unrestricted all-shortest-path sets per pair for simulator
     /// replay (no quadrant filter — the simulator routes adaptively
     /// over every minimum path, paper §6.2), capped per pair.
-    sim_paths: Vec<Vec<CachedPath>>,
+    sim_paths: PairStore<Vec<CachedPath>>,
     /// The cap `sim_paths` was enumerated under; `usize::MAX` = not
     /// prepared yet.
     sim_cap: usize,
 }
 
 impl RouteTable {
-    /// Builds the routing-function-independent parts (adjacency matrix
-    /// and the all-pairs hop-distance matrix) for `g`.
+    /// Builds the routing-function-independent parts for `g` under
+    /// [`TablePrep::Auto`] (see [`RouteTable::with_prep`]).
     pub fn new(g: &TopologyGraph) -> Self {
+        Self::with_prep(g, TablePrep::Auto)
+    }
+
+    /// Builds the routing-function-independent parts (adjacency matrix
+    /// and hop distances) for `g` under the given preparation
+    /// strategy. `prep` is [resolved](TablePrep::resolve) against the
+    /// topology first; the result is queryable via
+    /// [`RouteTable::prep`].
+    pub fn with_prep(g: &TopologyGraph, prep: TablePrep) -> Self {
         let mappable = g.mappable_nodes().to_vec();
         let mut midx = vec![u32::MAX; g.node_count()];
         for (i, n) in mappable.iter().enumerate() {
             midx[n.index()] = i as u32;
         }
-        let mut hop = vec![UNREACHABLE_HOPS; mappable.len() * g.node_count()];
-        for (i, &src) in mappable.iter().enumerate() {
-            let levels = paths::bfs_levels(g, src);
-            let row = &mut hop[i * g.node_count()..(i + 1) * g.node_count()];
-            for (slot, level) in row.iter_mut().zip(levels) {
-                if level != usize::MAX {
-                    *slot = level as u32;
+        let prep = prep.resolve(g.kind(), mappable.len());
+        let hop = if prep == TablePrep::ClosedForm {
+            HopStore::Closed
+        } else {
+            let mut hop = vec![UNREACHABLE_HOPS; mappable.len() * g.node_count()];
+            for (i, &src) in mappable.iter().enumerate() {
+                let levels = paths::bfs_levels(g, src);
+                let row = &mut hop[i * g.node_count()..(i + 1) * g.node_count()];
+                for (slot, level) in row.iter_mut().zip(levels) {
+                    if level != usize::MAX {
+                        *slot = level as u32;
+                    }
                 }
             }
-        }
+            HopStore::Dense(hop)
+        };
         RouteTable {
             kind: g.kind(),
             node_count: g.node_count(),
             edge_count: g.edge_count(),
             edge_fingerprint: edge_fingerprint(g),
+            graph: g.clone(),
+            prep,
             mappable,
             midx,
             adj: g.adjacency_matrix(),
             hop,
-            quadrants: Vec::new(),
-            quadrants_ready: false,
-            do_paths: Vec::new(),
-            do_ready: false,
-            sm_paths: Vec::new(),
-            sm_ready: false,
-            sa_paths: Vec::new(),
-            sa_ready: false,
-            sim_paths: Vec::new(),
+            quadrants: PairStore::Absent,
+            do_paths: PairStore::Absent,
+            sm_paths: PairStore::Absent,
+            sa_paths: PairStore::Absent,
+            sim_paths: PairStore::Absent,
             sim_cap: usize::MAX,
+        }
+    }
+
+    /// The resolved preparation strategy this table was built with
+    /// (never [`TablePrep::Auto`]).
+    pub fn prep(&self) -> TablePrep {
+        self.prep
+    }
+
+    /// Raw minimum hop count between mappable `a` and any node `b`,
+    /// `UNREACHABLE_HOPS` when unreachable.
+    fn hops(&self, a: NodeId, b: NodeId) -> u32 {
+        match &self.hop {
+            HopStore::Dense(hop) => {
+                let i = self.midx[a.index()] as usize;
+                hop[i * self.node_count + b.index()]
+            }
+            HopStore::Closed => closed_form::distance(&self.graph, a, b)
+                .expect("closed-form hop store queried for a pair without a closed form"),
+        }
+    }
+
+    /// Minimum hop count between two mappable vertices, `None` when
+    /// the pair is unreachable. Exposed for the table-preparation
+    /// equivalence suite.
+    pub fn hop_distance(&self, a: NodeId, b: NodeId) -> Option<u32> {
+        let h = self.hops(a, b);
+        (h != UNREACHABLE_HOPS).then_some(h)
+    }
+
+    /// The dense adjacency matrix of the table's graph (equivalence
+    /// suite probe; identical across preparation strategies by
+    /// construction).
+    pub fn adjacency(&self) -> &AdjacencyMatrix {
+        &self.adj
+    }
+
+    /// How many per-pair entries the store for `routing` has
+    /// materialised so far — `m²` after an eager prepare, the touched
+    /// pair count under lazy preparation. Diagnostics/tests only.
+    pub fn materialized_pairs(&self, routing: RoutingFunction) -> usize {
+        fn count<T>(store: &PairStore<T>) -> usize {
+            match store {
+                PairStore::Absent => 0,
+                PairStore::Eager(v) => v.len(),
+                PairStore::Lazy(l) => l.len(),
+            }
+        }
+        match routing {
+            RoutingFunction::DimensionOrdered => count(&self.do_paths),
+            RoutingFunction::MinPath => count(&self.quadrants),
+            RoutingFunction::SplitMinPaths => count(&self.sm_paths),
+            RoutingFunction::SplitAllPaths => count(&self.sa_paths),
         }
     }
 
@@ -315,15 +555,63 @@ impl RouteTable {
     }
 
     /// The cached dimension-ordered route between two mappable
-    /// vertices, or `None` when no such route exists.
+    /// vertices (`None` inside the handle when no such route exists),
+    /// materialising the pair first under lazy preparation.
     ///
     /// # Panics
     ///
     /// Panics unless [`RouteTable::prepare`] has run for
     /// [`RoutingFunction::DimensionOrdered`].
-    pub fn dimension_ordered_route(&self, a: NodeId, b: NodeId) -> Option<&CachedPath> {
-        assert!(self.do_ready, "dimension-ordered routes not prepared");
-        self.do_paths[self.pair(a, b)].as_ref()
+    pub fn dimension_ordered_route(&self, a: NodeId, b: NodeId) -> PairRef<'_, Option<CachedPath>> {
+        Self::pair_entry(
+            &self.do_paths,
+            self.pair(a, b),
+            "dimension-ordered routes",
+            || self.compute_do(a, b),
+        )
+    }
+
+    /// The memoised quadrant-graph vertex set of a mappable pair, in
+    /// ascending node order (MinPath routing's search region;
+    /// equivalence-suite probe).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`RouteTable::prepare`] has run for
+    /// [`RoutingFunction::MinPath`] (or `SplitMinPaths`, which
+    /// prepares quadrants too).
+    pub fn quadrant_pair(&self, a: NodeId, b: NodeId) -> PairRef<'_, Vec<NodeId>> {
+        Self::pair_entry(&self.quadrants, self.pair(a, b), "quadrant sets", || {
+            self.compute_quadrant(a, b)
+        })
+    }
+
+    /// The enumerated quadrant-restricted minimum-path set of a
+    /// mappable pair ([`RoutingFunction::SplitMinPaths`]'s candidates;
+    /// empty = unreachable).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`RouteTable::prepare`] has run for
+    /// [`RoutingFunction::SplitMinPaths`].
+    pub fn split_min_paths(&self, a: NodeId, b: NodeId) -> PairRef<'_, Vec<CachedPath>> {
+        Self::pair_entry(&self.sm_paths, self.pair(a, b), "split-min paths", || {
+            self.compute_split_min(a, b)
+        })
+    }
+
+    /// The enumerated bounded-detour simple-path set of a mappable
+    /// pair ([`RoutingFunction::SplitAllPaths`]'s candidates; empty =
+    /// unreachable).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`RouteTable::prepare`] has run for
+    /// [`RoutingFunction::SplitAllPaths`].
+    pub fn split_all_paths(&self, a: NodeId, b: NodeId) -> PairRef<'_, Vec<CachedPath>> {
+        Self::pair_entry(&self.sa_paths, self.pair(a, b), "split-all paths", || {
+            self.compute_split_all(a, b)
+        })
     }
 
     /// Whether [`RouteTable::prepare_sim_routes`] has run with `cap`.
@@ -336,7 +624,9 @@ impl RouteTable {
     /// restriction), at most `cap` per pair, in the deterministic
     /// enumeration order of [`paths::all_shortest_paths`]. Idempotent
     /// for a given `cap`; re-preparing with a different `cap`
-    /// re-enumerates.
+    /// re-enumerates. Under lazy preparation this only installs the
+    /// (empty) memo store — pairs materialise as the simulator's plan
+    /// compiler asks for them.
     ///
     /// # Panics
     ///
@@ -344,6 +634,11 @@ impl RouteTable {
     pub fn prepare_sim_routes(&mut self, g: &TopologyGraph, cap: usize) {
         assert!(self.matches(g), "route table built for a different graph");
         if self.sim_cap == cap {
+            return;
+        }
+        self.sim_cap = cap;
+        if self.prep != TablePrep::Eager {
+            self.sim_paths = PairStore::Lazy(LazyPairs::new());
             return;
         }
         let m = self.mappable.len();
@@ -359,8 +654,7 @@ impl RouteTable {
                     .collect();
             }
         }
-        self.sim_paths = cache;
-        self.sim_cap = cap;
+        self.sim_paths = PairStore::Eager(cache);
     }
 
     /// The simulator-replay route set between two mappable vertices
@@ -369,9 +663,12 @@ impl RouteTable {
     /// # Panics
     ///
     /// Panics unless [`RouteTable::prepare_sim_routes`] has run.
-    pub fn sim_route_set(&self, a: NodeId, b: NodeId) -> &[CachedPath] {
+    pub fn sim_route_set(&self, a: NodeId, b: NodeId) -> PairRef<'_, Vec<CachedPath>> {
         assert!(self.sim_cap != usize::MAX, "sim routes not prepared");
-        &self.sim_paths[self.pair(a, b)]
+        let cap = self.sim_cap;
+        Self::pair_entry(&self.sim_paths, self.pair(a, b), "sim routes", || {
+            self.compute_sim(a, b, cap)
+        })
     }
 
     /// The FNV-1a fingerprint of the edge list this table was built
@@ -394,14 +691,15 @@ impl RouteTable {
     /// Whether [`RouteTable::prepare`] has run for `routing`.
     pub fn prepared(&self, routing: RoutingFunction) -> bool {
         match routing {
-            RoutingFunction::DimensionOrdered => self.do_ready,
-            RoutingFunction::MinPath => self.quadrants_ready,
-            RoutingFunction::SplitMinPaths => self.sm_ready,
-            RoutingFunction::SplitAllPaths => self.sa_ready,
+            RoutingFunction::DimensionOrdered => self.do_paths.ready(),
+            RoutingFunction::MinPath => self.quadrants.ready(),
+            RoutingFunction::SplitMinPaths => self.sm_paths.ready(),
+            RoutingFunction::SplitAllPaths => self.sa_paths.ready(),
         }
     }
 
-    /// Fills the per-pair caches `routing` needs (idempotent).
+    /// Fills (eager) or installs (lazy) the per-pair caches `routing`
+    /// needs (idempotent).
     ///
     /// # Panics
     ///
@@ -409,10 +707,10 @@ impl RouteTable {
     pub fn prepare(&mut self, g: &TopologyGraph, routing: RoutingFunction) {
         assert!(self.matches(g), "route table built for a different graph");
         match routing {
-            RoutingFunction::DimensionOrdered => self.prepare_dimension_ordered(g),
-            RoutingFunction::MinPath => self.prepare_quadrants(g),
-            RoutingFunction::SplitMinPaths => self.prepare_split_min(g),
-            RoutingFunction::SplitAllPaths => self.prepare_split_all(g),
+            RoutingFunction::DimensionOrdered => self.prepare_dimension_ordered(),
+            RoutingFunction::MinPath => self.prepare_quadrants(),
+            RoutingFunction::SplitMinPaths => self.prepare_split_min(),
+            RoutingFunction::SplitAllPaths => self.prepare_split_all(),
         }
     }
 
@@ -422,12 +720,26 @@ impl RouteTable {
         i as usize * self.mappable.len() + j as usize
     }
 
+    /// Looks a pair up in `store`, materialising it with `make` under
+    /// lazy preparation.
+    fn pair_entry<'s, T>(
+        store: &'s PairStore<T>,
+        pair: usize,
+        what: &str,
+        make: impl FnOnce() -> T,
+    ) -> PairRef<'s, T> {
+        match store {
+            PairStore::Absent => panic!("{what} not prepared"),
+            PairStore::Eager(v) => PairRef(PairRefInner::Borrowed(&v[pair])),
+            PairStore::Lazy(l) => PairRef(PairRefInner::Shared(l.get_or_insert_with(pair, make))),
+        }
+    }
+
     /// Hop distance between two mappable nodes as the greedy placement
     /// sees it (the reference used
     /// `hop_distance(..).unwrap_or(usize::MAX / 2) as f64`).
     pub(crate) fn greedy_distance(&self, a: NodeId, b: NodeId) -> f64 {
-        let i = self.midx[a.index()] as usize;
-        let h = self.hop[i * self.node_count + b.index()];
+        let h = self.hops(a, b);
         if h == UNREACHABLE_HOPS {
             (usize::MAX / 2) as f64
         } else {
@@ -435,8 +747,82 @@ impl RouteTable {
         }
     }
 
-    fn prepare_quadrants(&mut self, g: &TopologyGraph) {
-        if self.quadrants_ready {
+    /// One pair's quadrant set — exactly the eager loop's per-pair
+    /// computation (the lazy stores call these so every strategy runs
+    /// identical per-pair code).
+    fn compute_quadrant(&self, a: NodeId, b: NodeId) -> Vec<NodeId> {
+        if a == b {
+            return Vec::new();
+        }
+        let mut q: Vec<NodeId> = quadrant::quadrant_set(&self.graph, a, b)
+            .into_iter()
+            .collect();
+        q.sort_unstable();
+        q
+    }
+
+    fn compute_do(&self, a: NodeId, b: NodeId) -> Option<CachedPath> {
+        if a == b {
+            return None;
+        }
+        dimension_order::route(&self.graph, a, b)
+            .ok()
+            .map(|p| CachedPath::build(&self.graph, &self.adj, &p))
+    }
+
+    fn compute_split_min(&self, a: NodeId, b: NodeId) -> Vec<CachedPath> {
+        if a == b {
+            return Vec::new();
+        }
+        let quad = self.quadrant_pair(a, b);
+        let q: AllowedSet = quad.iter().copied().collect();
+        paths::all_shortest_paths(&self.graph, a, b, Some(&q), MAX_SPLIT_PATHS)
+            .into_iter()
+            .map(|nodes| CachedPath::build(&self.graph, &self.adj, &nodes))
+            .collect()
+    }
+
+    fn compute_split_all(&self, a: NodeId, b: NodeId) -> Vec<CachedPath> {
+        if a == b {
+            return Vec::new();
+        }
+        // "All paths" searches the whole NoC graph; the slack and cap
+        // mirror route_commodity exactly. Unreachable pairs keep an
+        // empty candidate list (= unroutable).
+        let min_hops = self.hops(a, b);
+        if min_hops == UNREACHABLE_HOPS {
+            return Vec::new();
+        }
+        let min_len = min_hops as usize + 1;
+        paths::all_simple_paths(
+            &self.graph,
+            a,
+            b,
+            None,
+            min_len + DETOUR_SLACK,
+            MAX_SPLIT_PATHS,
+        )
+        .into_iter()
+        .map(|nodes| CachedPath::build(&self.graph, &self.adj, &nodes))
+        .collect()
+    }
+
+    fn compute_sim(&self, a: NodeId, b: NodeId, cap: usize) -> Vec<CachedPath> {
+        if a == b {
+            return Vec::new();
+        }
+        paths::all_shortest_paths(&self.graph, a, b, None, cap)
+            .into_iter()
+            .map(|nodes| CachedPath::build(&self.graph, &self.adj, &nodes))
+            .collect()
+    }
+
+    fn prepare_quadrants(&mut self) {
+        if self.quadrants.ready() {
+            return;
+        }
+        if self.prep != TablePrep::Eager {
+            self.quadrants = PairStore::Lazy(LazyPairs::new());
             return;
         }
         let m = self.mappable.len();
@@ -446,17 +832,18 @@ impl RouteTable {
                 if a == b {
                     continue;
                 }
-                let mut q: Vec<NodeId> = quadrant::quadrant_set(g, a, b).into_iter().collect();
-                q.sort_unstable();
-                quads[self.pair(a, b)] = q;
+                quads[self.pair(a, b)] = self.compute_quadrant(a, b);
             }
         }
-        self.quadrants = quads;
-        self.quadrants_ready = true;
+        self.quadrants = PairStore::Eager(quads);
     }
 
-    fn prepare_dimension_ordered(&mut self, g: &TopologyGraph) {
-        if self.do_ready {
+    fn prepare_dimension_ordered(&mut self) {
+        if self.do_paths.ready() {
+            return;
+        }
+        if self.prep != TablePrep::Eager {
+            self.do_paths = PairStore::Lazy(LazyPairs::new());
             return;
         }
         let m = self.mappable.len();
@@ -466,20 +853,21 @@ impl RouteTable {
                 if a == b {
                     continue;
                 }
-                cache[self.pair(a, b)] = dimension_order::route(g, a, b)
-                    .ok()
-                    .map(|p| CachedPath::build(g, &self.adj, &p));
+                cache[self.pair(a, b)] = self.compute_do(a, b);
             }
         }
-        self.do_paths = cache;
-        self.do_ready = true;
+        self.do_paths = PairStore::Eager(cache);
     }
 
-    fn prepare_split_min(&mut self, g: &TopologyGraph) {
-        if self.sm_ready {
+    fn prepare_split_min(&mut self) {
+        if self.sm_paths.ready() {
             return;
         }
-        self.prepare_quadrants(g);
+        self.prepare_quadrants();
+        if self.prep != TablePrep::Eager {
+            self.sm_paths = PairStore::Lazy(LazyPairs::new());
+            return;
+        }
         let m = self.mappable.len();
         let mut cache = vec![Vec::new(); m * m];
         for &a in &self.mappable {
@@ -487,46 +875,31 @@ impl RouteTable {
                 if a == b {
                     continue;
                 }
-                let p = self.pair(a, b);
-                let q: AllowedSet = self.quadrants[p].iter().copied().collect();
-                cache[p] = paths::all_shortest_paths(g, a, b, Some(&q), MAX_SPLIT_PATHS)
-                    .into_iter()
-                    .map(|nodes| CachedPath::build(g, &self.adj, &nodes))
-                    .collect();
+                cache[self.pair(a, b)] = self.compute_split_min(a, b);
             }
         }
-        self.sm_paths = cache;
-        self.sm_ready = true;
+        self.sm_paths = PairStore::Eager(cache);
     }
 
-    fn prepare_split_all(&mut self, g: &TopologyGraph) {
-        if self.sa_ready {
+    fn prepare_split_all(&mut self) {
+        if self.sa_paths.ready() {
+            return;
+        }
+        if self.prep != TablePrep::Eager {
+            self.sa_paths = PairStore::Lazy(LazyPairs::new());
             return;
         }
         let m = self.mappable.len();
         let mut cache = vec![Vec::new(); m * m];
-        for (i, &a) in self.mappable.iter().enumerate() {
+        for &a in &self.mappable {
             for &b in &self.mappable {
                 if a == b {
                     continue;
                 }
-                // "All paths" searches the whole NoC graph; the slack
-                // and cap mirror route_commodity exactly. Unreachable
-                // pairs keep an empty candidate list (= unroutable).
-                let min_hops = self.hop[i * self.node_count + b.index()];
-                if min_hops == UNREACHABLE_HOPS {
-                    continue;
-                }
-                let min_len = min_hops as usize + 1;
-                cache[self.pair(a, b)] =
-                    paths::all_simple_paths(g, a, b, None, min_len + DETOUR_SLACK, MAX_SPLIT_PATHS)
-                        .into_iter()
-                        .map(|nodes| CachedPath::build(g, &self.adj, &nodes))
-                        .collect();
+                cache[self.pair(a, b)] = self.compute_split_all(a, b);
             }
         }
-        self.sa_paths = cache;
-        self.sa_ready = true;
+        self.sa_paths = PairStore::Eager(cache);
     }
 }
 
@@ -556,7 +929,11 @@ pub struct EvalScratch {
     edge_len: Vec<f64>,
     min_suffix: Vec<f64>,
     rate_suffix: Vec<f64>,
-    bw_suffix: Vec<f64>,
+    len_suffix: Vec<f64>,
+    /// Per-node minimum outgoing / incoming powered network-link
+    /// length of the current candidate floorplan (MinPower floor).
+    out_min: Vec<f64>,
+    in_min: Vec<f64>,
 }
 
 impl EvalScratch {
@@ -577,7 +954,9 @@ impl EvalScratch {
             edge_len: vec![0.0; edge_count],
             min_suffix: Vec::new(),
             rate_suffix: Vec::new(),
-            bw_suffix: Vec::new(),
+            len_suffix: Vec::new(),
+            out_min: vec![0.0; node_count],
+            in_min: vec![0.0; node_count],
         }
     }
 }
@@ -611,12 +990,20 @@ pub struct EvalEngine<'a> {
     /// Node-indexed switch power rate in mW per MB/s of traffic
     /// (`switch_power_from_energy(energy, 1.0)`; zero for non-switches).
     switch_rate: Vec<f64>,
-    /// Lazily built per-pair minimum switch-power rate any *walk*
-    /// between the vertices can accrue (node-weighted Dijkstra over the
-    /// switch rates). Every realised route is a walk, so this is a
-    /// sound per-commodity power floor for every routing function —
-    /// and on min-hop-routed functions it is nearly exact.
-    rate_walk: std::sync::OnceLock<Vec<f64>>,
+    /// Lazily built per-source rows of the minimum switch-power rate
+    /// any *walk* between two mappable vertices can accrue
+    /// (node-weighted Dijkstra over the switch rates; see
+    /// [`EvalEngine::rate_walk_row`]). Row-lazy so MinDelay searches
+    /// never build any of it.
+    rate_walk: Vec<OnceLock<Box<[f64]>>>,
+    /// Node index → index of its ingress switch (`u32::MAX` =
+    /// unknown), cached for the length-aware MinPower floor: the first
+    /// network link of any route departs the source's ingress switch.
+    ingress: Vec<u32>,
+    /// Node index → index of its egress switch (`u32::MAX` = unknown):
+    /// the last network link of any route enters the destination's
+    /// egress switch.
+    egress: Vec<u32>,
     /// Link power per MB/s per mm of length.
     link_rate_mm: f64,
     /// Total commodity bandwidth (the avg-hops denominator).
@@ -673,6 +1060,18 @@ impl<'a> EvalEngine<'a> {
             .iter()
             .map(|&e| switch_power_from_energy(e, 1.0))
             .collect();
+        let mut rate_walk = Vec::new();
+        rate_walk.resize_with(table.mappable_nodes().len(), OnceLock::new);
+        let mut ingress = vec![u32::MAX; g.node_count()];
+        let mut egress = vec![u32::MAX; g.node_count()];
+        for &n in table.mappable_nodes() {
+            if let Ok(s) = g.ingress_switch(n) {
+                ingress[n.index()] = s.index() as u32;
+            }
+            if let Ok(s) = g.egress_switch(n) {
+                egress[n.index()] = s.index() as u32;
+            }
+        }
         EvalEngine {
             g,
             app,
@@ -688,7 +1087,9 @@ impl<'a> EvalEngine<'a> {
             net_edge,
             core_commodities,
             switch_rate,
-            rate_walk: std::sync::OnceLock::new(),
+            rate_walk,
+            ingress,
+            egress,
             link_rate_mm: lib.link_power(1.0, 1.0),
             total_bw_all,
             switch_count: g.switch_count(),
@@ -852,13 +1253,14 @@ impl<'a> EvalEngine<'a> {
         scratch: &mut EvalScratch,
     ) -> Option<f64> {
         let g = self.g;
-        let pair = self.table.pair(src, dst);
         match self.routing {
             RoutingFunction::DimensionOrdered => {
-                let cached = self.table.do_paths[pair].as_ref()?;
+                let entry = self.table.dimension_ordered_route(src, dst);
+                let cached = entry.as_ref()?;
                 Some(accumulate_cached(cached, 1.0, bandwidth, scratch))
             }
             RoutingFunction::MinPath => {
+                let quad = self.table.quadrant_pair(src, dst);
                 let EvalScratch {
                     link_loads,
                     quad_mask,
@@ -866,8 +1268,7 @@ impl<'a> EvalEngine<'a> {
                     path,
                     ..
                 } = scratch;
-                let quad = &self.table.quadrants[pair];
-                for n in quad {
+                for n in quad.iter() {
                     quad_mask[n.index()] = true;
                 }
                 quad_mask[src.index()] = true;
@@ -881,7 +1282,7 @@ impl<'a> EvalEngine<'a> {
                     dijkstra,
                     path,
                 );
-                for n in quad {
+                for n in quad.iter() {
                     quad_mask[n.index()] = false;
                 }
                 quad_mask[src.index()] = false;
@@ -890,10 +1291,12 @@ impl<'a> EvalEngine<'a> {
                 Some(self.accumulate_dynamic(1.0, bandwidth, scratch))
             }
             RoutingFunction::SplitMinPaths => {
-                self.accumulate_split(&self.table.sm_paths[pair], bandwidth, scratch)
+                let set = self.table.split_min_paths(src, dst);
+                self.accumulate_split(&set, bandwidth, scratch)
             }
             RoutingFunction::SplitAllPaths => {
-                self.accumulate_split(&self.table.sa_paths[pair], bandwidth, scratch)
+                let set = self.table.split_all_paths(src, dst);
+                self.accumulate_split(&set, bandwidth, scratch)
             }
         }
     }
@@ -979,20 +1382,17 @@ impl<'a> EvalEngine<'a> {
         fraction * switch_hops as f64
     }
 
-    /// The bandwidth-independent optimistic masses of a mappable pair:
-    /// the minimum switch-hop count of any route between the vertices
-    /// (any routing function's path crosses at least that many
-    /// switches) and a lower bound on the switch power rate such a
-    /// route can accrue (both endpoint ingress switches are always
-    /// crossed; intermediates cost at least the cheapest switch).
+    /// The bandwidth-independent optimistic hop mass of a mappable
+    /// pair: the minimum switch-hop count of any route between the
+    /// vertices (any routing function's path crosses at least that
+    /// many switches).
     ///
     /// `None` marks an unreachable pair — every routing function errors
     /// on it. The raw hop value uses saturating arithmetic and widens
     /// to `f64` before any summation, so the [`UNREACHABLE_HOPS`]
     /// sentinel can never wrap into a small, attractive-looking cost.
-    fn pair_masses(&self, a: NodeId, b: NodeId) -> Option<(f64, f64)> {
-        let i = self.table.midx[a.index()] as usize;
-        let h = self.table.hop[i * self.table.node_count + b.index()];
+    fn pair_min_switches(&self, a: NodeId, b: NodeId) -> Option<f64> {
+        let h = self.table.hops(a, b);
         if h == UNREACHABLE_HOPS {
             return None;
         }
@@ -1002,50 +1402,53 @@ impl<'a> EvalEngine<'a> {
         // onto switch vertices, indirect ones onto ports).
         let non_switch_ends = (self.g.node_kind(a) != NodeKind::Switch) as u32
             + (self.g.node_kind(b) != NodeKind::Switch) as u32;
-        let min_switches = h.saturating_add(1).saturating_sub(non_switch_ends) as f64;
-        let rate = self.rate_walk_table()[self.table.pair(a, b)];
-        Some((min_switches, rate))
+        Some(h.saturating_add(1).saturating_sub(non_switch_ends) as f64)
     }
 
-    /// The per-pair minimum switch-power rate table (built on first
-    /// use): entry `(a, b)` is the smallest Σ of node switch rates any
-    /// walk from `a` to `b` can accrue — a node-weighted Dijkstra per
-    /// mappable source. Non-switch vertices weigh zero, so the value
-    /// matches the report's switch-power accounting for both direct
-    /// topologies (cores on switch vertices) and indirect ones (cores
-    /// on ports).
-    fn rate_walk_table(&self) -> &[f64] {
-        self.rate_walk.get_or_init(|| {
+    /// A lower bound on the switch-power rate any route of a mappable
+    /// pair can accrue, from the per-source rate-walk row (built on
+    /// first touch). Only the MinPower bound consumes this; MinDelay
+    /// searches never pay for a single rate Dijkstra.
+    fn pair_rate(&self, a: NodeId, b: NodeId) -> f64 {
+        let si = self.table.midx[a.index()] as usize;
+        let di = self.table.midx[b.index()] as usize;
+        self.rate_walk_row(si)[di]
+    }
+
+    /// One source's minimum switch-power rate row (built on first
+    /// use): entry `di` is the smallest Σ of node switch rates any
+    /// *walk* from mappable source `si` to mappable destination `di`
+    /// can accrue — a node-weighted Dijkstra over the switch rates.
+    /// Every realised route is a walk, so this is a sound
+    /// per-commodity power floor for every routing function — and on
+    /// min-hop-routed functions it is nearly exact. Non-switch
+    /// vertices weigh zero, so the value matches the report's
+    /// switch-power accounting for both direct topologies (cores on
+    /// switch vertices) and indirect ones (cores on ports).
+    fn rate_walk_row(&self, si: usize) -> &[f64] {
+        self.rate_walk[si].get_or_init(|| {
             use std::cmp::Reverse;
             use std::collections::BinaryHeap;
             let g = self.g;
             let mappable = self.table.mappable_nodes();
-            let m = mappable.len();
-            let mut out = vec![f64::INFINITY; m * m];
+            let s = mappable[si];
             let mut dist = vec![f64::INFINITY; g.node_count()];
             let mut heap: BinaryHeap<Reverse<(TotalF64, usize)>> = BinaryHeap::new();
-            for (si, &s) in mappable.iter().enumerate() {
-                dist.fill(f64::INFINITY);
-                heap.clear();
-                dist[s.index()] = self.switch_rate[s.index()];
-                heap.push(Reverse((TotalF64(dist[s.index()]), s.index())));
-                while let Some(Reverse((TotalF64(d), u))) = heap.pop() {
-                    if d > dist[u] {
-                        continue;
-                    }
-                    for v in g.successors(NodeId(u)) {
-                        let next = d + self.switch_rate[v.index()];
-                        if next < dist[v.index()] {
-                            dist[v.index()] = next;
-                            heap.push(Reverse((TotalF64(next), v.index())));
-                        }
-                    }
+            dist[s.index()] = self.switch_rate[s.index()];
+            heap.push(Reverse((TotalF64(dist[s.index()]), s.index())));
+            while let Some(Reverse((TotalF64(d), u))) = heap.pop() {
+                if d > dist[u] {
+                    continue;
                 }
-                for (di, &dnode) in mappable.iter().enumerate() {
-                    out[si * m + di] = dist[dnode.index()];
+                for v in g.successors(NodeId(u)) {
+                    let next = d + self.switch_rate[v.index()];
+                    if next < dist[v.index()] {
+                        dist[v.index()] = next;
+                        heap.push(Reverse((TotalF64(next), v.index())));
+                    }
                 }
             }
-            out
+            mappable.iter().map(|d| dist[d.index()]).collect()
         })
     }
 
@@ -1054,7 +1457,12 @@ impl<'a> EvalEngine<'a> {
     /// base switch power, the bandwidth-weighted hop mass, and the
     /// optimistic mass totals the pre-bound differentiates. `None` if
     /// the placement is unroutable (its report could then not exist).
-    fn sweep_base(&self, placement: &Placement, scratch: &mut EvalScratch) -> Option<SweepBase> {
+    fn sweep_base(
+        &self,
+        placement: &Placement,
+        objective: Objective,
+        scratch: &mut EvalScratch,
+    ) -> Option<SweepBase> {
         scratch.link_loads.fill(0.0);
         scratch.switch_traffic.fill(0.0);
         let mut bw_hops = 0.0f64;
@@ -1065,9 +1473,13 @@ impl<'a> EvalEngine<'a> {
             let dst = placement.node_of(c.dst);
             let hops = self.route_cached(src, dst, c.bandwidth, scratch)?;
             bw_hops += c.bandwidth * hops;
-            let (m, r) = self.pair_masses(src, dst)?;
+            let m = self.pair_min_switches(src, dst)?;
             min_mass += c.bandwidth * m;
-            rate_mass += c.bandwidth * r;
+            // Only the MinPower pre-bound reads the rate mass; skipping
+            // it here keeps MinDelay passes free of rate Dijkstras.
+            if objective == Objective::MinPower {
+                rate_mass += c.bandwidth * self.pair_rate(src, dst);
+            }
         }
         let mut switch_power = 0.0;
         for s in self.g.switches() {
@@ -1150,17 +1562,18 @@ impl<'a> EvalEngine<'a> {
             for &ci in &scratch.incident {
                 let c = &self.commodities[ci as usize];
                 let (os, od) = (local.node_of(c.src), local.node_of(c.dst));
-                let (om, or) = self
-                    .pair_masses(os, od)
+                let (ns, nd) = (swapped(os), swapped(od));
+                let om = self
+                    .pair_min_switches(os, od)
                     .expect("base placement routed, so its pairs are reachable");
-                let Some((nm, nr)) = self.pair_masses(swapped(os), swapped(od)) else {
+                let Some(nm) = self.pair_min_switches(ns, nd) else {
                     // Unreachable new pair: the evaluation would error,
                     // and the search skips errored candidates.
                     return SwapOutcome::NotEvaluated;
                 };
                 d_mass += match objective {
                     Objective::MinDelay => c.bandwidth * (nm - om),
-                    _ => c.bandwidth * (nr - or),
+                    _ => c.bandwidth * (self.pair_rate(ns, nd) - self.pair_rate(os, od)),
                 };
             }
             let lower = match objective {
@@ -1226,11 +1639,10 @@ impl<'a> EvalEngine<'a> {
         'commodities: for &ci in incident.iter() {
             let c = &self.commodities[ci as usize];
             let (os, od) = (local.node_of(c.src), local.node_of(c.dst));
-            let old = self.table.do_paths[self.table.pair(os, od)]
-                .as_ref()
-                .expect("base placement routed");
-            let Some(new) = self.table.do_paths[self.table.pair(swapped(os), swapped(od))].as_ref()
-            else {
+            let old_entry = self.table.dimension_ordered_route(os, od);
+            let old = old_entry.as_ref().expect("base placement routed");
+            let new_entry = self.table.dimension_ordered_route(swapped(os), swapped(od));
+            let Some(new) = new_entry.as_ref() else {
                 routable = false;
                 break 'commodities;
             };
@@ -1370,28 +1782,101 @@ impl<'a> EvalEngine<'a> {
         // Optimistic suffix masses in routing order: after commodity i,
         // the unrouted remainder contributes at least `min_suffix[i+1]`
         // bandwidth-weighted switch hops, `rate_suffix[i+1]` mW of
-        // switch power and `min_suffix - bw_suffix` network-link
-        // crossings. Only the delay and power objectives consume them
-        // (MinArea/MinBandwidth prune on the tracked max load alone),
-        // so the other objectives skip the build.
+        // switch power and `len_suffix[i+1]` bandwidth-weighted mm of
+        // network-link length. Only the delay and power objectives
+        // consume them (MinArea/MinBandwidth prune on the tracked max
+        // load alone), so the other objectives skip the build — and
+        // MinDelay skips the power-only arrays.
         let n = self.commodities.len();
         let suffix_bound = inc.feasible
             && matches!(objective, Objective::MinDelay | Objective::MinPower)
             && self.total_bw_all > 0.0;
+        let power_bound = suffix_bound && objective == Objective::MinPower;
+        if power_bound {
+            // Per-node minimum powered link lengths under *this*
+            // candidate floorplan: any route's first network link
+            // departs the source's ingress switch and its last enters
+            // the destination's egress switch, so those two links cost
+            // at least `out_min[ingress]` / `in_min[egress]` — a
+            // per-commodity floor strictly tighter than `len_min` per
+            // link. Unpowered (block-less) links keep length 0, which
+            // only loosens the floor; nodes without network links fall
+            // back to `len_min`.
+            scratch.out_min.fill(f64::INFINITY);
+            scratch.in_min.fill(f64::INFINITY);
+            for (eid, edge) in g.edges() {
+                if !edge.is_network_link() {
+                    continue;
+                }
+                let len = scratch.edge_len[eid.index()];
+                let (s, d) = (edge.src.index(), edge.dst.index());
+                if len < scratch.out_min[s] {
+                    scratch.out_min[s] = len;
+                }
+                if len < scratch.in_min[d] {
+                    scratch.in_min[d] = len;
+                }
+            }
+            for slot in scratch.out_min.iter_mut().chain(scratch.in_min.iter_mut()) {
+                if !slot.is_finite() {
+                    *slot = len_min;
+                }
+            }
+        }
         if suffix_bound {
             scratch.min_suffix.clear();
             scratch.min_suffix.resize(n + 1, 0.0);
             scratch.rate_suffix.clear();
             scratch.rate_suffix.resize(n + 1, 0.0);
-            scratch.bw_suffix.clear();
-            scratch.bw_suffix.resize(n + 1, 0.0);
+            scratch.len_suffix.clear();
+            scratch.len_suffix.resize(n + 1, 0.0);
             for i in (0..n).rev() {
                 let c = &self.commodities[i];
-                let (m, r) =
-                    self.pair_masses(placement.node_of(c.src), placement.node_of(c.dst))?;
+                let (src, dst) = (placement.node_of(c.src), placement.node_of(c.dst));
+                let m = self.pair_min_switches(src, dst)?;
                 scratch.min_suffix[i] = scratch.min_suffix[i + 1] + c.bandwidth * m;
-                scratch.rate_suffix[i] = scratch.rate_suffix[i + 1] + c.bandwidth * r;
-                scratch.bw_suffix[i] = scratch.bw_suffix[i + 1] + c.bandwidth;
+                if power_bound {
+                    scratch.rate_suffix[i] =
+                        scratch.rate_suffix[i + 1] + c.bandwidth * self.pair_rate(src, dst);
+                    // A route crossing `m` switches crosses at least
+                    // `m - 1` network links: the first departs the
+                    // ingress switch, the last enters the egress
+                    // switch, intermediates cost at least `len_min`.
+                    let links = m - 1.0;
+                    let floor_len = if links <= 0.0 {
+                        0.0
+                    } else {
+                        let first = self.ingress[src.index()];
+                        let last = self.egress[dst.index()];
+                        let out = if first == u32::MAX {
+                            len_min
+                        } else {
+                            scratch.out_min[first as usize]
+                        };
+                        let inl = if last == u32::MAX {
+                            len_min
+                        } else {
+                            scratch.in_min[last as usize]
+                        };
+                        if links <= 1.0 {
+                            out.max(inl)
+                        } else {
+                            out + inl + (links - 2.0) * len_min
+                        }
+                    };
+                    scratch.len_suffix[i] = scratch.len_suffix[i + 1] + c.bandwidth * floor_len;
+                }
+            }
+            // The whole-candidate floor is already known before routing
+            // a single commodity — abandon here when even it cannot
+            // beat the incumbent.
+            let lower = if objective == Objective::MinDelay {
+                scratch.min_suffix[0] / self.total_bw_all
+            } else {
+                scratch.rate_suffix[0] + self.link_rate_mm * scratch.len_suffix[0]
+            };
+            if clearly_above(lower, inc.cost) {
+                return None;
             }
         }
 
@@ -1424,15 +1909,13 @@ impl<'a> EvalEngine<'a> {
                         return None;
                     }
                     Objective::MinDelay | Objective::MinPower if suffix_bound => {
-                        let rem_hops = scratch.min_suffix[i + 1];
                         let lower = if objective == Objective::MinDelay {
-                            (totals.bw_hops + rem_hops) / self.total_bw_all
+                            (totals.bw_hops + scratch.min_suffix[i + 1]) / self.total_bw_all
                         } else {
-                            let rem_links = (rem_hops - scratch.bw_suffix[i + 1]).max(0.0);
                             track.switch_power
                                 + track.link_power
                                 + scratch.rate_suffix[i + 1]
-                                + rem_links * self.link_rate_mm * len_min
+                                + self.link_rate_mm * scratch.len_suffix[i + 1]
                         };
                         if clearly_above(lower, inc.cost) {
                             return None;
@@ -1462,10 +1945,10 @@ impl<'a> EvalEngine<'a> {
         scratch: &EvalScratch,
         track: &mut BoundTracker,
     ) {
-        let pair = self.table.pair(src, dst);
         match self.routing {
             RoutingFunction::DimensionOrdered => {
-                let path = self.table.do_paths[pair].as_ref().expect("just routed");
+                let entry = self.table.dimension_ordered_route(src, dst);
+                let path = entry.as_ref().expect("just routed");
                 self.track_cached(path, 1.0, bandwidth, scratch, track);
             }
             RoutingFunction::MinPath => {
@@ -1485,9 +1968,9 @@ impl<'a> EvalEngine<'a> {
             }
             RoutingFunction::SplitMinPaths | RoutingFunction::SplitAllPaths => {
                 let candidates = if self.routing == RoutingFunction::SplitMinPaths {
-                    &self.table.sm_paths[pair]
+                    self.table.split_min_paths(src, dst)
                 } else {
-                    &self.table.sa_paths[pair]
+                    self.table.split_all_paths(src, dst)
                 };
                 match candidates.as_slice() {
                     [] => unreachable!("just routed"),
@@ -1583,7 +2066,7 @@ impl<'a> EvalEngine<'a> {
     ) -> (Option<(usize, CostReport)>, usize) {
         const BLOCK: usize = 512;
         let mut scratch = self.new_scratch();
-        let Some(base) = self.sweep_base(base_placement, &mut scratch) else {
+        let Some(base) = self.sweep_base(base_placement, objective, &mut scratch) else {
             return (None, 0);
         };
         let base = &base;

@@ -56,7 +56,9 @@ mod report;
 mod routing;
 pub mod timing;
 
-pub use engine::{CachedPath, EvalEngine, EvalScratch, RouteTable, SwapStrategy};
+pub use engine::{
+    CachedPath, EvalEngine, EvalScratch, PairRef, RouteTable, SwapStrategy, TablePrep,
+};
 pub use error::MappingError;
 pub use evaluate::{evaluate, Evaluation, RoutedCommodity};
 pub use layout::{layout_blocks, LayoutBlocks};

@@ -2,11 +2,11 @@
 
 use crate::{
     evaluate, Constraints, CostReport, EvalEngine, Evaluation, MappingError, Objective, Placement,
-    RouteTable, RoutingFunction, SwapStrategy,
+    RouteTable, RoutingFunction, SwapStrategy, TablePrep,
 };
 use sunmap_power::{AreaPowerLibrary, Technology};
 use sunmap_topology::{NodeId, TopologyGraph};
-use sunmap_traffic::{CoreGraph, CoreId};
+use sunmap_traffic::{Commodity, CoreGraph, CoreId};
 
 /// Configuration of one mapping run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -29,6 +29,14 @@ pub struct MapperConfig {
     /// the evaluation count (and thus the observed report sequence)
     /// differs.
     pub swap_strategy: SwapStrategy,
+    /// How the per-topology [`RouteTable`] prepares its pair-wise
+    /// structures: eagerly over all m×m pairs, lazily on first touch,
+    /// or with closed-form hop distances on the regular library
+    /// topologies ([`TablePrep::Auto`] picks by topology size). Every
+    /// variant answers queries bit-identically; only preparation time
+    /// and memory differ. Ignored when a caller-owned table is attached
+    /// via [`Mapper::with_route_table`] (that table's own policy wins).
+    pub table_prep: TablePrep,
 }
 
 impl Default for MapperConfig {
@@ -39,6 +47,7 @@ impl Default for MapperConfig {
             constraints: Constraints::default(),
             max_swap_passes: 4,
             swap_strategy: SwapStrategy::Auto,
+            table_prep: TablePrep::Auto,
         }
     }
 }
@@ -200,7 +209,7 @@ impl<'a> Mapper<'a> {
         let mut local_table = None;
         let table: &mut RouteTable = match self.table.as_deref_mut() {
             Some(t) => t,
-            None => local_table.insert(RouteTable::new(graph)),
+            None => local_table.insert(RouteTable::with_prep(graph, config.table_prep)),
         };
         table.prepare(graph, config.routing);
         let table: &RouteTable = table;
@@ -319,7 +328,11 @@ impl<'a> Mapper<'a> {
                 );
                 initial_placement(self.graph, self.app, t)
             }
-            None => initial_placement(self.graph, self.app, &RouteTable::new(self.graph)),
+            None => initial_placement(
+                self.graph,
+                self.app,
+                &RouteTable::with_prep(self.graph, self.config.table_prep),
+            ),
         }
     }
 }
@@ -327,13 +340,40 @@ impl<'a> Mapper<'a> {
 /// Phase 1: the greedy constructive placement of Fig. 5 step 1. Hop
 /// distances come from the route table's matrix (one BFS per source)
 /// instead of the former per-pair BFS (O(n³) total).
+///
+/// The selection loop recomputes each unplaced core's communication
+/// with the placed set in a single pass over the edge list per step
+/// (the same edge-order summation [`CoreGraph::communication_with`]
+/// performs, so the floating-point totals — and therefore every argmax
+/// decision — are bit-identical to querying it per core), and scores
+/// candidate nodes over per-core incident edge lists instead of the
+/// full edge set. Together these drop phase 1 from O(n²·|E|·n) to
+/// O(n·(|E| + n)) edge visits, which is what makes 1024+ core meshes
+/// mappable in seconds.
 fn initial_placement(graph: &TopologyGraph, app: &CoreGraph, table: &RouteTable) -> Placement {
     let cores = app.core_count();
     let nodes = graph.mappable_nodes().to_vec();
+    let edges = app.edges();
+
+    // Per-core incident commodities in edge order, pre-resolved to the
+    // (partner, direction) pair `greedy_cost` derives per edge. An
+    // edge's `src` arm wins when both endpoints are the same core,
+    // matching the if/else-if chain in `greedy_cost`.
+    let mut incident: Vec<Vec<(usize, CoreId, bool)>> = vec![Vec::new(); cores];
+    for (i, e) in edges.iter().enumerate() {
+        if e.src.index() < cores {
+            incident[e.src.index()].push((i, e.dst, true));
+        }
+        if e.dst != e.src && e.dst.index() < cores {
+            incident[e.dst.index()].push((i, e.src, false));
+        }
+    }
 
     let mut assignment: Vec<Option<NodeId>> = vec![None; cores];
     let mut free: Vec<NodeId> = nodes.clone();
-    let mut placed: Vec<CoreId> = Vec::new();
+    let mut placed_mask: Vec<bool> = vec![false; cores];
+    let mut placed_count = 0usize;
+    let mut comm: Vec<f64> = vec![0.0; cores];
 
     // Seed: the core with maximum communication goes to the node
     // with maximum neighbours.
@@ -349,17 +389,28 @@ fn initial_placement(graph: &TopologyGraph, app: &CoreGraph, table: &RouteTable)
         .expect("topology has mappable nodes");
     assignment[seed_core.index()] = Some(seed_node);
     free.retain(|n| *n != seed_node);
-    placed.push(seed_core);
+    placed_mask[seed_core.index()] = true;
+    placed_count += 1;
 
-    while placed.len() < cores {
+    while placed_count < cores {
         // Next: the unplaced core communicating most with placed
-        // cores.
+        // cores. One edge-order pass accumulates the same filtered
+        // bandwidth sums `communication_with` would produce per core.
+        comm.fill(0.0);
+        for e in edges {
+            if e.src.index() < cores && placed_mask[e.dst.index()] {
+                comm[e.src.index()] += e.bandwidth;
+            }
+            if e.dst != e.src && e.dst.index() < cores && placed_mask[e.src.index()] {
+                comm[e.dst.index()] += e.bandwidth;
+            }
+        }
         let next_core = (0..cores)
             .map(CoreId)
             .filter(|c| assignment[c.index()].is_none())
             .max_by(|a, b| {
-                app.communication_with(*a, &placed)
-                    .partial_cmp(&app.communication_with(*b, &placed))
+                comm[a.index()]
+                    .partial_cmp(&comm[b.index()])
                     .unwrap_or(std::cmp::Ordering::Equal)
                     .then_with(|| b.cmp(a))
             })
@@ -369,8 +420,8 @@ fn initial_placement(graph: &TopologyGraph, app: &CoreGraph, table: &RouteTable)
         let best_node = *free
             .iter()
             .min_by(|x, y| {
-                let cx = greedy_cost(app, table, next_core, **x, &assignment);
-                let cy = greedy_cost(app, table, next_core, **y, &assignment);
+                let cx = greedy_cost(edges, &incident, table, next_core, **x, &assignment);
+                let cy = greedy_cost(edges, &incident, table, next_core, **y, &assignment);
                 cx.partial_cmp(&cy)
                     .unwrap_or(std::cmp::Ordering::Equal)
                     .then_with(|| x.cmp(y))
@@ -378,7 +429,8 @@ fn initial_placement(graph: &TopologyGraph, app: &CoreGraph, table: &RouteTable)
             .expect("a free node remains (|V| <= |U|)");
         assignment[next_core.index()] = Some(best_node);
         free.retain(|n| *n != best_node);
-        placed.push(next_core);
+        placed_mask[next_core.index()] = true;
+        placed_count += 1;
     }
 
     let assignment: Vec<NodeId> = assignment
@@ -389,21 +441,15 @@ fn initial_placement(graph: &TopologyGraph, app: &CoreGraph, table: &RouteTable)
 }
 
 fn greedy_cost(
-    app: &CoreGraph,
+    edges: &[Commodity],
+    incident: &[Vec<(usize, CoreId, bool)>],
     table: &RouteTable,
     core: CoreId,
     node: NodeId,
     assignment: &[Option<NodeId>],
 ) -> f64 {
     let mut cost = 0.0;
-    for e in app.edges() {
-        let (other, forward) = if e.src == core {
-            (e.dst, true)
-        } else if e.dst == core {
-            (e.src, false)
-        } else {
-            continue;
-        };
+    for &(i, other, forward) in &incident[core.index()] {
         let Some(Some(other_node)) = assignment.get(other.index()) else {
             continue;
         };
@@ -412,7 +458,7 @@ fn greedy_cost(
         } else {
             table.greedy_distance(*other_node, node)
         };
-        cost += e.bandwidth * d;
+        cost += edges[i].bandwidth * d;
     }
     cost
 }

@@ -237,6 +237,7 @@ proptest! {
             constraints: constraints(relaxed == 1),
             max_swap_passes: passes,
             swap_strategy: SwapStrategy::Exhaustive,
+            ..MapperConfig::default()
         };
 
         let mut fast_observed = Vec::new();
@@ -293,6 +294,7 @@ proptest! {
             constraints: constraints(relaxed == 1),
             max_swap_passes: passes,
             swap_strategy: strategy,
+            ..MapperConfig::default()
         };
 
         let exhaustive = Mapper::new(&g, &app, config(SwapStrategy::Exhaustive)).run();
@@ -384,6 +386,7 @@ fn delta_pruned_matches_exhaustive_on_64_core_synthetic_mesh() {
             constraints: Constraints::relaxed_bandwidth(),
             max_swap_passes: 1,
             swap_strategy: strategy,
+            ..MapperConfig::default()
         };
         let full = Mapper::new(&g, &app, config(SwapStrategy::Exhaustive))
             .run()

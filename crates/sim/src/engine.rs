@@ -431,11 +431,11 @@ impl RoutePlan {
             for &b in &terminals {
                 if a != b {
                     if direct {
-                        if let Some(p) = table.dimension_ordered_route(a, b) {
+                        if let Some(p) = table.dimension_ordered_route(a, b).as_ref() {
                             route_ids.push(arena.push_edge_route(g, config, p.edges()));
                         }
                     } else {
-                        for p in table.sim_route_set(a, b) {
+                        for p in table.sim_route_set(a, b).iter() {
                             route_ids.push(arena.push_edge_route(g, config, p.edges()));
                         }
                     }

@@ -1,0 +1,136 @@
+//! Closed-form hop distances for the regular library topologies.
+//!
+//! For every standard topology the minimum switch-to-switch (or
+//! port-to-port) hop count between two mappable vertices follows
+//! arithmetically from their coordinates — no BFS and no dense n×n
+//! enumeration is needed:
+//!
+//! * **mesh** — Manhattan distance `|Δrow| + |Δcol|`;
+//! * **torus** — per-dimension ring distance `min(d, len − d)` summed
+//!   over rows and columns (dimensions of length ≤ 2 carry no wrap
+//!   channels, and the formula degenerates to the mesh distance there);
+//! * **hypercube** — Hamming distance of the binary labels;
+//! * **Clos** — every distinct port pair crosses exactly four channels
+//!   (port → ingress → middle → egress → port);
+//! * **butterfly** — every distinct port pair crosses all `n` switch
+//!   stages plus both attach links, `n + 1` channels total.
+//!
+//! These formulas are exactly the values a full-graph BFS produces on the
+//! corresponding builder outputs; the mapping crate's route-table
+//! equivalence suite asserts that bit for bit. Irregular topologies
+//! (octagon, star, custom designs) are not [`supported`] and fall back to
+//! BFS-based preparation.
+
+use crate::{NodeCoords, NodeId, TopologyGraph, TopologyKind};
+
+/// Whether [`distance`] has a closed form for this topology kind.
+pub fn supported(kind: TopologyKind) -> bool {
+    matches!(
+        kind,
+        TopologyKind::Mesh { .. }
+            | TopologyKind::Torus { .. }
+            | TopologyKind::Hypercube { .. }
+            | TopologyKind::Clos { .. }
+            | TopologyKind::Butterfly { .. }
+    )
+}
+
+/// Minimum hop count between two *mappable* vertices of `g`, computed
+/// from coordinates alone.
+///
+/// Returns `None` when the topology kind has no closed form (see
+/// [`supported`]) or when either vertex is not a mappable one (a
+/// mid-stage switch of an indirect topology, say) — callers fall back
+/// to BFS in that case.
+pub fn distance(g: &TopologyGraph, a: NodeId, b: NodeId) -> Option<u32> {
+    match g.kind() {
+        TopologyKind::Mesh { .. } => match (g.coords(a), g.coords(b)) {
+            (NodeCoords::Grid { row: r1, col: c1 }, NodeCoords::Grid { row: r2, col: c2 }) => {
+                Some((r1.abs_diff(r2) + c1.abs_diff(c2)) as u32)
+            }
+            _ => None,
+        },
+        TopologyKind::Torus { rows, cols } => match (g.coords(a), g.coords(b)) {
+            (NodeCoords::Grid { row: r1, col: c1 }, NodeCoords::Grid { row: r2, col: c2 }) => {
+                Some((ring_distance(r1, r2, rows) + ring_distance(c1, c2, cols)) as u32)
+            }
+            _ => None,
+        },
+        TopologyKind::Hypercube { .. } => match (g.coords(a), g.coords(b)) {
+            (NodeCoords::Hyper { label: l1 }, NodeCoords::Hyper { label: l2 }) => {
+                Some(crate::builders::hamming(l1, l2))
+            }
+            _ => None,
+        },
+        TopologyKind::Clos { .. } => match (g.coords(a), g.coords(b)) {
+            (NodeCoords::Port { index: i }, NodeCoords::Port { index: j }) => {
+                Some(if i == j { 0 } else { 4 })
+            }
+            _ => None,
+        },
+        TopologyKind::Butterfly { stages, .. } => match (g.coords(a), g.coords(b)) {
+            (NodeCoords::Port { index: i }, NodeCoords::Port { index: j }) => {
+                Some(if i == j { 0 } else { stages + 1 })
+            }
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Shortest arc between two positions on a ring of `len` slots. With no
+/// wrap channels (`len <= 2`) the wrap arc is never shorter, so the
+/// formula matches the plain mesh distance there too.
+fn ring_distance(a: usize, b: usize, len: usize) -> usize {
+    let d = a.abs_diff(b);
+    d.min(len - d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+    use crate::paths::bfs_levels;
+
+    /// BFS over the real graph must agree with the closed form for every
+    /// mappable pair of every library topology (tiny instances here; the
+    /// mapping crate's proptest suite covers larger random ones).
+    #[test]
+    fn closed_form_matches_bfs_on_library_topologies() {
+        let graphs = [
+            builders::mesh(3, 4, 500.0).unwrap(),
+            builders::torus(3, 4, 500.0).unwrap(),
+            builders::torus(2, 5, 500.0).unwrap(),
+            builders::hypercube(3, 500.0).unwrap(),
+            builders::clos(3, 4, 3, 500.0).unwrap(),
+            builders::butterfly(2, 3, 500.0).unwrap(),
+        ];
+        for g in &graphs {
+            assert!(supported(g.kind()), "{} should be supported", g.kind());
+            for &a in g.mappable_nodes() {
+                let levels = bfs_levels(g, a);
+                for &b in g.mappable_nodes() {
+                    let bfs = levels[b.index()];
+                    let closed = distance(g, a, b)
+                        .unwrap_or_else(|| panic!("{}: no closed form for {a}->{b}", g.kind()));
+                    assert_eq!(
+                        bfs,
+                        closed as usize,
+                        "{}: {a}->{b} BFS {bfs} != closed {closed}",
+                        g.kind()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn irregular_topologies_are_unsupported() {
+        assert!(!supported(TopologyKind::Octagon));
+        assert!(!supported(TopologyKind::Star { ports: 8 }));
+        assert!(!supported(TopologyKind::Custom { tag: 1 }));
+        let g = builders::octagon(500.0).unwrap();
+        let nodes = g.mappable_nodes();
+        assert_eq!(distance(&g, nodes[0], nodes[1]), None);
+    }
+}

@@ -34,6 +34,7 @@
 //! ```
 
 pub mod builders;
+pub mod closed_form;
 mod custom;
 pub mod dimension_order;
 mod error;

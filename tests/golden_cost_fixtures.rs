@@ -14,8 +14,13 @@
 //! are the feasible configurations the `mapping_speed` bench also uses
 //! (MPEG4 needs split-traffic routing at 500 MB/s links, §6.1).
 
+use sunmap::mapping::Constraints;
+use sunmap::topology::builders;
 use sunmap::traffic::benchmarks;
-use sunmap::{CoreGraph, Objective, RoutingFunction, Sunmap};
+use sunmap::traffic::synthetic::SyntheticSpec;
+use sunmap::{
+    CoreGraph, Mapper, MapperConfig, Objective, RoutingFunction, Sunmap, TablePrep, TopologyGraph,
+};
 
 struct Fixture {
     app: &'static str,
@@ -157,6 +162,159 @@ fn seed_benchmark_explorations_match_the_pinned_goldens() {
             "{ctx}: candidate count drifted"
         );
     }
+}
+
+/// One pinned scale-tier mapping: `synth:seed=7,cores=<cores>` on one
+/// library topology under MinDelay / dimension-ordered routing with
+/// bandwidth relaxed (the large-mesh regime the lazy and closed-form
+/// route preparations exist for; `TablePrep::Auto` resolves to
+/// `ClosedForm` on every topology here).
+struct ScaleFixture {
+    cores: usize,
+    /// Index into `builders::standard_library` (0 = mesh, 1 = torus,
+    /// 2 = hypercube — the topologies whose delta search prunes at
+    /// this scale; Clos/butterfly swaps all tie on hop count and
+    /// defeat the bounds, see ROADMAP).
+    topo: usize,
+    kind: &'static str,
+    power_mw: f64,
+    floorplan_area: f64,
+    evaluated_candidates: usize,
+}
+
+const fn sf(
+    cores: usize,
+    topo: usize,
+    kind: &'static str,
+    power_mw: f64,
+    floorplan_area: f64,
+    evaluated_candidates: usize,
+) -> ScaleFixture {
+    ScaleFixture {
+        cores,
+        topo,
+        kind,
+        power_mw,
+        floorplan_area,
+        evaluated_candidates,
+    }
+}
+
+/// Captured from this tree, release build; the test also runs in the
+/// debug tier-1 suite, so any debug/release divergence fails CI.
+const SCALE_FIXTURES: &[ScaleFixture] = &[
+    sf(256, 0, "Mesh", 38839.725349380074, 2654.8536160428516, 5),
+    sf(256, 1, "Torus", 35218.79866803465, 2671.615158907521, 11),
+    sf(
+        256,
+        2,
+        "Hypercube",
+        51488.06574020362,
+        2857.5138937453785,
+        5,
+    ),
+    sf(1024, 0, "Mesh", 267317.39912071684, 10944.405188740433, 34),
+    sf(1024, 1, "Torus", 236281.63233211683, 10958.536845579782, 15),
+    sf(
+        1024,
+        2,
+        "Hypercube",
+        318834.4472975451,
+        12193.98233065516,
+        4,
+    ),
+];
+
+fn scale_config(prep: TablePrep) -> MapperConfig {
+    MapperConfig {
+        routing: RoutingFunction::DimensionOrdered,
+        objective: Objective::MinDelay,
+        constraints: Constraints::relaxed_bandwidth(),
+        max_swap_passes: 1,
+        table_prep: prep,
+        ..MapperConfig::default()
+    }
+}
+
+fn scale_topology(cores: usize, idx: usize) -> TopologyGraph {
+    builders::standard_library(cores, 500.0)
+        .expect("library builds")
+        .swap_remove(idx)
+}
+
+fn scale_app(cores: usize) -> CoreGraph {
+    let spec: SyntheticSpec = format!("synth:seed=7,cores={cores}")
+        .parse()
+        .expect("valid spec");
+    spec.generate()
+}
+
+#[test]
+fn scale_tier_mappings_match_the_pinned_goldens() {
+    for tier in [256usize, 1024] {
+        let app = scale_app(tier);
+        let mut reports = Vec::new();
+        for f in SCALE_FIXTURES.iter().filter(|f| f.cores == tier) {
+            let g = scale_topology(tier, f.topo);
+            assert_eq!(g.kind().name(), f.kind, "library order drifted");
+            let mapping = Mapper::new(&g, &app, scale_config(TablePrep::Auto))
+                .run()
+                .expect("scale workload maps under relaxed bandwidth");
+            let ctx = format!("{} / {}c", f.kind, f.cores);
+            let report = mapping.report();
+            assert_eq!(report.power_mw, f.power_mw, "{ctx}: power drifted");
+            assert_eq!(
+                report.floorplan_area, f.floorplan_area,
+                "{ctx}: floorplan area drifted"
+            );
+            assert_eq!(
+                mapping.evaluated_candidates(),
+                f.evaluated_candidates,
+                "{ctx}: candidate count drifted"
+            );
+            reports.push((f.kind, report.clone()));
+        }
+        // The tier's MinDelay winner is pinned too: the hypercube's
+        // log-diameter beats the grids on average hops at every tier.
+        let mut winner = 0;
+        for i in 1..reports.len() {
+            if reports[i]
+                .1
+                .better_than(&reports[winner].1, Objective::MinDelay)
+            {
+                winner = i;
+            }
+        }
+        assert_eq!(reports[winner].0, "Hypercube", "{tier}c: winner drifted");
+    }
+}
+
+/// The 4096-core acceptance smoke: a 64×64 mesh maps end to end under
+/// a generous wall-clock bound (measured ~11 s cold in release on the
+/// CI container), bit-identical to the pinned report. The run costs
+/// minutes in a debug build, so `make scale-smoke` opts in through
+/// `SUNMAP_SCALE_SMOKE=1` against the release binary.
+#[test]
+fn mesh_4096_smoke_maps_within_the_wall_clock_bound() {
+    if std::env::var_os("SUNMAP_SCALE_SMOKE").is_none() {
+        eprintln!("skipping 4096-core smoke (set SUNMAP_SCALE_SMOKE=1 to run)");
+        return;
+    }
+    let app = scale_app(4096);
+    let g = builders::mesh(64, 64, 500.0).expect("mesh builds");
+    let start = std::time::Instant::now();
+    let mapping = Mapper::new(&g, &app, scale_config(TablePrep::Auto))
+        .run()
+        .expect("4096-core mesh maps under relaxed bandwidth");
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed.as_secs() < 240,
+        "4096-core mesh took {elapsed:.1?} (bound: 240 s)"
+    );
+    assert_eq!(mapping.report().power_mw, 2039084.202496331);
+    assert_eq!(mapping.report().floorplan_area, 45464.20695604746);
+    assert_eq!(mapping.evaluated_candidates(), 16);
+    println!("4096-core mesh mapped in {elapsed:.1?}");
 }
 
 #[test]
