@@ -102,10 +102,18 @@ table-equiv:
 doc:
 	RUSTDOCFLAGS="-D warnings" $(CARGO) doc --locked --workspace --no-deps
 
-## Formatting + clippy, both as hard errors, matching the CI gates.
+LINT_JSON := target/lint.json
+
+## Formatting + clippy + sunmap-lint (the in-tree determinism &
+## concurrency pass), all as hard errors, matching the CI gates. The
+## machine-readable report lands in $(LINT_JSON) whether or not the
+## human-readable run passes.
 lint:
 	$(CARGO) fmt --all -- --check
 	$(CARGO) clippy --locked --workspace --all-targets -- -D warnings
+	$(CARGO) run --locked --release -q -p sunmap-lint -- --workspace --json \
+		> $(LINT_JSON)
+	@echo "wrote $(LINT_JSON)"
 
 ## Apply rustfmt in place.
 fmt:

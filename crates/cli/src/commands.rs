@@ -11,6 +11,7 @@ use sunmap::batch::{
     manifest_fingerprint, plan_resume, run_batch, shard_range, BatchJob, BatchManifest, ResumePlan,
 };
 use sunmap::request::{ConstraintMode, ExploreRequest, RequestRunner};
+use sunmap::schema::{SERVE_SCHEMA, SIMULATE_SCHEMA};
 use sunmap::serve::{read_frame, report_slice, serve, verify_replay, write_frame, ServeConfig};
 use sunmap::shard::{run_coordinator, run_worker, CoordConfig};
 use sunmap::sim::sweep::{injection_sweep, stats_json_fields, sweep_csv, sweep_json, SweepRequest};
@@ -175,7 +176,7 @@ fn client(cli: &Cli, request: Option<ExploreRequest>) -> CliResult {
     };
     write_frame(&mut stream, &frame)?;
     let response = read_frame(&mut stream)?.ok_or("daemon closed the connection")?;
-    if !response.starts_with("{\"schema\":\"sunmap-serve/1\",\"ok\":true") {
+    if !response.starts_with(&format!("{{\"schema\":\"{SERVE_SCHEMA}\",\"ok\":true")) {
         return Err(format!("daemon refused the request: {response}").into());
     }
     match cli.client_op {
@@ -472,7 +473,7 @@ fn simulate(cli: &Cli, app: CoreGraph) -> CliResult {
         "topology", "lat (cy)", "packets", "delivery"
     );
     let mut json = format!(
-        "{{\"schema\":\"sunmap-simulate/1\",\"app\":{},\"intensity\":{},\"topologies\":[",
+        "{{\"schema\":\"{SIMULATE_SCHEMA}\",\"app\":{},\"intensity\":{},\"topologies\":[",
         json_string(&cli.app),
         json_number(cli.intensity)
     );

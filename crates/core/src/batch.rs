@@ -44,6 +44,7 @@ use std::sync::mpsc;
 use std::sync::Arc;
 
 use crate::request::{execute, parse_engine, parse_table_prep, ExploreRequest, LruLibraryCache};
+use crate::schema::BATCH_SCHEMA;
 use sunmap_mapping::{Objective, RoutingFunction, SwapStrategy, TablePrep};
 use sunmap_sim::sweep::json_string;
 use sunmap_sim::SimEngine;
@@ -316,7 +317,7 @@ pub(crate) fn run_job(job: &BatchJob, cache: &mut LruLibraryCache) -> String {
         |topos| execute(&job.app_spec, &job.app, &job.request, topos).0,
     );
     format!(
-        "{{\"schema\":\"sunmap-batch/1\",\"job\":{},{body}}}",
+        "{{\"schema\":\"{BATCH_SCHEMA}\",\"job\":{},{body}}}",
         json_string(&job.id)
     )
 }

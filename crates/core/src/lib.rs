@@ -56,6 +56,7 @@ mod json;
 pub mod metrics;
 mod pareto;
 pub mod request;
+pub mod schema;
 pub mod serve;
 pub mod shard;
 pub mod shard_sim;

@@ -14,6 +14,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
+use crate::schema::{SERVE_METRICS_SCHEMA, SHARD_METRICS_SCHEMA};
 use sunmap_sim::sweep::json_number;
 
 /// Number of histogram buckets: bucket `i` counts samples in
@@ -177,7 +178,7 @@ impl Metrics {
             0.0
         };
         format!(
-            "{{\"schema\":\"sunmap-serve-metrics/1\",\"uptime_secs\":{},\
+            "{{\"schema\":\"{SERVE_METRICS_SCHEMA}\",\"uptime_secs\":{},\
              \"requests\":{{\"explore\":{},\"stats\":{},\"ping\":{},\"errors\":{},\
              \"write_timeouts\":{}}},\
              \"cache\":{{\"hits\":{},\"misses\":{}}},\
@@ -228,7 +229,7 @@ impl ShardCounters {
     /// One-line JSON snapshot (schema `sunmap-shard-metrics/1`).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"schema\":\"sunmap-shard-metrics/1\",\"jobs_completed\":{},\
+            "{{\"schema\":\"{SHARD_METRICS_SCHEMA}\",\"jobs_completed\":{},\
              \"leases_granted\":{},\"lease_retries\":{},\"ranges_requeued\":{},\
              \"worker_deaths\":{},\"duplicate_results\":{}}}",
             self.jobs_completed,

@@ -57,11 +57,7 @@ pub fn pareto_front(points: &[ParetoPoint]) -> Vec<ParetoPoint> {
         }
         front.push(p.clone());
     }
-    front.sort_by(|a, b| {
-        a.x.partial_cmp(&b.x)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| a.y.partial_cmp(&b.y).unwrap_or(std::cmp::Ordering::Equal))
-    });
+    front.sort_by(|a, b| a.x.total_cmp(&b.x).then_with(|| a.y.total_cmp(&b.y)));
     front
 }
 

@@ -54,6 +54,7 @@ use crate::frame::read_frame_draining;
 use crate::json::Json;
 use crate::metrics::Metrics;
 use crate::request::{execute, ExploreRequest, LruLibraryCache, RequestRunner};
+use crate::schema::{REPORT_SCHEMA, SERVE_LOG_SCHEMA, SERVE_SCHEMA};
 use sunmap_mapping::timing;
 
 pub use crate::frame::{read_frame, write_frame, MAX_FRAME_BYTES};
@@ -227,15 +228,21 @@ where
 pub(crate) fn install_sigterm_handler() {
     use std::os::raw::c_int;
     const SIGTERM: c_int = 15;
+    // SAFETY: the handler does only async-signal-safe work — a single
+    // atomic store, no allocation, no locks.
     unsafe extern "C" fn on_sigterm(_signum: c_int) {
-        // Only async-signal-safe work here: one atomic store.
         SHUTDOWN.store(true, Ordering::SeqCst);
     }
     extern "C" {
-        // `signal(2)` from the platform C library; avoids a libc crate
-        // dependency for one call.
+        // `signal(2)` from the platform C library, declared here to
+        // avoid a libc crate dependency for one call.
+        // SAFETY: the signature matches the POSIX prototype
+        // `void (*signal(int, void (*)(int)))(int)` up to the opaque
+        // return value, which is never dereferenced.
         fn signal(signum: c_int, handler: unsafe extern "C" fn(c_int)) -> usize;
     }
+    // SAFETY: both arguments are valid for the declared prototype and
+    // the handler is async-signal-safe (see above).
     unsafe {
         signal(SIGTERM, on_sigterm);
     }
@@ -289,7 +296,7 @@ impl Server<'_> {
             self.metrics.errors.fetch_add(1, Ordering::Relaxed);
             (
                 format!(
-                    "{{\"schema\":\"sunmap-serve/1\",\"ok\":false,\"error\":{}}}",
+                    "{{\"schema\":\"{SERVE_SCHEMA}\",\"ok\":false,\"error\":{}}}",
                     sunmap_sim::sweep::json_string(&message)
                 ),
                 false,
@@ -303,7 +310,7 @@ impl Server<'_> {
             Some("ping") => {
                 self.metrics.ping_requests.fetch_add(1, Ordering::Relaxed);
                 (
-                    "{\"schema\":\"sunmap-serve/1\",\"ok\":true,\"op\":\"ping\"}".to_string(),
+                    format!("{{\"schema\":\"{SERVE_SCHEMA}\",\"ok\":true,\"op\":\"ping\"}}"),
                     false,
                 )
             }
@@ -311,7 +318,7 @@ impl Server<'_> {
                 self.metrics.stats_requests.fetch_add(1, Ordering::Relaxed);
                 (
                     format!(
-                        "{{\"schema\":\"sunmap-serve/1\",\"ok\":true,\"op\":\"stats\",\
+                        "{{\"schema\":\"{SERVE_SCHEMA}\",\"ok\":true,\"op\":\"stats\",\
                          \"metrics\":{}}}",
                         self.metrics.to_json()
                     ),
@@ -321,9 +328,10 @@ impl Server<'_> {
             Some("shutdown") => {
                 SHUTDOWN.store(true, Ordering::SeqCst);
                 (
-                    "{\"schema\":\"sunmap-serve/1\",\"ok\":true,\"op\":\"shutdown\",\
-                     \"draining\":true}"
-                        .to_string(),
+                    format!(
+                        "{{\"schema\":\"{SERVE_SCHEMA}\",\"ok\":true,\"op\":\"shutdown\",\
+                         \"draining\":true}}"
+                    ),
                     true,
                 )
             }
@@ -338,7 +346,7 @@ impl Server<'_> {
                 match self.run_explore(&request) {
                     Ok((report, cache_hit)) => (
                         format!(
-                            "{{\"schema\":\"sunmap-serve/1\",\"ok\":true,\"op\":\"explore\",\
+                            "{{\"schema\":\"{SERVE_SCHEMA}\",\"ok\":true,\"op\":\"explore\",\
                              \"cache_hit\":{cache_hit},\"report\":{report}}}"
                         ),
                         false,
@@ -368,7 +376,7 @@ impl Server<'_> {
             .checkout(app.core_count(), req.capacity, req.table_prep);
         let (body, stats) = execute(&spec, &app, req, &mut library.topos);
         self.cache.lock().expect("cache lock").checkin(library);
-        let line = format!("{{\"schema\":\"sunmap-report/1\",{body}}}");
+        let line = format!("{{\"schema\":\"{REPORT_SCHEMA}\",{body}}}");
 
         let m = self.metrics;
         m.explore_requests.fetch_add(1, Ordering::Relaxed);
@@ -396,7 +404,7 @@ impl Server<'_> {
         if let Some(log) = self.log {
             let seq = self.log_seq.fetch_add(1, Ordering::Relaxed);
             let entry = format!(
-                "{{\"schema\":\"sunmap-serve-log/1\",\"seq\":{seq},\"request\":{},\
+                "{{\"schema\":\"{SERVE_LOG_SCHEMA}\",\"seq\":{seq},\"request\":{},\
                  \"report\":{line}}}",
                 req.to_json()
             );
@@ -436,10 +444,10 @@ pub fn verify_replay(path: &Path, cache_entries: usize) -> Result<ReplaySummary,
         }
         let entry = Json::parse(line).map_err(|e| format!("log line {lineno} is not JSON: {e}"))?;
         match entry.get("schema").and_then(Json::as_str) {
-            Some("sunmap-serve-log/1") => {}
+            Some(SERVE_LOG_SCHEMA) => {}
             other => {
                 return Err(format!(
-                    "log line {lineno} has schema {other:?}, expected sunmap-serve-log/1"
+                    "log line {lineno} has schema {other:?}, expected {SERVE_LOG_SCHEMA}"
                 ));
             }
         }
@@ -538,39 +546,43 @@ mod tests {
             ..ServeConfig::default()
         };
         let (addr_tx, addr_rx) = channel();
-        let server =
-            thread::spawn(move || serve(&config, |addr| addr_tx.send(addr).expect("report addr")));
-        let addr = addr_rx.recv().expect("server comes up");
-        let mut stream = TcpStream::connect(addr).expect("connect");
+        // thread::scope (not bare spawn): the daemon thread is joined
+        // before the scope ends and its panics propagate to the test.
+        let summary = thread::scope(|scope| {
+            let server =
+                scope.spawn(|| serve(&config, |addr| addr_tx.send(addr).expect("report addr")));
+            let addr = addr_rx.recv().expect("server comes up");
+            let mut stream = TcpStream::connect(addr).expect("connect");
 
-        let pong = roundtrip(&mut stream, "{\"op\":\"ping\"}");
-        assert!(pong.contains("\"op\":\"ping\""), "{pong}");
+            let pong = roundtrip(&mut stream, "{\"op\":\"ping\"}");
+            assert!(pong.contains("\"op\":\"ping\""), "{pong}");
 
-        let req = ExploreRequest::new("dsp".parse().unwrap());
-        let first = roundtrip(&mut stream, &request_frame(&req.to_json()));
-        assert!(first.contains("\"cache_hit\":false"), "{first}");
-        let second = roundtrip(&mut stream, &request_frame(&req.to_json()));
-        assert!(second.contains("\"cache_hit\":true"), "{second}");
-        assert_eq!(report_slice(&first), report_slice(&second));
+            let req = ExploreRequest::new("dsp".parse().unwrap());
+            let first = roundtrip(&mut stream, &request_frame(&req.to_json()));
+            assert!(first.contains("\"cache_hit\":false"), "{first}");
+            let second = roundtrip(&mut stream, &request_frame(&req.to_json()));
+            assert!(second.contains("\"cache_hit\":true"), "{second}");
+            assert_eq!(report_slice(&first), report_slice(&second));
 
-        // The daemon's bytes match the one-shot runner's bytes.
-        let oneshot = RequestRunner::new(1).run(&req).unwrap();
-        assert_eq!(report_slice(&first), Some(oneshot.line.as_str()));
+            // The daemon's bytes match the one-shot runner's bytes.
+            let oneshot = RequestRunner::new(1).run(&req).unwrap();
+            assert_eq!(report_slice(&first), Some(oneshot.line.as_str()));
 
-        // Bad frames are errors, not disconnects.
-        let err = roundtrip(&mut stream, "{\"op\":\"warp\"}");
-        assert!(err.contains("\"ok\":false"), "{err}");
+            // Bad frames are errors, not disconnects.
+            let err = roundtrip(&mut stream, "{\"op\":\"warp\"}");
+            assert!(err.contains("\"ok\":false"), "{err}");
 
-        let stats = roundtrip(&mut stream, "{\"op\":\"stats\"}");
-        assert!(
-            stats.contains("\"schema\":\"sunmap-serve-metrics/1\""),
-            "{stats}"
-        );
-        assert!(stats.contains("\"hits\":1"), "{stats}");
+            let stats = roundtrip(&mut stream, "{\"op\":\"stats\"}");
+            assert!(
+                stats.contains("\"schema\":\"sunmap-serve-metrics/1\""),
+                "{stats}"
+            );
+            assert!(stats.contains("\"hits\":1"), "{stats}");
 
-        let bye = roundtrip(&mut stream, "{\"op\":\"shutdown\"}");
-        assert!(bye.contains("\"draining\":true"), "{bye}");
-        let summary = server.join().expect("no panic").expect("clean shutdown");
+            let bye = roundtrip(&mut stream, "{\"op\":\"shutdown\"}");
+            assert!(bye.contains("\"draining\":true"), "{bye}");
+            server.join().expect("no panic").expect("clean shutdown")
+        });
         assert_eq!(summary.explore_requests, 2);
         assert!(
             summary.metrics_json.contains("\"explore\":2"),

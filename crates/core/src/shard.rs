@@ -71,8 +71,9 @@ use crate::request::LruLibraryCache;
 use crate::serve::{claim_daemon_slot, POLL_INTERVAL, SHUTDOWN};
 use sunmap_sim::sweep::json_string;
 
-/// The wire schema identifier carried by every shard frame.
-pub const SHARD_SCHEMA: &str = "sunmap-shard/1";
+/// The wire schema identifier carried by every shard frame (defined in
+/// [`crate::schema`] with the rest of the wire-schema registry).
+pub use crate::schema::SHARD_SCHEMA;
 
 /// A coordinator-assigned connection identity. Transport-level: a
 /// restarted worker process is a *new* `WorkerId` even if it reuses

@@ -24,6 +24,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::metrics::ShardCounters;
+use crate::schema::BATCH_SCHEMA;
 use crate::shard::{
     CoordAction, CoordConfig, CoordEvent, Coordinator, ShardWorker, WorkerAction, WorkerEvent,
     WorkerId,
@@ -111,7 +112,7 @@ pub struct SimOutcome {
 /// one property that matters here: same job, same bytes, any process.
 pub fn sim_job_line(job: usize) -> String {
     format!(
-        "{{\"schema\":\"sunmap-batch/1\",\"job\":\"sim-{job}\",\"value\":{}}}",
+        "{{\"schema\":\"{BATCH_SCHEMA}\",\"job\":\"sim-{job}\",\"value\":{}}}",
         (job * 31) % 97
     )
 }

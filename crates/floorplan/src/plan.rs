@@ -1,6 +1,6 @@
 //! The longest-path constraint-graph solve and the resulting plan.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::{BlockId, FloorplanError, RelativePlacement};
 
@@ -138,7 +138,7 @@ pub(crate) fn solve(rp: &RelativePlacement) -> Result<Floorplan, FloorplanError>
             });
         }
     }
-    let mut seen: HashMap<(usize, usize), ()> = HashMap::new();
+    let mut seen: BTreeMap<(usize, usize), ()> = BTreeMap::new();
     for &(row, col) in rp.positions() {
         if seen.insert((row, col), ()).is_some() {
             return Err(FloorplanError::SlotCollision { row, col });

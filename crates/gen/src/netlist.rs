@@ -129,21 +129,20 @@ pub fn build_netlist(
     placement: &sunmap_mapping::Placement,
 ) -> Netlist {
     let mut nl = Netlist::default();
-    let mut switch_index = std::collections::HashMap::new();
+    // Indexed by node id; `usize::MAX` marks non-switch vertices.
+    let mut switch_index = vec![usize::MAX; g.node_count()];
     // Per-switch running port counters for deterministic port numbers.
-    let mut next_in = std::collections::HashMap::new();
-    let mut next_out = std::collections::HashMap::new();
+    let mut next_in = vec![0usize; g.node_count()];
+    let mut next_out = vec![0usize; g.node_count()];
 
     for (s, inputs, outputs) in g.switch_radices() {
-        switch_index.insert(s, nl.components.len());
+        switch_index[s.index()] = nl.components.len();
         nl.components.push(Component::Switch {
             name: format!("sw_{s}"),
             node: s,
             inputs,
             outputs,
         });
-        next_in.insert(s, 0usize);
-        next_out.insert(s, 0usize);
     }
 
     // Network channels between switches.
@@ -151,24 +150,12 @@ pub fn build_netlist(
         if g.node_kind(edge.src) != NodeKind::Switch || g.node_kind(edge.dst) != NodeKind::Switch {
             continue;
         }
-        let from = switch_index[&edge.src];
-        let to = switch_index[&edge.dst];
-        let from_port = *next_out
-            .get_mut(&edge.src)
-            .map(|p| {
-                *p += 1;
-                &*p
-            })
-            .expect("switch registered")
-            - 1;
-        let to_port = *next_in
-            .get_mut(&edge.dst)
-            .map(|p| {
-                *p += 1;
-                &*p
-            })
-            .expect("switch registered")
-            - 1;
+        let from = switch_index[edge.src.index()];
+        let to = switch_index[edge.dst.index()];
+        let from_port = next_out[edge.src.index()];
+        next_out[edge.src.index()] += 1;
+        let to_port = next_in[edge.dst.index()];
+        next_in[edge.dst.index()] += 1;
         nl.connections.push(Connection {
             from,
             from_port,
@@ -209,31 +196,19 @@ pub fn build_netlist(
             .ingress_switch(node)
             .expect("mapped vertex has an ingress");
         let egress = g.egress_switch(node).expect("mapped vertex has an egress");
-        let in_port = *next_in
-            .get_mut(&ingress)
-            .map(|p| {
-                *p += 1;
-                &*p
-            })
-            .expect("switch registered")
-            - 1;
+        let in_port = next_in[ingress.index()];
+        next_in[ingress.index()] += 1;
         nl.connections.push(Connection {
             from: ni_index,
             from_port: 0,
-            to: switch_index[&ingress],
+            to: switch_index[ingress.index()],
             to_port: in_port,
             kind: LinkKind::Attach,
         });
-        let out_port = *next_out
-            .get_mut(&egress)
-            .map(|p| {
-                *p += 1;
-                &*p
-            })
-            .expect("switch registered")
-            - 1;
+        let out_port = next_out[egress.index()];
+        next_out[egress.index()] += 1;
         nl.connections.push(Connection {
-            from: switch_index[&egress],
+            from: switch_index[egress.index()],
             from_port: out_port,
             to: ni_index,
             to_port: 1,

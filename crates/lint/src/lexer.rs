@@ -1,0 +1,416 @@
+//! A hand-rolled Rust lexer, just deep enough for lint rules.
+//!
+//! The rules in [`crate::rules`] match on identifier and string-literal
+//! tokens, so the one job this lexer must do *correctly* is decide what
+//! is code and what is not: line comments, (nested) block comments,
+//! string literals with escapes, raw strings with arbitrary `#` fences,
+//! byte strings, char literals, and the `'a`-lifetime-versus-`'a'`-char
+//! ambiguity. Everything it cannot classify falls through as a
+//! single-character [`TokenKind::Punct`] — never an error: lexing must
+//! total so the linter can be pointed at arbitrary (even syntactically
+//! broken) input without panicking.
+//!
+//! Comments are *kept* as tokens rather than skipped, because two
+//! consumers need them: the `// lint:allow(rule): reason` suppression
+//! scanner and the `naked-unsafe` rule's `// SAFETY:` search.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (the lexer does not distinguish).
+    Ident,
+    /// `"…"` or `b"…"`, escapes handled.
+    Str,
+    /// `r"…"`, `r#"…"#`, `br##"…"##`, any fence depth.
+    RawStr,
+    /// `'x'`, `'\n'`, `b'x'` — a character or byte literal.
+    Char,
+    /// `'a`, `'static`, `'_` — a lifetime (or loop label).
+    Lifetime,
+    /// A numeric literal (loosely lexed; suffixes included).
+    Number,
+    /// `// …` to end of line (doc comments included).
+    LineComment,
+    /// `/* … */`, nesting respected (doc comments included).
+    BlockComment,
+    /// Any other single character of punctuation.
+    Punct,
+}
+
+/// One lexed token. `start..end` index into the source string; `line`
+/// and `col` are 1-based and refer to `start`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub start: usize,
+    pub end: usize,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's source text.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Lexes `src` completely. Total: never panics, never drops input —
+/// the concatenation of all token texts is exactly `src` minus
+/// whitespace.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    /// Byte offset of the next unconsumed char.
+    pos: usize,
+    line: u32,
+    /// Byte offset where the current line starts.
+    line_start: usize,
+    tokens: Vec<Token>,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(src: &'s str) -> Self {
+        Lexer {
+            src,
+            pos: 0,
+            line: 1,
+            line_start: 0,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek_at(&self, n: usize) -> Option<char> {
+        self.src[self.pos..].chars().nth(n)
+    }
+
+    /// Consumes one char, maintaining the line counter.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.line_start = self.pos;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32, col: u32) {
+        self.tokens.push(Token {
+            kind,
+            start,
+            end: self.pos,
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek() {
+            let start = self.pos;
+            let line = self.line;
+            let col = (start - self.line_start) as u32 + 1;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek_at(1) == Some('/') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                    self.push(TokenKind::LineComment, start, line, col);
+                }
+                '/' if self.peek_at(1) == Some('*') => {
+                    self.block_comment();
+                    self.push(TokenKind::BlockComment, start, line, col);
+                }
+                '"' => {
+                    self.string();
+                    self.push(TokenKind::Str, start, line, col);
+                }
+                '\'' => {
+                    let kind = self.char_or_lifetime();
+                    self.push(kind, start, line, col);
+                }
+                'r' if matches!(self.peek_at(1), Some('"' | '#')) => {
+                    // `r"…"`, `r#"…"#`, or a raw identifier `r#ident`.
+                    let kind = self.raw_string_or_ident(1);
+                    self.push(kind, start, line, col);
+                }
+                'b' if self.peek_at(1) == Some('"') => {
+                    self.bump(); // b
+                    self.string();
+                    self.push(TokenKind::Str, start, line, col);
+                }
+                'b' if self.peek_at(1) == Some('\'') => {
+                    self.bump(); // b
+                    self.bump(); // '
+                    self.char_body();
+                    self.push(TokenKind::Char, start, line, col);
+                }
+                'b' if self.peek_at(1) == Some('r')
+                    && matches!(self.peek_at(2), Some('"' | '#')) =>
+                {
+                    self.bump(); // b
+                    let kind = self.raw_string_or_ident(1);
+                    self.push(kind, start, line, col);
+                }
+                c if c.is_alphabetic() || c == '_' => {
+                    self.ident_tail();
+                    self.push(TokenKind::Ident, start, line, col);
+                }
+                c if c.is_ascii_digit() => {
+                    // Loose: consume digits, `_`, type suffixes, a
+                    // radix prefix, exponent signs, and a fractional
+                    // point — but never eat a `..` range operator.
+                    while let Some(c) = self.peek() {
+                        let fraction_dot = c == '.'
+                            && self.peek_at(1) != Some('.')
+                            && self.peek_at(1).is_none_or(|c| !c.is_alphabetic());
+                        if c.is_ascii_alphanumeric() || c == '_' || fraction_dot {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.push(TokenKind::Number, start, line, col);
+                }
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct, start, line, col);
+                }
+            }
+        }
+        self.tokens
+    }
+
+    /// Consumes a `/* … */` comment with nesting; the opening `/*` is
+    /// still unconsumed. Unterminated comments run to end of input.
+    fn block_comment(&mut self) {
+        self.bump(); // /
+        self.bump(); // *
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(), self.peek_at(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// Consumes a `"…"` body starting at the opening quote; backslash
+    /// escapes any following char. Unterminated strings run to EOF.
+    fn string(&mut self) {
+        self.bump(); // opening "
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// After `r` (already at `pos+offset_consumed`), lexes either a raw
+    /// string `r#*"…"#*` or a raw identifier `r#ident`. `consume_r`
+    /// chars (the `r`, and for `br` the caller consumed `b` itself)
+    /// are consumed here first.
+    fn raw_string_or_ident(&mut self, consume_r: usize) -> TokenKind {
+        for _ in 0..consume_r {
+            self.bump();
+        }
+        let mut fence = 0usize;
+        while self.peek() == Some('#') {
+            // Lookahead: `r#ident` (raw identifier) has an ident char
+            // where a raw string has `#` or `"`.
+            if fence == 0
+                && self
+                    .peek_at(1)
+                    .is_some_and(|c| c.is_alphabetic() || c == '_')
+            {
+                self.bump(); // #
+                self.ident_tail();
+                return TokenKind::Ident;
+            }
+            self.bump();
+            fence += 1;
+        }
+        if self.peek() != Some('"') {
+            // `r#` followed by nothing lexable — treat as punct-ish
+            // ident fragment; totality over precision.
+            return TokenKind::Ident;
+        }
+        self.bump(); // opening "
+        'scan: while let Some(c) = self.bump() {
+            if c == '"' {
+                // A close needs `fence` hashes; fewer means the quote
+                // was content and the scan continues.
+                let mut matched = 0usize;
+                while matched < fence {
+                    if self.peek() == Some('#') {
+                        self.bump();
+                        matched += 1;
+                    } else {
+                        continue 'scan;
+                    }
+                }
+                break;
+            }
+        }
+        TokenKind::RawStr
+    }
+
+    /// At an opening `'`: decide lifetime vs char literal and consume.
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        self.bump(); // '
+        let first = self.peek();
+        let second = self.peek_at(1);
+        let is_lifetime = match first {
+            Some(c) if c.is_alphabetic() || c == '_' => second != Some('\''),
+            _ => false,
+        };
+        if is_lifetime {
+            self.ident_tail();
+            TokenKind::Lifetime
+        } else {
+            self.char_body();
+            TokenKind::Char
+        }
+    }
+
+    /// Consumes a char-literal body up to and including the closing
+    /// `'`; the opening `'` is already consumed. Escapes respected;
+    /// an unterminated literal stops at end of line (chars cannot span
+    /// lines, and running on would swallow real code).
+    fn char_body(&mut self) {
+        while let Some(c) = self.peek() {
+            match c {
+                '\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                '\'' => {
+                    self.bump();
+                    break;
+                }
+                '\n' => break,
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// Consumes the tail of an identifier (first char may or may not be
+    /// consumed yet — this just eats ident chars greedily).
+    fn ident_tail(&mut self) {
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src)))
+            .collect()
+    }
+
+    #[test]
+    fn comments_strings_and_code_are_separated() {
+        let src = "let x = \"// not a comment\"; // real\n/* block /* nested */ */ y";
+        let toks = kinds(src);
+        assert!(toks.contains(&(TokenKind::Str, "\"// not a comment\"")));
+        assert!(toks.contains(&(TokenKind::LineComment, "// real")));
+        assert!(toks.contains(&(TokenKind::BlockComment, "/* block /* nested */ */")));
+        assert!(toks.contains(&(TokenKind::Ident, "y")));
+    }
+
+    #[test]
+    fn raw_strings_swallow_fences_and_quotes() {
+        let src = r####"let s = r#"inner " quote"#; let t = r"plain";"####;
+        let toks = kinds(src);
+        assert!(toks.contains(&(TokenKind::RawStr, r###"r#"inner " quote"#"###)));
+        assert!(toks.contains(&(TokenKind::RawStr, r#"r"plain""#)));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; let u = '_'; }";
+        let toks = kinds(src);
+        assert!(toks.contains(&(TokenKind::Lifetime, "'a")));
+        assert!(toks.contains(&(TokenKind::Char, "'x'")));
+        assert!(toks.contains(&(TokenKind::Char, "'\\n'")));
+        // '_' here is the char literal underscore, three chars long.
+        assert!(toks.contains(&(TokenKind::Char, "'_'")));
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks.contains(&(TokenKind::Ident, "r#type")));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = kinds(r##"let a = b"bytes"; let b = b'x'; let c = br#"raw"#;"##);
+        assert!(toks.contains(&(TokenKind::Str, "b\"bytes\"")));
+        assert!(toks.contains(&(TokenKind::Char, "b'x'")));
+        assert!(toks.contains(&(TokenKind::RawStr, "br#\"raw\"#")));
+    }
+
+    #[test]
+    fn ranges_are_not_swallowed_by_numbers() {
+        let toks = kinds("for i in 0..10 { let f = 1.5e3; }");
+        assert!(toks.contains(&(TokenKind::Number, "0")));
+        assert!(toks.contains(&(TokenKind::Number, "10")));
+        assert!(toks.contains(&(TokenKind::Number, "1.5e3")));
+    }
+
+    #[test]
+    fn method_calls_on_numbers_are_not_swallowed() {
+        let toks = kinds("1.max(2)");
+        assert!(toks.contains(&(TokenKind::Number, "1")));
+        assert!(toks.contains(&(TokenKind::Ident, "max")));
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let toks = lex("a\n  bb");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+}

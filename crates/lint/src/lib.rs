@@ -1,0 +1,48 @@
+//! `sunmap-lint`: a determinism & concurrency static-analysis pass.
+//!
+//! Every PR in this repository stakes its acceptance on determinism —
+//! byte-identical JSONL at any worker count, bit-identical simulation
+//! engines and route-table preparations, resumable output prefixes.
+//! That invariant was historically enforced only by equivalence tests
+//! *after the fact*; nothing stopped the next change from
+//! reintroducing a `HashMap` iteration into a result path, a
+//! `partial_cmp` into a ranking, or an unseeded RNG. This crate makes
+//! the discipline machine-checked: a hand-rolled [`lexer`] (comments,
+//! strings, raw strings, and char literals classified correctly, never
+//! panicking) feeds a [`rules`] engine whose findings fail CI, so
+//! correctness scales with the codebase instead of with reviewer
+//! vigilance.
+//!
+//! # Usage
+//!
+//! ```text
+//! sunmap-lint --workspace            # lint every first-party .rs file
+//! sunmap-lint path/to/file.rs …      # lint explicit files
+//! sunmap-lint --workspace --json     # machine-readable (sunmap-lint/1)
+//! sunmap-lint --list-rules           # rule names and summaries
+//! ```
+//!
+//! Exit status: `0` clean, `1` findings, `2` usage or I/O error.
+//!
+//! # Suppressions
+//!
+//! A finding is silenced inline, with a mandatory reason:
+//!
+//! ```text
+//! let memo = HashMap::new(); // lint:allow(hash-iter): keyed lookups only, never iterated
+//! ```
+//!
+//! A standalone `// lint:allow(rule): reason` line silences the next
+//! code line. An allow without a reason, or naming an unknown rule, is
+//! itself a `malformed-allow` finding.
+
+pub mod engine;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use engine::{
+    find_workspace_root, lint_file, lint_paths, lint_workspace, FileContext, FileKind,
+};
+pub use report::{Finding, LintReport, LINT_SCHEMA};
+pub use rules::RULES;

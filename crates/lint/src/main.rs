@@ -1,0 +1,92 @@
+//! The `sunmap-lint` binary. See the crate docs in `lib.rs` for the
+//! rule set and suppression syntax; `make lint` runs this over the
+//! workspace after clippy, and CI uploads the `--json` report.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sunmap_lint::{engine, rules};
+
+const USAGE: &str = "\
+usage: sunmap-lint [--workspace | <file.rs> ...] [--json] [--list-rules]
+
+  --workspace    lint every first-party .rs file under the workspace
+                 (crates/, tests/, examples/; skips target/, vendor/,
+                 and rule fixtures)
+  --json         print one machine-readable line (schema sunmap-lint/1)
+                 instead of per-finding diagnostics
+  --list-rules   print rule names and what each guards, then exit
+
+exit status: 0 clean, 1 findings, 2 usage or I/O error";
+
+fn main() -> ExitCode {
+    let mut workspace = false;
+    let mut json = false;
+    let mut list_rules = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--json" => json = true,
+            "--list-rules" => list_rules = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("sunmap-lint: unknown flag '{other}'\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            file => paths.push(PathBuf::from(file)),
+        }
+    }
+    if list_rules {
+        for rule in rules::RULES {
+            println!("{:<16} {}", rule.name, rule.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+    if !workspace && paths.is_empty() {
+        eprintln!("sunmap-lint: pass --workspace or explicit files\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    if workspace && !paths.is_empty() {
+        eprintln!("sunmap-lint: --workspace and explicit files are mutually exclusive\n{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let report = if workspace {
+        let cwd = match std::env::current_dir() {
+            Ok(cwd) => cwd,
+            Err(e) => {
+                eprintln!("sunmap-lint: cannot read working directory: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        engine::find_workspace_root(&cwd).and_then(|root| engine::lint_workspace(&root))
+    } else {
+        engine::lint_paths(None, &paths)
+    };
+    let report = match report {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("sunmap-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", report.render_json());
+        // Humans watching CI still get the diagnostics, on stderr.
+        if !report.findings.is_empty() {
+            eprint!("{}", report.render_text());
+        }
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,125 @@
+//! Finding records and the human / `--json` renderers.
+
+/// The machine-readable output schema identifier.
+pub const LINT_SCHEMA: &str = "sunmap-lint/1";
+
+/// One rule violation at a source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule name, e.g. `hash-iter`.
+    pub rule: &'static str,
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// 1-based column of the offending token.
+    pub col: u32,
+    /// What is wrong and what to do instead.
+    pub message: String,
+}
+
+impl Finding {
+    /// The `path:line:col: rule: message` diagnostic line.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}:{}: {}: {}",
+            self.path, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// Everything one linter invocation produced.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Unsuppressed findings, in (path, line, col) order.
+    pub findings: Vec<Finding>,
+    /// Findings silenced by a well-formed `lint:allow`.
+    pub suppressed: usize,
+    /// Files scanned.
+    pub files: usize,
+}
+
+impl LintReport {
+    /// Human-readable rendering: one diagnostic per line plus a
+    /// trailing summary.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&f.render());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "sunmap-lint: {} finding{} ({} suppressed) in {} file{}\n",
+            self.findings.len(),
+            if self.findings.len() == 1 { "" } else { "s" },
+            self.suppressed,
+            self.files,
+            if self.files == 1 { "" } else { "s" },
+        ));
+        out
+    }
+
+    /// One-line machine-readable JSON (schema [`LINT_SCHEMA`]).
+    pub fn render_json(&self) -> String {
+        let mut out = format!(
+            "{{\"schema\":\"{LINT_SCHEMA}\",\"files\":{},\"suppressed\":{},\"findings\":[",
+            self.files, self.suppressed
+        );
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rule\":{},\"path\":{},\"line\":{},\"col\":{},\"message\":{}}}",
+                json_string(f.rule),
+                json_string(&f.path),
+                f.line,
+                f.col,
+                json_string(&f.message)
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (the linter is dependency-free).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_path_line_col_rule_message() {
+        let f = Finding {
+            rule: "hash-iter",
+            path: "crates/x/src/lib.rs".to_string(),
+            line: 3,
+            col: 7,
+            message: "no".to_string(),
+        };
+        assert_eq!(f.render(), "crates/x/src/lib.rs:3:7: hash-iter: no");
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_controls() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

@@ -1,0 +1,355 @@
+//! The determinism & concurrency rule set.
+//!
+//! Every rule here is keyed to a hazard this codebase has actually hit
+//! (or nearly hit) while building byte-identical JSONL streams,
+//! bit-identical engines and resumable prefixes:
+//!
+//! | rule | hazard |
+//! |------|--------|
+//! | `hash-iter` | `HashMap`/`HashSet` iteration order varies per run |
+//! | `float-cmp` | `partial_cmp` ranking ties break nondeterministically |
+//! | `wall-clock` | `Instant`/`SystemTime` outside injected-Tick modules |
+//! | `bare-spawn` | `thread::spawn` loses panics `thread::scope` propagates |
+//! | `unseeded-rng` | entropy-seeded RNGs cannot replay |
+//! | `naked-unsafe` | `unsafe` without a `// SAFETY:` justification |
+//! | `schema-literal` | duplicated `sunmap-*/N` wire-schema strings drift |
+//!
+//! Rules are lexical, not type-aware: they match token shapes the
+//! hazards reliably wear in this tree. False positives are expected to
+//! be rare and are silenced inline with
+//! `// lint:allow(<rule>): <reason>` — the reason is mandatory, so
+//! every exemption documents itself.
+
+use crate::engine::FileContext;
+use crate::lexer::{Token, TokenKind};
+
+/// A raw (pre-suppression) finding: the offending token plus message.
+pub struct RawFinding {
+    pub token: Token,
+    pub message: String,
+}
+
+/// One lint rule.
+pub struct Rule {
+    /// The name used in diagnostics and `lint:allow(...)`.
+    pub name: &'static str,
+    /// One-line description for `--list-rules`.
+    pub summary: &'static str,
+    /// Scans a file; suppression is applied by the engine afterwards.
+    pub check: fn(&FileContext) -> Vec<RawFinding>,
+}
+
+/// The rule emitted for a malformed `lint:allow` comment itself. Not a
+/// scanning rule (and not suppressible — an allow cannot excuse its own
+/// syntax).
+pub const MALFORMED_ALLOW: &str = "malformed-allow";
+
+/// Every scanning rule, in diagnostic order.
+pub const RULES: &[Rule] = &[
+    Rule {
+        name: "hash-iter",
+        summary: "HashMap/HashSet in library code: iteration order is nondeterministic",
+        check: check_hash_iter,
+    },
+    Rule {
+        name: "float-cmp",
+        summary: "partial_cmp on floats in ranking paths: use total_cmp",
+        check: check_float_cmp,
+    },
+    Rule {
+        name: "wall-clock",
+        summary: "Instant::now/SystemTime outside the timing/metrics/serve/shard modules",
+        check: check_wall_clock,
+    },
+    Rule {
+        name: "bare-spawn",
+        summary: "thread::spawn where thread::scope is required",
+        check: check_bare_spawn,
+    },
+    Rule {
+        name: "unseeded-rng",
+        summary: "RNG construction not derived from an explicit seed",
+        check: check_unseeded_rng,
+    },
+    Rule {
+        name: "naked-unsafe",
+        summary: "unsafe without an adjacent // SAFETY: comment",
+        check: check_naked_unsafe,
+    },
+    Rule {
+        name: "schema-literal",
+        summary: "wire-schema string duplicated instead of referencing the shared const",
+        check: check_schema_literal,
+    },
+];
+
+/// Looks a rule up by name (for `lint:allow` validation).
+pub fn rule_named(name: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.name == name)
+}
+
+/// Modules where wall-clock reads are the *point*: latency metrics,
+/// the serve/shard daemons' socket timeouts, and the floorplan timing
+/// attribution. Everything shard-sim drives must take time as injected
+/// Tick events instead.
+const WALL_CLOCK_ALLOWED: &[&str] = &[
+    "crates/mapping/src/timing.rs",
+    "crates/core/src/metrics.rs",
+    "crates/core/src/serve.rs",
+    "crates/core/src/shard.rs",
+];
+
+fn check_hash_iter(ctx: &FileContext) -> Vec<RawFinding> {
+    if !ctx.is_library() {
+        return Vec::new();
+    }
+    ctx.code_tokens()
+        .filter(|(_, t)| {
+            t.kind == TokenKind::Ident && matches!(t.text(&ctx.src), "HashMap" | "HashSet")
+        })
+        .filter(|(_, t)| !ctx.in_test_region(t))
+        .map(|(_, t)| RawFinding {
+            token: *t,
+            message: format!(
+                "{} iteration order is nondeterministic; use BTreeMap/BTreeSet/Vec in \
+                 result paths, or annotate why ordering never escapes",
+                t.text(&ctx.src)
+            ),
+        })
+        .collect()
+}
+
+fn check_float_cmp(ctx: &FileContext) -> Vec<RawFinding> {
+    if !ctx.is_library() {
+        return Vec::new();
+    }
+    let code = ctx.code();
+    let mut out = Vec::new();
+    for (i, t) in ctx.code_tokens() {
+        if t.kind != TokenKind::Ident || t.text(&ctx.src) != "partial_cmp" {
+            continue;
+        }
+        // `fn partial_cmp` is a PartialOrd impl, not a call site.
+        if i > 0 && code[i - 1].text(&ctx.src) == "fn" {
+            continue;
+        }
+        if ctx.in_test_region(t) {
+            continue;
+        }
+        out.push(RawFinding {
+            token: *t,
+            message: "partial_cmp on floats yields Equal-on-NaN tie-breaks that are not a \
+                      total order; rank with total_cmp"
+                .to_string(),
+        });
+    }
+    out
+}
+
+fn check_wall_clock(ctx: &FileContext) -> Vec<RawFinding> {
+    if !ctx.is_library() || WALL_CLOCK_ALLOWED.iter().any(|m| ctx.path.ends_with(m)) {
+        return Vec::new();
+    }
+    let code = ctx.code();
+    let mut out = Vec::new();
+    for (i, t) in ctx.code_tokens() {
+        if t.kind != TokenKind::Ident || ctx.in_test_region(t) {
+            continue;
+        }
+        let flagged = match t.text(&ctx.src) {
+            "SystemTime" => true,
+            "Instant" => follows(ctx, code, i, &["::", "now"]),
+            _ => false,
+        };
+        if flagged {
+            out.push(RawFinding {
+                token: *t,
+                message: "wall-clock read outside mapping::timing / core::{metrics, serve, \
+                          shard}; simulation-driven code must take time as injected Tick \
+                          events"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+fn check_bare_spawn(ctx: &FileContext) -> Vec<RawFinding> {
+    let code = ctx.code();
+    let mut out = Vec::new();
+    for (i, t) in ctx.code_tokens() {
+        if t.kind == TokenKind::Ident
+            && t.text(&ctx.src) == "thread"
+            && follows(ctx, code, i, &["::", "spawn"])
+        {
+            out.push(RawFinding {
+                token: *t,
+                message: "thread::spawn detaches the thread and swallows panics; use \
+                          thread::scope so joins are guaranteed and panics propagate"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+fn check_unseeded_rng(ctx: &FileContext) -> Vec<RawFinding> {
+    let code = ctx.code();
+    let mut out = Vec::new();
+    for (i, t) in ctx.code_tokens() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let flagged = match t.text(&ctx.src) {
+            "thread_rng" | "from_entropy" | "OsRng" | "ThreadRng" | "getrandom" => true,
+            "rand" => follows(ctx, code, i, &["::", "random"]),
+            _ => false,
+        };
+        if flagged {
+            out.push(RawFinding {
+                token: *t,
+                message: "RNG not derived from an explicit seed cannot replay; construct \
+                          via seed_from_u64/from_seed with a seed that reaches the output"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// How many lines above an `unsafe` token a `// SAFETY:` comment may
+/// sit (attributes or an `extern "C" {` opener may intervene).
+const SAFETY_COMMENT_REACH: u32 = 3;
+
+fn check_naked_unsafe(ctx: &FileContext) -> Vec<RawFinding> {
+    // Line spans of every comment mentioning SAFETY:.
+    let safety: Vec<(u32, u32)> = ctx
+        .tokens
+        .iter()
+        .filter(|t| {
+            matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment)
+                && t.text(&ctx.src).contains("SAFETY:")
+        })
+        .map(|t| {
+            let newlines = t.text(&ctx.src).matches('\n').count() as u32;
+            (t.line, t.line + newlines)
+        })
+        .collect();
+    ctx.code_tokens()
+        .filter(|(_, t)| t.kind == TokenKind::Ident && t.text(&ctx.src) == "unsafe")
+        .filter(|(_, t)| {
+            let lo = t.line.saturating_sub(SAFETY_COMMENT_REACH);
+            !safety
+                .iter()
+                .any(|&(start, end)| end >= lo && start <= t.line)
+        })
+        .map(|(_, t)| RawFinding {
+            token: *t,
+            message: "unsafe without a // SAFETY: comment justifying why the invariants \
+                      hold"
+                .to_string(),
+        })
+        .collect()
+}
+
+fn check_schema_literal(ctx: &FileContext) -> Vec<RawFinding> {
+    if !ctx.is_library() {
+        return Vec::new();
+    }
+    let code = ctx.code();
+    let mut out = Vec::new();
+    for (i, t) in ctx.code_tokens() {
+        if !matches!(t.kind, TokenKind::Str | TokenKind::RawStr) || ctx.in_test_region(t) {
+            continue;
+        }
+        if !contains_schema_pattern(t.text(&ctx.src)) {
+            continue;
+        }
+        // The one legitimate home: the RHS of a `const NAME: &str = …`
+        // declaration, which *is* the shared const.
+        let is_const_decl = i > 0
+            && code[i - 1].text(&ctx.src) == "="
+            && code[i.saturating_sub(8)..i]
+                .iter()
+                .any(|p| p.text(&ctx.src) == "const");
+        if is_const_decl {
+            continue;
+        }
+        out.push(RawFinding {
+            token: *t,
+            message: "wire-schema string duplicated as a literal; interpolate the shared \
+                      const (core::schema, sim::sweep) so producers and consumers cannot \
+                      drift"
+                .to_string(),
+        });
+    }
+    out
+}
+
+/// Whether `text` contains a `sunmap-<word>/<digit>` schema identifier.
+fn contains_schema_pattern(text: &str) -> bool {
+    let bytes = text.as_bytes();
+    let needle = b"sunmap-";
+    let mut i = 0;
+    while i + needle.len() < bytes.len() {
+        if &bytes[i..i + needle.len()] == needle {
+            let mut j = i + needle.len();
+            while j < bytes.len() && (bytes[j].is_ascii_lowercase() || bytes[j] == b'-') {
+                j += 1;
+            }
+            if j > i + needle.len()
+                && j + 1 < bytes.len()
+                && bytes[j] == b'/'
+                && bytes[j + 1].is_ascii_digit()
+            {
+                return true;
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    false
+}
+
+/// Whether the code tokens after index `i` spell out `parts` (each part
+/// one or more single-char punct tokens, or an identifier), e.g.
+/// `follows(.., i, &["::", "now"])` matches `Instant :: now`.
+fn follows(ctx: &FileContext, code: &[Token], i: usize, parts: &[&str]) -> bool {
+    let mut at = i + 1;
+    for part in parts {
+        if part.chars().all(|c| c.is_ascii_punctuation()) {
+            for ch in part.chars() {
+                match code.get(at) {
+                    Some(t) if t.text(&ctx.src).len() == 1 && t.text(&ctx.src).starts_with(ch) => {
+                        at += 1
+                    }
+                    _ => return false,
+                }
+            }
+        } else {
+            match code.get(at) {
+                Some(t) if t.kind == TokenKind::Ident && t.text(&ctx.src) == *part => at += 1,
+                _ => return false,
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_pattern_detection() {
+        assert!(contains_schema_pattern("\"sunmap-batch/1\""));
+        assert!(contains_schema_pattern(
+            "\"{\\\"schema\\\":\\\"sunmap-serve-log/1\\\",...}\""
+        ));
+        assert!(!contains_schema_pattern("\"sunmap-\""));
+        assert!(!contains_schema_pattern("\"sunmap batch\""));
+        assert!(!contains_schema_pattern("\"sunmap-batch\""));
+        assert!(!contains_schema_pattern("\"sunmap-/1\""));
+    }
+}

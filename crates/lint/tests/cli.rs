@@ -1,0 +1,117 @@
+//! End-to-end tests driving the `sunmap-lint` binary on temp files.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sunmap-lint"))
+}
+
+/// A unique scratch dir with a `src/` segment so files classify as
+/// library code.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join(format!("sunmap-lint-cli-{}-{tag}", std::process::id()))
+        .join("src");
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn write(dir: &std::path::Path, name: &str, src: &str) -> PathBuf {
+    let p = dir.join(name);
+    std::fs::write(&p, src).expect("write fixture");
+    p
+}
+
+fn run(args: &[&str]) -> Output {
+    bin().args(args).output().expect("binary runs")
+}
+
+#[test]
+fn violating_file_exits_nonzero_with_diagnostic() {
+    let dir = scratch("violating");
+    let p = write(&dir, "bad.rs", "use std::collections::HashMap;\n");
+    let out = run(&[p.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("hash-iter") && stdout.contains("bad.rs:1:"),
+        "diagnostic names the rule and position: {stdout}"
+    );
+}
+
+#[test]
+fn clean_file_exits_zero() {
+    let dir = scratch("clean");
+    let p = write(&dir, "good.rs", "use std::collections::BTreeMap;\n");
+    let out = run(&[p.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{:?}", out);
+}
+
+#[test]
+fn suppressed_file_exits_zero_and_counts_the_allow() {
+    let dir = scratch("suppressed");
+    let p = write(
+        &dir,
+        "allowed.rs",
+        "use std::collections::HashMap; // lint:allow(hash-iter): keyed lookup only\n",
+    );
+    let out = run(&[p.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{:?}", out);
+    assert!(String::from_utf8_lossy(&out.stdout).contains("1 suppressed"));
+}
+
+#[test]
+fn json_mode_emits_the_machine_schema_on_stdout() {
+    let dir = scratch("json");
+    let p = write(&dir, "bad.rs", "fn f() { unsafe { danger() } }\n");
+    let out = run(&["--json", p.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout.lines().next().expect("one JSON line");
+    assert!(line.starts_with("{\"schema\":\"sunmap-lint/1\","), "{line}");
+    assert!(line.contains("\"rule\":\"naked-unsafe\""), "{line}");
+    assert!(line.ends_with('}'), "{line}");
+}
+
+#[test]
+fn firing_fixtures_drive_the_exit_code() {
+    // The committed rule fixtures themselves, fed explicitly (the
+    // workspace walk skips `fixtures/`), must trip the gate. Copy one
+    // into a src/ path so it classifies as library code.
+    let fixture =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/schema_literal_fires.rs");
+    let dir = scratch("fixture");
+    let p = dir.join("schema_literal_fires.rs");
+    std::fs::copy(&fixture, &p).expect("copy fixture");
+    let out = run(&[p.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let out = run(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&["--workspace", "some/file.rs"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&["--no-such-flag"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn list_rules_names_every_rule() {
+    let out = run(&["--list-rules"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in [
+        "hash-iter",
+        "float-cmp",
+        "wall-clock",
+        "bare-spawn",
+        "unseeded-rng",
+        "naked-unsafe",
+        "schema-literal",
+    ] {
+        assert!(stdout.contains(rule), "--list-rules omits {rule}");
+    }
+}

@@ -1,0 +1,12 @@
+//! Clean fixture: scoped threads join deterministically and propagate
+//! panics.
+use std::thread;
+
+pub fn run_both(a: impl FnOnce() + Send, b: impl FnOnce() + Send) {
+    thread::scope(|scope| {
+        let ha = scope.spawn(a);
+        let hb = scope.spawn(b);
+        ha.join().expect("a panicked");
+        hb.join().expect("b panicked");
+    });
+}

@@ -1,0 +1,6 @@
+//! Firing fixture: detached thread::spawn.
+use std::thread;
+
+pub fn fire_and_forget(work: impl FnOnce() + Send + 'static) {
+    thread::spawn(work);
+}

@@ -1,0 +1,22 @@
+//! Clean fixture: total_cmp ranking; a `fn partial_cmp` definition in a
+//! PartialOrd impl is exempt.
+use std::cmp::Ordering;
+
+pub struct Cost(pub f64);
+
+impl PartialEq for Cost {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == Ordering::Equal
+    }
+}
+
+impl PartialOrd for Cost {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.0.total_cmp(&other.0))
+    }
+}
+
+pub fn rank(mut xs: Vec<f64>) -> Vec<f64> {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs
+}

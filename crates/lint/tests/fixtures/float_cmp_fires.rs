@@ -1,0 +1,5 @@
+//! Firing fixture: partial_cmp ranking in library code.
+pub fn rank(mut xs: Vec<f64>) -> Vec<f64> {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    xs
+}

@@ -1,0 +1,10 @@
+//! Firing fixture: HashMap in library result-path code.
+use std::collections::HashMap;
+
+pub fn tally(names: &[&str]) -> Vec<(String, usize)> {
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    for n in names {
+        *counts.entry((*n).to_string()).or_default() += 1;
+    }
+    counts.into_iter().collect()
+}

@@ -1,0 +1,6 @@
+//! Clean fixture: every unsafe site carries an adjacent SAFETY comment.
+pub fn first_byte(bytes: &[u8]) -> u8 {
+    assert!(!bytes.is_empty());
+    // SAFETY: the assert above guarantees index 0 is in bounds.
+    unsafe { *bytes.get_unchecked(0) }
+}

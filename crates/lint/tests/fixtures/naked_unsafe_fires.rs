@@ -1,0 +1,4 @@
+//! Firing fixture: unsafe without a SAFETY justification.
+pub fn first_byte(bytes: &[u8]) -> u8 {
+    unsafe { *bytes.get_unchecked(0) }
+}

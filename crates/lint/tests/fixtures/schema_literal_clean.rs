@@ -1,0 +1,7 @@
+//! Clean fixture: the schema string lives in exactly one shared const
+//! and every emit site interpolates it.
+pub const DEMO_SCHEMA: &str = "sunmap-demo/1";
+
+pub fn envelope(body: &str) -> String {
+    format!("{{\"schema\":\"{DEMO_SCHEMA}\",{body}}}")
+}

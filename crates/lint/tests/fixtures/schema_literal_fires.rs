@@ -1,0 +1,4 @@
+//! Firing fixture: wire-schema string duplicated at an emit site.
+pub fn envelope(body: &str) -> String {
+    format!("{{\"schema\":\"sunmap-demo/1\",{body}}}")
+}

@@ -1,0 +1,8 @@
+//! Clean fixture: RNG derived from an explicit seed that reaches the
+//! output, so every run replays.
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+pub fn rng_for(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}

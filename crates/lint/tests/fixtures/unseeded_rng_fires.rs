@@ -1,0 +1,7 @@
+//! Firing fixture: entropy-derived RNG construction.
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+pub fn roll() -> SmallRng {
+    SmallRng::from_entropy()
+}

@@ -1,0 +1,18 @@
+//! Clean fixture: time arrives as injected ticks, never read from the
+//! wall clock. A bare `Instant` type mention without `::now` is fine.
+use std::time::Instant;
+
+pub struct Clock {
+    now: u64,
+}
+
+impl Clock {
+    pub fn advance(&mut self, ticks: u64) -> u64 {
+        self.now += ticks;
+        self.now
+    }
+
+    pub fn deadline_of(&self, _started: Instant) -> u64 {
+        self.now
+    }
+}

@@ -1,0 +1,11 @@
+//! Firing fixture: wall-clock reads in non-allowlisted library code.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> (u128, u64) {
+    let t = Instant::now();
+    let epoch = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    (t.elapsed().as_nanos(), epoch)
+}

@@ -1,0 +1,44 @@
+//! Property tests: the lexer is total — any input lexes without
+//! panicking, and every token span is a valid, in-bounds, ascending
+//! slice of the source.
+
+use proptest::collection;
+use proptest::prelude::*;
+
+use sunmap_lint::lexer::lex;
+
+fn spans_are_sane(src: &str) {
+    let tokens = lex(src);
+    let mut prev_end = 0usize;
+    for t in &tokens {
+        assert!(t.start >= prev_end, "tokens overlap or go backwards");
+        assert!(t.end > t.start, "empty token span");
+        assert!(t.end <= src.len(), "span past end of source");
+        assert!(src.is_char_boundary(t.start) && src.is_char_boundary(t.end));
+        assert!(t.line >= 1 && t.col >= 1, "positions are 1-based");
+        prev_end = t.end;
+    }
+}
+
+/// Fragments chosen to collide with every lexer mode boundary: string
+/// and raw-string fences, char-vs-lifetime, comment openers/closers,
+/// escapes, numbers that abut `..` and method calls.
+const FRAGMENTS: &[&str] = &[
+    "\"", "'", "r#", "r#\"", "\"#", "\"##", "b'", "b\"", "br##\"", "//", "/*", "*/", "\\", "\\\"",
+    "\n", "0x", "1.", "1.5", "..", "::", "ident", "r#type", "'a", "'a'", "SAFETY:", "#", "r", " ",
+    "{", "}", "é", "∂",
+];
+
+proptest! {
+    #[test]
+    fn token_soup_never_panics(picks in collection::vec(0usize..FRAGMENTS.len(), 0..40)) {
+        let src: String = picks.iter().map(|&i| FRAGMENTS[i]).collect();
+        spans_are_sane(&src);
+    }
+
+    #[test]
+    fn arbitrary_unicode_never_panics(codes in collection::vec(0u32..0x0011_0000, 0..200)) {
+        let src: String = codes.iter().filter_map(|&c| char::from_u32(c)).collect();
+        spans_are_sane(&src);
+    }
+}

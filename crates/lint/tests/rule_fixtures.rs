@@ -1,0 +1,142 @@
+//! Fixture-driven rule tests: every rule has one firing and one clean
+//! fixture under `tests/fixtures/`, linted as library code.
+
+use std::path::Path;
+
+use sunmap_lint::{lint_file, FileContext, FileKind, Finding};
+
+/// Lints a fixture as though it lived at `crates/demo/src/lib.rs`.
+fn lint_fixture(name: &str, kind: FileKind) -> (Vec<Finding>, usize) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(format!("{name}.rs"));
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
+    let ctx = FileContext::new("crates/demo/src/lib.rs".to_string(), kind, src);
+    lint_file(&ctx)
+}
+
+fn rules_fired(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+const PAIRS: &[(&str, &str)] = &[
+    ("hash-iter", "hash_iter"),
+    ("float-cmp", "float_cmp"),
+    ("wall-clock", "wall_clock"),
+    ("bare-spawn", "bare_spawn"),
+    ("unseeded-rng", "unseeded_rng"),
+    ("naked-unsafe", "naked_unsafe"),
+    ("schema-literal", "schema_literal"),
+];
+
+#[test]
+fn every_firing_fixture_fires_exactly_its_rule() {
+    for (rule, stem) in PAIRS {
+        let (findings, _) = lint_fixture(&format!("{stem}_fires"), FileKind::Library);
+        let fired = rules_fired(&findings);
+        assert!(
+            fired.contains(rule),
+            "{stem}_fires.rs should fire {rule}, got {fired:?}"
+        );
+        assert!(
+            fired.iter().all(|r| r == rule),
+            "{stem}_fires.rs fired unrelated rules: {fired:?}"
+        );
+    }
+}
+
+#[test]
+fn every_clean_fixture_is_finding_free() {
+    for (_, stem) in PAIRS {
+        let (findings, _) = lint_fixture(&format!("{stem}_clean"), FileKind::Library);
+        assert!(
+            findings.is_empty(),
+            "{stem}_clean.rs should be clean, got {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn library_only_rules_are_silent_in_test_code() {
+    for stem in ["hash_iter", "float_cmp", "wall_clock", "schema_literal"] {
+        let (findings, _) = lint_fixture(&format!("{stem}_fires"), FileKind::Test);
+        assert!(
+            findings.is_empty(),
+            "{stem}_fires.rs under tests/ should be exempt, got {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn everywhere_rules_still_fire_in_test_code() {
+    for (rule, stem) in [
+        ("bare-spawn", "bare_spawn"),
+        ("unseeded-rng", "unseeded_rng"),
+        ("naked-unsafe", "naked_unsafe"),
+    ] {
+        let (findings, _) = lint_fixture(&format!("{stem}_fires"), FileKind::Test);
+        assert!(
+            rules_fired(&findings).contains(&rule),
+            "{stem}_fires.rs should fire {rule} even under tests/"
+        );
+    }
+}
+
+fn lint_src(src: &str) -> (Vec<Finding>, usize) {
+    let ctx = FileContext::new(
+        "crates/demo/src/lib.rs".to_string(),
+        FileKind::Library,
+        src.to_string(),
+    );
+    lint_file(&ctx)
+}
+
+#[test]
+fn trailing_allow_suppresses_its_own_line() {
+    let (findings, suppressed) =
+        lint_src("use std::collections::HashMap; // lint:allow(hash-iter): keyed lookups only\n");
+    assert!(findings.is_empty(), "suppressed, got {findings:?}");
+    assert_eq!(suppressed, 1);
+}
+
+#[test]
+fn standalone_allow_covers_the_next_code_line() {
+    let (findings, suppressed) =
+        lint_src("// lint:allow(hash-iter): keyed lookups only\nuse std::collections::HashMap;\n");
+    assert!(findings.is_empty(), "suppressed, got {findings:?}");
+    assert_eq!(suppressed, 1);
+}
+
+#[test]
+fn allow_does_not_leak_past_the_next_line() {
+    let src = "// lint:allow(hash-iter): only covers the next line\n\
+               use std::collections::BTreeMap;\n\
+               use std::collections::HashMap;\n";
+    let (findings, _) = lint_src(src);
+    assert_eq!(rules_fired(&findings), vec!["hash-iter"]);
+}
+
+#[test]
+fn allow_without_reason_is_malformed_and_does_not_suppress() {
+    let (findings, suppressed) =
+        lint_src("use std::collections::HashMap; // lint:allow(hash-iter)\n");
+    let fired = rules_fired(&findings);
+    assert!(fired.contains(&"malformed-allow"), "got {fired:?}");
+    assert!(fired.contains(&"hash-iter"), "got {fired:?}");
+    assert_eq!(suppressed, 0);
+}
+
+#[test]
+fn allow_naming_an_unknown_rule_is_malformed() {
+    let (findings, _) = lint_src("fn f() {} // lint:allow(no-such-rule): whatever\n");
+    assert_eq!(rules_fired(&findings), vec!["malformed-allow"]);
+}
+
+#[test]
+fn violations_inside_strings_and_comments_do_not_fire() {
+    let src = "// thread::spawn and HashMap in a comment\n\
+               pub const DOC: &str = \"Instant::now() and thread::spawn\";\n";
+    let (findings, _) = lint_src(src);
+    assert!(findings.is_empty(), "got {findings:?}");
+}

@@ -1,0 +1,25 @@
+//! The committed workspace must be finding-free: `make lint` gates CI
+//! on `sunmap-lint --workspace`, and this test keeps that gate honest
+//! from inside the test suite.
+
+use std::path::Path;
+
+use sunmap_lint::{find_workspace_root, lint_workspace};
+
+#[test]
+fn committed_workspace_has_zero_findings() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above the lint crate");
+    let report = lint_workspace(&root).expect("workspace lints");
+    assert!(
+        report.findings.is_empty(),
+        "the committed tree must lint clean; fix or `// lint:allow(<rule>): <reason>` these:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| f.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(report.files > 100, "workspace walk looks truncated");
+}

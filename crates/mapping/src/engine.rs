@@ -81,6 +81,7 @@ use sunmap_topology::{
 };
 use sunmap_traffic::{Commodity, CoreGraph};
 
+// lint:allow(hash-iter): LazyPairs memo below is keyed lookup only, never iterated
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock, RwLock};
 
@@ -304,6 +305,7 @@ impl CachedPath {
 const LAZY_SHARDS: usize = 64;
 
 /// One [`LazyPairs`] shard: pair index → shared memoised value.
+// lint:allow(hash-iter): perf-critical point-lookup memo, never iterated so order cannot leak
 type LazyShard<T> = RwLock<HashMap<usize, Arc<T>>>;
 
 /// Concurrent memo table for lazily materialised per-pair state: pair
@@ -319,6 +321,7 @@ impl<T> LazyPairs<T> {
     fn new() -> Self {
         LazyPairs {
             shards: (0..LAZY_SHARDS)
+                // lint:allow(hash-iter): see LazyShard — keyed lookups only
                 .map(|_| RwLock::new(HashMap::new()))
                 .collect(),
         }

@@ -14,8 +14,6 @@
 //!   links longer than direct ones (the paper measured ~1.5x for the
 //!   butterfly).
 
-use std::collections::HashMap;
-
 use crate::Placement;
 use sunmap_floorplan::{BlockId, BlockSpec, RelativePlacement};
 use sunmap_topology::{NodeCoords, NodeId, TopologyGraph, TopologyKind};
@@ -227,13 +225,13 @@ fn custom_layout(
     placement: &Placement,
     switch_areas: &[f64],
 ) -> LayoutBlocks {
-    let mut ports_of: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+    let mut ports_of: Vec<Vec<NodeId>> = vec![Vec::new(); g.node_count()];
     for port in g.core_ports() {
         if let Ok(sw) = g.ingress_switch(port) {
-            ports_of.entry(sw).or_default().push(port);
+            ports_of[sw.index()].push(port);
         }
     }
-    let expand = ports_of.values().map(Vec::len).max().unwrap_or(1).max(1);
+    let expand = ports_of.iter().map(Vec::len).max().unwrap_or(1).max(1);
 
     let mut rp = RelativePlacement::new();
     let mut switch_block = vec![None; g.node_count()];
@@ -249,7 +247,7 @@ fn custom_layout(
         );
         switch_block[s.index()] = Some(id);
         let mut stacked = 0usize;
-        for port in ports_of.get(&s).map(Vec::as_slice).unwrap_or(&[]) {
+        for port in &ports_of[s.index()] {
             let Some(core) = placement.core_at(*port) else {
                 continue;
             };

@@ -410,8 +410,7 @@ fn initial_placement(graph: &TopologyGraph, app: &CoreGraph, table: &RouteTable)
             .filter(|c| assignment[c.index()].is_none())
             .max_by(|a, b| {
                 comm[a.index()]
-                    .partial_cmp(&comm[b.index()])
-                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .total_cmp(&comm[b.index()])
                     .then_with(|| b.cmp(a))
             })
             .expect("an unplaced core remains");
@@ -422,9 +421,7 @@ fn initial_placement(graph: &TopologyGraph, app: &CoreGraph, table: &RouteTable)
             .min_by(|x, y| {
                 let cx = greedy_cost(edges, &incident, table, next_core, **x, &assignment);
                 let cy = greedy_cost(edges, &incident, table, next_core, **y, &assignment);
-                cx.partial_cmp(&cy)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then_with(|| x.cmp(y))
+                cx.total_cmp(&cy).then_with(|| x.cmp(y))
             })
             .expect("a free node remains (|V| <= |U|)");
         assignment[next_core.index()] = Some(best_node);

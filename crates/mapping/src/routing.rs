@@ -229,15 +229,11 @@ pub(crate) fn assign_chunks<'e>(
                         if oa {
                             // All over capacity: minimise the bottleneck,
                             // then prefer shorter.
-                            ba.partial_cmp(&bb)
-                                .unwrap_or(std::cmp::Ordering::Equal)
-                                .then_with(|| la.cmp(&lb))
+                            ba.total_cmp(&bb).then_with(|| la.cmp(&lb))
                         } else {
                             // Within capacity: prefer shorter, then the
                             // lower bottleneck.
-                            la.cmp(&lb).then_with(|| {
-                                ba.partial_cmp(&bb).unwrap_or(std::cmp::Ordering::Equal)
-                            })
+                            la.cmp(&lb).then_with(|| ba.total_cmp(&bb))
                         }
                     })
                     .then_with(|| a.cmp(&b))

@@ -1,6 +1,6 @@
 //! Memoised area-power library.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::{switch_area, switch_energy_per_bit, SwitchConfig, Technology, WireModel};
 
@@ -23,8 +23,8 @@ use crate::{switch_area, switch_energy_per_bit, SwitchConfig, Technology, WireMo
 pub struct AreaPowerLibrary {
     tech: Technology,
     wire: WireModel,
-    areas: HashMap<SwitchConfig, f64>,
-    energies: HashMap<SwitchConfig, f64>,
+    areas: BTreeMap<SwitchConfig, f64>,
+    energies: BTreeMap<SwitchConfig, f64>,
 }
 
 impl AreaPowerLibrary {
@@ -34,8 +34,8 @@ impl AreaPowerLibrary {
         AreaPowerLibrary {
             tech,
             wire: WireModel::default(),
-            areas: HashMap::new(),
-            energies: HashMap::new(),
+            areas: BTreeMap::new(),
+            energies: BTreeMap::new(),
         }
     }
 
@@ -44,8 +44,8 @@ impl AreaPowerLibrary {
         AreaPowerLibrary {
             tech,
             wire,
-            areas: HashMap::new(),
-            energies: HashMap::new(),
+            areas: BTreeMap::new(),
+            energies: BTreeMap::new(),
         }
     }
 

@@ -8,7 +8,7 @@ use crate::Technology;
 /// switch configurations ... (like accounting for pipeline registers,
 /// cross points, etc.)" — the knobs here are the ones those nuances
 /// depend on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SwitchConfig {
     /// Number of input ports (network plus local/core ports).
     pub in_ports: usize,

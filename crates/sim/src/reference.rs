@@ -10,6 +10,7 @@
 //! engine's for the same seed, and the `sim_speed` bench group measures
 //! the rebuild's speedup against it. Do not optimise this module.
 
+// lint:allow(hash-iter): frozen oracle module, kept byte-for-byte as the equivalence baseline
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
@@ -64,6 +65,7 @@ pub struct NocSimulator<'a> {
     /// Candidate flit sources at each node (indexed by node id).
     node_sources: Vec<Vec<Source>>,
     /// Minimum-path cache for synthetic routing.
+    // lint:allow(hash-iter): frozen oracle — keyed cache, never iterated
     path_cache: HashMap<(NodeId, NodeId), Vec<Rc<[NodeId]>>>,
     next_packet: u64,
     now: u64,
@@ -94,6 +96,7 @@ impl<'a> NocSimulator<'a> {
             owner: vec![None; graph.edge_count()],
             rr: vec![0; graph.edge_count()],
             node_sources,
+            // lint:allow(hash-iter): frozen oracle — keyed cache, never iterated
             path_cache: HashMap::new(),
             next_packet: 0,
             now: 0,
@@ -165,6 +168,7 @@ impl<'a> NocSimulator<'a> {
             packet_prob: f64,
             routes: Vec<(Rc<[NodeId]>, f64)>,
         }
+        // lint:allow(hash-iter): frozen oracle — keyed lookup of terminal indices, never iterated
         let term_index: HashMap<NodeId, usize> = self
             .terminals
             .iter()

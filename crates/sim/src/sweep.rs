@@ -173,11 +173,14 @@ pub fn sweep_csv(points: &[SweepPoint]) -> String {
     out
 }
 
+/// The wire schema identifier stamped on every sweep JSON document.
+pub const SWEEP_SCHEMA: &str = "sunmap-sweep/1";
+
 /// Renders sweep points as JSON:
 /// `{"schema":"sunmap-sweep/1","points":[...]}`.
 pub fn sweep_json(points: &[SweepPoint]) -> String {
     use std::fmt::Write as _;
-    let mut out = String::from("{\"schema\":\"sunmap-sweep/1\",\"points\":[");
+    let mut out = format!("{{\"schema\":\"{SWEEP_SCHEMA}\",\"points\":[");
     for (i, p) in points.iter().enumerate() {
         if i > 0 {
             out.push(',');

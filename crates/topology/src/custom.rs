@@ -11,7 +11,7 @@
 //! the lexicographically-first minimum path, and the floorplanner lays
 //! switches out on a caller-controlled (or near-square default) grid.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::{NodeCoords, NodeId, NodeKind, TopologyError, TopologyGraph, TopologyKind};
 
@@ -174,7 +174,7 @@ impl CustomTopologyBuilder {
         });
         // Auto-grid for switches without explicit slots, avoiding any
         // explicitly used slot.
-        let mut used: HashMap<(usize, usize), ()> = self
+        let mut used: BTreeMap<(usize, usize), ()> = self
             .switches
             .iter()
             .flatten()

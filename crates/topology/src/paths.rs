@@ -7,12 +7,12 @@
 //! destination are always considered allowed.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet, VecDeque};
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
 
 use crate::{EdgeId, NodeId, TopologyGraph};
 
 /// Restriction of a search to a vertex subset (a quadrant graph).
-pub type AllowedSet = HashSet<NodeId>;
+pub type AllowedSet = BTreeSet<NodeId>;
 
 fn permitted(allowed: Option<&AllowedSet>, node: NodeId, src: NodeId, dst: NodeId) -> bool {
     node == src || node == dst || allowed.is_none_or(|a| a.contains(&node))
@@ -126,8 +126,7 @@ impl Ord for HeapEntry {
         // Min-heap on cost; ties broken by node id for determinism.
         other
             .cost
-            .partial_cmp(&self.cost)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&self.cost)
             .then_with(|| other.node.cmp(&self.node))
     }
 }
@@ -346,7 +345,7 @@ pub fn all_simple_paths(
 ) -> Vec<Vec<NodeId>> {
     let mut out = Vec::new();
     let mut stack = vec![src];
-    let mut on_path: HashSet<NodeId> = HashSet::from([src]);
+    let mut on_path: BTreeSet<NodeId> = BTreeSet::from([src]);
     simple_dfs(
         g,
         dst,
@@ -368,7 +367,7 @@ fn simple_dfs(
     max_len: usize,
     cap: usize,
     stack: &mut Vec<NodeId>,
-    on_path: &mut HashSet<NodeId>,
+    on_path: &mut BTreeSet<NodeId>,
     out: &mut Vec<Vec<NodeId>>,
 ) {
     if out.len() >= cap {

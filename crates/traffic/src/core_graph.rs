@@ -1,6 +1,6 @@
 //! The application core graph (paper Definition 1).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Index of a core in a [`CoreGraph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -216,8 +216,7 @@ impl CoreGraph {
         let mut d = self.edges.clone();
         d.sort_by(|a, b| {
             b.bandwidth
-                .partial_cmp(&a.bandwidth)
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&a.bandwidth)
                 .then_with(|| (a.src, a.dst).cmp(&(b.src, b.dst)))
         });
         d
@@ -249,8 +248,7 @@ impl CoreGraph {
     pub fn max_communication_core(&self) -> Option<CoreId> {
         (0..self.core_count()).map(CoreId).max_by(|a, b| {
             self.communication_of(*a)
-                .partial_cmp(&self.communication_of(*b))
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&self.communication_of(*b))
                 // Deterministic tie-break: lower id wins (max_by keeps
                 // the last maximal element, so order the tie that way).
                 .then_with(|| b.cmp(a))
@@ -323,7 +321,7 @@ impl FromIterator<(String, f64)> for CoreGraph {
 /// statically known benchmark tables.
 pub(crate) fn graph_from_tables(cores: &[(&str, f64)], traffic: &[(&str, &str, f64)]) -> CoreGraph {
     let mut g = CoreGraph::new();
-    let mut ids = HashMap::new();
+    let mut ids = BTreeMap::new();
     for (name, area) in cores {
         ids.insert(*name, g.add_core(*name, *area));
     }
